@@ -1,0 +1,58 @@
+// Ablation: halo width. POP keeps two halo layers (paper §2.2) so a
+// non-diagonal preconditioner still needs only one boundary update per
+// iteration. We measure the live per-exchange byte volume for widths 1
+// and 2 on a multi-block decomposition, and the modeled cost impact at
+// scale (the 8N/sqrt(p) term of Eqs. 2/3 doubles with the halo width,
+// but the 4-message latency floor does not change).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "src/solver/chron_gear.hpp"
+
+using namespace minipop;
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  auto c = bench::make_live_case("1deg", cli.get_double("scale", 0.2), 12);
+
+  bench::print_header("Ablation: halo width",
+                      "live bytes per halo exchange (multi-rank "
+                      "decomposition of the 1deg-scaled grid)");
+  // Re-decompose across 4 virtual ranks so exchanges actually move data.
+  auto mask = c.stencil->mask();
+  grid::Decomposition d4(c.grid->nx(), c.grid->ny(), c.grid->periodic_x(),
+                         mask, 12, 12, 4);
+  comm::HaloExchanger hx(d4);
+  util::Table t({"halo width", "bytes sent per exchange (rank 0)"});
+  for (int h : {1, 2, 3}) {
+    comm::DistField f(d4, 0, h);
+    t.row().add_int(h).add_int(
+        static_cast<long>(hx.bytes_sent_per_exchange(f)));
+  }
+  t.print(std::cout);
+
+  bench::print_header("Ablation: halo width",
+                      "modeled ChronGear halo seconds/day (0.1deg, "
+                      "Yellowstone) if the per-iteration volume scaled "
+                      "with width");
+  auto grid = perf::pop_0p1deg_case();
+  perf::PopTimingModel model(perf::yellowstone_profile(), grid,
+                             perf::paper_iteration_model(grid));
+  util::Table t2({"cores", "width 1", "width 2 (POP)", "width 4"});
+  for (int p : {470, 2700, 16875}) {
+    auto base = model.barotropic_per_day(perf::Config::kCgDiag, p);
+    const double msgs =
+        4.0 * perf::yellowstone_profile().alpha_p2p *
+        model.iterations_of(perf::Config::kCgDiag, p) * grid.steps_per_day;
+    const double bytes = base.halo - msgs;
+    auto& row = t2.row();
+    row.add_int(p);
+    for (double w : {0.5, 1.0, 2.0}) row.add(msgs + bytes * w, 3);
+  }
+  t2.print(std::cout);
+  std::cout << "\nShape check: volume scales linearly with width but the "
+               "latency floor\ndominates at high core counts — wide halos "
+               "are cheap there, which is why POP\ncan afford width 2 and "
+               "save a second boundary update per iteration.\n";
+  return 0;
+}

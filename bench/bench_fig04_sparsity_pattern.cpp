@@ -1,0 +1,88 @@
+// Paper Fig. 4: sparsity pattern of the nine-point coefficient matrix
+// reordered block-by-block (3x3 blocks): a nine-diagonal block matrix
+// whose diagonal blocks B_i share the full nine-point structure, edge-
+// neighbor blocks carry at most 3n nonzeros on n rows, and corner-
+// neighbor blocks carry a single nonzero. Printed as a block-level
+// census plus an ASCII spy plot of the reordered matrix.
+#include <cstdlib>
+#include <iostream>
+#include <map>
+
+#include "bench_common.hpp"
+#include "src/linalg/dense.hpp"
+
+using namespace minipop;
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  const int n = cli.get_int("block", 4);  // block edge; domain is 3x3 blocks
+  const int nx = 3 * n;
+
+  grid::GridSpec spec;
+  spec.kind = grid::GridKind::kUniform;
+  spec.nx = nx;
+  spec.ny = nx;
+  spec.periodic_x = false;
+  spec.dx = 1.0e4;
+  spec.dy = 1.1e4;
+  grid::CurvilinearGrid g(spec);
+  auto depth = grid::flat_bathymetry(g, 4000.0);
+  grid::NinePointStencil st(g, depth, 1e-6);
+  auto a = st.to_dense();
+
+  bench::print_header("Figure 4",
+                      "block-reordered sparsity of the nine-point matrix "
+                      "(3x3 blocks of " +
+                          std::to_string(n) + "x" + std::to_string(n) +
+                          " cells)");
+
+  // Block-by-block ordering: cell (i, j) -> (block id, local id).
+  auto block_of = [&](int cell) {
+    const int i = cell % nx, j = cell / nx;
+    return (j / n) * 3 + (i / n);
+  };
+  auto reorder = [&](int cell) {
+    const int i = cell % nx, j = cell / nx;
+    const int b = block_of(cell);
+    const int li = i % n, lj = j % n;
+    return b * n * n + lj * n + li;
+  };
+
+  // Census of nonzeros between block pairs.
+  std::map<std::pair<int, int>, long> census;
+  const int total = nx * nx;
+  for (int r = 0; r < total; ++r)
+    for (int c = 0; c < total; ++c)
+      if (a(r, c) != 0.0) census[{block_of(r), block_of(c)}]++;
+
+  util::Table t({"block pair", "relation", "nonzeros", "paper bound"});
+  long diag = census[{4, 4}];
+  long edge = census[{4, 5}];
+  long corner = census[{4, 8}];
+  t.row().add("(4,4)").add("diagonal B_i").add_int(diag).add(
+      "full 9-pt block");
+  t.row().add("(4,5)").add("east neighbor").add_int(edge).add(
+      "<= 3n = " + std::to_string(3 * n));
+  t.row().add("(4,8)").add("NE corner").add_int(corner).add("1");
+  t.print(std::cout);
+
+  // ASCII spy plot of the reordered matrix (one char per cell pair).
+  std::cout << "\nSpy plot (rows/cols in block order, '#' = nonzero):\n";
+  std::vector<std::string> spy(total, std::string(total, '.'));
+  for (int r = 0; r < total; ++r)
+    for (int c = 0; c < total; ++c)
+      if (a(r, c) != 0.0) spy[reorder(r)][reorder(c)] = '#';
+  for (int r = 0; r < total; ++r) {
+    if (r % (n * n) == 0 && r > 0)
+      std::cout << std::string(total + (total / (n * n)) - 1, '-') << "\n";
+    for (int c = 0; c < total; ++c) {
+      if (c % (n * n) == 0 && c > 0) std::cout << '|';
+      std::cout << spy[r][c];
+    }
+    std::cout << "\n";
+  }
+  std::cout << "\nShape check: nine block-diagonals; diagonal blocks are "
+               "dense 9-point stencils,\nedge blocks have O(3n) entries, "
+               "corner blocks a single entry (paper Fig. 4).\n";
+  return 0;
+}

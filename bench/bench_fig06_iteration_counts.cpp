@@ -1,0 +1,72 @@
+// Paper Fig. 6: average iteration counts of the four solver
+// configurations on the 1-degree and 0.1-degree grids. LIVE experiment:
+// real solves on scaled synthetic production grids (--scale1 /
+// --scale01 control the sizes; --scale01=1 runs the full 3600x2400).
+// The paper's headline convergence results to reproduce:
+//   * block-EVP cuts iterations to roughly a third for both solvers;
+//   * P-CSI needs more iterations than ChronGear;
+//   * 0.1 degree needs fewer iterations than 1 degree (aspect ratios
+//     closer to one -> smaller condition number, Sec. 4.3);
+//   * the EVP preprocessing cost is small (compare with one solve).
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace minipop;
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  const double scale1 = cli.get_double("scale1", 0.25);
+  const double scale01 = cli.get_double("scale01", 0.05);
+  const double tol = cli.get_double("tol", 1e-12);
+  const int block = cli.get_int("block", 12);
+
+  bench::print_header("Figure 6",
+                      "average solver iterations (live solves on scaled "
+                      "grids; EVP tile = process block)");
+
+  util::Table t({"grid", "config", "iterations", "vs diag", "lanczos",
+                 "evp setup ops / solve ops"});
+  for (const auto& [name, scale] :
+       {std::pair<std::string, double>{"1deg", scale1},
+        std::pair<std::string, double>{"0.1deg", scale01}}) {
+    auto c = bench::make_live_case(name, scale, block);
+    double diag_iters[2] = {0, 0};  // [chrongear, pcsi]
+    for (auto cfg : perf::kAllConfigs) {
+      auto scfg = bench::config_for(cfg, tol, /*evp_max_tile=*/0);
+      scfg.lanczos.rel_tolerance = 0.15;  // the paper's epsilon
+      auto res = bench::measure_iterations(c, scfg);
+      const int solver_idx = perf::is_pcsi(cfg) ? 1 : 0;
+      if (!perf::is_evp(cfg)) diag_iters[solver_idx] = res.mean_iterations;
+      std::string ratio = "-";
+      if (perf::is_evp(cfg) && diag_iters[solver_idx] > 0) {
+        std::ostringstream os;
+        os.precision(2);
+        os << res.mean_iterations / diag_iters[solver_idx] << "x";
+        ratio = os.str();
+      }
+      std::string setup = "-";
+      if (res.precond_setup_flops > 0) {
+        std::ostringstream os;
+        os << res.precond_setup_flops << " / "
+           << res.costs.flops / 3;  // flops per solve
+        setup = os.str();
+      }
+      t.row()
+          .add(name + " (" + std::to_string(c.grid->nx()) + "x" +
+               std::to_string(c.grid->ny()) + ")")
+          .add(perf::to_string(cfg))
+          .add(res.mean_iterations, 1)
+          .add(ratio)
+          .add(res.lanczos_steps > 0 ? std::to_string(res.lanczos_steps)
+                                     : "-")
+          .add(setup);
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nShape check (paper Fig. 6): EVP cuts iterations to "
+               "roughly a third; P-CSI\nneeds more iterations than "
+               "ChronGear; per-resolution counts drop from 1deg to\n"
+               "0.1deg; EVP preprocessing costs less than one solve.\n";
+  return 0;
+}

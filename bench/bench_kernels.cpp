@@ -1,0 +1,130 @@
+// Microbenchmarks of the computational kernels behind the cost model:
+// nine-point stencil apply, masked dot product, vector updates, the
+// diagonal and block-EVP preconditioner applications, halo exchange and
+// (virtual) allreduce. Wall times here characterize THIS workstation;
+// the scaling figures use the machine profiles in src/perf instead.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "src/evp/block_evp_preconditioner.hpp"
+#include "src/solver/field_ops.hpp"
+
+using namespace minipop;
+
+namespace {
+
+struct KernelFixture {
+  bench::LiveCase c;
+  comm::SerialComm comm;
+  std::unique_ptr<solver::DistOperator> op;
+  comm::DistField x, y;
+
+  explicit KernelFixture(int extent)
+      : c(bench::make_live_case("1deg",
+                                extent / 320.0, 12)),
+        op(std::make_unique<solver::DistOperator>(*c.stencil, *c.decomp,
+                                                  0)),
+        x(*c.decomp, 0),
+        y(*c.decomp, 0) {
+    x.load_global(c.rhs_global);
+  }
+};
+
+KernelFixture& fixture(int extent) {
+  static std::map<int, std::unique_ptr<KernelFixture>> cache;
+  auto& slot = cache[extent];
+  if (!slot) slot = std::make_unique<KernelFixture>(extent);
+  return *slot;
+}
+
+}  // namespace
+
+static void BM_StencilApply(benchmark::State& state) {
+  auto& f = fixture(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    f.op->apply(f.comm, *f.c.halo, f.x, f.y);
+    benchmark::DoNotOptimize(f.y.data(0).data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long>(f.c.grid->nx()) *
+                          f.c.grid->ny());
+}
+BENCHMARK(BM_StencilApply)->Arg(80)->Arg(160)->Arg(320);
+
+static void BM_MaskedDot(benchmark::State& state) {
+  auto& f = fixture(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    double d = f.op->local_dot(f.comm, f.x, f.x);
+    benchmark::DoNotOptimize(d);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long>(f.c.grid->nx()) *
+                          f.c.grid->ny());
+}
+BENCHMARK(BM_MaskedDot)->Arg(160)->Arg(320);
+
+static void BM_Lincomb(benchmark::State& state) {
+  auto& f = fixture(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    solver::lincomb(f.comm, 1.0001, f.x, 0.9999, f.y);
+    benchmark::DoNotOptimize(f.y.data(0).data());
+  }
+}
+BENCHMARK(BM_Lincomb)->Arg(160)->Arg(320);
+
+static void BM_DiagonalPrecond(benchmark::State& state) {
+  auto& f = fixture(static_cast<int>(state.range(0)));
+  solver::DiagonalPreconditioner m(*f.op);
+  for (auto _ : state) {
+    m.apply(f.comm, f.x, f.y);
+    benchmark::DoNotOptimize(f.y.data(0).data());
+  }
+}
+BENCHMARK(BM_DiagonalPrecond)->Arg(160)->Arg(320);
+
+static void BM_BlockEvpPrecond(benchmark::State& state) {
+  auto& f = fixture(static_cast<int>(state.range(0)));
+  evp::BlockEvpOptions opt;
+  opt.max_tile = 12;
+  evp::BlockEvpPreconditioner m(*f.op, *f.c.grid, f.c.depth, opt);
+  for (auto _ : state) {
+    m.apply(f.comm, f.x, f.y);
+    benchmark::DoNotOptimize(f.y.data(0).data());
+  }
+}
+BENCHMARK(BM_BlockEvpPrecond)->Arg(160)->Arg(320);
+
+static void BM_HaloExchange(benchmark::State& state) {
+  auto& f = fixture(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    f.c.halo->exchange(f.comm, f.x);
+    benchmark::DoNotOptimize(f.x.data(0).data());
+  }
+}
+BENCHMARK(BM_HaloExchange)->Arg(160)->Arg(320);
+
+static void BM_EvpTileSolve(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  grid::GridSpec spec;
+  spec.kind = grid::GridKind::kUniform;
+  spec.nx = n;
+  spec.ny = n;
+  spec.periodic_x = false;
+  spec.dx = 1e4;
+  spec.dy = 1.1e4;
+  grid::CurvilinearGrid g(spec);
+  auto depth = grid::flat_bathymetry(g, 3000.0);
+  grid::NinePointStencil st(g, depth, 1e-6);
+  std::array<util::Field, grid::kNumDirs> coeff;
+  for (int d = 0; d < grid::kNumDirs; ++d)
+    coeff[d] = st.coeff(static_cast<grid::Dir>(d));
+  evp::EvpTileSolver evp(coeff, 0, 0, n, n);
+  util::Field y(n, n, 1.0), x;
+  for (auto _ : state) {
+    evp.solve(y, x);
+    benchmark::DoNotOptimize(x.data());
+  }
+}
+BENCHMARK(BM_EvpTileSolve)->Arg(6)->Arg(9)->Arg(12);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,55 @@
+// Virtual-MPI communicator abstraction.
+//
+// All solver and model code is written rank-locally against this
+// interface, exactly as MPI code would be: each rank owns its blocks,
+// exchanges halos point-to-point, and participates in fused global
+// reductions. Two backends exist:
+//   * SerialComm  — size 1, no communication (reference/big-grid path)
+//   * ThreadComm  — N ranks as threads with mailbox point-to-point and
+//                   deterministic, fixed-order global reductions
+// Real-machine wall times are *not* measured here (we are on a
+// workstation); the CostTracker records message/reduction/flop counts and
+// src/perf converts them to modeled times.
+#pragma once
+
+#include <span>
+
+#include "src/comm/cost_tracker.hpp"
+
+namespace minipop::comm {
+
+enum class ReduceOp { kSum, kMax, kMin };
+
+class Communicator {
+ public:
+  virtual ~Communicator() = default;
+
+  virtual int rank() const = 0;
+  virtual int size() const = 0;
+
+  /// Fused in-place reduction of a small vector across all ranks
+  /// (MPI_Allreduce). Deterministic: combination order is rank 0..p-1
+  /// regardless of arrival order.
+  virtual void allreduce(std::span<double> values, ReduceOp op) = 0;
+
+  /// Buffered ("eager") point-to-point send; never blocks.
+  virtual void send(int dest, int tag, std::span<const double> data) = 0;
+
+  /// Blocking receive matching (src, tag); data.size() must equal the
+  /// sent size.
+  virtual void recv(int src, int tag, std::span<double> data) = 0;
+
+  virtual void barrier() = 0;
+
+  CostTracker& costs() { return costs_; }
+  const CostTracker& costs() const { return costs_; }
+
+  /// Convenience: fused sum-reduce of one/two scalars.
+  double allreduce_sum(double v);
+  void allreduce_sum2(double* a, double* b);
+
+ protected:
+  CostTracker costs_;
+};
+
+}  // namespace minipop::comm

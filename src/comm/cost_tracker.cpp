@@ -1,0 +1,16 @@
+#include "src/comm/cost_tracker.hpp"
+
+namespace minipop::comm {
+
+CostCounters CostTracker::since(const CostCounters& snapshot) const {
+  CostCounters d;
+  d.flops = c_.flops - snapshot.flops;
+  d.p2p_messages = c_.p2p_messages - snapshot.p2p_messages;
+  d.p2p_bytes = c_.p2p_bytes - snapshot.p2p_bytes;
+  d.halo_exchanges = c_.halo_exchanges - snapshot.halo_exchanges;
+  d.allreduces = c_.allreduces - snapshot.allreduces;
+  d.allreduce_doubles = c_.allreduce_doubles - snapshot.allreduce_doubles;
+  return d;
+}
+
+}  // namespace minipop::comm

@@ -1,0 +1,54 @@
+// Per-rank accounting of the three cost classes the paper's performance
+// model distinguishes (§2.2): computation (flops), boundary updates
+// (point-to-point messages and bytes), and global reductions. Solvers and
+// kernels record into the tracker of their communicator; the perf module
+// converts counts into modeled wall time for a given machine profile.
+#pragma once
+
+#include <cstdint>
+
+namespace minipop::comm {
+
+struct CostCounters {
+  std::uint64_t flops = 0;
+  std::uint64_t p2p_messages = 0;
+  std::uint64_t p2p_bytes = 0;
+  std::uint64_t halo_exchanges = 0;  ///< full-field halo update rounds
+  std::uint64_t allreduces = 0;      ///< global reduction rounds
+  std::uint64_t allreduce_doubles = 0;
+
+  CostCounters& operator+=(const CostCounters& o) {
+    flops += o.flops;
+    p2p_messages += o.p2p_messages;
+    p2p_bytes += o.p2p_bytes;
+    halo_exchanges += o.halo_exchanges;
+    allreduces += o.allreduces;
+    allreduce_doubles += o.allreduce_doubles;
+    return *this;
+  }
+};
+
+class CostTracker {
+ public:
+  void add_flops(std::uint64_t n) { c_.flops += n; }
+  void add_message(std::uint64_t bytes) {
+    ++c_.p2p_messages;
+    c_.p2p_bytes += bytes;
+  }
+  void add_halo_exchange() { ++c_.halo_exchanges; }
+  void add_allreduce(std::uint64_t doubles) {
+    ++c_.allreduces;
+    c_.allreduce_doubles += doubles;
+  }
+
+  const CostCounters& counters() const { return c_; }
+  void reset() { c_ = CostCounters{}; }
+
+  /// Difference since a snapshot; convenient for per-solve accounting.
+  CostCounters since(const CostCounters& snapshot) const;
+
+ private:
+  CostCounters c_;
+};
+
+}  // namespace minipop::comm

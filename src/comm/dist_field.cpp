@@ -1,0 +1,65 @@
+#include "src/comm/dist_field.hpp"
+
+#include "src/util/error.hpp"
+
+namespace minipop::comm {
+
+DistField::DistField(const grid::Decomposition& decomp, int rank, int halo)
+    : decomp_(&decomp), rank_(rank), halo_(halo) {
+  MINIPOP_REQUIRE(halo >= 1, "halo=" << halo);
+  MINIPOP_REQUIRE(rank >= 0 && rank < decomp.nranks(), "rank=" << rank);
+  block_ids_ = decomp.blocks_of_rank(rank);
+  data_.reserve(block_ids_.size());
+  for (std::size_t lb = 0; lb < block_ids_.size(); ++lb) {
+    const auto& b = decomp.block(block_ids_[lb]);
+    MINIPOP_REQUIRE(b.nx >= halo && b.ny >= halo,
+                    "block " << b.nx << "x" << b.ny
+                             << " smaller than halo " << halo);
+    data_.emplace_back(b.nx + 2 * halo, b.ny + 2 * halo, 0.0);
+    local_of_global_[block_ids_[lb]] = static_cast<int>(lb);
+  }
+}
+
+const grid::BlockInfo& DistField::info(int lb) const {
+  return decomp_->block(block_ids_.at(lb));
+}
+
+int DistField::local_index(int global_block_id) const {
+  auto it = local_of_global_.find(global_block_id);
+  return it == local_of_global_.end() ? -1 : it->second;
+}
+
+void DistField::fill(double v) {
+  for (auto& f : data_) f.fill(v);
+}
+
+void DistField::load_global(const util::Field& global) {
+  MINIPOP_REQUIRE(global.nx() == decomp_->nx_global() &&
+                      global.ny() == decomp_->ny_global(),
+                  "global field shape mismatch");
+  for (int lb = 0; lb < num_local_blocks(); ++lb) {
+    const auto& b = info(lb);
+    for (int j = 0; j < b.ny; ++j)
+      for (int i = 0; i < b.nx; ++i)
+        at(lb, i, j) = global(b.i0 + i, b.j0 + j);
+  }
+}
+
+void DistField::store_global(util::Field& global) const {
+  MINIPOP_REQUIRE(global.nx() == decomp_->nx_global() &&
+                      global.ny() == decomp_->ny_global(),
+                  "global field shape mismatch");
+  for (int lb = 0; lb < num_local_blocks(); ++lb) {
+    const auto& b = info(lb);
+    for (int j = 0; j < b.ny; ++j)
+      for (int i = 0; i < b.nx; ++i)
+        global(b.i0 + i, b.j0 + j) = at(lb, i, j);
+  }
+}
+
+bool DistField::compatible_with(const DistField& other) const {
+  return decomp_ == other.decomp_ && rank_ == other.rank_ &&
+         halo_ == other.halo_;
+}
+
+}  // namespace minipop::comm

@@ -1,0 +1,64 @@
+// Rank-local storage for a distributed 2D field: the blocks this rank
+// owns, each padded with a halo of configurable width (POP keeps two
+// halo layers; see paper §2.2).
+//
+// Interior cell (i, j) of local block lb lives at data(lb)(i + h, j + h).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/grid/decomposition.hpp"
+#include "src/util/array2d.hpp"
+
+namespace minipop::comm {
+
+class DistField {
+ public:
+  /// Default POP halo width.
+  static constexpr int kDefaultHalo = 2;
+
+  DistField(const grid::Decomposition& decomp, int rank,
+            int halo = kDefaultHalo);
+
+  const grid::Decomposition& decomposition() const { return *decomp_; }
+  int rank() const { return rank_; }
+  int halo() const { return halo_; }
+  int num_local_blocks() const { return static_cast<int>(data_.size()); }
+
+  const grid::BlockInfo& info(int lb) const;
+  util::Field& data(int lb) { return data_[lb]; }
+  const util::Field& data(int lb) const { return data_[lb]; }
+
+  /// Interior access (i, j in block-local interior coordinates).
+  double& at(int lb, int i, int j) {
+    return data_[lb](i + halo_, j + halo_);
+  }
+  double at(int lb, int i, int j) const {
+    return data_[lb](i + halo_, j + halo_);
+  }
+
+  /// Local index of a globally-identified block, or -1 if not owned.
+  int local_index(int global_block_id) const;
+
+  void fill(double v);
+
+  /// Copy interiors from a full-domain field (halos untouched).
+  void load_global(const util::Field& global);
+
+  /// Write interiors of the owned blocks into a full-domain field.
+  void store_global(util::Field& global) const;
+
+  /// Shape compatibility (same decomposition object, rank, halo).
+  bool compatible_with(const DistField& other) const;
+
+ private:
+  const grid::Decomposition* decomp_;
+  int rank_;
+  int halo_;
+  std::vector<int> block_ids_;  ///< global id of each local block
+  std::vector<util::Field> data_;
+  std::unordered_map<int, int> local_of_global_;
+};
+
+}  // namespace minipop::comm

@@ -1,0 +1,184 @@
+#include "src/comm/halo.hpp"
+
+#include <vector>
+
+#include "src/util/error.hpp"
+
+namespace minipop::comm {
+
+namespace {
+
+using grid::Dir;
+
+Dir opposite(Dir d) {
+  switch (d) {
+    case Dir::kEast: return Dir::kWest;
+    case Dir::kWest: return Dir::kEast;
+    case Dir::kNorth: return Dir::kSouth;
+    case Dir::kSouth: return Dir::kNorth;
+    case Dir::kNorthEast: return Dir::kSouthWest;
+    case Dir::kNorthWest: return Dir::kSouthEast;
+    case Dir::kSouthEast: return Dir::kNorthWest;
+    case Dir::kSouthWest: return Dir::kNorthEast;
+    case Dir::kCenter: return Dir::kCenter;
+  }
+  return Dir::kCenter;
+}
+
+constexpr Dir kExchangeDirs[8] = {
+    Dir::kEast,      Dir::kWest,      Dir::kNorth,     Dir::kSouth,
+    Dir::kNorthEast, Dir::kNorthWest, Dir::kSouthEast, Dir::kSouthWest};
+
+/// Rectangular region in block-interior coordinates: [i0, i0+ni) x
+/// [j0, j0+nj).
+struct Region {
+  int i0, j0, ni, nj;
+};
+
+/// Interior strip of (bnx x bny) sent toward direction d.
+Region send_region(Dir d, int bnx, int bny, int h) {
+  switch (d) {
+    case Dir::kEast: return {bnx - h, 0, h, bny};
+    case Dir::kWest: return {0, 0, h, bny};
+    case Dir::kNorth: return {0, bny - h, bnx, h};
+    case Dir::kSouth: return {0, 0, bnx, h};
+    case Dir::kNorthEast: return {bnx - h, bny - h, h, h};
+    case Dir::kNorthWest: return {0, bny - h, h, h};
+    case Dir::kSouthEast: return {bnx - h, 0, h, h};
+    case Dir::kSouthWest: return {0, 0, h, h};
+    case Dir::kCenter: break;
+  }
+  MINIPOP_REQUIRE(false, "send_region(center)");
+  return {};
+}
+
+/// Halo region (in interior coordinates, so indices may be negative or
+/// >= bnx) filled from the neighbor in direction d.
+Region halo_region(Dir d, int bnx, int bny, int h) {
+  switch (d) {
+    case Dir::kEast: return {bnx, 0, h, bny};
+    case Dir::kWest: return {-h, 0, h, bny};
+    case Dir::kNorth: return {0, bny, bnx, h};
+    case Dir::kSouth: return {0, -h, bnx, h};
+    case Dir::kNorthEast: return {bnx, bny, h, h};
+    case Dir::kNorthWest: return {-h, bny, h, h};
+    case Dir::kSouthEast: return {bnx, -h, h, h};
+    case Dir::kSouthWest: return {-h, -h, h, h};
+    case Dir::kCenter: break;
+  }
+  MINIPOP_REQUIRE(false, "halo_region(center)");
+  return {};
+}
+
+int message_tag(int src_block_id, Dir d) {
+  const int tag = src_block_id * 9 + static_cast<int>(d);
+  MINIPOP_REQUIRE(tag < (1 << 24), "tag overflow for block " << src_block_id);
+  return tag;
+}
+
+void pack(const util::Field& padded, int h, const Region& r,
+          std::vector<double>& out) {
+  out.resize(static_cast<std::size_t>(r.ni) * r.nj);
+  std::size_t k = 0;
+  for (int j = 0; j < r.nj; ++j)
+    for (int i = 0; i < r.ni; ++i)
+      out[k++] = padded(r.i0 + i + h, r.j0 + j + h);
+}
+
+void unpack(util::Field& padded, int h, const Region& r,
+            std::span<const double> in) {
+  MINIPOP_REQUIRE(in.size() == static_cast<std::size_t>(r.ni) * r.nj,
+                  "halo unpack size mismatch");
+  std::size_t k = 0;
+  for (int j = 0; j < r.nj; ++j)
+    for (int i = 0; i < r.ni; ++i)
+      padded(r.i0 + i + h, r.j0 + j + h) = in[k++];
+}
+
+void zero_region(util::Field& padded, int h, const Region& r) {
+  for (int j = 0; j < r.nj; ++j)
+    for (int i = 0; i < r.ni; ++i) padded(r.i0 + i + h, r.j0 + j + h) = 0.0;
+}
+
+}  // namespace
+
+HaloExchanger::HaloExchanger(const grid::Decomposition& decomp)
+    : decomp_(&decomp) {}
+
+void HaloExchanger::exchange(Communicator& comm, DistField& field) const {
+  MINIPOP_REQUIRE(&field.decomposition() == decomp_,
+                  "field belongs to a different decomposition");
+  const int h = field.halo();
+  const int my_rank = field.rank();
+  std::vector<double> buf;
+
+  // Phase 1: post all remote sends (buffered, never blocks).
+  for (int lb = 0; lb < field.num_local_blocks(); ++lb) {
+    const auto& b = field.info(lb);
+    for (Dir d : kExchangeDirs) {
+      const int nid = decomp_->neighbor(b.id, d);
+      if (nid < 0) continue;
+      const int owner = decomp_->block(nid).owner;
+      if (owner == my_rank) continue;
+      pack(field.data(lb), h, send_region(d, b.nx, b.ny, h), buf);
+      comm.send(owner, message_tag(b.id, d), buf);
+    }
+  }
+
+  // Phase 2: local copies and zero fills.
+  for (int lb = 0; lb < field.num_local_blocks(); ++lb) {
+    const auto& b = field.info(lb);
+    for (Dir d : kExchangeDirs) {
+      const int nid = decomp_->neighbor(b.id, d);
+      const Region dst = halo_region(d, b.nx, b.ny, h);
+      if (nid < 0) {
+        zero_region(field.data(lb), h, dst);
+        continue;
+      }
+      const auto& nb = decomp_->block(nid);
+      if (nb.owner != my_rank) continue;  // handled in phase 3
+      const int nlb = field.local_index(nid);
+      MINIPOP_ASSERT(nlb >= 0);
+      pack(field.data(nlb), h, send_region(opposite(d), nb.nx, nb.ny, h),
+           buf);
+      unpack(field.data(lb), h, dst, buf);
+    }
+  }
+
+  // Phase 3: blocking receives for remote neighbors.
+  for (int lb = 0; lb < field.num_local_blocks(); ++lb) {
+    const auto& b = field.info(lb);
+    for (Dir d : kExchangeDirs) {
+      const int nid = decomp_->neighbor(b.id, d);
+      if (nid < 0) continue;
+      const auto& nb = decomp_->block(nid);
+      if (nb.owner == my_rank) continue;
+      const Region dst = halo_region(d, b.nx, b.ny, h);
+      buf.resize(static_cast<std::size_t>(dst.ni) * dst.nj);
+      comm.recv(nb.owner, message_tag(nid, opposite(d)), buf);
+      unpack(field.data(lb), h, dst, buf);
+    }
+  }
+
+  comm.costs().add_halo_exchange();
+}
+
+std::uint64_t HaloExchanger::bytes_sent_per_exchange(
+    const DistField& field) const {
+  const int h = field.halo();
+  const int my_rank = field.rank();
+  std::uint64_t bytes = 0;
+  for (int lb = 0; lb < field.num_local_blocks(); ++lb) {
+    const auto& b = field.info(lb);
+    for (Dir d : kExchangeDirs) {
+      const int nid = decomp_->neighbor(b.id, d);
+      if (nid < 0) continue;
+      if (decomp_->block(nid).owner == my_rank) continue;
+      const Region r = send_region(d, b.nx, b.ny, h);
+      bytes += static_cast<std::uint64_t>(r.ni) * r.nj * sizeof(double);
+    }
+  }
+  return bytes;
+}
+
+}  // namespace minipop::comm

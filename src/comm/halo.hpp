@@ -1,0 +1,33 @@
+// Halo (boundary) exchange for distributed fields — the
+// "update_halo" step of Algorithms 1 and 2.
+//
+// Each block exchanges with its eight neighbors: four edge strips of
+// width `halo` and four halo x halo corner patches. Neighbors owned by
+// the same rank are copied directly; remote neighbors go through the
+// communicator's buffered point-to-point. Missing neighbors (domain edge
+// or land-eliminated blocks) zero-fill the halo, which is consistent
+// because the stencil carries identically zero coefficients across
+// coastlines.
+#pragma once
+
+#include "src/comm/communicator.hpp"
+#include "src/comm/dist_field.hpp"
+
+namespace minipop::comm {
+
+class HaloExchanger {
+ public:
+  explicit HaloExchanger(const grid::Decomposition& decomp);
+
+  /// Update all halos of `field` (owned by the calling rank). Collective:
+  /// every rank of the communicator must call with its own field.
+  void exchange(Communicator& comm, DistField& field) const;
+
+  /// Bytes this rank sends per exchange of `field` (for cost reporting).
+  std::uint64_t bytes_sent_per_exchange(const DistField& field) const;
+
+ private:
+  const grid::Decomposition* decomp_;
+};
+
+}  // namespace minipop::comm

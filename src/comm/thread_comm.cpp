@@ -1,0 +1,192 @@
+#include "src/comm/thread_comm.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+
+#include "src/util/error.hpp"
+
+namespace minipop::comm {
+
+int ThreadComm::size() const { return team_->nranks(); }
+
+void ThreadComm::allreduce(std::span<double> values, ReduceOp op) {
+  costs_.add_allreduce(values.size());
+  team_->do_allreduce(rank_, values, op);
+}
+
+void ThreadComm::send(int dest, int tag, std::span<const double> data) {
+  costs_.add_message(data.size() * sizeof(double));
+  team_->do_send(rank_, dest, tag, data);
+}
+
+void ThreadComm::recv(int src, int tag, std::span<double> data) {
+  team_->do_recv(rank_, src, tag, data);
+}
+
+void ThreadComm::barrier() { team_->do_barrier(); }
+
+ThreadTeam::ThreadTeam(int nranks) : nranks_(nranks), slots_(nranks) {
+  MINIPOP_REQUIRE(nranks >= 1, "nranks=" << nranks);
+  comms_.reserve(nranks);
+  for (int r = 0; r < nranks; ++r)
+    comms_.push_back(std::unique_ptr<ThreadComm>(new ThreadComm(this, r)));
+}
+
+ThreadTeam::~ThreadTeam() = default;
+
+void ThreadTeam::run(const std::function<void(Communicator&)>& fn) {
+  // Fresh counters and mailboxes per run.
+  for (auto& c : comms_) c->costs().reset();
+  mailboxes_.clear();
+  reduce_arrived_ = 0;
+  barrier_arrived_ = 0;
+  poisoned_ = false;
+
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(nranks_);
+  threads.reserve(nranks_);
+  for (int r = 0; r < nranks_; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        fn(*comms_[r]);
+      } catch (...) {
+        errors[r] = std::current_exception();
+        // Unblock peers that may be waiting on this rank forever: mark
+        // the team poisoned so every blocked rendezvous aborts.
+        poison();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Prefer the original failure over secondary "team poisoned" aborts.
+  std::exception_ptr poison_error;
+  for (auto& e : errors) {
+    if (!e) continue;
+    try {
+      std::rethrow_exception(e);
+    } catch (const TeamPoisonedError&) {
+      poison_error = e;
+    } catch (...) {
+      std::rethrow_exception(e);
+    }
+  }
+  if (poison_error) std::rethrow_exception(poison_error);
+}
+
+void ThreadTeam::poison() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    poisoned_ = true;
+  }
+  cv_.notify_all();
+}
+
+void ThreadTeam::throw_if_poisoned() const {
+  if (poisoned_)
+    throw TeamPoisonedError(
+        "virtual-MPI team aborted: a peer rank failed");
+}
+
+const CostCounters& ThreadTeam::costs(int r) const {
+  MINIPOP_REQUIRE(r >= 0 && r < nranks_, "rank " << r);
+  return comms_[r]->costs().counters();
+}
+
+CostCounters ThreadTeam::total_costs() const {
+  CostCounters total;
+  for (const auto& c : comms_) total += c->costs().counters();
+  return total;
+}
+
+std::uint64_t ThreadTeam::mailbox_key(int src, int dest, int tag) {
+  MINIPOP_REQUIRE(tag >= 0 && tag < (1 << 24), "tag " << tag);
+  return (static_cast<std::uint64_t>(src) << 44) |
+         (static_cast<std::uint64_t>(dest) << 24) |
+         static_cast<std::uint64_t>(tag);
+}
+
+void ThreadTeam::do_allreduce(int rank, std::span<double> values,
+                              ReduceOp op) {
+  std::unique_lock<std::mutex> lock(mu_);
+  throw_if_poisoned();
+  const std::uint64_t my_generation = reduce_generation_;
+  slots_[rank].assign(values.begin(), values.end());
+  if (++reduce_arrived_ == nranks_) {
+    // Last arriver combines in fixed rank order — deterministic result.
+    reduce_result_ = slots_[0];
+    for (int r = 1; r < nranks_; ++r) {
+      MINIPOP_REQUIRE(slots_[r].size() == reduce_result_.size(),
+                      "allreduce size mismatch at rank " << r);
+      for (std::size_t k = 0; k < reduce_result_.size(); ++k) {
+        switch (op) {
+          case ReduceOp::kSum: reduce_result_[k] += slots_[r][k]; break;
+          case ReduceOp::kMax:
+            reduce_result_[k] = std::max(reduce_result_[k], slots_[r][k]);
+            break;
+          case ReduceOp::kMin:
+            reduce_result_[k] = std::min(reduce_result_[k], slots_[r][k]);
+            break;
+        }
+      }
+    }
+    reduce_arrived_ = 0;
+    ++reduce_generation_;
+    cv_.notify_all();
+  } else {
+    cv_.wait(lock, [&] {
+      return poisoned_ || reduce_generation_ != my_generation;
+    });
+    throw_if_poisoned();
+  }
+  std::copy(reduce_result_.begin(), reduce_result_.end(), values.begin());
+}
+
+void ThreadTeam::do_send(int src, int dest, int tag,
+                         std::span<const double> data) {
+  MINIPOP_REQUIRE(dest >= 0 && dest < nranks_, "send to rank " << dest);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    mailboxes_[mailbox_key(src, dest, tag)].push_back(
+        Message{std::vector<double>(data.begin(), data.end())});
+  }
+  cv_.notify_all();
+}
+
+void ThreadTeam::do_recv(int dest, int src, int tag, std::span<double> data) {
+  MINIPOP_REQUIRE(src >= 0 && src < nranks_, "recv from rank " << src);
+  const std::uint64_t key = mailbox_key(src, dest, tag);
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] {
+    if (poisoned_) return true;
+    auto it = mailboxes_.find(key);
+    return it != mailboxes_.end() && !it->second.empty();
+  });
+  throw_if_poisoned();
+  auto& queue = mailboxes_[key];
+  Message msg = std::move(queue.front());
+  queue.pop_front();
+  MINIPOP_REQUIRE(msg.data.size() == data.size(),
+                  "recv size " << data.size() << " != sent "
+                               << msg.data.size() << " (src=" << src
+                               << " tag=" << tag << ")");
+  std::copy(msg.data.begin(), msg.data.end(), data.begin());
+}
+
+void ThreadTeam::do_barrier() {
+  std::unique_lock<std::mutex> lock(mu_);
+  throw_if_poisoned();
+  const std::uint64_t my_generation = barrier_generation_;
+  if (++barrier_arrived_ == nranks_) {
+    barrier_arrived_ = 0;
+    ++barrier_generation_;
+    cv_.notify_all();
+  } else {
+    cv_.wait(lock, [&] {
+      return poisoned_ || barrier_generation_ != my_generation;
+    });
+    throw_if_poisoned();
+  }
+}
+
+}  // namespace minipop::comm

@@ -1,0 +1,118 @@
+// Threaded virtual-MPI backend: a ThreadTeam runs N ranks as threads
+// sharing a mailbox for point-to-point messages and a slot array for
+// deterministic global reductions.
+//
+// Semantics mirror the subset of MPI the solvers need:
+//   * send() is buffered/eager (never blocks) — like MPI's eager protocol
+//     that §5 of the paper tunes via MP_EAGER_LIMIT;
+//   * recv() blocks until a matching (src, tag) message arrives;
+//   * allreduce() is a full-team rendezvous whose combination order is
+//     fixed (rank 0, 1, ..., p-1), so results are bitwise reproducible for
+//     a given rank count, exactly like a fixed-topology MPI reduction
+//     tree.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/comm/communicator.hpp"
+#include "src/util/error.hpp"
+
+namespace minipop::comm {
+
+/// Thrown in ranks blocked on a rendezvous when another rank of the team
+/// failed: the collective can never complete, so waiting peers abort
+/// instead of deadlocking. ThreadTeam::run() rethrows the *original*
+/// failure, not this secondary one.
+class TeamPoisonedError : public util::Error {
+ public:
+  using util::Error::Error;
+};
+
+class ThreadTeam;
+
+/// Communicator handed to each rank function by ThreadTeam::run().
+class ThreadComm final : public Communicator {
+ public:
+  int rank() const override { return rank_; }
+  int size() const override;
+
+  void allreduce(std::span<double> values, ReduceOp op) override;
+  void send(int dest, int tag, std::span<const double> data) override;
+  void recv(int src, int tag, std::span<double> data) override;
+  void barrier() override;
+
+ private:
+  friend class ThreadTeam;
+  ThreadComm(ThreadTeam* team, int rank) : team_(team), rank_(rank) {}
+  ThreadTeam* team_;
+  int rank_;
+};
+
+/// Owns the shared state for one team of virtual ranks.
+class ThreadTeam {
+ public:
+  explicit ThreadTeam(int nranks);
+  ~ThreadTeam();
+
+  ThreadTeam(const ThreadTeam&) = delete;
+  ThreadTeam& operator=(const ThreadTeam&) = delete;
+
+  int nranks() const { return nranks_; }
+
+  /// Run fn(comm) on every rank concurrently; returns when all finish.
+  /// If any rank throws, the first exception is rethrown here after all
+  /// threads have been joined.
+  void run(const std::function<void(Communicator&)>& fn);
+
+  /// Cost counters of rank r recorded during the last run().
+  const CostCounters& costs(int r) const;
+
+  /// Sum of all ranks' counters.
+  CostCounters total_costs() const;
+
+ private:
+  friend class ThreadComm;
+
+  struct Message {
+    std::vector<double> data;
+  };
+
+  static std::uint64_t mailbox_key(int src, int dest, int tag);
+
+  void do_allreduce(int rank, std::span<double> values, ReduceOp op);
+  void do_send(int src, int dest, int tag, std::span<const double> data);
+  void do_recv(int dest, int src, int tag, std::span<double> data);
+  void do_barrier();
+
+  int nranks_;
+  std::vector<std::unique_ptr<ThreadComm>> comms_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::unordered_map<std::uint64_t, std::deque<Message>> mailboxes_;
+
+  /// Set when any rank throws: blocked peers wake up and abort instead
+  /// of deadlocking in a rendezvous that can never complete.
+  bool poisoned_ = false;
+  void poison();
+  void throw_if_poisoned() const;
+
+  // Allreduce rendezvous state.
+  std::vector<std::vector<double>> slots_;
+  int reduce_arrived_ = 0;
+  std::uint64_t reduce_generation_ = 0;
+  std::vector<double> reduce_result_;
+
+  // Barrier state.
+  int barrier_arrived_ = 0;
+  std::uint64_t barrier_generation_ = 0;
+};
+
+}  // namespace minipop::comm

@@ -1,0 +1,202 @@
+#include "src/grid/bathymetry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/util/error.hpp"
+#include "src/util/rng.hpp"
+
+namespace minipop::grid {
+
+namespace {
+
+/// Deterministic lattice hash -> uniform double in [-1, 1).
+double lattice_value(std::uint64_t seed, int octave, int xi, int yi) {
+  std::uint64_t h = seed;
+  h ^= 0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(octave + 1);
+  h ^= 0xd1b54a32d192ed03ULL * static_cast<std::uint64_t>(xi + 1);
+  h ^= 0x94d049bb133111ebULL * static_cast<std::uint64_t>(yi + 1);
+  util::SplitMix64 sm(h);
+  return 2.0 * (static_cast<double>(sm.next() >> 11) * 0x1.0p-53) - 1.0;
+}
+
+double smoothstep(double t) { return t * t * (3.0 - 2.0 * t); }
+
+/// Multi-octave value noise in [-1, 1], periodic in x when requested.
+double fractal_noise(std::uint64_t seed, int octaves, bool periodic_x,
+                     double u, double v) {
+  // u, v in [0, 1) map the grid; base lattice 8x8 per octave doubling.
+  double sum = 0.0;
+  double amp = 1.0;
+  double norm = 0.0;
+  int freq = 4;
+  for (int o = 0; o < octaves; ++o) {
+    double x = u * freq;
+    double y = v * freq;
+    int x0 = static_cast<int>(std::floor(x));
+    int y0 = static_cast<int>(std::floor(y));
+    double tx = smoothstep(x - x0);
+    double ty = smoothstep(y - y0);
+    auto wrap_x = [&](int xi) { return periodic_x ? ((xi % freq) + freq) % freq : xi; };
+    double v00 = lattice_value(seed, o, wrap_x(x0), y0);
+    double v10 = lattice_value(seed, o, wrap_x(x0 + 1), y0);
+    double v01 = lattice_value(seed, o, wrap_x(x0), y0 + 1);
+    double v11 = lattice_value(seed, o, wrap_x(x0 + 1), y0 + 1);
+    double vx0 = v00 + (v10 - v00) * tx;
+    double vx1 = v01 + (v11 - v01) * tx;
+    sum += amp * (vx0 + (vx1 - vx0) * ty);
+    norm += amp;
+    amp *= 0.55;
+    freq *= 2;
+  }
+  return sum / norm;
+}
+
+}  // namespace
+
+util::Field flat_bathymetry(const CurvilinearGrid& grid, double depth) {
+  MINIPOP_REQUIRE(depth > 0, "depth=" << depth);
+  return util::Field(grid.nx(), grid.ny(), depth);
+}
+
+util::Field bowl_bathymetry(const CurvilinearGrid& grid, double max_depth) {
+  MINIPOP_REQUIRE(max_depth > 0, "max_depth=" << max_depth);
+  const int nx = grid.nx();
+  const int ny = grid.ny();
+  util::Field depth(nx, ny, 0.0);
+  for (int j = 1; j < ny - 1; ++j) {
+    for (int i = 1; i < nx - 1; ++i) {
+      double u = 2.0 * (i + 0.5) / nx - 1.0;
+      double v = 2.0 * (j + 0.5) / ny - 1.0;
+      double r2 = u * u + v * v;
+      depth(i, j) = std::max(0.0, max_depth * (1.0 - 0.9 * r2));
+    }
+  }
+  return depth;
+}
+
+util::Field synthetic_earth_bathymetry(const CurvilinearGrid& grid,
+                                       const BathymetryOptions& opt) {
+  MINIPOP_REQUIRE(opt.land_fraction >= 0.0 && opt.land_fraction < 0.95,
+                  "land_fraction=" << opt.land_fraction);
+  MINIPOP_REQUIRE(opt.max_depth > opt.shelf_depth && opt.shelf_depth > 0,
+                  "depths " << opt.shelf_depth << ".." << opt.max_depth);
+  const int nx = grid.nx();
+  const int ny = grid.ny();
+
+  // Height field in [-1, 1]; land will be the highest cells.
+  util::Field height(nx, ny);
+  for (int j = 0; j < ny; ++j)
+    for (int i = 0; i < nx; ++i)
+      height(i, j) =
+          fractal_noise(opt.seed, opt.noise_octaves, grid.periodic_x(),
+                        (i + 0.5) / nx, (j + 0.5) / ny);
+
+  // Threshold selecting the requested land fraction.
+  std::vector<double> sorted(height.flat().begin(), height.flat().end());
+  std::size_t k = static_cast<std::size_t>(
+      (1.0 - opt.land_fraction) * static_cast<double>(sorted.size()));
+  k = std::min(k, sorted.size() - 1);
+  std::nth_element(sorted.begin(), sorted.begin() + k, sorted.end());
+  const double threshold = sorted[k];
+
+  util::Field depth(nx, ny, 0.0);
+  // Width of the shelf transition in height units.
+  const double spread = 0.35;
+  for (int j = 0; j < ny; ++j) {
+    for (int i = 0; i < nx; ++i) {
+      double h = height(i, j);
+      if (h >= threshold) continue;  // land
+      double t = std::min(1.0, (threshold - h) / spread);
+      double profile = std::pow(t, 0.8);
+      depth(i, j) =
+          opt.shelf_depth + (opt.max_depth - opt.shelf_depth) * profile;
+    }
+  }
+
+  util::Xoshiro256 rng(opt.seed ^ 0xABCDEF1234567890ULL);
+
+  // Scatter islands (small all-land patches) over open ocean.
+  const double grid_scale =
+      static_cast<double>(nx) * ny / (320.0 * 384.0);
+  const int n_islands = std::max(
+      0, static_cast<int>(std::lround(opt.islands_per_1deg_grid * grid_scale)));
+  for (int isl = 0; isl < n_islands; ++isl) {
+    int ci = static_cast<int>(rng.below(static_cast<std::uint64_t>(nx)));
+    int cj = static_cast<int>(rng.below(static_cast<std::uint64_t>(ny)));
+    int radius = 1 + static_cast<int>(rng.below(3));
+    for (int dj = -radius; dj <= radius; ++dj) {
+      for (int di = -radius; di <= radius; ++di) {
+        if (di * di + dj * dj > radius * radius) continue;
+        int ii = grid.periodic_x() ? ((ci + di) % nx + nx) % nx : ci + di;
+        int jj = cj + dj;
+        if (ii < 0 || ii >= nx || jj < 0 || jj >= ny) continue;
+        depth(ii, jj) = 0.0;
+      }
+    }
+  }
+
+  // Carve narrow straits: short one/two-cell-wide channels at random
+  // positions and orientations, re-opened to shelf depth. These create
+  // Bering-strait-like passages through land.
+  for (int s = 0; s < opt.straits; ++s) {
+    int ci = static_cast<int>(rng.below(static_cast<std::uint64_t>(nx)));
+    int cj = 2 + static_cast<int>(
+                     rng.below(static_cast<std::uint64_t>(std::max(1, ny - 4))));
+    bool horizontal = rng.below(2) == 0;
+    int len = 8 + static_cast<int>(rng.below(24));
+    int width = 1 + static_cast<int>(rng.below(2));
+    for (int a = 0; a < len; ++a) {
+      for (int w = 0; w < width; ++w) {
+        int ii = horizontal ? ci + a : ci + w;
+        int jj = horizontal ? cj + w : cj + a;
+        if (grid.periodic_x()) ii = (ii % nx + nx) % nx;
+        if (ii < 0 || ii >= nx || jj < 1 || jj >= ny - 1) continue;
+        if (depth(ii, jj) == 0.0) depth(ii, jj) = opt.shelf_depth;
+      }
+    }
+  }
+
+  // Enforced land rows at the southern/northern boundary (closed domain).
+  int polar = opt.polar_land_rows;
+  if (polar < 0) polar = std::max(1, ny / 48);
+  for (int j = 0; j < polar; ++j)
+    for (int i = 0; i < nx; ++i) {
+      depth(i, j) = 0.0;
+      depth(i, ny - 1 - j) = 0.0;
+    }
+  if (!grid.periodic_x()) {
+    for (int j = 0; j < ny; ++j) {
+      depth(0, j) = 0.0;
+      depth(nx - 1, j) = 0.0;
+    }
+  }
+
+  return depth;
+}
+
+util::MaskArray ocean_mask(const util::Field& depth) {
+  util::MaskArray mask(depth.nx(), depth.ny(), 0);
+  for (int j = 0; j < depth.ny(); ++j)
+    for (int i = 0; i < depth.nx(); ++i)
+      mask(i, j) = depth(i, j) > 0.0 ? 1 : 0;
+  return mask;
+}
+
+double land_fraction(const util::MaskArray& mask) {
+  if (mask.size() == 0) return 0.0;
+  long land = 0;
+  for (auto v : mask)
+    if (v == 0) ++land;
+  return static_cast<double>(land) / static_cast<double>(mask.size());
+}
+
+long count_ocean(const util::MaskArray& mask) {
+  long ocean = 0;
+  for (auto v : mask)
+    if (v != 0) ++ocean;
+  return ocean;
+}
+
+}  // namespace minipop::grid

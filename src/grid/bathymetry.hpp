@@ -1,0 +1,56 @@
+// Synthetic bathymetry (ocean depth) fields.
+//
+// The paper's operator is defined by the real-Earth depth field H with
+// continents, thousands of islands, narrow straits and coastal shelves —
+// exactly the features that make geometric multigrid awkward (paper §4.1)
+// and that exercise the solvers' robustness. We cannot ship the
+// proprietary POP input datasets, so we generate deterministic synthetic
+// bathymetry with the same qualitative features: multi-octave continents
+// with a target land fraction, shelf profiles near coasts, scattered
+// islands, and carved one-to-two-cell-wide straits. Depth is in meters;
+// land cells have depth 0.
+#pragma once
+
+#include <cstdint>
+
+#include "src/grid/curvilinear_grid.hpp"
+#include "src/util/array2d.hpp"
+
+namespace minipop::grid {
+
+struct BathymetryOptions {
+  std::uint64_t seed = 2015;
+  double max_depth = 5500.0;    ///< deepest basin [m]
+  double shelf_depth = 100.0;   ///< shallowest ocean [m]
+  double land_fraction = 0.25;  ///< target land cell fraction (paper: .25)
+  int noise_octaves = 5;
+  /// Island count for a 320x384 grid; scaled with cell count.
+  int islands_per_1deg_grid = 60;
+  /// Number of carved narrow straits through land.
+  int straits = 8;
+  /// Rows of enforced land at the south/north edges (closed boundaries);
+  /// 0 disables. Chosen automatically when negative.
+  int polar_land_rows = -1;
+};
+
+/// Constant-depth ocean everywhere (no land). Unit tests and EVP
+/// stability studies.
+util::Field flat_bathymetry(const CurvilinearGrid& grid, double depth);
+
+/// Parabolic basin: deep center, shallow rim, one-cell land border.
+util::Field bowl_bathymetry(const CurvilinearGrid& grid, double max_depth);
+
+/// Deterministic continents/islands/straits field described above.
+util::Field synthetic_earth_bathymetry(const CurvilinearGrid& grid,
+                                       const BathymetryOptions& opt = {});
+
+/// 1 where depth > 0 (ocean), 0 where land.
+util::MaskArray ocean_mask(const util::Field& depth);
+
+/// Fraction of land cells.
+double land_fraction(const util::MaskArray& mask);
+
+/// Number of ocean cells.
+long count_ocean(const util::MaskArray& mask);
+
+}  // namespace minipop::grid

@@ -1,0 +1,155 @@
+#include "src/grid/curvilinear_grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "src/util/error.hpp"
+
+namespace minipop::grid {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+constexpr double kDegToRad = kPi / 180.0;
+}  // namespace
+
+std::string GridSpec::describe() const {
+  std::ostringstream os;
+  switch (kind) {
+    case GridKind::kUniform: os << "uniform"; break;
+    case GridKind::kLatLon: os << "latlon"; break;
+    case GridKind::kDisplacedPole: os << "displaced-pole"; break;
+  }
+  os << " " << nx << "x" << ny << (periodic_x ? " periodic-x" : " closed");
+  return os.str();
+}
+
+GridSpec pop_1deg_spec(double scale) {
+  MINIPOP_REQUIRE(scale > 0 && scale <= 1.0, "scale=" << scale);
+  GridSpec s;
+  s.kind = GridKind::kDisplacedPole;
+  s.nx = std::max(16, static_cast<int>(std::lround(320 * scale)));
+  s.ny = std::max(16, static_cast<int>(std::lround(384 * scale)));
+  s.periodic_x = true;
+  // The 1 degree POP grid reaches high latitude, so dx/dy anisotropy is
+  // strong (dx ~ cos(lat) dy); this drives the larger iteration counts the
+  // paper reports for 1 degree relative to 0.1 degree (end of §4.3).
+  s.lat_min = -78.0;
+  s.lat_max = 84.0;
+  s.pole_displacement = 0.25;
+  return s;
+}
+
+GridSpec pop_0p1deg_spec(double scale) {
+  MINIPOP_REQUIRE(scale > 0 && scale <= 1.0, "scale=" << scale);
+  GridSpec s;
+  s.kind = GridKind::kDisplacedPole;
+  s.nx = std::max(16, static_cast<int>(std::lround(3600 * scale)));
+  s.ny = std::max(16, static_cast<int>(std::lround(2400 * scale)));
+  s.periodic_x = true;
+  // The production 0.1 degree grid is a tripole grid whose spacing ratio is
+  // closer to one (paper §4.3); we cap the latitude range a bit lower and
+  // use a smaller displacement so cells stay closer to square.
+  s.lat_min = -75.0;
+  s.lat_max = 75.0;
+  s.pole_displacement = 0.10;
+  return s;
+}
+
+CurvilinearGrid::CurvilinearGrid(const GridSpec& spec) : spec_(spec) {
+  MINIPOP_REQUIRE(spec.nx >= 4 && spec.ny >= 4,
+                  "grid too small: " << spec.nx << "x" << spec.ny);
+  const int nx = spec.nx;
+  const int ny = spec.ny;
+  dxt_ = util::Field(nx, ny);
+  dyt_ = util::Field(nx, ny);
+  area_t_ = util::Field(nx, ny);
+  lat_ = util::Field(nx, ny);
+  lon_ = util::Field(nx, ny);
+
+  switch (spec.kind) {
+    case GridKind::kUniform: {
+      MINIPOP_REQUIRE(spec.dx > 0 && spec.dy > 0,
+                      "dx=" << spec.dx << " dy=" << spec.dy);
+      dxt_.fill(spec.dx);
+      dyt_.fill(spec.dy);
+      break;
+    }
+    case GridKind::kLatLon:
+    case GridKind::kDisplacedPole: {
+      MINIPOP_REQUIRE(spec.lat_max > spec.lat_min,
+                      "lat range [" << spec.lat_min << "," << spec.lat_max
+                                    << "]");
+      const double dlat = (spec.lat_max - spec.lat_min) / ny;
+      const double dlon = 360.0 / nx;
+      for (int j = 0; j < ny; ++j) {
+        const double latc = spec.lat_min + (j + 0.5) * dlat;
+        const double coslat = std::max(0.05, std::cos(latc * kDegToRad));
+        for (int i = 0; i < nx; ++i) {
+          const double lonc = (i + 0.5) * dlon;
+          double stretch = 1.0;
+          if (spec.kind == GridKind::kDisplacedPole) {
+            // Smooth longitude- and latitude-dependent stretching: a proxy
+            // for the dipole grid's displaced northern pole. Metric stays
+            // orthogonal; only the spacings vary.
+            const double north_weight =
+                0.5 * (1.0 + std::tanh((latc - 30.0) / 25.0));
+            stretch = 1.0 + spec.pole_displacement * north_weight *
+                                std::cos(lonc * kDegToRad);
+          }
+          lat_(i, j) = latc;
+          lon_(i, j) = lonc;
+          dxt_(i, j) = spec.radius * kDegToRad * dlon * coslat * stretch;
+          dyt_(i, j) = spec.radius * kDegToRad * dlat / stretch;
+        }
+      }
+      break;
+    }
+  }
+
+  total_area_ = 0.0;
+  for (int j = 0; j < ny; ++j)
+    for (int i = 0; i < nx; ++i) {
+      area_t_(i, j) = dxt_(i, j) * dyt_(i, j);
+      total_area_ += area_t_(i, j);
+    }
+
+  // Corner metrics: average of the four surrounding T-cells.
+  const int ncx = nxc();
+  const int ncy = nyc();
+  dxu_ = util::Field(ncx, ncy);
+  dyu_ = util::Field(ncx, ncy);
+  for (int j = 0; j < ncy; ++j) {
+    for (int i = 0; i < ncx; ++i) {
+      const int ip = (i + 1) % nx;  // valid for periodic; i+1 < nx otherwise
+      dxu_(i, j) = 0.25 * (dxt_(i, j) + dxt_(ip, j) + dxt_(i, j + 1) +
+                           dxt_(ip, j + 1));
+      dyu_(i, j) = 0.25 * (dyt_(i, j) + dyt_(ip, j) + dyt_(i, j + 1) +
+                           dyt_(ip, j + 1));
+    }
+  }
+}
+
+double CurvilinearGrid::mean_dx() const {
+  double sum = 0.0;
+  for (double v : dxt_) sum += v;
+  return sum / static_cast<double>(dxt_.size());
+}
+
+double CurvilinearGrid::mean_dy() const {
+  double sum = 0.0;
+  for (double v : dyt_) sum += v;
+  return sum / static_cast<double>(dyt_.size());
+}
+
+double CurvilinearGrid::max_aspect_ratio() const {
+  double m = 0.0;
+  for (int j = 0; j < ny(); ++j)
+    for (int i = 0; i < nx(); ++i) {
+      double r = dyt_(i, j) / dxt_(i, j);
+      m = std::max(m, std::max(r, 1.0 / r));
+    }
+  return m;
+}
+
+}  // namespace minipop::grid

@@ -1,0 +1,133 @@
+#include "src/grid/decomposition.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/grid/hilbert.hpp"
+#include "src/util/error.hpp"
+
+namespace minipop::grid {
+
+Decomposition::Decomposition(int nx_global, int ny_global, bool periodic_x,
+                             const util::MaskArray& mask, int block_nx,
+                             int block_ny, int nranks)
+    : nx_global_(nx_global),
+      ny_global_(ny_global),
+      periodic_x_(periodic_x),
+      block_nx_(block_nx),
+      block_ny_(block_ny),
+      nranks_(nranks) {
+  MINIPOP_REQUIRE(nx_global >= 1 && ny_global >= 1,
+                  nx_global << "x" << ny_global);
+  MINIPOP_REQUIRE(block_nx >= 1 && block_ny >= 1,
+                  "block " << block_nx << "x" << block_ny);
+  MINIPOP_REQUIRE(mask.nx() == nx_global && mask.ny() == ny_global,
+                  "mask shape mismatch");
+  MINIPOP_REQUIRE(nranks >= 1, "nranks=" << nranks);
+
+  mbx_ = (nx_global + block_nx - 1) / block_nx;
+  mby_ = (ny_global + block_ny - 1) / block_ny;
+  block_grid_ = util::Array2D<int>(mbx_, mby_, -1);
+
+  // Enumerate blocks; keep those with at least one ocean cell.
+  for (int bj = 0; bj < mby_; ++bj) {
+    for (int bi = 0; bi < mbx_; ++bi) {
+      BlockInfo b;
+      b.bi = bi;
+      b.bj = bj;
+      b.i0 = bi * block_nx;
+      b.j0 = bj * block_ny;
+      b.nx = std::min(block_nx, nx_global - b.i0);
+      b.ny = std::min(block_ny, ny_global - b.j0);
+      for (int j = 0; j < b.ny; ++j)
+        for (int i = 0; i < b.nx; ++i)
+          if (mask(b.i0 + i, b.j0 + j)) ++b.ocean_cells;
+      if (b.ocean_cells == 0) continue;  // land-block elimination
+      b.id = static_cast<int>(blocks_.size());
+      block_grid_(bi, bj) = b.id;
+      blocks_.push_back(b);
+    }
+  }
+  MINIPOP_REQUIRE(!blocks_.empty(), "decomposition has no ocean blocks");
+  MINIPOP_REQUIRE(nranks <= num_active_blocks(),
+                  "nranks=" << nranks << " exceeds active blocks "
+                            << num_active_blocks());
+
+  // Hilbert ordering of active blocks.
+  const int order = hilbert_order_for(std::max(mbx_, mby_));
+  std::vector<int> curve(blocks_.size());
+  std::iota(curve.begin(), curve.end(), 0);
+  std::vector<std::uint64_t> key(blocks_.size());
+  for (std::size_t k = 0; k < blocks_.size(); ++k)
+    key[k] = hilbert_d(order, static_cast<std::uint32_t>(blocks_[k].bi),
+                       static_cast<std::uint32_t>(blocks_[k].bj));
+  std::sort(curve.begin(), curve.end(),
+            [&](int a, int b) { return key[a] < key[b]; });
+
+  // Walk the curve and cut into nranks contiguous chunks with nearly equal
+  // ocean-cell weight, while leaving exactly one block per remaining rank
+  // when blocks run short.
+  long total_weight = 0;
+  for (const auto& b : blocks_) total_weight += b.ocean_cells;
+
+  rank_blocks_.assign(nranks, {});
+  std::size_t pos = 0;
+  long assigned_weight = 0;
+  for (int r = 0; r < nranks; ++r) {
+    const std::size_t blocks_left = blocks_.size() - pos;
+    const int ranks_left = nranks - r;
+    MINIPOP_REQUIRE(blocks_left >= static_cast<std::size_t>(ranks_left),
+                    "ran out of blocks while assigning ranks");
+    const double target =
+        static_cast<double>(total_weight - assigned_weight) / ranks_left;
+    long w = 0;
+    while (pos < blocks_.size()) {
+      const std::size_t still_left = blocks_.size() - pos;
+      if (static_cast<int>(still_left) <= ranks_left - 1) break;
+      const long bw = blocks_[curve[pos]].ocean_cells;
+      // Take the block if the rank is empty or if taking it overshoots the
+      // target by less than leaving it undershoots.
+      if (!rank_blocks_[r].empty() &&
+          (w + bw) - target > target - w)
+        break;
+      rank_blocks_[r].push_back(curve[pos]);
+      blocks_[curve[pos]].owner = r;
+      w += bw;
+      ++pos;
+    }
+    assigned_weight += w;
+  }
+  MINIPOP_REQUIRE(pos == blocks_.size(), "unassigned blocks remain");
+}
+
+int Decomposition::block_id_at(int bi, int bj) const {
+  if (bj < 0 || bj >= mby_) return -1;
+  if (periodic_x_) {
+    bi = (bi % mbx_ + mbx_) % mbx_;
+  } else if (bi < 0 || bi >= mbx_) {
+    return -1;
+  }
+  return block_grid_(bi, bj);
+}
+
+int Decomposition::neighbor(int id, Dir d) const {
+  const auto& b = block(id);
+  const auto [di, dj] = kDirOffset[static_cast<int>(d)];
+  if (d == Dir::kCenter) return id;
+  return block_id_at(b.bi + di, b.bj + dj);
+}
+
+double Decomposition::load_imbalance() const {
+  long max_w = 0;
+  long total = 0;
+  for (int r = 0; r < nranks_; ++r) {
+    long w = 0;
+    for (int id : rank_blocks_[r]) w += blocks_[id].ocean_cells;
+    max_w = std::max(max_w, w);
+    total += w;
+  }
+  const double mean = static_cast<double>(total) / nranks_;
+  return mean > 0 ? static_cast<double>(max_w) / mean : 1.0;
+}
+
+}  // namespace minipop::grid

@@ -1,0 +1,80 @@
+// Block decomposition of the global grid, with land-block elimination and
+// Hilbert space-filling-curve rank assignment (paper §5.2 and refs
+// [10, 12]). POP divides the domain into blocks, drops blocks that are
+// entirely land, and assigns the surviving blocks to processes along a
+// space-filling curve to balance load and keep neighbors close.
+#pragma once
+
+#include <vector>
+
+#include "src/grid/stencil.hpp"
+#include "src/util/array2d.hpp"
+
+namespace minipop::grid {
+
+struct BlockInfo {
+  int id = -1;      ///< dense index over *active* (non-land) blocks
+  int bi = 0;       ///< block column
+  int bj = 0;       ///< block row
+  int i0 = 0;       ///< global i of the block's first cell
+  int j0 = 0;       ///< global j of the block's first cell
+  int nx = 0;       ///< block width (edge blocks may be narrower)
+  int ny = 0;       ///< block height
+  long ocean_cells = 0;
+  int owner = -1;   ///< rank owning this block
+};
+
+class Decomposition {
+ public:
+  /// Decompose an nx_global x ny_global grid into blocks of nominal size
+  /// block_nx x block_ny, eliminate all-land blocks using `mask`, and
+  /// assign active blocks to `nranks` ranks along a Hilbert curve,
+  /// balancing total ocean-cell count. Requires nranks <= active blocks.
+  Decomposition(int nx_global, int ny_global, bool periodic_x,
+                const util::MaskArray& mask, int block_nx, int block_ny,
+                int nranks);
+
+  int nx_global() const { return nx_global_; }
+  int ny_global() const { return ny_global_; }
+  bool periodic_x() const { return periodic_x_; }
+  int block_nx() const { return block_nx_; }
+  int block_ny() const { return block_ny_; }
+  int mbx() const { return mbx_; }
+  int mby() const { return mby_; }
+  int nranks() const { return nranks_; }
+
+  int num_active_blocks() const { return static_cast<int>(blocks_.size()); }
+  int num_land_blocks() const { return mbx_ * mby_ - num_active_blocks(); }
+
+  const BlockInfo& block(int id) const { return blocks_.at(id); }
+  const std::vector<BlockInfo>& blocks() const { return blocks_; }
+
+  /// Active-block id at block coordinates, or -1 if out of range / land.
+  int block_id_at(int bi, int bj) const;
+
+  /// Neighboring active-block id in direction `d` (periodic wrap in x),
+  /// or -1 when the neighbor is a domain edge or an eliminated block.
+  int neighbor(int id, Dir d) const;
+
+  const std::vector<int>& blocks_of_rank(int rank) const {
+    return rank_blocks_.at(rank);
+  }
+
+  /// Max over ranks of total owned ocean cells / mean — 1.0 is perfect.
+  double load_imbalance() const;
+
+ private:
+  int nx_global_;
+  int ny_global_;
+  bool periodic_x_;
+  int block_nx_;
+  int block_ny_;
+  int mbx_;
+  int mby_;
+  int nranks_;
+  std::vector<BlockInfo> blocks_;
+  util::Array2D<int> block_grid_;  ///< (bi, bj) -> active id or -1
+  std::vector<std::vector<int>> rank_blocks_;
+};
+
+}  // namespace minipop::grid

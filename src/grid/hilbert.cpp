@@ -1,0 +1,62 @@
+#include "src/grid/hilbert.hpp"
+
+#include "src/util/error.hpp"
+
+namespace minipop::grid {
+
+namespace {
+/// Rotate/flip a quadrant appropriately (classic Hilbert curve step).
+void rot(std::uint32_t n, std::uint32_t* x, std::uint32_t* y,
+         std::uint32_t rx, std::uint32_t ry) {
+  if (ry == 0) {
+    if (rx == 1) {
+      *x = n - 1 - *x;
+      *y = n - 1 - *y;
+    }
+    std::uint32_t t = *x;
+    *x = *y;
+    *y = t;
+  }
+}
+}  // namespace
+
+std::uint64_t hilbert_d(int order, std::uint32_t x, std::uint32_t y) {
+  MINIPOP_REQUIRE(order >= 0 && order < 31, "hilbert order " << order);
+  const std::uint32_t n = 1u << order;
+  MINIPOP_REQUIRE(x < n && y < n,
+                  "hilbert point (" << x << "," << y << ") outside 2^"
+                                    << order);
+  std::uint64_t d = 0;
+  for (std::uint32_t s = n / 2; s > 0; s /= 2) {
+    std::uint32_t rx = (x & s) > 0 ? 1 : 0;
+    std::uint32_t ry = (y & s) > 0 ? 1 : 0;
+    d += static_cast<std::uint64_t>(s) * s * ((3 * rx) ^ ry);
+    rot(n, &x, &y, rx, ry);
+  }
+  return d;
+}
+
+void hilbert_xy(int order, std::uint64_t d, std::uint32_t* x,
+                std::uint32_t* y) {
+  MINIPOP_REQUIRE(order >= 0 && order < 31, "hilbert order " << order);
+  const std::uint32_t n = 1u << order;
+  std::uint64_t t = d;
+  *x = *y = 0;
+  for (std::uint32_t s = 1; s < n; s *= 2) {
+    std::uint32_t rx = 1 & static_cast<std::uint32_t>(t / 2);
+    std::uint32_t ry = 1 & static_cast<std::uint32_t>(t ^ rx);
+    rot(s, x, y, rx, ry);
+    *x += s * rx;
+    *y += s * ry;
+    t /= 4;
+  }
+}
+
+int hilbert_order_for(int n) {
+  MINIPOP_REQUIRE(n >= 1, "n=" << n);
+  int order = 0;
+  while ((1 << order) < n) ++order;
+  return order;
+}
+
+}  // namespace minipop::grid

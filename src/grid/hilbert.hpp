@@ -1,0 +1,21 @@
+// Hilbert space-filling curve used for rank assignment of ocean blocks
+// (paper §5.2: "space-filling curves" with land-block elimination; see
+// also Dennis, IPDPS 2007).
+#pragma once
+
+#include <cstdint>
+
+namespace minipop::grid {
+
+/// Distance along the Hilbert curve of order `order` (a 2^order x 2^order
+/// grid) for cell (x, y). Both coordinates must be in [0, 2^order).
+std::uint64_t hilbert_d(int order, std::uint32_t x, std::uint32_t y);
+
+/// Inverse mapping: distance -> (x, y).
+void hilbert_xy(int order, std::uint64_t d, std::uint32_t* x,
+                std::uint32_t* y);
+
+/// Smallest curve order whose side length covers `n` (i.e. 2^order >= n).
+int hilbert_order_for(int n);
+
+}  // namespace minipop::grid

@@ -1,0 +1,179 @@
+#include "src/grid/stencil.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/error.hpp"
+
+namespace minipop::grid {
+
+double barotropic_phi(double dt_seconds, double gravity) {
+  MINIPOP_REQUIRE(dt_seconds > 0 && gravity > 0,
+                  "dt=" << dt_seconds << " g=" << gravity);
+  return 1.0 / (gravity * dt_seconds * dt_seconds);
+}
+
+double pop_1deg_dt_seconds() { return 86400.0 / 45.0; }
+double pop_0p1deg_dt_seconds() { return 86400.0 / 500.0; }
+
+NinePointStencil::NinePointStencil(const CurvilinearGrid& grid,
+                                   const util::Field& depth, double phi)
+    : nx_(grid.nx()),
+      ny_(grid.ny()),
+      periodic_x_(grid.periodic_x()),
+      phi_(phi) {
+  MINIPOP_REQUIRE(depth.nx() == nx_ && depth.ny() == ny_,
+                  "depth " << depth.nx() << "x" << depth.ny() << " vs grid "
+                           << nx_ << "x" << ny_);
+  MINIPOP_REQUIRE(phi > 0, "phi=" << phi << " (need SPD operator)");
+
+  for (auto& f : coeff_) f = util::Field(nx_, ny_, 0.0);
+  mask_ = ocean_mask(depth);
+  for (auto v : mask_) ocean_cells_ += v;
+
+  auto& c0 = coeff_[static_cast<int>(Dir::kCenter)];
+  auto& ce = coeff_[static_cast<int>(Dir::kEast)];
+  auto& cw = coeff_[static_cast<int>(Dir::kWest)];
+  auto& cn = coeff_[static_cast<int>(Dir::kNorth)];
+  auto& cs = coeff_[static_cast<int>(Dir::kSouth)];
+  auto& cne = coeff_[static_cast<int>(Dir::kNorthEast)];
+  auto& cnw = coeff_[static_cast<int>(Dir::kNorthWest)];
+  auto& cse = coeff_[static_cast<int>(Dir::kSouthEast)];
+  auto& csw = coeff_[static_cast<int>(Dir::kSouthWest)];
+
+  // Mass (phi) term: every cell, land included, so the matrix stays SPD
+  // and land stays decoupled with a positive diagonal.
+  for (int j = 0; j < ny_; ++j)
+    for (int i = 0; i < nx_; ++i) c0(i, j) = phi * grid.area_t()(i, j);
+
+  // Corner (U-point) loop: accumulate the Gram-form element matrices.
+  const int ncx = grid.nxc();
+  const int ncy = grid.nyc();
+  for (int j = 0; j < ncy; ++j) {
+    for (int i = 0; i < ncx; ++i) {
+      const int ip = (i + 1) % nx_;
+      // No-flux coastal condition: corner depth is zero if any adjacent
+      // cell is land (POP's HU = min of the surrounding HT).
+      const double hu =
+          std::min(std::min(depth(i, j), depth(ip, j)),
+                   std::min(depth(i, j + 1), depth(ip, j + 1)));
+      if (hu <= 0.0) continue;
+      const double dxu = grid.dxu()(i, j);
+      const double dyu = grid.dyu()(i, j);
+      const double area_u = dxu * dyu;
+      const double a = hu * area_u / (4.0 * dxu * dxu);  // x-gradient part
+      const double b = hu * area_u / (4.0 * dyu * dyu);  // y-gradient part
+
+      // Cells: SW = (i, j), SE = (ip, j), NW = (i, j+1), NE = (ip, j+1).
+      // Diagonal contribution a + b to each.
+      c0(i, j) += a + b;
+      c0(ip, j) += a + b;
+      c0(i, j + 1) += a + b;
+      c0(ip, j + 1) += a + b;
+      // Diagonal couplings (dominant): -(a + b).
+      cne(i, j) += -(a + b);       // SW -> NE
+      csw(ip, j + 1) += -(a + b);  // NE -> SW
+      cnw(ip, j) += -(a + b);      // SE -> NW
+      cse(i, j + 1) += -(a + b);   // NW -> SE
+      // East-west couplings: b - a (vanish for square cells).
+      ce(i, j) += b - a;
+      cw(ip, j) += b - a;
+      ce(i, j + 1) += b - a;
+      cw(ip, j + 1) += b - a;
+      // North-south couplings: a - b.
+      cn(i, j) += a - b;
+      cs(i, j + 1) += a - b;
+      cn(ip, j) += a - b;
+      cs(ip, j + 1) += a - b;
+    }
+  }
+}
+
+void NinePointStencil::apply(const util::Field& x, util::Field& y) const {
+  MINIPOP_REQUIRE(x.nx() == nx_ && x.ny() == ny_, "x shape mismatch");
+  if (y.nx() != nx_ || y.ny() != ny_) y = util::Field(nx_, ny_);
+
+  const auto& c0 = coeff_[static_cast<int>(Dir::kCenter)];
+  const auto& ce = coeff_[static_cast<int>(Dir::kEast)];
+  const auto& cw = coeff_[static_cast<int>(Dir::kWest)];
+  const auto& cn = coeff_[static_cast<int>(Dir::kNorth)];
+  const auto& cs = coeff_[static_cast<int>(Dir::kSouth)];
+  const auto& cne = coeff_[static_cast<int>(Dir::kNorthEast)];
+  const auto& cnw = coeff_[static_cast<int>(Dir::kNorthWest)];
+  const auto& cse = coeff_[static_cast<int>(Dir::kSouthEast)];
+  const auto& csw = coeff_[static_cast<int>(Dir::kSouthWest)];
+
+  auto get = [&](int i, int j) -> double {
+    if (j < 0 || j >= ny_) return 0.0;
+    if (periodic_x_) {
+      i = (i % nx_ + nx_) % nx_;
+    } else if (i < 0 || i >= nx_) {
+      return 0.0;
+    }
+    return x(i, j);
+  };
+
+  for (int j = 0; j < ny_; ++j) {
+    const bool interior_j = (j > 0 && j < ny_ - 1);
+    for (int i = 0; i < nx_; ++i) {
+      if (interior_j && i > 0 && i < nx_ - 1) {
+        // Fast path: fully interior (no wrap / boundary checks).
+        y(i, j) = c0(i, j) * x(i, j) + ce(i, j) * x(i + 1, j) +
+                  cw(i, j) * x(i - 1, j) + cn(i, j) * x(i, j + 1) +
+                  cs(i, j) * x(i, j - 1) + cne(i, j) * x(i + 1, j + 1) +
+                  cnw(i, j) * x(i - 1, j + 1) + cse(i, j) * x(i + 1, j - 1) +
+                  csw(i, j) * x(i - 1, j - 1);
+      } else {
+        y(i, j) = c0(i, j) * x(i, j) + ce(i, j) * get(i + 1, j) +
+                  cw(i, j) * get(i - 1, j) + cn(i, j) * get(i, j + 1) +
+                  cs(i, j) * get(i, j - 1) + cne(i, j) * get(i + 1, j + 1) +
+                  cnw(i, j) * get(i - 1, j + 1) +
+                  cse(i, j) * get(i + 1, j - 1) +
+                  csw(i, j) * get(i - 1, j - 1);
+      }
+    }
+  }
+}
+
+double NinePointStencil::edge_to_corner_ratio() const {
+  double max_edge = 0.0;
+  double max_corner = 0.0;
+  for (int j = 0; j < ny_; ++j)
+    for (int i = 0; i < nx_; ++i) {
+      if (!mask_(i, j)) continue;
+      for (Dir d : {Dir::kEast, Dir::kWest, Dir::kNorth, Dir::kSouth})
+        max_edge = std::max(max_edge, std::abs(coeff(d)(i, j)));
+      for (Dir d : {Dir::kNorthEast, Dir::kNorthWest, Dir::kSouthEast,
+                    Dir::kSouthWest})
+        max_corner = std::max(max_corner, std::abs(coeff(d)(i, j)));
+    }
+  return max_corner > 0 ? max_edge / max_corner : 0.0;
+}
+
+linalg::DenseMatrix NinePointStencil::to_dense() const {
+  MINIPOP_REQUIRE(static_cast<long>(nx_) * ny_ <= 100000,
+                  "to_dense is for small grids (" << nx_ << "x" << ny_
+                                                  << ")");
+  const int n = nx_ * ny_;
+  linalg::DenseMatrix a(n, n);
+  for (int j = 0; j < ny_; ++j) {
+    for (int i = 0; i < nx_; ++i) {
+      const int row = j * nx_ + i;
+      for (int d = 0; d < kNumDirs; ++d) {
+        const auto [di, dj] = kDirOffset[d];
+        int ii = i + di;
+        const int jj = j + dj;
+        if (jj < 0 || jj >= ny_) continue;
+        if (periodic_x_) {
+          ii = (ii % nx_ + nx_) % nx_;
+        } else if (ii < 0 || ii >= nx_) {
+          continue;
+        }
+        a(row, jj * nx_ + ii) += coeff_[d](i, j);
+      }
+    }
+  }
+  return a;
+}
+
+}  // namespace minipop::grid

@@ -1,0 +1,80 @@
+#include "src/linalg/tridiag_eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/util/error.hpp"
+
+namespace minipop::linalg {
+
+namespace {
+
+/// Gershgorin interval containing all eigenvalues.
+std::pair<double, double> gershgorin(const Tridiagonal& t) {
+  const int n = t.size();
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (int i = 0; i < n; ++i) {
+    double r = 0.0;
+    if (i > 0) r += std::abs(t.e[i - 1]);
+    if (i + 1 < n) r += std::abs(t.e[i]);
+    lo = std::min(lo, t.d[i] - r);
+    hi = std::max(hi, t.d[i] + r);
+  }
+  return {lo, hi};
+}
+
+}  // namespace
+
+int sturm_count(const Tridiagonal& t, double x) {
+  const int n = t.size();
+  MINIPOP_REQUIRE(n >= 1, "empty tridiagonal");
+  MINIPOP_REQUIRE(static_cast<int>(t.e.size()) == n - 1,
+                  "off-diagonal size " << t.e.size() << " for n=" << n);
+  // Count sign agreements of the sequence q_i = d_i - x - e_{i-1}^2/q_{i-1};
+  // the number of negative q_i equals the number of eigenvalues < x.
+  int count = 0;
+  double q = t.d[0] - x;
+  if (q < 0) ++count;
+  const double tiny = std::numeric_limits<double>::min();
+  for (int i = 1; i < n; ++i) {
+    double denom = q;
+    if (std::abs(denom) < tiny)
+      denom = (denom < 0 ? -tiny : tiny);
+    q = t.d[i] - x - t.e[i - 1] * t.e[i - 1] / denom;
+    if (q < 0) ++count;
+  }
+  return count;
+}
+
+double tridiag_eigenvalue(const Tridiagonal& t, int k, double tol) {
+  const int n = t.size();
+  MINIPOP_REQUIRE(k >= 0 && k < n, "eigenvalue index " << k << " for n=" << n);
+  auto [lo, hi] = gershgorin(t);
+  // Widen slightly so strict inequality counting is safe at the edges.
+  double width = std::max(hi - lo, 1.0);
+  lo -= 1e-12 * width;
+  hi += 1e-12 * width;
+  while (hi - lo > tol * std::max(1.0, std::abs(lo) + std::abs(hi))) {
+    double mid = 0.5 * (lo + hi);
+    if (sturm_count(t, mid) <= k)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+EigenBounds tridiag_extreme_eigenvalues(const Tridiagonal& t, double tol) {
+  return EigenBounds{tridiag_eigenvalue(t, 0, tol),
+                     tridiag_eigenvalue(t, t.size() - 1, tol)};
+}
+
+std::vector<double> tridiag_all_eigenvalues(const Tridiagonal& t, double tol) {
+  std::vector<double> eig(t.size());
+  for (int k = 0; k < t.size(); ++k) eig[k] = tridiag_eigenvalue(t, k, tol);
+  return eig;
+}
+
+}  // namespace minipop::linalg

@@ -1,0 +1,39 @@
+// Extreme eigenvalues of a symmetric tridiagonal matrix via Sturm-sequence
+// bisection. This is the back end of the Lanczos eigenvalue estimation
+// that P-CSI needs for its Chebyshev interval [nu, mu] (paper §3).
+#pragma once
+
+#include <vector>
+
+namespace minipop::linalg {
+
+/// Symmetric tridiagonal matrix given by its diagonal `d` (size n) and
+/// off-diagonal `e` (size n-1).
+struct Tridiagonal {
+  std::vector<double> d;
+  std::vector<double> e;
+
+  int size() const { return static_cast<int>(d.size()); }
+};
+
+/// Number of eigenvalues of T strictly less than x (Sturm sequence count).
+int sturm_count(const Tridiagonal& t, double x);
+
+/// k-th smallest eigenvalue (k is 0-based) via bisection to `tol`
+/// absolute accuracy within a Gershgorin bracket.
+double tridiag_eigenvalue(const Tridiagonal& t, int k, double tol = 1e-12);
+
+/// Smallest and largest eigenvalues. Cheap: two bisections.
+struct EigenBounds {
+  double min;
+  double max;
+};
+EigenBounds tridiag_extreme_eigenvalues(const Tridiagonal& t,
+                                        double tol = 1e-12);
+
+/// All eigenvalues, ascending; O(n * bisections). For tests and the
+/// Lanczos convergence study (paper Fig. 3).
+std::vector<double> tridiag_all_eigenvalues(const Tridiagonal& t,
+                                            double tol = 1e-12);
+
+}  // namespace minipop::linalg

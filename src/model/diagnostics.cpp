@@ -1,0 +1,38 @@
+#include "src/model/diagnostics.hpp"
+
+#include <cmath>
+
+#include "src/util/error.hpp"
+
+namespace minipop::model {
+
+MonthlyTemperatureRecorder::MonthlyTemperatureRecorder(
+    const OceanModel& model)
+    : nx_(model.grid().nx()),
+      ny_(model.grid().ny()),
+      nz_(model.config().nz),
+      accum_(model.grid().nx(), model.grid().ny(), model.config().nz, 0.0),
+      scratch_(model.grid().nx(), model.grid().ny(), model.config().nz,
+               0.0) {
+  steps_per_month_ = static_cast<long>(
+      std::llround(kDaysPerMonth * kSecondsPerDay / model.config().dt));
+  MINIPOP_REQUIRE(steps_per_month_ >= 1,
+                  "time step longer than a month?");
+}
+
+void MonthlyTemperatureRecorder::sample(const OceanModel& model) {
+  model.gather_temperature(scratch_);
+  for (std::size_t n = 0; n < accum_.size(); ++n)
+    accum_.data()[n] += scratch_.data()[n];
+  if (++samples_in_month_ == steps_per_month_) {
+    util::Array3D<double> mean(nx_, ny_, nz_);
+    const double inv = 1.0 / static_cast<double>(samples_in_month_);
+    for (std::size_t n = 0; n < accum_.size(); ++n)
+      mean.data()[n] = accum_.data()[n] * inv;
+    months_.push_back(std::move(mean));
+    accum_.fill(0.0);
+    samples_in_month_ = 0;
+  }
+}
+
+}  // namespace minipop::model

@@ -1,0 +1,41 @@
+// Monthly diagnostics for the consistency experiments (paper §6): the
+// RMSE/RMSZ studies evaluate *monthly* 3D temperature fields, so the
+// recorder accumulates a running mean of temperature over each 30-day
+// model month and emits the sequence of monthly means.
+//
+// Designed for single-rank model runs (the ensemble experiments are many
+// independent serial runs); gather_temperature covers the whole domain
+// only when one rank owns all blocks.
+#pragma once
+
+#include <vector>
+
+#include "src/model/ocean_model.hpp"
+
+namespace minipop::model {
+
+class MonthlyTemperatureRecorder {
+ public:
+  static constexpr double kDaysPerMonth = 30.0;
+
+  explicit MonthlyTemperatureRecorder(const OceanModel& model);
+
+  /// Call once after every model step.
+  void sample(const OceanModel& model);
+
+  /// Completed monthly means, oldest first.
+  const std::vector<util::Array3D<double>>& months() const {
+    return months_;
+  }
+  int completed_months() const { return static_cast<int>(months_.size()); }
+
+ private:
+  int nx_, ny_, nz_;
+  long steps_per_month_;
+  long samples_in_month_ = 0;
+  util::Array3D<double> accum_;
+  util::Array3D<double> scratch_;
+  std::vector<util::Array3D<double>> months_;
+};
+
+}  // namespace minipop::model

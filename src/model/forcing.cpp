@@ -1,0 +1,32 @@
+#include "src/model/forcing.hpp"
+
+#include <cmath>
+
+namespace minipop::model {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}
+
+double Forcing::wind_stress_x(double lat_deg, double yearday) const {
+  // Easterly trades near the equator, westerlies in mid-latitudes,
+  // easterlies near the poles: -cos(3 * lat) profile, tapered at poles.
+  const double lat = lat_deg * kPi / 180.0;
+  const double profile = -std::cos(3.0 * lat) * std::cos(lat);
+  const double season =
+      1.0 + seasonal * std::sin(2.0 * kPi * yearday / kDaysPerYear) *
+                (lat_deg >= 0 ? 1.0 : -1.0);
+  return tau0 * profile * season;
+}
+
+double Forcing::restoring_sst(double lat_deg, double yearday) const {
+  const double lat = lat_deg * kPi / 180.0;
+  const double s2 = std::sin(lat) * std::sin(lat);
+  double t = t_equator + (t_pole - t_equator) * s2;
+  // Seasonal swing, opposite-phased across hemispheres, weak at equator.
+  t += t_seasonal * std::sin(2.0 * kPi * yearday / kDaysPerYear) *
+       std::sin(lat);
+  return t;
+}
+
+}  // namespace minipop::model

@@ -1,0 +1,29 @@
+// Analytic atmospheric forcing, the stand-in for CESM's data atmosphere
+// in the "G_NORMAL_YEAR" compset the paper uses (§5): a steady zonal wind
+// pattern (trades / westerlies / polar easterlies) with a seasonal cycle,
+// and a restoring sea-surface temperature profile with a seasonal cycle.
+#pragma once
+
+namespace minipop::model {
+
+struct Forcing {
+  double tau0 = 0.1;          ///< wind stress scale [N/m^2]
+  double seasonal = 0.3;      ///< seasonal modulation fraction
+  double t_equator = 28.0;    ///< restoring SST at the equator [C]
+  double t_pole = -1.0;       ///< restoring SST at the poles [C]
+  double t_seasonal = 2.0;    ///< seasonal SST swing [C]
+
+  /// Zonal wind stress [N/m^2] at latitude `lat_deg` on day-of-year
+  /// `yearday` (0..365). Classic three-band profile.
+  double wind_stress_x(double lat_deg, double yearday) const;
+
+  /// Restoring surface temperature [C].
+  double restoring_sst(double lat_deg, double yearday) const;
+};
+
+/// Days per model year (360 = twelve 30-day months, the standard
+/// climate-model calendar).
+inline constexpr double kDaysPerYear = 360.0;
+inline constexpr double kSecondsPerDay = 86400.0;
+
+}  // namespace minipop::model

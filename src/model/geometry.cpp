@@ -1,0 +1,86 @@
+#include "src/model/geometry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/error.hpp"
+
+namespace minipop::model {
+
+namespace {
+constexpr double kDegToRad = 3.14159265358979323846 / 180.0;
+}
+
+Geometry::Geometry(const grid::CurvilinearGrid& grid,
+                   const util::Field& depth,
+                   const grid::Decomposition& decomp, int rank,
+                   double omega) {
+  const int nx = grid.nx();
+  const int ny = grid.ny();
+  const bool periodic = grid.periodic_x();
+
+  // Pseudo-latitude for Uniform (beta-plane) grids.
+  auto latitude = [&](int gi, int gj) {
+    if (grid.spec().kind == grid::GridKind::kUniform)
+      return 45.0 * 2.0 * ((gj + 0.5) / ny - 0.5);
+    return grid.lat()(gi, gj);
+  };
+
+  const auto& ids = decomp.blocks_of_rank(rank);
+  blocks_.reserve(ids.size());
+  for (int id : ids) {
+    const auto& b = decomp.block(id);
+    BlockGeometry g;
+    g.dx = util::Field(b.nx, b.ny);
+    g.dy = util::Field(b.nx, b.ny);
+    g.area = util::Field(b.nx, b.ny);
+    g.depth = util::Field(b.nx, b.ny);
+    g.f = util::Field(b.nx, b.ny);
+    g.lat = util::Field(b.nx, b.ny);
+    g.mask = util::MaskArray(b.nx, b.ny);
+    g.dxu = util::Field(b.nx, b.ny);
+    g.dyu = util::Field(b.nx, b.ny);
+    g.hu = util::Field(b.nx, b.ny);
+    g.fu = util::Field(b.nx, b.ny);
+    g.lat_u = util::Field(b.nx, b.ny);
+    g.mask_u = util::MaskArray(b.nx, b.ny);
+
+    for (int j = 0; j < b.ny; ++j) {
+      for (int i = 0; i < b.nx; ++i) {
+        const int gi = b.i0 + i;
+        const int gj = b.j0 + j;
+        g.dx(i, j) = grid.dxt()(gi, gj);
+        g.dy(i, j) = grid.dyt()(gi, gj);
+        g.area(i, j) = grid.area_t()(gi, gj);
+        g.depth(i, j) = depth(gi, gj);
+        g.mask(i, j) = depth(gi, gj) > 0 ? 1 : 0;
+        const double lat = latitude(gi, gj);
+        g.lat(i, j) = lat;
+        g.f(i, j) = 2.0 * omega * std::sin(lat * kDegToRad);
+        if (g.mask(i, j)) {
+          local_area_ += g.area(i, j);
+          local_volume_ += g.area(i, j) * g.depth(i, j);
+        }
+
+        // Corner NE of cell (gi, gj): exists unless on the domain's
+        // north edge (or east edge when not periodic).
+        const bool corner_exists =
+            gj + 1 < ny && (periodic || gi + 1 < nx);
+        if (!corner_exists) continue;
+        const int gip = (gi + 1) % nx;
+        g.dxu(i, j) = grid.dxu()(gi % grid.nxc(), gj);
+        g.dyu(i, j) = grid.dyu()(gi % grid.nxc(), gj);
+        g.hu(i, j) =
+            std::min(std::min(depth(gi, gj), depth(gip, gj)),
+                     std::min(depth(gi, gj + 1), depth(gip, gj + 1)));
+        g.mask_u(i, j) = g.hu(i, j) > 0 ? 1 : 0;
+        const double lat_u = 0.5 * (latitude(gi, gj) + latitude(gi, gj + 1));
+        g.lat_u(i, j) = lat_u;
+        g.fu(i, j) = 2.0 * omega * std::sin(lat_u * kDegToRad);
+      }
+    }
+    blocks_.push_back(std::move(g));
+  }
+}
+
+}  // namespace minipop::model

@@ -1,0 +1,53 @@
+// Rank-local geometry: per-block copies of the metric terms, depth, mask
+// and Coriolis parameter the model kernels need, in the same block layout
+// as DistField interiors.
+#pragma once
+
+#include <vector>
+
+#include "src/grid/bathymetry.hpp"
+#include "src/grid/curvilinear_grid.hpp"
+#include "src/grid/decomposition.hpp"
+#include "src/util/array2d.hpp"
+
+namespace minipop::model {
+
+// T-point (cell) and U-point (corner) geometry. Corner (i, j) sits
+// northeast of cell (i, j) — POP's B-grid layout; corner fields share the
+// cell block shape, with nonexistent corners (domain edge) masked out.
+struct BlockGeometry {
+  util::Field dx;     ///< T-cell width [m]
+  util::Field dy;     ///< T-cell height [m]
+  util::Field area;   ///< T-cell area [m^2]
+  util::Field depth;  ///< ocean depth [m], 0 on land
+  util::Field f;      ///< Coriolis parameter at T-points [1/s]
+  util::Field lat;    ///< latitude [deg] (pseudo-latitude on Uniform grids)
+  util::MaskArray mask;
+
+  util::Field dxu;    ///< corner spacing [m]
+  util::Field dyu;
+  util::Field hu;     ///< corner depth: min of 4 adjacent cells (0=land)
+  util::Field fu;     ///< Coriolis at corners [1/s]
+  util::Field lat_u;  ///< latitude at corners [deg]
+  util::MaskArray mask_u;  ///< 1 where the corner exists and hu > 0
+};
+
+class Geometry {
+ public:
+  Geometry(const grid::CurvilinearGrid& grid, const util::Field& depth,
+           const grid::Decomposition& decomp, int rank, double omega);
+
+  int num_blocks() const { return static_cast<int>(blocks_.size()); }
+  const BlockGeometry& block(int lb) const { return blocks_[lb]; }
+
+  /// Total ocean area and volume on this rank (reduce for global values).
+  double local_ocean_area() const { return local_area_; }
+  double local_ocean_volume() const { return local_volume_; }
+
+ private:
+  std::vector<BlockGeometry> blocks_;
+  double local_area_ = 0.0;
+  double local_volume_ = 0.0;
+};
+
+}  // namespace minipop::model

@@ -1,0 +1,81 @@
+// OceanModel: the assembled mini-POP — grid, synthetic bathymetry,
+// decomposition, barotropic mode (with the configurable elliptic solver)
+// and temperature tracer, plus the time manager and diagnostics the
+// benchmarks and consistency experiments need.
+//
+// One OceanModel instance per rank; construction and stepping are
+// collective across the communicator.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+
+#include "src/model/barotropic_mode.hpp"
+#include "src/model/tracer.hpp"
+#include "src/util/array3d.hpp"
+
+namespace minipop::model {
+
+class OceanModel {
+ public:
+  OceanModel(comm::Communicator& comm, const ModelConfig& config);
+
+  /// One barotropic + tracer step. Returns the elliptic solve stats.
+  solver::SolveStats step(comm::Communicator& comm);
+
+  /// Convenience: an integer number of days.
+  void run_days(comm::Communicator& comm, double days);
+
+  long step_count() const { return steps_; }
+  double time_seconds() const { return steps_ * cfg_.dt; }
+  double time_days() const { return time_seconds() / kSecondsPerDay; }
+  /// Day within the current model year, [0, 360).
+  double yearday() const;
+
+  const ModelConfig& config() const { return cfg_; }
+  const grid::CurvilinearGrid& grid() const { return *grid_; }
+  const util::Field& depth() const { return depth_; }
+  const grid::Decomposition& decomposition() const { return *decomp_; }
+  const Geometry& geometry() const { return *geometry_; }
+  BarotropicMode& barotropic() { return *barotropic_; }
+  TemperatureTracer& tracer() { return *tracer_; }
+
+  // --- diagnostics (collective where a Communicator is passed) ---
+
+  /// Volume-weighted global mean temperature [C].
+  double mean_temperature(comm::Communicator& comm) const;
+  /// Area-weighted mean sea surface height [m] (conservation check).
+  double mean_ssh(comm::Communicator& comm) const;
+  /// Total barotropic kinetic energy per unit rho0 [m^5/s^2].
+  double kinetic_energy(comm::Communicator& comm) const;
+  /// Max |u| (stability check).
+  double max_speed(comm::Communicator& comm) const;
+
+  /// Copy this rank's temperature blocks into a global (nx, ny, nz)
+  /// array; with one rank this is the full field.
+  void gather_temperature(util::Array3D<double>& out) const;
+  /// Same for SSH.
+  void gather_ssh(util::Field& out) const;
+
+  /// Ensemble-style initial temperature perturbation (paper §6).
+  void perturb_temperature(double epsilon, std::uint64_t seed);
+
+  /// Binary checkpoint of the prognostic state (eta, u, v, temperature,
+  /// step count). Single-rank runs only (like POP's serial restart
+  /// files); restarting reproduces the original trajectory bitwise.
+  void save_state(std::ostream& os) const;
+  void load_state(comm::Communicator& comm, std::istream& is);
+
+ private:
+  ModelConfig cfg_;
+  std::unique_ptr<grid::CurvilinearGrid> grid_;
+  util::Field depth_;
+  std::unique_ptr<grid::Decomposition> decomp_;
+  std::unique_ptr<comm::HaloExchanger> halo_;
+  std::unique_ptr<Geometry> geometry_;
+  std::unique_ptr<BarotropicMode> barotropic_;
+  std::unique_ptr<TemperatureTracer> tracer_;
+  long steps_ = 0;
+};
+
+}  // namespace minipop::model

@@ -1,0 +1,60 @@
+// 3D potential temperature tracer — the model's stand-in for POP's
+// baroclinic thermodynamics, used by the paper-§6 consistency experiments
+// (the paper evaluates the 3D temperature field as its most revealing
+// diagnostic).
+//
+// Each level is advected by the barotropic flow scaled by an analytic
+// vertical profile (first-order upwind), mixed laterally (masked
+// five-point diffusion, no-flux coasts) and vertically, and the surface
+// level is restored to the seasonal SST profile.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/model/config.hpp"
+#include "src/model/forcing.hpp"
+#include "src/model/geometry.hpp"
+
+namespace minipop::model {
+
+class TemperatureTracer {
+ public:
+  TemperatureTracer(comm::Communicator& comm,
+                    const comm::HaloExchanger& halo,
+                    const grid::Decomposition& decomp,
+                    const Geometry& geometry, const ModelConfig& config);
+
+  int nz() const { return static_cast<int>(levels_.size()); }
+  comm::DistField& level(int k) { return levels_.at(k); }
+  const comm::DistField& level(int k) const { return levels_.at(k); }
+  double layer_thickness(int k) const { return dz_.at(k); }
+  /// Fraction of the barotropic velocity felt at level k.
+  double velocity_profile(int k) const;
+
+  /// Advance one step with the given barotropic corner (U-point)
+  /// velocities (halos must be fresh — the barotropic step leaves them
+  /// so). Collective.
+  void step(comm::Communicator& comm, const comm::DistField& u,
+            const comm::DistField& v, double yearday);
+
+  /// Initialize from the analytic stratified profile at yearday 0.
+  void init_profile();
+
+  /// Add a tiny deterministic perturbation (order `epsilon`) to every
+  /// ocean cell — the paper's ensemble-generation method (§6, O(1e-14)
+  /// perturbations of initial temperature).
+  void perturb(double epsilon, std::uint64_t seed);
+
+ private:
+  const comm::HaloExchanger* halo_;
+  const Geometry* geometry_;
+  ModelConfig cfg_;
+  Forcing forcing_;
+  std::vector<double> dz_;
+  std::vector<comm::DistField> levels_;
+  std::vector<comm::DistField> scratch_;
+  comm::DistField depth_halo_;  ///< depth with valid halos (land lookups)
+};
+
+}  // namespace minipop::model

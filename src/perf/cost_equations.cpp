@@ -1,0 +1,62 @@
+#include "src/perf/cost_equations.hpp"
+
+#include <cmath>
+
+#include "src/util/error.hpp"
+
+namespace minipop::perf {
+
+std::string to_string(Config c) {
+  switch (c) {
+    case Config::kCgDiag: return "chrongear+diagonal";
+    case Config::kCgEvp: return "chrongear+evp";
+    case Config::kPcsiDiag: return "pcsi+diagonal";
+    case Config::kPcsiEvp: return "pcsi+evp";
+  }
+  return "?";
+}
+
+bool is_pcsi(Config c) {
+  return c == Config::kPcsiDiag || c == Config::kPcsiEvp;
+}
+
+bool is_evp(Config c) {
+  return c == Config::kCgEvp || c == Config::kPcsiEvp;
+}
+
+double compute_ops_per_point(Config c) {
+  const double solver_ops = is_pcsi(c) ? 12.0 : 15.0;
+  const double precond_ops = is_evp(c) ? 14.0 : 1.0;
+  return solver_ops + precond_ops;
+}
+
+double reductions_per_iteration(Config c, int check_frequency) {
+  MINIPOP_REQUIRE(check_frequency >= 1,
+                  "check_frequency=" << check_frequency);
+  return is_pcsi(c) ? 1.0 / check_frequency : 1.0;
+}
+
+IterationCosts iteration_costs(const MachineProfile& m, Config c,
+                               long points, int p, int check_frequency) {
+  MINIPOP_REQUIRE(points > 0 && p > 0, "points=" << points << " p=" << p);
+  IterationCosts out;
+  const double pts_per_rank = static_cast<double>(points) / p;
+  const double n_linear = std::sqrt(static_cast<double>(points));
+
+  out.computation = compute_ops_per_point(c) * pts_per_rank * m.theta;
+
+  // Boundary update: 4 neighbor messages, 8 N / sqrt(p) points of halo
+  // (width-2 halo), 8 bytes per point (paper §2.2).
+  const double halo_bytes = 8.0 * n_linear / std::sqrt(p) * 8.0;
+  out.halo = 4.0 * m.alpha_p2p + halo_bytes * m.beta;
+
+  // Global reduction: local masking + binomial tree of log2(p) hops.
+  const double reductions = reductions_per_iteration(c, check_frequency);
+  const double tree = std::log2(std::max(2.0, static_cast<double>(p))) *
+                      m.alpha_reduce(p);
+  out.reduction =
+      reductions * (kMaskOpsPerPoint * pts_per_rank * m.theta + tree);
+  return out;
+}
+
+}  // namespace minipop::perf

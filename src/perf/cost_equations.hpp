@@ -1,0 +1,48 @@
+// The paper's per-iteration cost equations (Eqs. 2, 3, 5, 6) in
+// component form: computation (theta), boundary updates (alpha_p2p,
+// beta) and global reductions (tree hops), per solver x preconditioner
+// configuration.
+#pragma once
+
+#include <string>
+
+#include "src/perf/machine.hpp"
+
+namespace minipop::perf {
+
+/// The four solver configurations the paper evaluates.
+enum class Config { kCgDiag, kCgEvp, kPcsiDiag, kPcsiEvp };
+inline constexpr Config kAllConfigs[] = {Config::kCgDiag, Config::kCgEvp,
+                                         Config::kPcsiDiag,
+                                         Config::kPcsiEvp};
+std::string to_string(Config c);
+bool is_pcsi(Config c);
+bool is_evp(Config c);
+
+/// Paper-counted operations per grid point per iteration:
+///   ChronGear: 15 + T_p;  P-CSI: 12 + T_p;  T_p: diagonal 1, EVP 14.
+/// The ChronGear masking cost (2 ops/pt per reduction) is accounted in
+/// the reduction component, matching Eq. 2's total of 18 for cg+diag.
+double compute_ops_per_point(Config c);
+
+/// Ops per point spent on the local masking part of a global sum.
+inline constexpr double kMaskOpsPerPoint = 2.0;
+
+/// Global reductions per solver iteration (the convergence check rides
+/// in ChronGear's fused reduction; P-CSI reduces only when checking).
+double reductions_per_iteration(Config c, int check_frequency);
+
+struct IterationCosts {
+  double computation;  ///< seconds
+  double halo;
+  double reduction;
+  double total() const { return computation + halo + reduction; }
+};
+
+/// Cost of ONE solver iteration on `p` ranks for a grid of `points`
+/// total cells (paper's N^2). Halo: 4 messages of (8 sqrt(points) /
+/// sqrt(p)) points each iteration (halo width 2, Eq. in §2.2).
+IterationCosts iteration_costs(const MachineProfile& m, Config c,
+                               long points, int p, int check_frequency);
+
+}  // namespace minipop::perf

@@ -1,0 +1,30 @@
+#include "src/perf/machine.hpp"
+
+namespace minipop::perf {
+
+MachineProfile yellowstone_profile() {
+  MachineProfile m;
+  m.name = "Yellowstone";
+  m.theta = 3.0e-9;
+  m.alpha_p2p = 6.0e-6;
+  m.beta = 1.0 / 13.6e9;
+  m.alpha_reduce0 = 12.5e-6;
+  m.alpha_reduce_per_rank = 0.85e-9;
+  return m;
+}
+
+MachineProfile edison_profile() {
+  MachineProfile m;
+  m.name = "Edison";
+  m.theta = 2.8e-9;
+  // Effective (contention-inflated) point-to-point latency: the paper
+  // reports large run-to-run variability from Dragonfly job placement
+  // (§5.3, ref [39]); the raw Aries latency is far lower.
+  m.alpha_p2p = 20.0e-6;
+  m.beta = 1.0 / 8.0e9;
+  m.alpha_reduce0 = 14.0e-6;
+  m.alpha_reduce_per_rank = 1.2e-9;
+  return m;
+}
+
+}  // namespace minipop::perf

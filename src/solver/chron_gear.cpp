@@ -1,0 +1,90 @@
+#include "src/solver/chron_gear.hpp"
+
+#include <cmath>
+
+#include "src/solver/field_ops.hpp"
+#include "src/util/error.hpp"
+
+namespace minipop::solver {
+
+SolveStats ChronGearSolver::solve(comm::Communicator& comm,
+                                  const comm::HaloExchanger& halo,
+                                  const DistOperator& a, Preconditioner& m,
+                                  const comm::DistField& b,
+                                  comm::DistField& x) {
+  const auto snapshot = comm.costs().counters();
+  SolveStats stats;
+
+  comm::DistField r(a.decomposition(), a.rank(), x.halo());
+  comm::DistField rp(a.decomposition(), a.rank(), x.halo());  // r' = M^-1 r
+  comm::DistField z(a.decomposition(), a.rank(), x.halo());
+  comm::DistField s(a.decomposition(), a.rank(), x.halo());
+  comm::DistField p(a.decomposition(), a.rank(), x.halo());
+
+  const double b_norm2 = a.global_dot(comm, b, b);
+  if (b_norm2 == 0.0) {
+    fill_interior(x, 0.0);
+    stats.converged = true;
+    stats.costs = comm.costs().since(snapshot);
+    return stats;
+  }
+  const double threshold2 =
+      opt_.rel_tolerance * opt_.rel_tolerance * b_norm2;
+
+  // Algorithm 1, step 1.
+  a.residual(comm, halo, b, x, r);
+  fill_interior(s, 0.0);
+  fill_interior(p, 0.0);
+  double rho_old = 1.0;
+  double sigma_old = 0.0;
+
+  for (int k = 1; k <= opt_.max_iterations; ++k) {
+    stats.iterations = k;
+
+    m.apply(comm, r, rp);      // step 4: r'_k = M^-1 r_{k-1}
+    a.apply(comm, halo, rp, z);  // steps 5-6: z = B r' (+ boundary update)
+
+    // Steps 7-9: fused global reduction (rho, delta[, ||r||^2]).
+    const bool check = (k % opt_.check_frequency == 0);
+    double local[3] = {a.local_dot(comm, r, rp), a.local_dot(comm, z, rp),
+                       check ? a.local_dot(comm, r, r) : 0.0};
+    comm.allreduce(std::span<double>(local, check ? 3 : 2),
+                   comm::ReduceOp::kSum);
+    const double rho = local[0];
+    const double delta = local[1];
+    if (check) {
+      if (opt_.record_residuals)
+        stats.residual_history.emplace_back(k,
+                                            std::sqrt(local[2] / b_norm2));
+      if (local[2] <= threshold2) {
+        stats.converged = true;
+        stats.relative_residual = std::sqrt(local[2] / b_norm2);
+        break;
+      }
+    }
+
+    // Steps 10-12.
+    const double beta = rho / rho_old;
+    const double sigma = delta - beta * beta * sigma_old;
+    MINIPOP_REQUIRE(sigma != 0.0, "ChronGear breakdown: sigma == 0");
+    const double alpha = rho / sigma;
+
+    // Steps 13-16.
+    lincomb(comm, 1.0, rp, beta, s);  // s = r' + beta s
+    lincomb(comm, 1.0, z, beta, p);   // p = z + beta p
+    axpy(comm, alpha, s, x);          // x += alpha s
+    axpy(comm, -alpha, p, r);         // r -= alpha p
+
+    rho_old = rho;
+    sigma_old = sigma;
+  }
+
+  if (!stats.converged) {
+    stats.relative_residual =
+        std::sqrt(a.global_dot(comm, r, r) / b_norm2);
+  }
+  stats.costs = comm.costs().since(snapshot);
+  return stats;
+}
+
+}  // namespace minipop::solver

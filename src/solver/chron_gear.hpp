@@ -1,0 +1,29 @@
+// Chronopoulos-Gear solver (paper Algorithm 1; refs [7, 9]) — POP's
+// production barotropic solver. A rearranged preconditioned CG whose two
+// inner products are evaluated against the same preconditioned residual,
+// so the two global reductions fuse into a single MPI_Allreduce per
+// iteration. The periodic convergence check rides along in the same
+// reduction (one extra scalar), keeping exactly one global reduction per
+// iteration as the paper's cost model (Eq. 2) assumes.
+#pragma once
+
+#include "src/solver/iterative_solver.hpp"
+
+namespace minipop::solver {
+
+class ChronGearSolver final : public IterativeSolver {
+ public:
+  explicit ChronGearSolver(const SolverOptions& options = {})
+      : opt_(options) {}
+
+  SolveStats solve(comm::Communicator& comm, const comm::HaloExchanger& halo,
+                   const DistOperator& a, Preconditioner& m,
+                   const comm::DistField& b, comm::DistField& x) override;
+
+  std::string name() const override { return "chrongear"; }
+
+ private:
+  SolverOptions opt_;
+};
+
+}  // namespace minipop::solver

@@ -1,0 +1,68 @@
+#include "src/solver/field_ops.hpp"
+
+#include "src/util/error.hpp"
+
+namespace minipop::solver {
+
+namespace {
+std::uint64_t interior_points(const comm::DistField& f) {
+  std::uint64_t n = 0;
+  for (int lb = 0; lb < f.num_local_blocks(); ++lb) {
+    const auto& b = f.info(lb);
+    n += static_cast<std::uint64_t>(b.nx) * b.ny;
+  }
+  return n;
+}
+}  // namespace
+
+void lincomb(comm::Communicator& comm, double a, const comm::DistField& x,
+             double b, comm::DistField& y) {
+  MINIPOP_REQUIRE(x.compatible_with(y), "lincomb field mismatch");
+  for (int lb = 0; lb < x.num_local_blocks(); ++lb) {
+    const auto& info = x.info(lb);
+    for (int j = 0; j < info.ny; ++j)
+      for (int i = 0; i < info.nx; ++i)
+        y.at(lb, i, j) = a * x.at(lb, i, j) + b * y.at(lb, i, j);
+  }
+  comm.costs().add_flops(2 * interior_points(x));
+}
+
+void axpy(comm::Communicator& comm, double a, const comm::DistField& x,
+          comm::DistField& y) {
+  MINIPOP_REQUIRE(x.compatible_with(y), "axpy field mismatch");
+  for (int lb = 0; lb < x.num_local_blocks(); ++lb) {
+    const auto& info = x.info(lb);
+    for (int j = 0; j < info.ny; ++j)
+      for (int i = 0; i < info.nx; ++i)
+        y.at(lb, i, j) += a * x.at(lb, i, j);
+  }
+  comm.costs().add_flops(2 * interior_points(x));
+}
+
+void scale(comm::Communicator& comm, double a, comm::DistField& x) {
+  for (int lb = 0; lb < x.num_local_blocks(); ++lb) {
+    const auto& info = x.info(lb);
+    for (int j = 0; j < info.ny; ++j)
+      for (int i = 0; i < info.nx; ++i) x.at(lb, i, j) *= a;
+  }
+  comm.costs().add_flops(interior_points(x));
+}
+
+void copy_interior(const comm::DistField& x, comm::DistField& y) {
+  MINIPOP_REQUIRE(x.compatible_with(y), "copy field mismatch");
+  for (int lb = 0; lb < x.num_local_blocks(); ++lb) {
+    const auto& info = x.info(lb);
+    for (int j = 0; j < info.ny; ++j)
+      for (int i = 0; i < info.nx; ++i) y.at(lb, i, j) = x.at(lb, i, j);
+  }
+}
+
+void fill_interior(comm::DistField& x, double v) {
+  for (int lb = 0; lb < x.num_local_blocks(); ++lb) {
+    const auto& info = x.info(lb);
+    for (int j = 0; j < info.ny; ++j)
+      for (int i = 0; i < info.nx; ++i) x.at(lb, i, j) = v;
+  }
+}
+
+}  // namespace minipop::solver

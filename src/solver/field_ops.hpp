@@ -1,0 +1,28 @@
+// Vector operations on distributed fields (block interiors only).
+// Flop accounting follows the paper's per-point operation counts.
+#pragma once
+
+#include "src/comm/communicator.hpp"
+#include "src/comm/dist_field.hpp"
+
+namespace minipop::solver {
+
+/// y = a*x + b*y. Covers the solvers' vector updates: axpy (b=1),
+/// xpby (a=1), and the general P-CSI update.
+void lincomb(comm::Communicator& comm, double a, const comm::DistField& x,
+             double b, comm::DistField& y);
+
+/// y = a*x + y.
+void axpy(comm::Communicator& comm, double a, const comm::DistField& x,
+          comm::DistField& y);
+
+/// x *= a.
+void scale(comm::Communicator& comm, double a, comm::DistField& x);
+
+/// y = x (interiors; free of flops).
+void copy_interior(const comm::DistField& x, comm::DistField& y);
+
+/// x = v everywhere in the interiors.
+void fill_interior(comm::DistField& x, double v);
+
+}  // namespace minipop::solver

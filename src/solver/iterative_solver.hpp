@@ -1,0 +1,55 @@
+// Common interface, options and statistics for the barotropic solvers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/comm/communicator.hpp"
+#include "src/comm/dist_field.hpp"
+#include "src/comm/halo.hpp"
+#include "src/solver/dist_operator.hpp"
+#include "src/solver/preconditioner.hpp"
+
+namespace minipop::solver {
+
+struct SolverOptions {
+  /// Convergence: ||r||_2 <= rel_tolerance * ||b||_2 over ocean points.
+  double rel_tolerance = 1e-13;
+  int max_iterations = 20000;
+  /// POP checks convergence every `check_frequency` iterations (paper §5.2
+  /// uses 10 for all solvers); the check costs one global reduction.
+  int check_frequency = 10;
+  /// Record the relative residual at every convergence check into
+  /// SolveStats::residual_history (convergence-curve studies).
+  bool record_residuals = false;
+
+  SolverOptions() = default;
+};
+
+struct SolveStats {
+  int iterations = 0;
+  bool converged = false;
+  double relative_residual = 0.0;
+  /// Per-rank communication/computation deltas recorded during the solve.
+  comm::CostCounters costs;
+  /// (iteration, relative residual) at each convergence check, when
+  /// SolverOptions::record_residuals is set.
+  std::vector<std::pair<int, double>> residual_history;
+};
+
+class IterativeSolver {
+ public:
+  virtual ~IterativeSolver() = default;
+
+  /// Solve A x = b starting from the x passed in (often the previous time
+  /// step's solution in POP). x is updated in place; collective across the
+  /// communicator.
+  virtual SolveStats solve(comm::Communicator& comm,
+                           const comm::HaloExchanger& halo,
+                           const DistOperator& a, Preconditioner& m,
+                           const comm::DistField& b, comm::DistField& x) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace minipop::solver

@@ -1,0 +1,81 @@
+#include "src/solver/pcg.hpp"
+
+#include <cmath>
+
+#include "src/solver/field_ops.hpp"
+#include "src/util/error.hpp"
+
+namespace minipop::solver {
+
+SolveStats PcgSolver::solve(comm::Communicator& comm,
+                            const comm::HaloExchanger& halo,
+                            const DistOperator& a, Preconditioner& m,
+                            const comm::DistField& b, comm::DistField& x) {
+  const auto snapshot = comm.costs().counters();
+  SolveStats stats;
+
+  comm::DistField r(a.decomposition(), a.rank(), x.halo());
+  comm::DistField z(a.decomposition(), a.rank(), x.halo());
+  comm::DistField p(a.decomposition(), a.rank(), x.halo());
+  comm::DistField q(a.decomposition(), a.rank(), x.halo());
+
+  const double b_norm2 = a.global_dot(comm, b, b);
+  if (b_norm2 == 0.0) {
+    fill_interior(x, 0.0);
+    stats.converged = true;
+    stats.costs = comm.costs().since(snapshot);
+    return stats;
+  }
+  const double threshold2 =
+      opt_.rel_tolerance * opt_.rel_tolerance * b_norm2;
+
+  a.residual(comm, halo, b, x, r);
+
+  double rho_old = 1.0;
+  fill_interior(p, 0.0);
+
+  for (int k = 1; k <= opt_.max_iterations; ++k) {
+    stats.iterations = k;
+    m.apply(comm, r, z);
+
+    // Reduction 1: rho = r.z, fused with the periodic convergence check.
+    const bool check = (k % opt_.check_frequency == 0);
+    double local[2] = {a.local_dot(comm, r, z),
+                       check ? a.local_dot(comm, r, r) : 0.0};
+    comm.allreduce(std::span<double>(local, check ? 2 : 1),
+                   comm::ReduceOp::kSum);
+    const double rho = local[0];
+    if (check) {
+      if (opt_.record_residuals)
+        stats.residual_history.emplace_back(k,
+                                            std::sqrt(local[1] / b_norm2));
+      if (local[1] <= threshold2) {
+        stats.converged = true;
+        stats.relative_residual = std::sqrt(local[1] / b_norm2);
+        break;
+      }
+    }
+
+    const double beta = rho / rho_old;
+    lincomb(comm, 1.0, z, beta, p);  // p = z + beta p
+
+    a.apply(comm, halo, p, q);
+
+    // Reduction 2: sigma = p.q.
+    const double sigma = comm.allreduce_sum(a.local_dot(comm, p, q));
+    MINIPOP_REQUIRE(sigma != 0.0, "PCG breakdown: p^T A p == 0");
+    const double alpha = rho / sigma;
+    axpy(comm, alpha, p, x);
+    axpy(comm, -alpha, q, r);
+    rho_old = rho;
+  }
+
+  if (!stats.converged) {
+    stats.relative_residual =
+        std::sqrt(a.global_dot(comm, r, r) / b_norm2);
+  }
+  stats.costs = comm.costs().since(snapshot);
+  return stats;
+}
+
+}  // namespace minipop::solver

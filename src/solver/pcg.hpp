@@ -1,0 +1,24 @@
+// Textbook Preconditioned Conjugate Gradient. Two global reductions per
+// iteration — the historical POP solver that ChronGear improves on; kept
+// as a baseline for the communication-count comparisons.
+#pragma once
+
+#include "src/solver/iterative_solver.hpp"
+
+namespace minipop::solver {
+
+class PcgSolver final : public IterativeSolver {
+ public:
+  explicit PcgSolver(const SolverOptions& options = {}) : opt_(options) {}
+
+  SolveStats solve(comm::Communicator& comm, const comm::HaloExchanger& halo,
+                   const DistOperator& a, Preconditioner& m,
+                   const comm::DistField& b, comm::DistField& x) override;
+
+  std::string name() const override { return "pcg"; }
+
+ private:
+  SolverOptions opt_;
+};
+
+}  // namespace minipop::solver

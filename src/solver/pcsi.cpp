@@ -1,0 +1,90 @@
+#include "src/solver/pcsi.hpp"
+
+#include <cmath>
+
+#include "src/solver/field_ops.hpp"
+#include "src/util/error.hpp"
+
+namespace minipop::solver {
+
+PcsiSolver::PcsiSolver(EigenBounds bounds, const SolverOptions& options)
+    : opt_(options) {
+  set_bounds(bounds);
+}
+
+void PcsiSolver::set_bounds(EigenBounds bounds) {
+  MINIPOP_REQUIRE(bounds.nu > 0.0 && bounds.mu > bounds.nu,
+                  "invalid eigenvalue interval [" << bounds.nu << ", "
+                                                  << bounds.mu << "]");
+  bounds_ = bounds;
+}
+
+SolveStats PcsiSolver::solve(comm::Communicator& comm,
+                             const comm::HaloExchanger& halo,
+                             const DistOperator& a, Preconditioner& m,
+                             const comm::DistField& b, comm::DistField& x) {
+  const auto snapshot = comm.costs().counters();
+  SolveStats stats;
+
+  comm::DistField r(a.decomposition(), a.rank(), x.halo());
+  comm::DistField rp(a.decomposition(), a.rank(), x.halo());
+  comm::DistField dx(a.decomposition(), a.rank(), x.halo());
+
+  const double b_norm2 = a.global_dot(comm, b, b);
+  if (b_norm2 == 0.0) {
+    fill_interior(x, 0.0);
+    stats.converged = true;
+    stats.costs = comm.costs().since(snapshot);
+    return stats;
+  }
+  const double threshold2 =
+      opt_.rel_tolerance * opt_.rel_tolerance * b_norm2;
+
+  // Algorithm 2, step 1: Chebyshev constants from [nu, mu].
+  const double alpha = 2.0 / (bounds_.mu - bounds_.nu);
+  const double beta = (bounds_.mu + bounds_.nu) / (bounds_.mu - bounds_.nu);
+  const double gamma = beta / alpha;
+  double omega = 2.0 / gamma;  // omega_0
+
+  // Step 2: initial step.
+  a.residual(comm, halo, b, x, r);      // r_0 = b - B x_0
+  m.apply(comm, r, rp);
+  copy_interior(rp, dx);
+  scale(comm, 1.0 / gamma, dx);         // dx_0 = gamma^-1 M^-1 r_0
+  axpy(comm, 1.0, dx, x);               // x_1 = x_0 + dx_0
+  a.residual(comm, halo, b, x, r);      // r_1 = b - B x_1
+
+  for (int k = 1; k <= opt_.max_iterations; ++k) {
+    stats.iterations = k;
+
+    // Step 5: omega_k = 1 / (gamma - omega_{k-1} / (4 alpha^2)).
+    omega = 1.0 / (gamma - omega / (4.0 * alpha * alpha));
+
+    m.apply(comm, r, rp);                            // step 6
+    lincomb(comm, omega, rp, gamma * omega - 1.0, dx);  // step 7
+    axpy(comm, 1.0, dx, x);                          // step 8
+    a.residual(comm, halo, b, x, r);                 // steps 9-10
+
+    // Step 11: convergence check — the only global reduction P-CSI does.
+    if (k % opt_.check_frequency == 0) {
+      const double r_norm2 = comm.allreduce_sum(a.local_dot(comm, r, r));
+      if (opt_.record_residuals)
+        stats.residual_history.emplace_back(k,
+                                            std::sqrt(r_norm2 / b_norm2));
+      if (r_norm2 <= threshold2) {
+        stats.converged = true;
+        stats.relative_residual = std::sqrt(r_norm2 / b_norm2);
+        break;
+      }
+    }
+  }
+
+  if (!stats.converged) {
+    stats.relative_residual =
+        std::sqrt(a.global_dot(comm, r, r) / b_norm2);
+  }
+  stats.costs = comm.costs().since(snapshot);
+  return stats;
+}
+
+}  // namespace minipop::solver

@@ -1,0 +1,40 @@
+// P-CSI: Preconditioned Classical Stiefel Iteration (paper Algorithm 2,
+// §3; the unpreconditioned CSI is from Hu et al., Euro-Par 2013 [20]).
+//
+// A Chebyshev-type iteration over the eigenvalue interval [nu, mu] of the
+// preconditioned operator M^-1 A. Its defining property is that the
+// iteration itself needs NO global reduction — only the periodic
+// convergence check does — which is what flattens the solver's scaling
+// curve at large core counts (paper Eq. 3 and Figs. 8/10/11).
+#pragma once
+
+#include "src/solver/iterative_solver.hpp"
+
+namespace minipop::solver {
+
+/// Estimated extreme eigenvalues of M^-1 A (from Lanczos; see
+/// lanczos.hpp).
+struct EigenBounds {
+  double nu = 0.0;  ///< smallest eigenvalue estimate
+  double mu = 0.0;  ///< largest eigenvalue estimate
+};
+
+class PcsiSolver final : public IterativeSolver {
+ public:
+  PcsiSolver(EigenBounds bounds, const SolverOptions& options = {});
+
+  SolveStats solve(comm::Communicator& comm, const comm::HaloExchanger& halo,
+                   const DistOperator& a, Preconditioner& m,
+                   const comm::DistField& b, comm::DistField& x) override;
+
+  std::string name() const override { return "pcsi"; }
+
+  const EigenBounds& bounds() const { return bounds_; }
+  void set_bounds(EigenBounds bounds);
+
+ private:
+  EigenBounds bounds_;
+  SolverOptions opt_;
+};
+
+}  // namespace minipop::solver

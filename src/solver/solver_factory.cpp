@@ -1,0 +1,110 @@
+#include "src/solver/solver_factory.hpp"
+
+#include <algorithm>
+
+#include "src/util/error.hpp"
+
+namespace minipop::solver {
+
+SolverKind solver_kind_from_string(const std::string& s) {
+  if (s == "pcg") return SolverKind::kPcg;
+  if (s == "chrongear" || s == "cg") return SolverKind::kChronGear;
+  if (s == "pcsi" || s == "csi") return SolverKind::kPcsi;
+  if (s == "pipecg" || s == "pipelined") return SolverKind::kPipelinedCg;
+  MINIPOP_REQUIRE(false, "unknown solver '"
+                             << s << "' (pcg|chrongear|pcsi|pipecg)");
+  return SolverKind::kChronGear;
+}
+
+PreconditionerKind preconditioner_kind_from_string(const std::string& s) {
+  if (s == "identity" || s == "none") return PreconditionerKind::kIdentity;
+  if (s == "diagonal" || s == "diag") return PreconditionerKind::kDiagonal;
+  if (s == "evp" || s == "block-evp")
+    return PreconditionerKind::kBlockEvp;
+  MINIPOP_REQUIRE(false, "unknown preconditioner '"
+                             << s << "' (identity|diagonal|evp)");
+  return PreconditionerKind::kDiagonal;
+}
+
+std::string to_string(SolverKind k) {
+  switch (k) {
+    case SolverKind::kPcg: return "pcg";
+    case SolverKind::kChronGear: return "chrongear";
+    case SolverKind::kPcsi: return "pcsi";
+    case SolverKind::kPipelinedCg: return "pipecg";
+  }
+  return "?";
+}
+
+std::string to_string(PreconditionerKind k) {
+  switch (k) {
+    case PreconditionerKind::kIdentity: return "identity";
+    case PreconditionerKind::kDiagonal: return "diagonal";
+    case PreconditionerKind::kBlockEvp: return "block-evp";
+  }
+  return "?";
+}
+
+BarotropicSolver::BarotropicSolver(comm::Communicator& comm,
+                                   const comm::HaloExchanger& halo,
+                                   const grid::CurvilinearGrid& grid,
+                                   const util::Field& depth,
+                                   const grid::NinePointStencil& stencil,
+                                   const grid::Decomposition& decomp,
+                                   const SolverConfig& config)
+    : config_(config),
+      halo_(&halo),
+      op_(stencil, decomp, comm.rank()) {
+  // Pipelined CG amplifies any asymmetry of the preconditioner, and EVP
+  // marching round-off IS such an asymmetry: require much more accurate
+  // (hence more subdivided) tiles for that pairing.
+  if (config_.solver == SolverKind::kPipelinedCg &&
+      config_.preconditioner == PreconditionerKind::kBlockEvp) {
+    config_.evp.tile_accuracy =
+        std::min(config_.evp.tile_accuracy, 1e-8);
+  }
+  switch (config_.preconditioner) {
+    case PreconditionerKind::kIdentity:
+      precond_ = std::make_unique<IdentityPreconditioner>(op_);
+      break;
+    case PreconditionerKind::kDiagonal:
+      precond_ = std::make_unique<DiagonalPreconditioner>(op_);
+      break;
+    case PreconditionerKind::kBlockEvp:
+      precond_ = std::make_unique<evp::BlockEvpPreconditioner>(
+          op_, grid, depth, config_.evp);
+      break;
+  }
+
+  switch (config_.solver) {
+    case SolverKind::kPcg:
+      solver_ = std::make_unique<PcgSolver>(config_.options);
+      break;
+    case SolverKind::kChronGear:
+      solver_ = std::make_unique<ChronGearSolver>(config_.options);
+      break;
+    case SolverKind::kPipelinedCg:
+      solver_ = std::make_unique<PipelinedCgSolver>(config_.options);
+      break;
+    case SolverKind::kPcsi: {
+      lanczos_ =
+          estimate_eigenvalue_bounds(comm, halo, op_, *precond_,
+                                     config_.lanczos);
+      solver_ = std::make_unique<PcsiSolver>(lanczos_->bounds,
+                                             config_.options);
+      break;
+    }
+  }
+}
+
+SolveStats BarotropicSolver::solve(comm::Communicator& comm,
+                                   const comm::DistField& b,
+                                   comm::DistField& x) {
+  return solver_->solve(comm, *halo_, op_, *precond_, b, x);
+}
+
+std::string BarotropicSolver::description() const {
+  return to_string(config_.solver) + "+" + to_string(config_.preconditioner);
+}
+
+}  // namespace minipop::solver

@@ -1,0 +1,70 @@
+// High-level facade mirroring POP's solvers module: pick a solver
+// (pcg / chrongear / pcsi) and a preconditioner (identity / diagonal /
+// block-evp), and get a ready-to-call barotropic solver. P-CSI's
+// eigenvalue interval is estimated with Lanczos at construction
+// (collective), exactly as POP does at initialization.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "src/evp/block_evp_preconditioner.hpp"
+#include "src/solver/chron_gear.hpp"
+#include "src/solver/lanczos.hpp"
+#include "src/solver/pcg.hpp"
+#include "src/solver/pcsi.hpp"
+#include "src/solver/pipelined_cg.hpp"
+
+namespace minipop::solver {
+
+enum class SolverKind { kPcg, kChronGear, kPcsi, kPipelinedCg };
+enum class PreconditionerKind { kIdentity, kDiagonal, kBlockEvp };
+
+SolverKind solver_kind_from_string(const std::string& s);
+PreconditionerKind preconditioner_kind_from_string(const std::string& s);
+std::string to_string(SolverKind k);
+std::string to_string(PreconditionerKind k);
+
+struct SolverConfig {
+  SolverKind solver = SolverKind::kChronGear;
+  PreconditionerKind preconditioner = PreconditionerKind::kDiagonal;
+  SolverOptions options;
+  evp::BlockEvpOptions evp;
+  LanczosOptions lanczos;
+};
+
+/// One rank's fully-assembled barotropic solver. Construction is
+/// collective across the communicator when the solver is P-CSI (Lanczos
+/// runs inside).
+class BarotropicSolver {
+ public:
+  BarotropicSolver(comm::Communicator& comm, const comm::HaloExchanger& halo,
+                   const grid::CurvilinearGrid& grid,
+                   const util::Field& depth,
+                   const grid::NinePointStencil& stencil,
+                   const grid::Decomposition& decomp,
+                   const SolverConfig& config);
+
+  /// Solve A x = b (x is both initial guess and result). Collective.
+  SolveStats solve(comm::Communicator& comm, const comm::DistField& b,
+                   comm::DistField& x);
+
+  const DistOperator& op() const { return op_; }
+  Preconditioner& preconditioner() { return *precond_; }
+  const SolverConfig& config() const { return config_; }
+  /// Lanczos estimation details; only set for P-CSI.
+  const std::optional<LanczosResult>& lanczos() const { return lanczos_; }
+  /// e.g. "pcsi+block-evp".
+  std::string description() const;
+
+ private:
+  SolverConfig config_;
+  const comm::HaloExchanger* halo_;
+  DistOperator op_;
+  std::unique_ptr<Preconditioner> precond_;
+  std::unique_ptr<IterativeSolver> solver_;
+  std::optional<LanczosResult> lanczos_;
+};
+
+}  // namespace minipop::solver

@@ -1,0 +1,52 @@
+#include "src/stats/ensemble.hpp"
+
+#include "src/comm/serial_comm.hpp"
+#include "src/model/diagnostics.hpp"
+#include "src/util/error.hpp"
+
+namespace minipop::stats {
+
+MonthlySeries run_member(const EnsembleConfig& config, int member) {
+  MINIPOP_REQUIRE(config.model.nranks == 1,
+                  "ensemble members run serially (nranks must be 1)");
+  MINIPOP_REQUIRE(config.months >= 1, "months=" << config.months);
+  comm::SerialComm comm;
+  model::OceanModel model(comm, config.model);
+  if (member >= 0) {
+    model.perturb_temperature(config.perturbation,
+                              config.seed0 + static_cast<std::uint64_t>(member));
+  }
+  model::MonthlyTemperatureRecorder recorder(model);
+  while (recorder.completed_months() < config.months) {
+    model.step(comm);
+    recorder.sample(model);
+  }
+  return recorder.months();
+}
+
+std::vector<MonthlySeries> run_ensemble(
+    const EnsembleConfig& config,
+    const std::function<void(int, int)>& progress) {
+  MINIPOP_REQUIRE(config.members >= 2, "members=" << config.members);
+  std::vector<MonthlySeries> out;
+  out.reserve(config.members);
+  for (int m = 0; m < config.members; ++m) {
+    out.push_back(run_member(config, m));
+    if (progress) progress(m + 1, config.members);
+  }
+  return out;
+}
+
+std::vector<util::Array3D<double>> month_slice(
+    const std::vector<MonthlySeries>& ensemble, int month) {
+  std::vector<util::Array3D<double>> out;
+  out.reserve(ensemble.size());
+  for (const auto& member : ensemble) {
+    MINIPOP_REQUIRE(month >= 0 && month < static_cast<int>(member.size()),
+                    "month " << month << " not recorded");
+    out.push_back(member[month]);
+  }
+  return out;
+}
+
+}  // namespace minipop::stats

@@ -1,0 +1,41 @@
+// Ensemble runner for the paper's §6 methodology: many serial mini-POP
+// runs that are identical except for an O(1e-14) perturbation of the
+// initial temperature; the spread of their monthly temperature fields is
+// the baseline natural variability against which a modified solver (or a
+// loosened tolerance) is judged via RMSZ.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "src/model/config.hpp"
+#include "src/util/array3d.hpp"
+
+namespace minipop::stats {
+
+struct EnsembleConfig {
+  model::ModelConfig model;   ///< must have nranks == 1 (serial members)
+  int members = 40;           ///< paper: 40
+  int months = 12;            ///< paper: 12-month runs
+  double perturbation = 1e-14;
+  std::uint64_t seed0 = 1000;
+};
+
+/// Monthly mean temperature fields of one run, oldest month first.
+using MonthlySeries = std::vector<util::Array3D<double>>;
+
+/// Run one (optionally perturbed) simulation and return its monthly
+/// series. `member` < 0 means unperturbed.
+MonthlySeries run_member(const EnsembleConfig& config, int member);
+
+/// Run the whole ensemble (members 0..members-1). `progress` (may be
+/// null) is called after each member completes.
+std::vector<MonthlySeries> run_ensemble(
+    const EnsembleConfig& config,
+    const std::function<void(int done, int total)>& progress = nullptr);
+
+/// Extract the fields of month `m` (0-based) from every member.
+std::vector<util::Array3D<double>> month_slice(
+    const std::vector<MonthlySeries>& ensemble, int month);
+
+}  // namespace minipop::stats

@@ -1,0 +1,98 @@
+#include "src/stats/statistics.hpp"
+
+#include <cmath>
+
+#include "src/util/error.hpp"
+
+namespace minipop::stats {
+
+namespace {
+void require_shape(const util::Array3D<double>& a,
+                   const util::Array3D<double>& b) {
+  MINIPOP_REQUIRE(a.nx() == b.nx() && a.ny() == b.ny() && a.nz() == b.nz(),
+                  "field shape mismatch " << a.nx() << "x" << a.ny() << "x"
+                                          << a.nz() << " vs " << b.nx()
+                                          << "x" << b.ny() << "x" << b.nz());
+}
+}  // namespace
+
+double rmse(const util::Array3D<double>& a, const util::Array3D<double>& b,
+            const util::MaskArray& mask) {
+  require_shape(a, b);
+  MINIPOP_REQUIRE(mask.nx() == a.nx() && mask.ny() == a.ny(),
+                  "mask shape mismatch");
+  double sum = 0.0;
+  long count = 0;
+  for (int k = 0; k < a.nz(); ++k)
+    for (int j = 0; j < a.ny(); ++j)
+      for (int i = 0; i < a.nx(); ++i) {
+        if (!mask(i, j)) continue;
+        const double d = a(i, j, k) - b(i, j, k);
+        sum += d * d;
+        ++count;
+      }
+  MINIPOP_REQUIRE(count > 0, "no ocean cells under mask");
+  return std::sqrt(sum / count);
+}
+
+EnsembleMoments ensemble_moments(
+    const std::vector<util::Array3D<double>>& members) {
+  MINIPOP_REQUIRE(members.size() >= 2, "ensemble needs >= 2 members");
+  for (std::size_t m = 1; m < members.size(); ++m)
+    require_shape(members[0], members[m]);
+
+  const auto& first = members[0];
+  EnsembleMoments out;
+  out.members = static_cast<int>(members.size());
+  out.mean = util::Array3D<double>(first.nx(), first.ny(), first.nz(), 0.0);
+  out.stddev =
+      util::Array3D<double>(first.nx(), first.ny(), first.nz(), 0.0);
+
+  const double inv_n = 1.0 / out.members;
+  for (const auto& m : members)
+    for (std::size_t n = 0; n < m.size(); ++n)
+      out.mean.data()[n] += m.data()[n] * inv_n;
+  for (const auto& m : members)
+    for (std::size_t n = 0; n < m.size(); ++n) {
+      const double d = m.data()[n] - out.mean.data()[n];
+      out.stddev.data()[n] += d * d;
+    }
+  const double inv_n1 = 1.0 / (out.members - 1);
+  for (std::size_t n = 0; n < out.stddev.size(); ++n)
+    out.stddev.data()[n] = std::sqrt(out.stddev.data()[n] * inv_n1);
+  return out;
+}
+
+double rmsz(const util::Array3D<double>& x, const EnsembleMoments& moments,
+            const util::MaskArray& mask, double min_stddev) {
+  require_shape(x, moments.mean);
+  double sum = 0.0;
+  long count = 0;
+  for (int k = 0; k < x.nz(); ++k)
+    for (int j = 0; j < x.ny(); ++j)
+      for (int i = 0; i < x.nx(); ++i) {
+        if (!mask(i, j)) continue;
+        const double sigma = moments.stddev(i, j, k);
+        if (sigma < min_stddev) continue;
+        const double z = (x(i, j, k) - moments.mean(i, j, k)) / sigma;
+        sum += z * z;
+        ++count;
+      }
+  MINIPOP_REQUIRE(count > 0,
+                  "no cells with ensemble variability above min_stddev");
+  return std::sqrt(sum / count);
+}
+
+std::pair<double, double> ensemble_rmsz_range(
+    const std::vector<util::Array3D<double>>& members,
+    const EnsembleMoments& moments, const util::MaskArray& mask) {
+  double lo = 1e300, hi = -1e300;
+  for (const auto& m : members) {
+    const double z = rmsz(m, moments, mask);
+    lo = std::min(lo, z);
+    hi = std::max(hi, z);
+  }
+  return {lo, hi};
+}
+
+}  // namespace minipop::stats

@@ -1,0 +1,43 @@
+// Statistical measures for solver-consistency evaluation (paper §6):
+// the simple RMSE test POP used for port verification (insufficient —
+// Fig. 12) and the ensemble-based RMSZ score that replaces it (Fig. 13,
+// after Baker et al. [2]).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "src/util/array2d.hpp"
+#include "src/util/array3d.hpp"
+
+namespace minipop::stats {
+
+/// Root-mean-square difference over ocean cells (the 2D mask applies to
+/// every vertical level).
+double rmse(const util::Array3D<double>& a, const util::Array3D<double>& b,
+            const util::MaskArray& mask);
+
+/// Per-point ensemble mean and standard deviation (unbiased, N-1).
+struct EnsembleMoments {
+  util::Array3D<double> mean;
+  util::Array3D<double> stddev;
+  int members = 0;
+};
+
+EnsembleMoments ensemble_moments(
+    const std::vector<util::Array3D<double>>& members);
+
+/// Root-mean-square Z-score of field x against the ensemble (paper §6):
+///   RMSZ = sqrt( mean_j ( (x_j - mu_j) / sigma_j )^2 )
+/// over ocean cells; cells with sigma below `min_stddev` are skipped
+/// (no variability to normalize by).
+double rmsz(const util::Array3D<double>& x, const EnsembleMoments& moments,
+            const util::MaskArray& mask, double min_stddev = 1e-14);
+
+/// RMSZ of each member against the ensemble moments — the "yellow band"
+/// of paper Fig. 13. Returns (min, max).
+std::pair<double, double> ensemble_rmsz_range(
+    const std::vector<util::Array3D<double>>& members,
+    const EnsembleMoments& moments, const util::MaskArray& mask);
+
+}  // namespace minipop::stats

@@ -1,0 +1,72 @@
+// Flat, row-major 2D array. Index convention follows POP: i is the
+// fast (x / longitude) index, j the slow (y / latitude) index, so
+// element (i, j) lives at data[j * nx + i].
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "src/util/error.hpp"
+
+namespace minipop::util {
+
+template <typename T>
+class Array2D {
+ public:
+  Array2D() = default;
+  Array2D(int nx, int ny, T fill = T{})
+      : nx_(nx), ny_(ny), data_(static_cast<std::size_t>(nx) * ny, fill) {
+    MINIPOP_REQUIRE(nx >= 0 && ny >= 0, "nx=" << nx << " ny=" << ny);
+  }
+
+  int nx() const { return nx_; }
+  int ny() const { return ny_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  T& operator()(int i, int j) {
+    MINIPOP_ASSERT(in_bounds(i, j));
+    return data_[static_cast<std::size_t>(j) * nx_ + i];
+  }
+  const T& operator()(int i, int j) const {
+    MINIPOP_ASSERT(in_bounds(i, j));
+    return data_[static_cast<std::size_t>(j) * nx_ + i];
+  }
+
+  /// Bounds-checked access that returns `fallback` outside the domain.
+  T at_or(int i, int j, T fallback) const {
+    return in_bounds(i, j) ? (*this)(i, j) : fallback;
+  }
+
+  bool in_bounds(int i, int j) const {
+    return i >= 0 && i < nx_ && j >= 0 && j < ny_;
+  }
+
+  void fill(T v) { std::fill(data_.begin(), data_.end(), v); }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+  std::span<T> flat() { return std::span<T>(data_); }
+  std::span<const T> flat() const { return std::span<const T>(data_); }
+
+  auto begin() { return data_.begin(); }
+  auto end() { return data_.end(); }
+  auto begin() const { return data_.begin(); }
+  auto end() const { return data_.end(); }
+
+  friend bool operator==(const Array2D& a, const Array2D& b) {
+    return a.nx_ == b.nx_ && a.ny_ == b.ny_ && a.data_ == b.data_;
+  }
+
+ private:
+  int nx_ = 0;
+  int ny_ = 0;
+  std::vector<T> data_;
+};
+
+using Field = Array2D<double>;
+using MaskArray = Array2D<unsigned char>;
+
+}  // namespace minipop::util

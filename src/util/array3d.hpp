@@ -1,0 +1,59 @@
+// Flat 3D array with i fastest, then j, then k (vertical level):
+// element (i, j, k) lives at data[(k * ny + j) * nx + i].
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "src/util/error.hpp"
+
+namespace minipop::util {
+
+template <typename T>
+class Array3D {
+ public:
+  Array3D() = default;
+  Array3D(int nx, int ny, int nz, T fill = T{})
+      : nx_(nx),
+        ny_(ny),
+        nz_(nz),
+        data_(static_cast<std::size_t>(nx) * ny * nz, fill) {
+    MINIPOP_REQUIRE(nx >= 0 && ny >= 0 && nz >= 0,
+                    "nx=" << nx << " ny=" << ny << " nz=" << nz);
+  }
+
+  int nx() const { return nx_; }
+  int ny() const { return ny_; }
+  int nz() const { return nz_; }
+  std::size_t size() const { return data_.size(); }
+
+  T& operator()(int i, int j, int k) {
+    MINIPOP_ASSERT(in_bounds(i, j, k));
+    return data_[(static_cast<std::size_t>(k) * ny_ + j) * nx_ + i];
+  }
+  const T& operator()(int i, int j, int k) const {
+    MINIPOP_ASSERT(in_bounds(i, j, k));
+    return data_[(static_cast<std::size_t>(k) * ny_ + j) * nx_ + i];
+  }
+
+  bool in_bounds(int i, int j, int k) const {
+    return i >= 0 && i < nx_ && j >= 0 && j < ny_ && k >= 0 && k < nz_;
+  }
+
+  void fill(T v) { std::fill(data_.begin(), data_.end(), v); }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+  std::span<T> flat() { return std::span<T>(data_); }
+  std::span<const T> flat() const { return std::span<const T>(data_); }
+
+ private:
+  int nx_ = 0;
+  int ny_ = 0;
+  int nz_ = 0;
+  std::vector<T> data_;
+};
+
+}  // namespace minipop::util

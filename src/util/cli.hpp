@@ -1,0 +1,42 @@
+// Minimal command-line parsing for benches and examples.
+//
+// Accepts --key=value and boolean --flag forms (values always use '=' so
+// flags never swallow positionals). Unknown arguments are collected so
+// callers can reject or forward them (benches forward to
+// google-benchmark).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace minipop::util {
+
+class Cli {
+ public:
+  Cli(int argc, const char* const* argv);
+
+  /// True if --name was present (with or without a value).
+  bool has(const std::string& name) const;
+
+  std::string get(const std::string& name, const std::string& fallback) const;
+  int get_int(const std::string& name, int fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback = false) const;
+
+  /// Positional (non --option) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Program name (argv[0]).
+  const std::string& program() const { return program_; }
+
+ private:
+  std::optional<std::string> raw(const std::string& name) const;
+
+  std::string program_;
+  std::unordered_map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace minipop::util

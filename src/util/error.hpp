@@ -1,0 +1,54 @@
+// Error-handling primitives for minipop.
+//
+// The library reports contract violations and runtime failures by throwing
+// minipop::util::Error (a std::runtime_error). Hot loops use
+// MINIPOP_ASSERT, which compiles out in NDEBUG builds; API boundaries use
+// MINIPOP_REQUIRE, which is always active.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace minipop::util {
+
+/// Exception type thrown by all minipop components.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void raise(const char* expr, const char* file, int line,
+                               const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": requirement failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace minipop::util
+
+/// Always-on precondition check. `msg` is streamed, e.g.
+///   MINIPOP_REQUIRE(n > 0, "block size " << n);
+#define MINIPOP_REQUIRE(expr, msg)                                        \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      std::ostringstream minipop_req_os_;                                 \
+      minipop_req_os_ << msg;                                             \
+      ::minipop::util::detail::raise(#expr, __FILE__, __LINE__,           \
+                                     minipop_req_os_.str());              \
+    }                                                                     \
+  } while (0)
+
+/// Debug-only assertion for hot paths.
+#ifdef NDEBUG
+#define MINIPOP_ASSERT(expr) ((void)0)
+#else
+#define MINIPOP_ASSERT(expr)                                              \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::minipop::util::detail::raise(#expr, __FILE__, __LINE__, "");      \
+  } while (0)
+#endif

@@ -1,0 +1,33 @@
+// Leveled logging to stderr. Quiet by default (warn+); benches raise the
+// level with --verbose. Not thread-safe by design: virtual-MPI worker
+// ranks do not log; only rank 0 / the driver thread should.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace minipop::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+void log_message(LogLevel level, const std::string& msg);
+
+}  // namespace minipop::util
+
+#define MINIPOP_LOG(level, msg)                                      \
+  do {                                                               \
+    if (static_cast<int>(level) >=                                   \
+        static_cast<int>(::minipop::util::log_level())) {            \
+      std::ostringstream minipop_log_os_;                            \
+      minipop_log_os_ << msg;                                        \
+      ::minipop::util::log_message(level, minipop_log_os_.str());    \
+    }                                                                \
+  } while (0)
+
+#define MINIPOP_DEBUG(msg) MINIPOP_LOG(::minipop::util::LogLevel::kDebug, msg)
+#define MINIPOP_INFO(msg) MINIPOP_LOG(::minipop::util::LogLevel::kInfo, msg)
+#define MINIPOP_WARN(msg) MINIPOP_LOG(::minipop::util::LogLevel::kWarn, msg)
+#define MINIPOP_ERROR(msg) MINIPOP_LOG(::minipop::util::LogLevel::kError, msg)

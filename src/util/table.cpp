@@ -1,0 +1,74 @@
+#include "src/util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "src/util/error.hpp"
+
+namespace minipop::util {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  MINIPOP_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+Table& Table::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::add(const std::string& v) {
+  MINIPOP_REQUIRE(!rows_.empty(), "call row() before add()");
+  rows_.back().push_back(v);
+  return *this;
+}
+
+Table& Table::add(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return add(os.str());
+}
+
+Table& Table::add_int(long v) { return add(std::to_string(v)); }
+
+Table& Table::add_pct(double fraction, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << (fraction * 100.0)
+     << "%";
+  return add(os.str());
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size() && c < widths.size(); ++c)
+      widths[c] = std::max(widths[c], r[c].size());
+
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      std::string cell = c < cells.size() ? cells[c] : "";
+      os << (c == 0 ? "| " : " ") << std::left
+         << std::setw(static_cast<int>(widths[c])) << cell << " |";
+    }
+    os << "\n";
+  };
+
+  print_row(headers_);
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    os << (c == 0 ? "|" : "") << std::string(widths[c] + 2, '-') << "|";
+  }
+  os << "\n";
+  for (const auto& r : rows_) print_row(r);
+}
+
+std::string Table::to_string() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+}  // namespace minipop::util

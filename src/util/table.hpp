@@ -1,0 +1,32 @@
+// Fixed-width table printer used by the benchmark harness to emit
+// paper-style rows/series (one table per paper table/figure).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace minipop::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Start a new row. Subsequent add() calls fill it left to right.
+  Table& row();
+  Table& add(const std::string& v);
+  Table& add(double v, int precision = 3);
+  Table& add_int(long v);
+  /// Add a percentage rendered as e.g. "12.1%".
+  Table& add_pct(double fraction, int precision = 1);
+
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace minipop::util

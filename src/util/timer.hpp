@@ -1,0 +1,47 @@
+// Wall-clock timing helpers.
+#pragma once
+
+#include <chrono>
+
+namespace minipop::util {
+
+/// Simple monotonic stopwatch.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulating timer for repeated sections (start/stop pairs).
+class Stopwatch {
+ public:
+  void start() { t_.reset(); running_ = true; }
+  void stop() {
+    if (running_) {
+      total_ += t_.seconds();
+      ++laps_;
+      running_ = false;
+    }
+  }
+  double total_seconds() const { return total_; }
+  long laps() const { return laps_; }
+  void clear() { total_ = 0; laps_ = 0; running_ = false; }
+
+ private:
+  Timer t_;
+  double total_ = 0;
+  long laps_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace minipop::util

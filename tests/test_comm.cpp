@@ -1,0 +1,350 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "src/comm/dist_field.hpp"
+#include "src/comm/halo.hpp"
+#include "src/comm/serial_comm.hpp"
+#include "src/comm/thread_comm.hpp"
+#include "src/grid/bathymetry.hpp"
+#include "src/util/error.hpp"
+
+namespace mc = minipop::comm;
+namespace mg = minipop::grid;
+namespace mu = minipop::util;
+
+TEST(SerialComm, AllreduceIsIdentityButCounted) {
+  mc::SerialComm comm;
+  double v[2] = {3.0, 4.0};
+  comm.allreduce(std::span<double>(v, 2), mc::ReduceOp::kSum);
+  EXPECT_EQ(v[0], 3.0);
+  EXPECT_EQ(v[1], 4.0);
+  EXPECT_EQ(comm.costs().counters().allreduces, 1u);
+  EXPECT_EQ(comm.costs().counters().allreduce_doubles, 2u);
+}
+
+TEST(SerialComm, SendRecvThrow) {
+  mc::SerialComm comm;
+  double v = 0;
+  EXPECT_THROW(comm.send(0, 0, std::span<const double>(&v, 1)), mu::Error);
+  EXPECT_THROW(comm.recv(0, 0, std::span<double>(&v, 1)), mu::Error);
+}
+
+TEST(ThreadTeam, AllreduceSumAcrossRanks) {
+  const int p = 6;
+  mc::ThreadTeam team(p);
+  std::vector<double> results(p);
+  team.run([&](mc::Communicator& comm) {
+    double v = comm.rank() + 1.0;
+    comm.allreduce(std::span<double>(&v, 1), mc::ReduceOp::kSum);
+    results[comm.rank()] = v;
+  });
+  for (int r = 0; r < p; ++r) EXPECT_DOUBLE_EQ(results[r], 21.0);
+}
+
+TEST(ThreadTeam, AllreduceMaxMin) {
+  const int p = 4;
+  mc::ThreadTeam team(p);
+  std::vector<double> mx(p), mn(p);
+  team.run([&](mc::Communicator& comm) {
+    double v[2] = {static_cast<double>(comm.rank()),
+                   static_cast<double>(-comm.rank())};
+    comm.allreduce(std::span<double>(v, 1), mc::ReduceOp::kMax);
+    comm.allreduce(std::span<double>(v + 1, 1), mc::ReduceOp::kMin);
+    mx[comm.rank()] = v[0];
+    mn[comm.rank()] = v[1];
+  });
+  for (int r = 0; r < p; ++r) {
+    EXPECT_DOUBLE_EQ(mx[r], 3.0);
+    EXPECT_DOUBLE_EQ(mn[r], -3.0);
+  }
+}
+
+TEST(ThreadTeam, AllreduceDeterministicUnderArrivalJitter) {
+  // Values chosen so floating-point summation order matters.
+  const int p = 5;
+  std::vector<double> vals = {1e16, 1.0, -1e16, 3.0, 7.0};
+  double reference = 0;
+  {
+    mc::ThreadTeam team(p);
+    std::vector<double> out(p);
+    team.run([&](mc::Communicator& comm) {
+      double v = vals[comm.rank()];
+      comm.allreduce(std::span<double>(&v, 1), mc::ReduceOp::kSum);
+      out[comm.rank()] = v;
+    });
+    reference = out[0];
+  }
+  for (int trial = 0; trial < 5; ++trial) {
+    mc::ThreadTeam team(p);
+    std::vector<double> out(p);
+    team.run([&](mc::Communicator& comm) {
+      // Randomize arrival order.
+      std::this_thread::sleep_for(
+          std::chrono::microseconds((comm.rank() * 7919 + trial * 104729) %
+                                    500));
+      double v = vals[comm.rank()];
+      comm.allreduce(std::span<double>(&v, 1), mc::ReduceOp::kSum);
+      out[comm.rank()] = v;
+    });
+    for (int r = 0; r < p; ++r)
+      EXPECT_EQ(out[r], reference) << "trial " << trial << " rank " << r;
+  }
+}
+
+TEST(ThreadTeam, SendRecvPointToPoint) {
+  mc::ThreadTeam team(3);
+  std::vector<double> got(3, -1);
+  team.run([&](mc::Communicator& comm) {
+    const int r = comm.rank();
+    double out = 100.0 + r;
+    comm.send((r + 1) % 3, 5, std::span<const double>(&out, 1));
+    double in = 0;
+    comm.recv((r + 2) % 3, 5, std::span<double>(&in, 1));
+    got[r] = in;
+  });
+  EXPECT_DOUBLE_EQ(got[0], 102.0);
+  EXPECT_DOUBLE_EQ(got[1], 100.0);
+  EXPECT_DOUBLE_EQ(got[2], 101.0);
+}
+
+TEST(ThreadTeam, MultipleMessagesSameChannelPreserveOrder) {
+  mc::ThreadTeam team(2);
+  std::vector<double> got;
+  team.run([&](mc::Communicator& comm) {
+    if (comm.rank() == 0) {
+      for (int k = 0; k < 4; ++k) {
+        double v = k;
+        comm.send(1, 9, std::span<const double>(&v, 1));
+      }
+    } else {
+      got.resize(4);
+      for (int k = 0; k < 4; ++k)
+        comm.recv(0, 9, std::span<double>(&got[k], 1));
+    }
+  });
+  for (int k = 0; k < 4; ++k) EXPECT_DOUBLE_EQ(got[k], k);
+}
+
+TEST(ThreadTeam, BarrierSynchronizes) {
+  const int p = 4;
+  mc::ThreadTeam team(p);
+  std::atomic<int> before{0};
+  std::vector<int> seen(p, -1);
+  team.run([&](mc::Communicator& comm) {
+    before.fetch_add(1);
+    comm.barrier();
+    seen[comm.rank()] = before.load();
+  });
+  for (int r = 0; r < p; ++r) EXPECT_EQ(seen[r], p);
+}
+
+TEST(ThreadTeam, ExceptionPropagatesToCaller) {
+  mc::ThreadTeam team(2);
+  EXPECT_THROW(team.run([&](mc::Communicator& comm) {
+    if (comm.rank() == 1) MINIPOP_REQUIRE(false, "boom");
+  }),
+               mu::Error);
+}
+
+TEST(ThreadTeam, FailingRankPoisonsBlockedPeersInsteadOfDeadlocking) {
+  // Rank 1 throws while the others sit in collectives that can never
+  // complete; run() must return promptly with the ORIGINAL error.
+  mc::ThreadTeam team(3);
+  try {
+    team.run([&](mc::Communicator& comm) {
+      if (comm.rank() == 1) MINIPOP_REQUIRE(false, "original failure");
+      double v = 1.0;
+      comm.allreduce(std::span<double>(&v, 1), mc::ReduceOp::kSum);
+    });
+    FAIL() << "should have thrown";
+  } catch (const mu::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("original failure"),
+              std::string::npos)
+        << "got secondary error instead: " << e.what();
+  }
+  // Blocked receives abort the same way.
+  mc::ThreadTeam team2(2);
+  EXPECT_THROW(team2.run([&](mc::Communicator& comm) {
+    if (comm.rank() == 1) MINIPOP_REQUIRE(false, "recv poison");
+    double v;
+    comm.recv(1, 0, std::span<double>(&v, 1));  // never sent
+  }),
+               mu::Error);
+  // And the team is reusable after a poisoned run.
+  std::vector<double> out(2);
+  team2.run([&](mc::Communicator& comm) {
+    double v = comm.rank() + 1.0;
+    comm.allreduce(std::span<double>(&v, 1), mc::ReduceOp::kSum);
+    out[comm.rank()] = v;
+  });
+  EXPECT_DOUBLE_EQ(out[0], 3.0);
+}
+
+TEST(ThreadTeam, CostCountersPerRank) {
+  mc::ThreadTeam team(2);
+  team.run([&](mc::Communicator& comm) {
+    double v = 1;
+    comm.allreduce(std::span<double>(&v, 1), mc::ReduceOp::kSum);
+    if (comm.rank() == 0) {
+      double d[3] = {1, 2, 3};
+      comm.send(1, 0, std::span<const double>(d, 3));
+    } else {
+      double d[3];
+      comm.recv(0, 0, std::span<double>(d, 3));
+    }
+    comm.costs().add_flops(10);
+  });
+  EXPECT_EQ(team.costs(0).allreduces, 1u);
+  EXPECT_EQ(team.costs(0).p2p_messages, 1u);
+  EXPECT_EQ(team.costs(0).p2p_bytes, 24u);
+  EXPECT_EQ(team.costs(1).p2p_messages, 0u);
+  EXPECT_EQ(team.total_costs().flops, 20u);
+}
+
+// --- DistField / halo exchange ------------------------------------------
+
+namespace {
+
+/// Global test pattern with unique values.
+double pattern(int i, int j) { return 1 + i + 1000.0 * j; }
+
+/// Validate every halo cell of every local block of `field` against the
+/// global pattern (0 where the halo leaves the domain or enters an
+/// eliminated block).
+void check_halos(const mg::Decomposition& d, const mc::DistField& field) {
+  const int h = field.halo();
+  for (int lb = 0; lb < field.num_local_blocks(); ++lb) {
+    const auto& b = field.info(lb);
+    for (int j = -h; j < b.ny + h; ++j) {
+      for (int i = -h; i < b.nx + h; ++i) {
+        const bool interior =
+            (i >= 0 && i < b.nx && j >= 0 && j < b.ny);
+        if (interior) continue;
+        int gi = b.i0 + i;
+        const int gj = b.j0 + j;
+        double expected = 0.0;
+        if (gj >= 0 && gj < d.ny_global()) {
+          if (d.periodic_x())
+            gi = (gi % d.nx_global() + d.nx_global()) % d.nx_global();
+          if (gi >= 0 && gi < d.nx_global()) {
+            const int nbi = gi / d.block_nx();
+            const int nbj = gj / d.block_ny();
+            if (d.block_id_at(nbi, nbj) >= 0) expected = pattern(gi, gj);
+          }
+        }
+        ASSERT_DOUBLE_EQ(field.at(lb, i, j), expected)
+            << "block (" << b.bi << "," << b.bj << ") halo cell (" << i
+            << "," << j << ")";
+      }
+    }
+  }
+}
+
+void run_halo_case(int nx, int ny, bool periodic, int bnx, int bny,
+                   int nranks, int halo,
+                   const mu::MaskArray* mask_in = nullptr) {
+  mu::MaskArray mask = mask_in ? *mask_in : mu::MaskArray(nx, ny, 1);
+  mg::Decomposition d(nx, ny, periodic, mask, bnx, bny, nranks);
+  mu::Field global(nx, ny);
+  for (int j = 0; j < ny; ++j)
+    for (int i = 0; i < nx; ++i) global(i, j) = pattern(i, j);
+
+  mc::HaloExchanger hx(d);
+  if (nranks == 1) {
+    mc::SerialComm comm;
+    mc::DistField f(d, 0, halo);
+    f.load_global(global);
+    hx.exchange(comm, f);
+    check_halos(d, f);
+  } else {
+    mc::ThreadTeam team(nranks);
+    team.run([&](mc::Communicator& comm) {
+      mc::DistField f(d, comm.rank(), halo);
+      f.load_global(global);
+      hx.exchange(comm, f);
+      check_halos(d, f);
+    });
+  }
+}
+
+}  // namespace
+
+TEST(DistField, LoadStoreRoundTrip) {
+  mu::MaskArray mask(12, 8, 1);
+  mg::Decomposition d(12, 8, false, mask, 4, 4, 2);
+  mu::Field global(12, 8);
+  for (int j = 0; j < 8; ++j)
+    for (int i = 0; i < 12; ++i) global(i, j) = pattern(i, j);
+  mu::Field out(12, 8, -1.0);
+  for (int r = 0; r < 2; ++r) {
+    mc::DistField f(d, r, 2);
+    f.load_global(global);
+    f.store_global(out);
+  }
+  for (int j = 0; j < 8; ++j)
+    for (int i = 0; i < 12; ++i) EXPECT_DOUBLE_EQ(out(i, j), pattern(i, j));
+}
+
+TEST(DistField, LocalIndexLookup) {
+  mu::MaskArray mask(8, 8, 1);
+  mg::Decomposition d(8, 8, false, mask, 4, 4, 2);
+  mc::DistField f(d, 0, 1);
+  int found = 0;
+  for (int id = 0; id < d.num_active_blocks(); ++id) {
+    int lb = f.local_index(id);
+    if (d.block(id).owner == 0) {
+      EXPECT_GE(lb, 0);
+      EXPECT_EQ(f.info(lb).id, id);
+      ++found;
+    } else {
+      EXPECT_EQ(lb, -1);
+    }
+  }
+  EXPECT_EQ(found, f.num_local_blocks());
+}
+
+TEST(Halo, SerialSingleRankClosedDomain) {
+  run_halo_case(12, 9, false, 4, 3, 1, 2);
+}
+
+TEST(Halo, SerialPeriodicWrap) { run_halo_case(12, 9, true, 4, 3, 1, 2); }
+
+TEST(Halo, SinglePeriodicBlockWrapsOntoItself) {
+  run_halo_case(10, 6, true, 10, 6, 1, 2);
+}
+
+TEST(Halo, MultiRankClosed) { run_halo_case(16, 12, false, 4, 4, 4, 2); }
+
+TEST(Halo, MultiRankPeriodic) { run_halo_case(16, 12, true, 4, 4, 5, 2); }
+
+TEST(Halo, HaloWidthOne) { run_halo_case(16, 12, true, 4, 4, 3, 1); }
+
+TEST(Halo, RaggedBlocks) { run_halo_case(14, 10, true, 4, 4, 3, 2); }
+
+TEST(Halo, EliminatedLandBlockZeroFills) {
+  mu::MaskArray mask(12, 12, 1);
+  for (int j = 4; j < 8; ++j)
+    for (int i = 4; i < 8; ++i) mask(i, j) = 0;  // center block all land
+  run_halo_case(12, 12, false, 4, 4, 4, 2, &mask);
+}
+
+TEST(Halo, BytesSentAccounting) {
+  mu::MaskArray mask(8, 8, 1);
+  mg::Decomposition d(8, 8, false, mask, 4, 4, 2);
+  mc::HaloExchanger hx(d);
+  mc::ThreadTeam team(2);
+  std::vector<std::uint64_t> predicted(2);
+  team.run([&](mc::Communicator& comm) {
+    mc::DistField f(d, comm.rank(), 2);
+    predicted[comm.rank()] = hx.bytes_sent_per_exchange(f);
+    hx.exchange(comm, f);
+  });
+  EXPECT_EQ(team.costs(0).p2p_bytes, predicted[0]);
+  EXPECT_EQ(team.costs(1).p2p_bytes, predicted[1]);
+  EXPECT_GT(predicted[0], 0u);
+  EXPECT_EQ(team.costs(0).halo_exchanges, 1u);
+}

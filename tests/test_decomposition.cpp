@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/grid/bathymetry.hpp"
+#include "src/grid/curvilinear_grid.hpp"
+#include "src/grid/decomposition.hpp"
+#include "src/util/error.hpp"
+
+namespace mg = minipop::grid;
+namespace mu = minipop::util;
+
+namespace {
+mu::MaskArray all_ocean(int nx, int ny) { return mu::MaskArray(nx, ny, 1); }
+}  // namespace
+
+TEST(Decomposition, BasicBlockGridAndSizes) {
+  auto mask = all_ocean(20, 12);
+  mg::Decomposition d(20, 12, false, mask, 5, 4, 4);
+  EXPECT_EQ(d.mbx(), 4);
+  EXPECT_EQ(d.mby(), 3);
+  EXPECT_EQ(d.num_active_blocks(), 12);
+  EXPECT_EQ(d.num_land_blocks(), 0);
+  for (const auto& b : d.blocks()) {
+    EXPECT_EQ(b.nx, 5);
+    EXPECT_EQ(b.ny, 4);
+    EXPECT_EQ(b.ocean_cells, 20);
+  }
+}
+
+TEST(Decomposition, RaggedEdgeBlocks) {
+  auto mask = all_ocean(11, 7);
+  mg::Decomposition d(11, 7, false, mask, 4, 3, 1);
+  EXPECT_EQ(d.mbx(), 3);
+  EXPECT_EQ(d.mby(), 3);
+  // Right-most column blocks are 3 wide; top row blocks are 1 tall.
+  int id = d.block_id_at(2, 0);
+  ASSERT_GE(id, 0);
+  EXPECT_EQ(d.block(id).nx, 3);
+  id = d.block_id_at(0, 2);
+  ASSERT_GE(id, 0);
+  EXPECT_EQ(d.block(id).ny, 1);
+}
+
+TEST(Decomposition, EveryOceanCellInExactlyOneBlock) {
+  auto mask = all_ocean(17, 13);
+  mg::Decomposition d(17, 13, false, mask, 5, 5, 3);
+  mu::Array2D<int> covered(17, 13, 0);
+  for (const auto& b : d.blocks())
+    for (int j = 0; j < b.ny; ++j)
+      for (int i = 0; i < b.nx; ++i) covered(b.i0 + i, b.j0 + j) += 1;
+  for (int v : covered) EXPECT_EQ(v, 1);
+}
+
+TEST(Decomposition, LandBlockElimination) {
+  // Left half is land.
+  mu::MaskArray mask(16, 8, 0);
+  for (int j = 0; j < 8; ++j)
+    for (int i = 8; i < 16; ++i) mask(i, j) = 1;
+  mg::Decomposition d(16, 8, false, mask, 4, 4, 2);
+  EXPECT_EQ(d.num_active_blocks(), 4);
+  EXPECT_EQ(d.num_land_blocks(), 4);
+  EXPECT_EQ(d.block_id_at(0, 0), -1);
+  EXPECT_EQ(d.block_id_at(1, 1), -1);
+  EXPECT_GE(d.block_id_at(2, 0), 0);
+}
+
+TEST(Decomposition, OwnersPartitionBlocks) {
+  auto mask = all_ocean(24, 24);
+  const int nranks = 5;
+  mg::Decomposition d(24, 24, true, mask, 4, 4, nranks);
+  std::set<int> seen;
+  long count = 0;
+  for (int r = 0; r < nranks; ++r) {
+    for (int id : d.blocks_of_rank(r)) {
+      EXPECT_EQ(d.block(id).owner, r);
+      EXPECT_TRUE(seen.insert(id).second) << "block assigned twice";
+      ++count;
+    }
+    EXPECT_FALSE(d.blocks_of_rank(r).empty());
+  }
+  EXPECT_EQ(count, d.num_active_blocks());
+}
+
+TEST(Decomposition, LoadBalanceReasonable) {
+  mg::CurvilinearGrid g(mg::pop_1deg_spec(0.2));
+  auto depth = mg::synthetic_earth_bathymetry(g, {});
+  auto mask = mg::ocean_mask(depth);
+  mg::Decomposition d(g.nx(), g.ny(), true, mask, 8, 8, 8);
+  EXPECT_LT(d.load_imbalance(), 1.5);
+  EXPECT_GE(d.load_imbalance(), 1.0);
+  EXPECT_GT(d.num_land_blocks(), 0);  // synthetic earth has land blocks
+}
+
+TEST(Decomposition, NeighborsNonPeriodic) {
+  auto mask = all_ocean(12, 12);
+  mg::Decomposition d(12, 12, false, mask, 4, 4, 1);
+  int center = d.block_id_at(1, 1);
+  ASSERT_GE(center, 0);
+  EXPECT_EQ(d.neighbor(center, mg::Dir::kEast), d.block_id_at(2, 1));
+  EXPECT_EQ(d.neighbor(center, mg::Dir::kNorthWest), d.block_id_at(0, 2));
+  int corner = d.block_id_at(0, 0);
+  EXPECT_EQ(d.neighbor(corner, mg::Dir::kWest), -1);
+  EXPECT_EQ(d.neighbor(corner, mg::Dir::kSouth), -1);
+  EXPECT_EQ(d.neighbor(corner, mg::Dir::kSouthWest), -1);
+}
+
+TEST(Decomposition, NeighborsPeriodicWrap) {
+  auto mask = all_ocean(12, 8);
+  mg::Decomposition d(12, 8, true, mask, 4, 4, 1);
+  int west_edge = d.block_id_at(0, 0);
+  int east_edge = d.block_id_at(2, 0);
+  ASSERT_GE(west_edge, 0);
+  ASSERT_GE(east_edge, 0);
+  EXPECT_EQ(d.neighbor(west_edge, mg::Dir::kWest), east_edge);
+  EXPECT_EQ(d.neighbor(east_edge, mg::Dir::kEast), west_edge);
+  // y never wraps.
+  EXPECT_EQ(d.neighbor(west_edge, mg::Dir::kSouth), -1);
+}
+
+TEST(Decomposition, NeighborThroughLandBlockIsMinusOne) {
+  mu::MaskArray mask(12, 4, 1);
+  // Middle block (1,0) all land.
+  for (int j = 0; j < 4; ++j)
+    for (int i = 4; i < 8; ++i) mask(i, j) = 0;
+  mg::Decomposition d(12, 4, false, mask, 4, 4, 2);
+  int left = d.block_id_at(0, 0);
+  ASSERT_GE(left, 0);
+  EXPECT_EQ(d.neighbor(left, mg::Dir::kEast), -1);
+}
+
+TEST(Decomposition, RejectsTooManyRanks) {
+  auto mask = all_ocean(8, 8);
+  EXPECT_THROW(mg::Decomposition(8, 8, false, mask, 4, 4, 5),
+               mu::Error);
+}
+
+TEST(Decomposition, SingleBlockSingleRank) {
+  auto mask = all_ocean(10, 10);
+  mg::Decomposition d(10, 10, true, mask, 10, 10, 1);
+  EXPECT_EQ(d.num_active_blocks(), 1);
+  // Periodic with one block: the block is its own E/W neighbor.
+  EXPECT_EQ(d.neighbor(0, mg::Dir::kEast), 0);
+  EXPECT_EQ(d.neighbor(0, mg::Dir::kWest), 0);
+  EXPECT_EQ(d.neighbor(0, mg::Dir::kNorth), -1);
+}

@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/grid/bathymetry.hpp"
+#include "src/grid/curvilinear_grid.hpp"
+#include "src/grid/hilbert.hpp"
+
+namespace mg = minipop::grid;
+
+TEST(CurvilinearGrid, UniformMetrics) {
+  mg::GridSpec spec;
+  spec.kind = mg::GridKind::kUniform;
+  spec.nx = 10;
+  spec.ny = 8;
+  spec.periodic_x = false;
+  spec.dx = 1000;
+  spec.dy = 2000;
+  mg::CurvilinearGrid g(spec);
+  EXPECT_DOUBLE_EQ(g.dxt()(3, 3), 1000);
+  EXPECT_DOUBLE_EQ(g.dyt()(3, 3), 2000);
+  EXPECT_DOUBLE_EQ(g.area_t()(0, 0), 2e6);
+  EXPECT_DOUBLE_EQ(g.total_area(), 10 * 8 * 2e6);
+  EXPECT_EQ(g.nxc(), 9);
+  EXPECT_EQ(g.nyc(), 7);
+  EXPECT_NEAR(g.max_aspect_ratio(), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(g.dxu()(0, 0), 1000);
+}
+
+TEST(CurvilinearGrid, LatLonDxShrinksTowardPoles) {
+  mg::GridSpec spec;
+  spec.kind = mg::GridKind::kLatLon;
+  spec.nx = 36;
+  spec.ny = 24;
+  spec.lat_min = -60;
+  spec.lat_max = 60;
+  mg::CurvilinearGrid g(spec);
+  // dx at the equator-most row should exceed dx at the top row.
+  EXPECT_GT(g.dxt()(0, 12), g.dxt()(0, 23));
+  // dy is constant along latitude for the plain lat-lon grid.
+  EXPECT_NEAR(g.dyt()(0, 0), g.dyt()(20, 15), 1e-9);
+  EXPECT_EQ(g.nxc(), 36);  // periodic by default
+}
+
+TEST(CurvilinearGrid, LatLonAreaApproximatesSphericalBand) {
+  mg::GridSpec spec;
+  spec.kind = mg::GridKind::kLatLon;
+  spec.nx = 360;
+  spec.ny = 180;
+  spec.lat_min = -30;
+  spec.lat_max = 30;
+  mg::CurvilinearGrid g(spec);
+  // Band area = 2 pi R^2 (sin(30) - sin(-30)) = 2 pi R^2.
+  const double expected = 2 * M_PI * spec.radius * spec.radius;
+  EXPECT_NEAR(g.total_area() / expected, 1.0, 0.01);
+}
+
+TEST(CurvilinearGrid, DisplacedPoleVariesDxAlongLongitude) {
+  mg::GridSpec spec = mg::pop_1deg_spec(0.25);
+  mg::CurvilinearGrid g(spec);
+  // In the stretched northern region dx should vary with i.
+  int j = g.ny() - 5;
+  double mn = 1e300, mx = 0;
+  for (int i = 0; i < g.nx(); ++i) {
+    mn = std::min(mn, g.dxt()(i, j));
+    mx = std::max(mx, g.dxt()(i, j));
+  }
+  EXPECT_GT(mx / mn, 1.1);
+}
+
+TEST(CurvilinearGrid, PresetSizes) {
+  EXPECT_EQ(mg::pop_1deg_spec(1.0).nx, 320);
+  EXPECT_EQ(mg::pop_1deg_spec(1.0).ny, 384);
+  EXPECT_EQ(mg::pop_0p1deg_spec(1.0).nx, 3600);
+  EXPECT_EQ(mg::pop_0p1deg_spec(1.0).ny, 2400);
+  EXPECT_EQ(mg::pop_0p1deg_spec(0.1).nx, 360);
+}
+
+TEST(Bathymetry, FlatAndBowl) {
+  mg::GridSpec spec;
+  spec.kind = mg::GridKind::kUniform;
+  spec.nx = 16;
+  spec.ny = 16;
+  spec.periodic_x = false;
+  mg::CurvilinearGrid g(spec);
+  auto flat = mg::flat_bathymetry(g, 4000);
+  EXPECT_DOUBLE_EQ(flat(8, 8), 4000);
+  auto mask = mg::ocean_mask(flat);
+  EXPECT_EQ(mg::count_ocean(mask), 16 * 16);
+
+  auto bowl = mg::bowl_bathymetry(g, 5000);
+  EXPECT_GT(bowl(8, 8), bowl(2, 2));  // deeper in the center
+  EXPECT_DOUBLE_EQ(bowl(0, 0), 0.0);  // land rim
+}
+
+TEST(Bathymetry, SyntheticEarthHitsLandFraction) {
+  mg::CurvilinearGrid g(mg::pop_1deg_spec(0.3));
+  mg::BathymetryOptions opt;
+  opt.land_fraction = 0.25;
+  auto depth = mg::synthetic_earth_bathymetry(g, opt);
+  auto mask = mg::ocean_mask(depth);
+  // Islands/straits/polar caps perturb the target a bit.
+  EXPECT_NEAR(mg::land_fraction(mask), 0.25, 0.08);
+}
+
+TEST(Bathymetry, DeterministicAndSeedSensitive) {
+  mg::CurvilinearGrid g(mg::pop_1deg_spec(0.15));
+  mg::BathymetryOptions opt;
+  opt.seed = 42;
+  auto d1 = mg::synthetic_earth_bathymetry(g, opt);
+  auto d2 = mg::synthetic_earth_bathymetry(g, opt);
+  EXPECT_TRUE(d1 == d2);
+  opt.seed = 43;
+  auto d3 = mg::synthetic_earth_bathymetry(g, opt);
+  EXPECT_FALSE(d1 == d3);
+}
+
+TEST(Bathymetry, PolarRowsAreLand) {
+  mg::CurvilinearGrid g(mg::pop_1deg_spec(0.2));
+  auto depth = mg::synthetic_earth_bathymetry(g, {});
+  for (int i = 0; i < g.nx(); ++i) {
+    EXPECT_DOUBLE_EQ(depth(i, 0), 0.0);
+    EXPECT_DOUBLE_EQ(depth(i, g.ny() - 1), 0.0);
+  }
+}
+
+TEST(Bathymetry, DepthsWithinConfiguredRange) {
+  mg::CurvilinearGrid g(mg::pop_1deg_spec(0.2));
+  mg::BathymetryOptions opt;
+  opt.shelf_depth = 120;
+  opt.max_depth = 5000;
+  auto depth = mg::synthetic_earth_bathymetry(g, opt);
+  for (double d : depth) {
+    if (d > 0) {
+      EXPECT_GE(d, opt.shelf_depth);
+      EXPECT_LE(d, opt.max_depth);
+    }
+  }
+}
+
+TEST(Hilbert, RoundTripAndLocality) {
+  const int order = 4;  // 16 x 16
+  const int n = 1 << order;
+  // Bijection check.
+  std::vector<int> seen(n * n, 0);
+  for (int y = 0; y < n; ++y)
+    for (int x = 0; x < n; ++x) {
+      auto d = mg::hilbert_d(order, x, y);
+      ASSERT_LT(d, static_cast<std::uint64_t>(n) * n);
+      seen[d] += 1;
+      std::uint32_t rx, ry;
+      mg::hilbert_xy(order, d, &rx, &ry);
+      EXPECT_EQ(rx, static_cast<std::uint32_t>(x));
+      EXPECT_EQ(ry, static_cast<std::uint32_t>(y));
+    }
+  for (int v : seen) EXPECT_EQ(v, 1);
+  // Consecutive curve positions are grid neighbors (locality).
+  std::uint32_t px, py;
+  mg::hilbert_xy(order, 0, &px, &py);
+  for (std::uint64_t d = 1; d < static_cast<std::uint64_t>(n) * n; ++d) {
+    std::uint32_t x, y;
+    mg::hilbert_xy(order, d, &x, &y);
+    int dist = std::abs(static_cast<int>(x) - static_cast<int>(px)) +
+               std::abs(static_cast<int>(y) - static_cast<int>(py));
+    EXPECT_EQ(dist, 1) << "jump at d=" << d;
+    px = x;
+    py = y;
+  }
+}
+
+TEST(Hilbert, OrderFor) {
+  EXPECT_EQ(mg::hilbert_order_for(1), 0);
+  EXPECT_EQ(mg::hilbert_order_for(2), 1);
+  EXPECT_EQ(mg::hilbert_order_for(3), 2);
+  EXPECT_EQ(mg::hilbert_order_for(16), 4);
+  EXPECT_EQ(mg::hilbert_order_for(17), 5);
+}

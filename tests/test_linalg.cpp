@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/linalg/dense.hpp"
+#include "src/linalg/tridiag_eigen.hpp"
+#include "src/util/error.hpp"
+#include "src/util/rng.hpp"
+
+namespace ml = minipop::linalg;
+
+namespace {
+
+/// Random SPD matrix A = R^T R + n I.
+ml::DenseMatrix random_spd(int n, std::uint64_t seed) {
+  minipop::util::Xoshiro256 rng(seed);
+  ml::DenseMatrix r(n, n);
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) r(i, j) = rng.uniform(-1, 1);
+  ml::DenseMatrix a = r.transposed().multiply(r);
+  for (int i = 0; i < n; ++i) a(i, i) += n;
+  return a;
+}
+
+}  // namespace
+
+TEST(DenseMatrix, MultiplyAndTranspose) {
+  ml::DenseMatrix a(2, 3);
+  a(0, 0) = 1; a(0, 1) = 2; a(0, 2) = 3;
+  a(1, 0) = 4; a(1, 1) = 5; a(1, 2) = 6;
+  ml::DenseMatrix at = a.transposed();
+  EXPECT_EQ(at.rows(), 3);
+  EXPECT_EQ(at(2, 1), 6);
+  ml::DenseMatrix aat = a.multiply(at);
+  EXPECT_DOUBLE_EQ(aat(0, 0), 14);
+  EXPECT_DOUBLE_EQ(aat(0, 1), 32);
+  EXPECT_DOUBLE_EQ(aat(1, 1), 77);
+  EXPECT_TRUE(aat.is_symmetric());
+}
+
+TEST(Lu, SolvesKnownSystem) {
+  ml::DenseMatrix a(3, 3);
+  a(0, 0) = 2; a(0, 1) = 1; a(0, 2) = 1;
+  a(1, 0) = 1; a(1, 1) = 3; a(1, 2) = 2;
+  a(2, 0) = 1; a(2, 1) = 0; a(2, 2) = 0;
+  // x = (1, 2, 3): b = A x.
+  std::vector<double> x{1, 2, 3};
+  auto b = a.apply(x);
+  ml::LuFactorization lu(a);
+  auto got = lu.solve(b);
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(got[i], x[i], 1e-12);
+}
+
+TEST(Lu, RandomRoundTripManySizes) {
+  for (int n : {1, 2, 5, 17, 40}) {
+    auto a = random_spd(n, 1000 + n);
+    minipop::util::Xoshiro256 rng(n);
+    std::vector<double> x(n);
+    for (auto& v : x) v = rng.uniform(-5, 5);
+    auto b = a.apply(x);
+    ml::LuFactorization lu(a);
+    auto got = lu.solve(b);
+    for (int i = 0; i < n; ++i) EXPECT_NEAR(got[i], x[i], 1e-9) << "n=" << n;
+  }
+}
+
+TEST(Lu, InverseTimesMatrixIsIdentity) {
+  auto a = random_spd(12, 77);
+  ml::LuFactorization lu(a);
+  auto inv = lu.inverse();
+  auto prod = a.multiply(inv);
+  EXPECT_LT(prod.max_abs_diff(ml::DenseMatrix::identity(12)), 1e-9);
+}
+
+TEST(Lu, ThrowsOnSingular) {
+  ml::DenseMatrix a(2, 2);
+  a(0, 0) = 1; a(0, 1) = 2;
+  a(1, 0) = 2; a(1, 1) = 4;
+  EXPECT_THROW(ml::LuFactorization lu(a), minipop::util::Error);
+}
+
+TEST(Lu, PivotingHandlesZeroLeadingDiagonal) {
+  ml::DenseMatrix a(2, 2);
+  a(0, 0) = 0; a(0, 1) = 1;
+  a(1, 0) = 1; a(1, 1) = 0;
+  ml::LuFactorization lu(a);
+  auto x = lu.solve({3.0, 4.0});
+  EXPECT_NEAR(x[0], 4.0, 1e-14);
+  EXPECT_NEAR(x[1], 3.0, 1e-14);
+}
+
+TEST(Cholesky, MatchesLuOnSpd) {
+  auto a = random_spd(15, 5);
+  minipop::util::Xoshiro256 rng(6);
+  std::vector<double> b(15);
+  for (auto& v : b) v = rng.uniform(-1, 1);
+  auto x1 = ml::cholesky_solve(a, b);
+  auto x2 = ml::LuFactorization(a).solve(b);
+  for (int i = 0; i < 15; ++i) EXPECT_NEAR(x1[i], x2[i], 1e-10);
+}
+
+TEST(Cholesky, ThrowsOnIndefinite) {
+  ml::DenseMatrix a(2, 2);
+  a(0, 0) = 1; a(0, 1) = 2;
+  a(1, 0) = 2; a(1, 1) = 1;  // eigenvalues 3, -1
+  EXPECT_THROW(ml::cholesky_solve(a, {1.0, 1.0}), minipop::util::Error);
+}
+
+TEST(JacobiEigen, DiagonalMatrix) {
+  ml::DenseMatrix a(3, 3);
+  a(0, 0) = 3; a(1, 1) = 1; a(2, 2) = 2;
+  auto eig = ml::symmetric_eigenvalues(a);
+  EXPECT_NEAR(eig[0], 1, 1e-10);
+  EXPECT_NEAR(eig[1], 2, 1e-10);
+  EXPECT_NEAR(eig[2], 3, 1e-10);
+}
+
+TEST(JacobiEigen, Known2x2) {
+  ml::DenseMatrix a(2, 2);
+  a(0, 0) = 2; a(0, 1) = 1;
+  a(1, 0) = 1; a(1, 1) = 2;
+  auto eig = ml::symmetric_eigenvalues(a);
+  EXPECT_NEAR(eig[0], 1, 1e-12);
+  EXPECT_NEAR(eig[1], 3, 1e-12);
+}
+
+// --- Tridiagonal eigenvalues -------------------------------------------
+
+namespace {
+/// 1D Laplacian tridiagonal: d = 2, e = -1; eigenvalues are
+/// 2 - 2 cos(k pi / (n+1)), k = 1..n.
+ml::Tridiagonal laplacian_tridiag(int n) {
+  ml::Tridiagonal t;
+  t.d.assign(n, 2.0);
+  t.e.assign(n - 1, -1.0);
+  return t;
+}
+}  // namespace
+
+TEST(TridiagEigen, LaplacianEigenvaluesExact) {
+  const int n = 20;
+  auto t = laplacian_tridiag(n);
+  auto eig = ml::tridiag_all_eigenvalues(t);
+  for (int k = 1; k <= n; ++k) {
+    double expected = 2.0 - 2.0 * std::cos(k * M_PI / (n + 1));
+    EXPECT_NEAR(eig[k - 1], expected, 1e-9) << "k=" << k;
+  }
+}
+
+TEST(TridiagEigen, ExtremeMatchesFullSpectrumEnds) {
+  auto t = laplacian_tridiag(33);
+  auto all = ml::tridiag_all_eigenvalues(t);
+  auto ext = ml::tridiag_extreme_eigenvalues(t);
+  EXPECT_NEAR(ext.min, all.front(), 1e-9);
+  EXPECT_NEAR(ext.max, all.back(), 1e-9);
+}
+
+TEST(TridiagEigen, SturmCountsArePartitioned) {
+  auto t = laplacian_tridiag(10);
+  EXPECT_EQ(ml::sturm_count(t, -1.0), 0);
+  EXPECT_EQ(ml::sturm_count(t, 5.0), 10);
+  // Eigenvalue 2 - 2cos(5 pi / 11) splits 4 below / rest above at 2.0?
+  // Laplacian spectrum is symmetric about 2: exactly 5 eigenvalues < 2.
+  EXPECT_EQ(ml::sturm_count(t, 2.0), 5);
+}
+
+TEST(TridiagEigen, SingleElement) {
+  ml::Tridiagonal t;
+  t.d = {4.2};
+  auto ext = ml::tridiag_extreme_eigenvalues(t);
+  EXPECT_NEAR(ext.min, 4.2, 1e-12);
+  EXPECT_NEAR(ext.max, 4.2, 1e-12);
+}
+
+TEST(TridiagEigen, AgreesWithJacobiOnRandomTridiag) {
+  const int n = 12;
+  minipop::util::Xoshiro256 rng(31);
+  ml::Tridiagonal t;
+  t.d.resize(n);
+  t.e.resize(n - 1);
+  for (auto& v : t.d) v = rng.uniform(1, 3);
+  for (auto& v : t.e) v = rng.uniform(-1, 1);
+  ml::DenseMatrix a(n, n);
+  for (int i = 0; i < n; ++i) {
+    a(i, i) = t.d[i];
+    if (i + 1 < n) {
+      a(i, i + 1) = t.e[i];
+      a(i + 1, i) = t.e[i];
+    }
+  }
+  auto dense_eig = ml::symmetric_eigenvalues(a);
+  auto tri_eig = ml::tridiag_all_eigenvalues(t);
+  for (int i = 0; i < n; ++i) EXPECT_NEAR(tri_eig[i], dense_eig[i], 1e-8);
+}

@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/perf/pop_timing_model.hpp"
+
+namespace mp = minipop::perf;
+
+namespace {
+
+mp::PopTimingModel yellowstone_0p1() {
+  auto grid = mp::pop_0p1deg_case();
+  return mp::PopTimingModel(mp::yellowstone_profile(), grid,
+                            mp::paper_iteration_model(grid));
+}
+
+mp::PopTimingModel yellowstone_1deg() {
+  auto grid = mp::pop_1deg_case();
+  return mp::PopTimingModel(mp::yellowstone_profile(), grid,
+                            mp::paper_iteration_model(grid));
+}
+
+mp::PopTimingModel edison_0p1() {
+  auto grid = mp::pop_0p1deg_case();
+  return mp::PopTimingModel(mp::edison_profile(), grid,
+                            mp::paper_iteration_model(grid));
+}
+
+}  // namespace
+
+TEST(CostEquations, PaperOperationCounts) {
+  // Eq. 2: 18 ops/pt for cg+diag (15 + 1 + 2 masking); Eq. 3: 13 for
+  // pcsi+diag; Eq. 5: 31; Eq. 6: 26.
+  EXPECT_DOUBLE_EQ(mp::compute_ops_per_point(mp::Config::kCgDiag) +
+                       mp::kMaskOpsPerPoint,
+                   18.0);
+  EXPECT_DOUBLE_EQ(mp::compute_ops_per_point(mp::Config::kPcsiDiag), 13.0);
+  EXPECT_DOUBLE_EQ(mp::compute_ops_per_point(mp::Config::kCgEvp) +
+                       mp::kMaskOpsPerPoint,
+                   31.0);
+  EXPECT_DOUBLE_EQ(mp::compute_ops_per_point(mp::Config::kPcsiEvp), 26.0);
+}
+
+TEST(CostEquations, ReductionsPerIteration) {
+  EXPECT_DOUBLE_EQ(
+      mp::reductions_per_iteration(mp::Config::kCgDiag, 10), 1.0);
+  EXPECT_DOUBLE_EQ(
+      mp::reductions_per_iteration(mp::Config::kPcsiEvp, 10), 0.1);
+}
+
+TEST(CostEquations, ComponentsScaleCorrectly) {
+  auto m = mp::yellowstone_profile();
+  const long points = 3600L * 2400L;
+  auto c1 = mp::iteration_costs(m, mp::Config::kCgDiag, points, 1000, 10);
+  auto c2 = mp::iteration_costs(m, mp::Config::kCgDiag, points, 4000, 10);
+  // Computation scales ~1/p.
+  EXPECT_NEAR(c1.computation / c2.computation, 4.0, 0.01);
+  // Halo shrinks but has the 4 alpha floor.
+  EXPECT_GT(c1.halo, c2.halo);
+  EXPECT_GT(c2.halo, 4.0 * m.alpha_p2p * 0.999);
+  // Reduction grows with p once the tree dominates the masking.
+  auto c3 = mp::iteration_costs(m, mp::Config::kCgDiag, points, 16000, 10);
+  EXPECT_GT(c3.reduction, c2.reduction);
+}
+
+TEST(TimingModel, YellowstoneHighResAnchors) {
+  // Paper §5.2 anchor numbers at 16,875 Yellowstone cores.
+  auto model = yellowstone_0p1();
+  const int p = 16875;
+  const double cg = model.barotropic_per_day(mp::Config::kCgDiag, p).total();
+  const double pcsi_diag =
+      model.barotropic_per_day(mp::Config::kPcsiDiag, p).total();
+  const double pcsi_evp =
+      model.barotropic_per_day(mp::Config::kPcsiEvp, p).total();
+  EXPECT_NEAR(cg, 19.0, 5.0);           // paper: 19.0 s/day
+  EXPECT_NEAR(pcsi_diag, 4.4, 1.5);     // paper: 4.4 s/day (4.3x)
+  EXPECT_NEAR(cg / pcsi_evp, 5.2, 1.5); // paper: 5.2x
+  // Simulation rates: 6.2 -> 10.5 simulated years/day (Fig. 8 right).
+  EXPECT_NEAR(model.simulated_years_per_day(mp::Config::kCgDiag, p), 6.2,
+              1.5);
+  EXPECT_NEAR(model.simulated_years_per_day(mp::Config::kPcsiEvp, p), 10.5,
+              2.0);
+}
+
+TEST(TimingModel, ComponentFractionsMatchFigs1And9) {
+  auto model = yellowstone_0p1();
+  // Fig. 1: barotropic ~5% at 470 cores, ~50% at 16,875 with cg+diag.
+  EXPECT_NEAR(model.barotropic_fraction(mp::Config::kCgDiag, 470), 0.05,
+              0.04);
+  EXPECT_NEAR(model.barotropic_fraction(mp::Config::kCgDiag, 16875), 0.50,
+              0.08);
+  // Fig. 9: ~16% with pcsi+evp at 16,875.
+  EXPECT_NEAR(model.barotropic_fraction(mp::Config::kPcsiEvp, 16875), 0.16,
+              0.06);
+}
+
+TEST(TimingModel, ChronGearDegradesWherePcsiStaysFlat) {
+  auto model = yellowstone_0p1();
+  // Fig. 8: ChronGear performance degrades beyond ~2,700 cores...
+  const double cg_2700 =
+      model.barotropic_per_day(mp::Config::kCgDiag, 2700).total();
+  const double cg_16875 =
+      model.barotropic_per_day(mp::Config::kCgDiag, 16875).total();
+  EXPECT_GT(cg_16875, cg_2700);
+  // ...while P-CSI keeps improving or stays flat.
+  const double pcsi_2700 =
+      model.barotropic_per_day(mp::Config::kPcsiEvp, 2700).total();
+  const double pcsi_16875 =
+      model.barotropic_per_day(mp::Config::kPcsiEvp, 16875).total();
+  EXPECT_LT(pcsi_16875, pcsi_2700 * 1.1);
+}
+
+TEST(TimingModel, ReductionTimeHasInteriorMinimum) {
+  // Fig. 10 left: the global-reduction time decreases until ~1,200
+  // cores (masking shrinks), then grows (tree + noise).
+  auto model = yellowstone_0p1();
+  std::vector<int> ps = {470, 1200, 2700, 5400, 16875};
+  std::vector<double> red;
+  for (int p : ps)
+    red.push_back(model.barotropic_per_day(mp::Config::kCgDiag, p).reduction);
+  auto min_it = std::min_element(red.begin(), red.end());
+  EXPECT_NE(min_it, red.begin());
+  EXPECT_NE(min_it, red.end() - 1);
+  // Halo time decreases monotonically (Fig. 10 right).
+  for (std::size_t k = 1; k < ps.size(); ++k)
+    EXPECT_LT(model.barotropic_per_day(mp::Config::kCgDiag, ps[k]).halo,
+              model.barotropic_per_day(mp::Config::kCgDiag, ps[k - 1]).halo);
+}
+
+TEST(TimingModel, ChronGearWinsAtVerySmallCoreCounts) {
+  // Computation dominates at tiny p, and ChronGear needs fewer
+  // iterations — the trade-off the paper describes in §3.
+  auto model = yellowstone_1deg();
+  EXPECT_LT(model.barotropic_per_day(mp::Config::kCgDiag, 4).total(),
+            model.barotropic_per_day(mp::Config::kPcsiDiag, 4).total());
+}
+
+TEST(TimingModel, Table1ImprovementGrowsWithCores) {
+  auto model = yellowstone_1deg();
+  // Table 1: pcsi+evp total-time improvement grows with core count and
+  // reaches ~16.7% at 768.
+  double prev = -1.0;
+  for (int p : {48, 96, 192, 384, 768}) {
+    const double imp =
+        model.improvement_vs_baseline(mp::Config::kPcsiEvp, p);
+    EXPECT_GE(imp, prev - 0.02) << "p=" << p;
+    prev = imp;
+  }
+  EXPECT_NEAR(model.improvement_vs_baseline(mp::Config::kPcsiEvp, 768),
+              0.167, 0.09);
+  EXPECT_DOUBLE_EQ(
+      model.improvement_vs_baseline(mp::Config::kCgDiag, 768), 0.0);
+}
+
+TEST(TimingModel, EdisonAnchorsAndOrdering) {
+  auto model = edison_0p1();
+  const int p = 16875;
+  const double cg = model.barotropic_per_day(mp::Config::kCgDiag, p).total();
+  const double pcsi_evp =
+      model.barotropic_per_day(mp::Config::kPcsiEvp, p).total();
+  EXPECT_NEAR(cg, 26.2, 7.0);            // paper §5.3
+  EXPECT_NEAR(cg / pcsi_evp, 5.6, 1.8);  // paper: 5.6x
+  // Edison's reductions are more expensive than Yellowstone's at scale.
+  auto ys = yellowstone_0p1();
+  EXPECT_GT(cg, ys.barotropic_per_day(mp::Config::kCgDiag, p).total());
+}
+
+TEST(TimingModel, IterationModelFollowsFig6Shape) {
+  for (const auto& grid : {mp::pop_1deg_case(), mp::pop_0p1deg_case()}) {
+    auto it = mp::paper_iteration_model(grid);
+    // At moderate core counts (large blocks) EVP cuts iterations to
+    // roughly a third (Fig. 6)...
+    const int p_small =
+        std::max(4, static_cast<int>(grid.points / 20000));
+    const double cg_ratio =
+        it.of(mp::Config::kCgEvp, grid.points, p_small) / it.cg_diag;
+    EXPECT_NEAR(cg_ratio, 1.0 / 3.0, 0.08);
+    // ...but the savings fade as blocks shrink at very high core counts
+    // (what reconciles Fig. 6 with ChronGear+EVP's modest 1.4x in
+    // Fig. 8).
+    const int p_large = static_cast<int>(grid.points / 500);
+    EXPECT_GT(
+        it.of(mp::Config::kCgEvp, grid.points, p_large) / it.cg_diag,
+        0.55);
+    // P-CSI needs more iterations than ChronGear (paper §3).
+    EXPECT_GT(it.pcsi_diag, it.cg_diag);
+  }
+}
+
+TEST(TimingModel, ConfigNames) {
+  EXPECT_EQ(mp::to_string(mp::Config::kPcsiEvp), "pcsi+evp");
+  EXPECT_TRUE(mp::is_pcsi(mp::Config::kPcsiDiag));
+  EXPECT_FALSE(mp::is_evp(mp::Config::kPcsiDiag));
+  EXPECT_TRUE(mp::is_evp(mp::Config::kCgEvp));
+}

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/stats/ensemble.hpp"
+#include "src/stats/statistics.hpp"
+#include "src/util/rng.hpp"
+
+namespace ms = minipop::stats;
+namespace mu = minipop::util;
+
+namespace {
+
+mu::Array3D<double> constant_field(int nx, int ny, int nz, double v) {
+  return mu::Array3D<double>(nx, ny, nz, v);
+}
+
+}  // namespace
+
+TEST(Rmse, ZeroForIdenticalFields) {
+  auto a = constant_field(4, 3, 2, 1.5);
+  mu::MaskArray mask(4, 3, 1);
+  EXPECT_DOUBLE_EQ(ms::rmse(a, a, mask), 0.0);
+}
+
+TEST(Rmse, KnownDifference) {
+  auto a = constant_field(4, 3, 2, 1.0);
+  auto b = constant_field(4, 3, 2, 3.0);
+  mu::MaskArray mask(4, 3, 1);
+  EXPECT_DOUBLE_EQ(ms::rmse(a, b, mask), 2.0);
+}
+
+TEST(Rmse, MaskExcludesLand) {
+  auto a = constant_field(2, 2, 1, 0.0);
+  auto b = a;
+  b(0, 0, 0) = 100.0;  // difference only on the land cell
+  mu::MaskArray mask(2, 2, 1);
+  mask(0, 0) = 0;
+  EXPECT_DOUBLE_EQ(ms::rmse(a, b, mask), 0.0);
+  mu::MaskArray all_land(2, 2, 0);
+  EXPECT_THROW(ms::rmse(a, b, all_land), mu::Error);
+}
+
+TEST(EnsembleMoments, HandComputed) {
+  std::vector<mu::Array3D<double>> members;
+  members.push_back(constant_field(2, 1, 1, 1.0));
+  members.push_back(constant_field(2, 1, 1, 3.0));
+  members.push_back(constant_field(2, 1, 1, 5.0));
+  auto mom = ms::ensemble_moments(members);
+  EXPECT_EQ(mom.members, 3);
+  EXPECT_DOUBLE_EQ(mom.mean(0, 0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(mom.stddev(1, 0, 0), 2.0);  // sqrt(((-2)^2+0+2^2)/2)
+  EXPECT_THROW(
+      ms::ensemble_moments(std::vector<mu::Array3D<double>>(
+          1, constant_field(2, 1, 1, 0.0))),
+      mu::Error);
+}
+
+TEST(Rmsz, MeanScoresZeroAndOneSigmaScoresOne) {
+  mu::Xoshiro256 rng(5);
+  std::vector<mu::Array3D<double>> members;
+  for (int m = 0; m < 20; ++m) {
+    mu::Array3D<double> f(3, 3, 2);
+    for (std::size_t n = 0; n < f.size(); ++n)
+      f.data()[n] = 10.0 + rng.normal();
+    members.push_back(std::move(f));
+  }
+  auto mom = ms::ensemble_moments(members);
+  mu::MaskArray mask(3, 3, 1);
+  EXPECT_NEAR(ms::rmsz(mom.mean, mom, mask), 0.0, 1e-12);
+  auto shifted = mom.mean;
+  for (int k = 0; k < 2; ++k)
+    for (int j = 0; j < 3; ++j)
+      for (int i = 0; i < 3; ++i)
+        shifted(i, j, k) += mom.stddev(i, j, k);
+  EXPECT_NEAR(ms::rmsz(shifted, mom, mask), 1.0, 1e-12);
+}
+
+TEST(Rmsz, MembersScoreOrderOne) {
+  mu::Xoshiro256 rng(17);
+  std::vector<mu::Array3D<double>> members;
+  for (int m = 0; m < 30; ++m) {
+    mu::Array3D<double> f(4, 4, 1);
+    for (std::size_t n = 0; n < f.size(); ++n) f.data()[n] = rng.normal();
+    members.push_back(std::move(f));
+  }
+  auto mom = ms::ensemble_moments(members);
+  mu::MaskArray mask(4, 4, 1);
+  auto [lo, hi] = ms::ensemble_rmsz_range(members, mom, mask);
+  EXPECT_GT(lo, 0.3);
+  EXPECT_LT(hi, 2.5);
+  // An outlier far outside the spread scores far above the band.
+  auto outlier = mom.mean;
+  for (std::size_t n = 0; n < outlier.size(); ++n)
+    outlier.data()[n] += 10.0 * mom.stddev.data()[n];
+  EXPECT_GT(ms::rmsz(outlier, mom, mask), hi);
+}
+
+TEST(Rmsz, SkipsZeroVarianceCells) {
+  std::vector<mu::Array3D<double>> members;
+  for (int m = 0; m < 5; ++m) {
+    auto f = constant_field(2, 1, 1, 1.0);
+    f(1, 0, 0) = m;  // variability only in cell 1
+    members.push_back(std::move(f));
+  }
+  auto mom = ms::ensemble_moments(members);
+  mu::MaskArray mask(2, 1, 1);
+  auto x = constant_field(2, 1, 1, 1.0);
+  x(0, 0, 0) = 99.0;  // huge deviation in the zero-variance cell
+  x(1, 0, 0) = mom.mean(1, 0, 0);
+  // The zero-variance cell is skipped, so the score stays 0.
+  EXPECT_NEAR(ms::rmsz(x, mom, mask), 0.0, 1e-12);
+}
+
+// --- Ensemble runner over the real model --------------------------------
+
+namespace {
+ms::EnsembleConfig tiny_ensemble_config() {
+  ms::EnsembleConfig cfg;
+  cfg.model.grid = minipop::grid::pop_1deg_spec(0.06);  // 19 x 23
+  cfg.model.nz = 2;
+  cfg.model.block_size = 12;
+  cfg.model.nranks = 1;
+  cfg.months = 1;
+  cfg.members = 3;
+  return cfg;
+}
+}  // namespace
+
+TEST(EnsembleRunner, ProducesMonthlySeries) {
+  auto cfg = tiny_ensemble_config();
+  int calls = 0;
+  auto ens = ms::run_ensemble(
+      cfg, [&](int done, int total) {
+        ++calls;
+        EXPECT_LE(done, total);
+      });
+  EXPECT_EQ(static_cast<int>(ens.size()), cfg.members);
+  EXPECT_EQ(calls, cfg.members);
+  for (const auto& member : ens)
+    EXPECT_EQ(static_cast<int>(member.size()), cfg.months);
+
+  auto slice = ms::month_slice(ens, 0);
+  EXPECT_EQ(static_cast<int>(slice.size()), cfg.members);
+  EXPECT_THROW(ms::month_slice(ens, 5), mu::Error);
+}
+
+TEST(EnsembleRunner, PerturbationSeparatesMembers) {
+  auto cfg = tiny_ensemble_config();
+  cfg.perturbation = 1e-10;  // larger so one month is enough to see it
+  auto m0 = ms::run_member(cfg, 0);
+  auto m1 = ms::run_member(cfg, 1);
+  auto base = ms::run_member(cfg, -1);
+  auto base2 = ms::run_member(cfg, -1);
+  // Unperturbed runs are bitwise identical.
+  for (std::size_t n = 0; n < base[0].size(); ++n)
+    ASSERT_EQ(base[0].data()[n], base2[0].data()[n]);
+  // Perturbed members differ from the base and from each other.
+  double d01 = 0, d0b = 0;
+  for (std::size_t n = 0; n < base[0].size(); ++n) {
+    d01 = std::max(d01, std::abs(m0[0].data()[n] - m1[0].data()[n]));
+    d0b = std::max(d0b, std::abs(m0[0].data()[n] - base[0].data()[n]));
+  }
+  EXPECT_GT(d01, 0.0);
+  EXPECT_GT(d0b, 0.0);
+}

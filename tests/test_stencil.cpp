@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/grid/bathymetry.hpp"
+#include "src/grid/stencil.hpp"
+#include "src/linalg/dense.hpp"
+#include "src/util/rng.hpp"
+
+namespace mg = minipop::grid;
+namespace ml = minipop::linalg;
+namespace mu = minipop::util;
+
+namespace {
+
+mg::CurvilinearGrid small_uniform(int nx, int ny, bool periodic = false,
+                                  double dx = 1e4, double dy = 1e4) {
+  mg::GridSpec spec;
+  spec.kind = mg::GridKind::kUniform;
+  spec.nx = nx;
+  spec.ny = ny;
+  spec.periodic_x = periodic;
+  spec.dx = dx;
+  spec.dy = dy;
+  return mg::CurvilinearGrid(spec);
+}
+
+constexpr double kPhi = 1e-6;
+
+}  // namespace
+
+TEST(Stencil, DenseMatrixIsSymmetric) {
+  auto g = small_uniform(8, 7);
+  auto depth = mg::bowl_bathymetry(g, 4000);
+  mg::NinePointStencil st(g, depth, kPhi);
+  auto a = st.to_dense();
+  EXPECT_TRUE(a.is_symmetric(1e-10));
+}
+
+TEST(Stencil, DenseMatrixIsPositiveDefinite) {
+  auto g = small_uniform(7, 6);
+  auto depth = mg::bowl_bathymetry(g, 3000);
+  mg::NinePointStencil st(g, depth, kPhi);
+  auto a = st.to_dense();
+  // Cholesky succeeds iff SPD.
+  std::vector<double> b(a.rows(), 1.0);
+  EXPECT_NO_THROW(ml::cholesky_solve(a, b));
+}
+
+TEST(Stencil, ApplyMatchesDenseMatvec) {
+  for (bool periodic : {false, true}) {
+    auto g = small_uniform(9, 6, periodic);
+    auto depth = mg::flat_bathymetry(g, 2500);
+    mg::NinePointStencil st(g, depth, kPhi);
+    auto a = st.to_dense();
+    mu::Xoshiro256 rng(11);
+    mu::Field x(9, 6), y;
+    std::vector<double> xv(9 * 6);
+    for (int j = 0; j < 6; ++j)
+      for (int i = 0; i < 9; ++i) {
+        double v = rng.uniform(-1, 1);
+        x(i, j) = v;
+        xv[j * 9 + i] = v;
+      }
+    st.apply(x, y);
+    auto yv = a.apply(xv);
+    for (int j = 0; j < 6; ++j)
+      for (int i = 0; i < 9; ++i)
+        EXPECT_NEAR(y(i, j), yv[j * 9 + i], 1e-6)
+            << "periodic=" << periodic << " at (" << i << "," << j << ")";
+  }
+}
+
+TEST(Stencil, RowSumsEqualPhiTimesArea) {
+  // K annihilates constants, so summing the nine coefficients of any cell
+  // must give phi * area (discrete analogue of [nabla.H nabla - phi] 1 =
+  // -phi).
+  auto g = small_uniform(10, 9, true);
+  auto depth = mg::bowl_bathymetry(g, 4000);
+  mg::NinePointStencil st(g, depth, kPhi);
+  for (int j = 0; j < 9; ++j)
+    for (int i = 0; i < 10; ++i) {
+      double sum = 0;
+      for (int d = 0; d < mg::kNumDirs; ++d)
+        sum += st.coeff(static_cast<mg::Dir>(d))(i, j);
+      EXPECT_NEAR(sum, kPhi * g.area_t()(i, j),
+                  1e-9 * std::abs(st.diagonal()(i, j)))
+          << "(" << i << "," << j << ")";
+    }
+}
+
+TEST(Stencil, OceanLandCouplingIsZero) {
+  auto g = small_uniform(12, 10);
+  auto depth = mg::bowl_bathymetry(g, 4000);
+  // Punch a land hole in the middle.
+  depth(6, 5) = 0.0;
+  mg::NinePointStencil st(g, depth, kPhi);
+  const auto& mask = st.mask();
+  for (int j = 0; j < 10; ++j)
+    for (int i = 0; i < 12; ++i) {
+      for (int d = 1; d < mg::kNumDirs; ++d) {
+        auto [di, dj] = mg::kDirOffset[d];
+        int ii = i + di, jj = j + dj;
+        if (ii < 0 || ii >= 12 || jj < 0 || jj >= 10) continue;
+        if (mask(i, j) != mask(ii, jj)) {
+          EXPECT_EQ(st.coeff(static_cast<mg::Dir>(d))(i, j), 0.0)
+              << "coupling across coast at (" << i << "," << j << ") dir "
+              << d;
+        }
+      }
+    }
+}
+
+TEST(Stencil, LandRowsAreDecoupledWithPositiveDiagonal) {
+  auto g = small_uniform(8, 8);
+  auto depth = mg::bowl_bathymetry(g, 4000);
+  depth(4, 4) = 0.0;
+  mg::NinePointStencil st(g, depth, kPhi);
+  EXPECT_GT(st.diagonal()(4, 4), 0.0);
+  for (int d = 1; d < mg::kNumDirs; ++d)
+    EXPECT_EQ(st.coeff(static_cast<mg::Dir>(d))(4, 4), 0.0);
+}
+
+TEST(Stencil, SquareCellsHaveZeroEdgeCoefficients) {
+  // The defining property of POP's B-grid operator that the simplified
+  // EVP variant exploits: for isotropic cells the E/W/N/S couplings
+  // vanish and only the corner couplings remain.
+  auto g = small_uniform(8, 8, false, 1e4, 1e4);
+  auto depth = mg::flat_bathymetry(g, 3000);
+  mg::NinePointStencil st(g, depth, kPhi);
+  EXPECT_EQ(st.edge_to_corner_ratio(), 0.0);
+  EXPECT_LT(st.coeff(mg::Dir::kNorthEast)(3, 3), 0.0);
+}
+
+TEST(Stencil, AnisotropicCellsHaveSmallEdgeCoefficients) {
+  // Mildly anisotropic cells: edge coefficients appear but stay below the
+  // corner ones (the paper reports roughly one order of magnitude for the
+  // production grids).
+  auto g = small_uniform(8, 8, false, 1.0e4, 1.3e4);
+  auto depth = mg::flat_bathymetry(g, 3000);
+  mg::NinePointStencil st(g, depth, kPhi);
+  double ratio = st.edge_to_corner_ratio();
+  EXPECT_GT(ratio, 0.0);
+  EXPECT_LT(ratio, 0.6);
+}
+
+TEST(Stencil, PhiHelpers) {
+  EXPECT_NEAR(mg::barotropic_phi(100.0), 1.0 / (9.806 * 1e4), 1e-12);
+  EXPECT_NEAR(mg::pop_0p1deg_dt_seconds(), 172.8, 1e-9);
+  EXPECT_NEAR(mg::pop_1deg_dt_seconds(), 1920.0, 1e-9);
+  EXPECT_THROW(mg::barotropic_phi(-1.0), minipop::util::Error);
+}
+
+TEST(Stencil, OceanCellCount) {
+  auto g = small_uniform(6, 6);
+  auto depth = mg::flat_bathymetry(g, 1000);
+  depth(0, 0) = 0;
+  depth(5, 5) = 0;
+  mg::NinePointStencil st(g, depth, kPhi);
+  EXPECT_EQ(st.ocean_cells(), 34);
+}
