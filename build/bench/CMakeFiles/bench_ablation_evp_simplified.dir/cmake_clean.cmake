@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_evp_simplified.dir/bench_ablation_evp_simplified.cpp.o"
+  "CMakeFiles/bench_ablation_evp_simplified.dir/bench_ablation_evp_simplified.cpp.o.d"
+  "bench_ablation_evp_simplified"
+  "bench_ablation_evp_simplified.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_evp_simplified.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_convergence_curves.dir/bench_convergence_curves.cpp.o"
+  "CMakeFiles/bench_convergence_curves.dir/bench_convergence_curves.cpp.o.d"
+  "bench_convergence_curves"
+  "bench_convergence_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_convergence_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

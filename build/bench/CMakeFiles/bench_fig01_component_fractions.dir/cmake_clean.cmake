@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_component_fractions.dir/bench_fig01_component_fractions.cpp.o"
+  "CMakeFiles/bench_fig01_component_fractions.dir/bench_fig01_component_fractions.cpp.o.d"
+  "bench_fig01_component_fractions"
+  "bench_fig01_component_fractions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_component_fractions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

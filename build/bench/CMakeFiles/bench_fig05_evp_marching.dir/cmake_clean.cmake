@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_evp_marching.dir/bench_fig05_evp_marching.cpp.o"
+  "CMakeFiles/bench_fig05_evp_marching.dir/bench_fig05_evp_marching.cpp.o.d"
+  "bench_fig05_evp_marching"
+  "bench_fig05_evp_marching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_evp_marching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

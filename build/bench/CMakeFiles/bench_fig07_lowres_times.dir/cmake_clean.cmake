@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_lowres_times.dir/bench_fig07_lowres_times.cpp.o"
+  "CMakeFiles/bench_fig07_lowres_times.dir/bench_fig07_lowres_times.cpp.o.d"
+  "bench_fig07_lowres_times"
+  "bench_fig07_lowres_times.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_lowres_times.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

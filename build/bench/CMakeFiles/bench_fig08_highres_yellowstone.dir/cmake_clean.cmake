@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_highres_yellowstone.dir/bench_fig08_highres_yellowstone.cpp.o"
+  "CMakeFiles/bench_fig08_highres_yellowstone.dir/bench_fig08_highres_yellowstone.cpp.o.d"
+  "bench_fig08_highres_yellowstone"
+  "bench_fig08_highres_yellowstone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_highres_yellowstone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig08_highres_yellowstone.
+# This may be replaced when dependencies are built.

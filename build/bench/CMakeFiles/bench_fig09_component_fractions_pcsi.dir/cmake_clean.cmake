@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_component_fractions_pcsi.dir/bench_fig09_component_fractions_pcsi.cpp.o"
+  "CMakeFiles/bench_fig09_component_fractions_pcsi.dir/bench_fig09_component_fractions_pcsi.cpp.o.d"
+  "bench_fig09_component_fractions_pcsi"
+  "bench_fig09_component_fractions_pcsi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_component_fractions_pcsi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_highres_edison.dir/bench_fig11_highres_edison.cpp.o"
+  "CMakeFiles/bench_fig11_highres_edison.dir/bench_fig11_highres_edison.cpp.o.d"
+  "bench_fig11_highres_edison"
+  "bench_fig11_highres_edison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_highres_edison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_ensemble_rmsz.dir/bench_fig13_ensemble_rmsz.cpp.o"
+  "CMakeFiles/bench_fig13_ensemble_rmsz.dir/bench_fig13_ensemble_rmsz.cpp.o.d"
+  "bench_fig13_ensemble_rmsz"
+  "bench_fig13_ensemble_rmsz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_ensemble_rmsz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minipop_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/minipop_bench_common.dir/bench_common.cpp.o.d"
+  "libminipop_bench_common.a"
+  "libminipop_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minipop_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

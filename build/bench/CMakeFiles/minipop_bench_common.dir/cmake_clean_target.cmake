@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libminipop_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocean_simulation.dir/ocean_simulation.cpp.o"
+  "CMakeFiles/ocean_simulation.dir/ocean_simulation.cpp.o.d"
+  "ocean_simulation"
+  "ocean_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocean_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

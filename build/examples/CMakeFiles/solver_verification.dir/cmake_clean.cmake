@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solver_verification.dir/solver_verification.cpp.o"
+  "CMakeFiles/solver_verification.dir/solver_verification.cpp.o.d"
+  "solver_verification"
+  "solver_verification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solver_verification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/comm/communicator.cpp" "src/CMakeFiles/minipop.dir/comm/communicator.cpp.o" "gcc" "src/CMakeFiles/minipop.dir/comm/communicator.cpp.o.d"
+  "/root/repo/src/comm/cost_tracker.cpp" "src/CMakeFiles/minipop.dir/comm/cost_tracker.cpp.o" "gcc" "src/CMakeFiles/minipop.dir/comm/cost_tracker.cpp.o.d"
+  "/root/repo/src/comm/dist_field.cpp" "src/CMakeFiles/minipop.dir/comm/dist_field.cpp.o" "gcc" "src/CMakeFiles/minipop.dir/comm/dist_field.cpp.o.d"
+  "/root/repo/src/comm/halo.cpp" "src/CMakeFiles/minipop.dir/comm/halo.cpp.o" "gcc" "src/CMakeFiles/minipop.dir/comm/halo.cpp.o.d"
+  "/root/repo/src/comm/serial_comm.cpp" "src/CMakeFiles/minipop.dir/comm/serial_comm.cpp.o" "gcc" "src/CMakeFiles/minipop.dir/comm/serial_comm.cpp.o.d"
+  "/root/repo/src/comm/thread_comm.cpp" "src/CMakeFiles/minipop.dir/comm/thread_comm.cpp.o" "gcc" "src/CMakeFiles/minipop.dir/comm/thread_comm.cpp.o.d"
+  "/root/repo/src/evp/block_evp_preconditioner.cpp" "src/CMakeFiles/minipop.dir/evp/block_evp_preconditioner.cpp.o" "gcc" "src/CMakeFiles/minipop.dir/evp/block_evp_preconditioner.cpp.o.d"
+  "/root/repo/src/evp/evp_solver.cpp" "src/CMakeFiles/minipop.dir/evp/evp_solver.cpp.o" "gcc" "src/CMakeFiles/minipop.dir/evp/evp_solver.cpp.o.d"
+  "/root/repo/src/grid/bathymetry.cpp" "src/CMakeFiles/minipop.dir/grid/bathymetry.cpp.o" "gcc" "src/CMakeFiles/minipop.dir/grid/bathymetry.cpp.o.d"
+  "/root/repo/src/grid/curvilinear_grid.cpp" "src/CMakeFiles/minipop.dir/grid/curvilinear_grid.cpp.o" "gcc" "src/CMakeFiles/minipop.dir/grid/curvilinear_grid.cpp.o.d"
+  "/root/repo/src/grid/decomposition.cpp" "src/CMakeFiles/minipop.dir/grid/decomposition.cpp.o" "gcc" "src/CMakeFiles/minipop.dir/grid/decomposition.cpp.o.d"
+  "/root/repo/src/grid/hilbert.cpp" "src/CMakeFiles/minipop.dir/grid/hilbert.cpp.o" "gcc" "src/CMakeFiles/minipop.dir/grid/hilbert.cpp.o.d"
+  "/root/repo/src/grid/stencil.cpp" "src/CMakeFiles/minipop.dir/grid/stencil.cpp.o" "gcc" "src/CMakeFiles/minipop.dir/grid/stencil.cpp.o.d"
+  "/root/repo/src/linalg/dense.cpp" "src/CMakeFiles/minipop.dir/linalg/dense.cpp.o" "gcc" "src/CMakeFiles/minipop.dir/linalg/dense.cpp.o.d"
+  "/root/repo/src/linalg/tridiag_eigen.cpp" "src/CMakeFiles/minipop.dir/linalg/tridiag_eigen.cpp.o" "gcc" "src/CMakeFiles/minipop.dir/linalg/tridiag_eigen.cpp.o.d"
+  "/root/repo/src/model/barotropic_mode.cpp" "src/CMakeFiles/minipop.dir/model/barotropic_mode.cpp.o" "gcc" "src/CMakeFiles/minipop.dir/model/barotropic_mode.cpp.o.d"
+  "/root/repo/src/model/diagnostics.cpp" "src/CMakeFiles/minipop.dir/model/diagnostics.cpp.o" "gcc" "src/CMakeFiles/minipop.dir/model/diagnostics.cpp.o.d"
+  "/root/repo/src/model/forcing.cpp" "src/CMakeFiles/minipop.dir/model/forcing.cpp.o" "gcc" "src/CMakeFiles/minipop.dir/model/forcing.cpp.o.d"
+  "/root/repo/src/model/geometry.cpp" "src/CMakeFiles/minipop.dir/model/geometry.cpp.o" "gcc" "src/CMakeFiles/minipop.dir/model/geometry.cpp.o.d"
+  "/root/repo/src/model/ocean_model.cpp" "src/CMakeFiles/minipop.dir/model/ocean_model.cpp.o" "gcc" "src/CMakeFiles/minipop.dir/model/ocean_model.cpp.o.d"
+  "/root/repo/src/model/tracer.cpp" "src/CMakeFiles/minipop.dir/model/tracer.cpp.o" "gcc" "src/CMakeFiles/minipop.dir/model/tracer.cpp.o.d"
+  "/root/repo/src/perf/cost_equations.cpp" "src/CMakeFiles/minipop.dir/perf/cost_equations.cpp.o" "gcc" "src/CMakeFiles/minipop.dir/perf/cost_equations.cpp.o.d"
+  "/root/repo/src/perf/machine.cpp" "src/CMakeFiles/minipop.dir/perf/machine.cpp.o" "gcc" "src/CMakeFiles/minipop.dir/perf/machine.cpp.o.d"
+  "/root/repo/src/perf/pop_timing_model.cpp" "src/CMakeFiles/minipop.dir/perf/pop_timing_model.cpp.o" "gcc" "src/CMakeFiles/minipop.dir/perf/pop_timing_model.cpp.o.d"
+  "/root/repo/src/solver/chron_gear.cpp" "src/CMakeFiles/minipop.dir/solver/chron_gear.cpp.o" "gcc" "src/CMakeFiles/minipop.dir/solver/chron_gear.cpp.o.d"
+  "/root/repo/src/solver/dist_operator.cpp" "src/CMakeFiles/minipop.dir/solver/dist_operator.cpp.o" "gcc" "src/CMakeFiles/minipop.dir/solver/dist_operator.cpp.o.d"
+  "/root/repo/src/solver/field_ops.cpp" "src/CMakeFiles/minipop.dir/solver/field_ops.cpp.o" "gcc" "src/CMakeFiles/minipop.dir/solver/field_ops.cpp.o.d"
+  "/root/repo/src/solver/lanczos.cpp" "src/CMakeFiles/minipop.dir/solver/lanczos.cpp.o" "gcc" "src/CMakeFiles/minipop.dir/solver/lanczos.cpp.o.d"
+  "/root/repo/src/solver/pcg.cpp" "src/CMakeFiles/minipop.dir/solver/pcg.cpp.o" "gcc" "src/CMakeFiles/minipop.dir/solver/pcg.cpp.o.d"
+  "/root/repo/src/solver/pcsi.cpp" "src/CMakeFiles/minipop.dir/solver/pcsi.cpp.o" "gcc" "src/CMakeFiles/minipop.dir/solver/pcsi.cpp.o.d"
+  "/root/repo/src/solver/pipelined_cg.cpp" "src/CMakeFiles/minipop.dir/solver/pipelined_cg.cpp.o" "gcc" "src/CMakeFiles/minipop.dir/solver/pipelined_cg.cpp.o.d"
+  "/root/repo/src/solver/preconditioner.cpp" "src/CMakeFiles/minipop.dir/solver/preconditioner.cpp.o" "gcc" "src/CMakeFiles/minipop.dir/solver/preconditioner.cpp.o.d"
+  "/root/repo/src/solver/solver_factory.cpp" "src/CMakeFiles/minipop.dir/solver/solver_factory.cpp.o" "gcc" "src/CMakeFiles/minipop.dir/solver/solver_factory.cpp.o.d"
+  "/root/repo/src/stats/ensemble.cpp" "src/CMakeFiles/minipop.dir/stats/ensemble.cpp.o" "gcc" "src/CMakeFiles/minipop.dir/stats/ensemble.cpp.o.d"
+  "/root/repo/src/stats/statistics.cpp" "src/CMakeFiles/minipop.dir/stats/statistics.cpp.o" "gcc" "src/CMakeFiles/minipop.dir/stats/statistics.cpp.o.d"
+  "/root/repo/src/util/cli.cpp" "src/CMakeFiles/minipop.dir/util/cli.cpp.o" "gcc" "src/CMakeFiles/minipop.dir/util/cli.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "src/CMakeFiles/minipop.dir/util/log.cpp.o" "gcc" "src/CMakeFiles/minipop.dir/util/log.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/minipop.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/minipop.dir/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

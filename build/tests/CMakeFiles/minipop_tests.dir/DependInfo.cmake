@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_comm.cpp" "tests/CMakeFiles/minipop_tests.dir/test_comm.cpp.o" "gcc" "tests/CMakeFiles/minipop_tests.dir/test_comm.cpp.o.d"
+  "/root/repo/tests/test_decomposition.cpp" "tests/CMakeFiles/minipop_tests.dir/test_decomposition.cpp.o" "gcc" "tests/CMakeFiles/minipop_tests.dir/test_decomposition.cpp.o.d"
+  "/root/repo/tests/test_evp.cpp" "tests/CMakeFiles/minipop_tests.dir/test_evp.cpp.o" "gcc" "tests/CMakeFiles/minipop_tests.dir/test_evp.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/minipop_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/minipop_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_grid.cpp" "tests/CMakeFiles/minipop_tests.dir/test_grid.cpp.o" "gcc" "tests/CMakeFiles/minipop_tests.dir/test_grid.cpp.o.d"
+  "/root/repo/tests/test_linalg.cpp" "tests/CMakeFiles/minipop_tests.dir/test_linalg.cpp.o" "gcc" "tests/CMakeFiles/minipop_tests.dir/test_linalg.cpp.o.d"
+  "/root/repo/tests/test_model.cpp" "tests/CMakeFiles/minipop_tests.dir/test_model.cpp.o" "gcc" "tests/CMakeFiles/minipop_tests.dir/test_model.cpp.o.d"
+  "/root/repo/tests/test_perf.cpp" "tests/CMakeFiles/minipop_tests.dir/test_perf.cpp.o" "gcc" "tests/CMakeFiles/minipop_tests.dir/test_perf.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/minipop_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/minipop_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_solver.cpp" "tests/CMakeFiles/minipop_tests.dir/test_solver.cpp.o" "gcc" "tests/CMakeFiles/minipop_tests.dir/test_solver.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/minipop_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/minipop_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_stencil.cpp" "tests/CMakeFiles/minipop_tests.dir/test_stencil.cpp.o" "gcc" "tests/CMakeFiles/minipop_tests.dir/test_stencil.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/minipop_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/minipop_tests.dir/test_util.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/minipop.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

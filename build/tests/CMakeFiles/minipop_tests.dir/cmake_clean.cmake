@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minipop_tests.dir/test_comm.cpp.o"
+  "CMakeFiles/minipop_tests.dir/test_comm.cpp.o.d"
+  "CMakeFiles/minipop_tests.dir/test_decomposition.cpp.o"
+  "CMakeFiles/minipop_tests.dir/test_decomposition.cpp.o.d"
+  "CMakeFiles/minipop_tests.dir/test_evp.cpp.o"
+  "CMakeFiles/minipop_tests.dir/test_evp.cpp.o.d"
+  "CMakeFiles/minipop_tests.dir/test_extensions.cpp.o"
+  "CMakeFiles/minipop_tests.dir/test_extensions.cpp.o.d"
+  "CMakeFiles/minipop_tests.dir/test_grid.cpp.o"
+  "CMakeFiles/minipop_tests.dir/test_grid.cpp.o.d"
+  "CMakeFiles/minipop_tests.dir/test_linalg.cpp.o"
+  "CMakeFiles/minipop_tests.dir/test_linalg.cpp.o.d"
+  "CMakeFiles/minipop_tests.dir/test_model.cpp.o"
+  "CMakeFiles/minipop_tests.dir/test_model.cpp.o.d"
+  "CMakeFiles/minipop_tests.dir/test_perf.cpp.o"
+  "CMakeFiles/minipop_tests.dir/test_perf.cpp.o.d"
+  "CMakeFiles/minipop_tests.dir/test_properties.cpp.o"
+  "CMakeFiles/minipop_tests.dir/test_properties.cpp.o.d"
+  "CMakeFiles/minipop_tests.dir/test_solver.cpp.o"
+  "CMakeFiles/minipop_tests.dir/test_solver.cpp.o.d"
+  "CMakeFiles/minipop_tests.dir/test_stats.cpp.o"
+  "CMakeFiles/minipop_tests.dir/test_stats.cpp.o.d"
+  "CMakeFiles/minipop_tests.dir/test_stencil.cpp.o"
+  "CMakeFiles/minipop_tests.dir/test_stencil.cpp.o.d"
+  "CMakeFiles/minipop_tests.dir/test_util.cpp.o"
+  "CMakeFiles/minipop_tests.dir/test_util.cpp.o.d"
+  "minipop_tests"
+  "minipop_tests.pdb"
+  "minipop_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minipop_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
