@@ -38,6 +38,19 @@ class DistField {
     return data_[lb](i + halo_, j + halo_);
   }
 
+  /// Raw pointer to interior cell (0, 0) of local block lb; rows are
+  /// `stride(lb)` elements apart. This is the kernel-layer entry point.
+  double* interior(int lb) {
+    util::Field& f = data_[lb];
+    return f.data() + static_cast<std::ptrdiff_t>(halo_) * f.nx() + halo_;
+  }
+  const double* interior(int lb) const {
+    const util::Field& f = data_[lb];
+    return f.data() + static_cast<std::ptrdiff_t>(halo_) * f.nx() + halo_;
+  }
+  /// Padded row pitch of local block lb, in elements.
+  std::ptrdiff_t stride(int lb) const { return data_[lb].nx(); }
+
   /// Local index of a globally-identified block, or -1 if not owned.
   int local_index(int global_block_id) const;
 

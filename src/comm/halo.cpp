@@ -1,5 +1,7 @@
 #include "src/comm/halo.hpp"
 
+#include <algorithm>
+#include <cstring>
 #include <vector>
 
 #include "src/util/error.hpp"
@@ -76,28 +78,51 @@ int message_tag(int src_block_id, Dir d) {
   return tag;
 }
 
+// Pack/unpack move whole region rows at once: region coordinates have i
+// fast, so row j of a region is `ni` contiguous doubles in the padded
+// array. Full-width N/S strips (the big messages) move as `nj` memcpys of
+// `ni = bnx` elements each; E/W strips degenerate to short rows of
+// `ni = h` elements, same code path.
+
+/// First element of region row j inside the padded array.
+double* region_row(util::Field& padded, int h, const Region& r, int j) {
+  return padded.data() +
+         static_cast<std::ptrdiff_t>(r.j0 + j + h) * padded.nx() +
+         (r.i0 + h);
+}
+const double* region_row(const util::Field& padded, int h, const Region& r,
+                         int j) {
+  return padded.data() +
+         static_cast<std::ptrdiff_t>(r.j0 + j + h) * padded.nx() +
+         (r.i0 + h);
+}
+
 void pack(const util::Field& padded, int h, const Region& r,
           std::vector<double>& out) {
   out.resize(static_cast<std::size_t>(r.ni) * r.nj);
-  std::size_t k = 0;
+  const std::size_t row_bytes = static_cast<std::size_t>(r.ni) *
+                                sizeof(double);
   for (int j = 0; j < r.nj; ++j)
-    for (int i = 0; i < r.ni; ++i)
-      out[k++] = padded(r.i0 + i + h, r.j0 + j + h);
+    std::memcpy(out.data() + static_cast<std::size_t>(j) * r.ni,
+                region_row(padded, h, r, j), row_bytes);
 }
 
 void unpack(util::Field& padded, int h, const Region& r,
             std::span<const double> in) {
   MINIPOP_REQUIRE(in.size() == static_cast<std::size_t>(r.ni) * r.nj,
                   "halo unpack size mismatch");
-  std::size_t k = 0;
+  const std::size_t row_bytes = static_cast<std::size_t>(r.ni) *
+                                sizeof(double);
   for (int j = 0; j < r.nj; ++j)
-    for (int i = 0; i < r.ni; ++i)
-      padded(r.i0 + i + h, r.j0 + j + h) = in[k++];
+    std::memcpy(region_row(padded, h, r, j),
+                in.data() + static_cast<std::size_t>(j) * r.ni, row_bytes);
 }
 
 void zero_region(util::Field& padded, int h, const Region& r) {
-  for (int j = 0; j < r.nj; ++j)
-    for (int i = 0; i < r.ni; ++i) padded(r.i0 + i + h, r.j0 + j + h) = 0.0;
+  for (int j = 0; j < r.nj; ++j) {
+    double* row = region_row(padded, h, r, j);
+    std::fill(row, row + r.ni, 0.0);
+  }
 }
 
 }  // namespace

@@ -44,10 +44,12 @@ SolveStats ChronGearSolver::solve(comm::Communicator& comm,
     m.apply(comm, r, rp);      // step 4: r'_k = M^-1 r_{k-1}
     a.apply(comm, halo, rp, z);  // steps 5-6: z = B r' (+ boundary update)
 
-    // Steps 7-9: fused global reduction (rho, delta[, ||r||^2]).
+    // Steps 7-9: the two (three, on check iterations) local dots fused
+    // into one field sweep, then one fused global reduction
+    // (rho, delta[, ||r||^2]).
     const bool check = (k % opt_.check_frequency == 0);
-    double local[3] = {a.local_dot(comm, r, rp), a.local_dot(comm, z, rp),
-                       check ? a.local_dot(comm, r, r) : 0.0};
+    double local[3];
+    a.local_dot3(comm, r, rp, z, check, local);
     comm.allreduce(std::span<double>(local, check ? 3 : 2),
                    comm::ReduceOp::kSum);
     const double rho = local[0];
@@ -69,11 +71,10 @@ SolveStats ChronGearSolver::solve(comm::Communicator& comm,
     MINIPOP_REQUIRE(sigma != 0.0, "ChronGear breakdown: sigma == 0");
     const double alpha = rho / sigma;
 
-    // Steps 13-16.
-    lincomb(comm, 1.0, rp, beta, s);  // s = r' + beta s
-    lincomb(comm, 1.0, z, beta, p);   // p = z + beta p
-    axpy(comm, alpha, s, x);          // x += alpha s
-    axpy(comm, -alpha, p, r);         // r -= alpha p
+    // Steps 13-16, fused pairwise into two sweeps: the direction update
+    // and the iterate update that consumes it share one pass each.
+    lincomb_axpy(comm, 1.0, rp, beta, s, alpha, x);  // s = r' + βs; x += αs
+    lincomb_axpy(comm, 1.0, z, beta, p, -alpha, r);  // p = z + βp; r -= αp
 
     rho_old = rho;
     sigma_old = sigma;

@@ -1,8 +1,29 @@
 #include "src/solver/dist_operator.hpp"
 
+#include "src/solver/kernels.hpp"
 #include "src/util/error.hpp"
 
 namespace minipop::solver {
+
+namespace {
+
+/// Raw-pointer view of one block's nine coefficient arrays.
+kernels::Stencil9 stencil_view(
+    const std::array<util::Field, grid::kNumDirs>& c) {
+  return kernels::Stencil9{
+      c[static_cast<int>(grid::Dir::kCenter)].data(),
+      c[static_cast<int>(grid::Dir::kEast)].data(),
+      c[static_cast<int>(grid::Dir::kWest)].data(),
+      c[static_cast<int>(grid::Dir::kNorth)].data(),
+      c[static_cast<int>(grid::Dir::kSouth)].data(),
+      c[static_cast<int>(grid::Dir::kNorthEast)].data(),
+      c[static_cast<int>(grid::Dir::kNorthWest)].data(),
+      c[static_cast<int>(grid::Dir::kSouthEast)].data(),
+      c[static_cast<int>(grid::Dir::kSouthWest)].data(),
+      c[static_cast<int>(grid::Dir::kCenter)].nx()};
+}
+
+}  // namespace
 
 DistOperator::DistOperator(const grid::NinePointStencil& stencil,
                            const grid::Decomposition& decomp, int rank)
@@ -45,37 +66,15 @@ void DistOperator::apply(comm::Communicator& comm,
   MINIPOP_REQUIRE(x.compatible_with(y), "x/y field mismatch");
   MINIPOP_REQUIRE(&x.decomposition() == decomp_ && x.rank() == rank_,
                   "field does not match operator decomposition");
+  MINIPOP_REQUIRE(&x != &y, "apply requires distinct x and y");
   halo.exchange(comm, x);
 
   std::uint64_t points = 0;
   for (int lb = 0; lb < num_local_blocks(); ++lb) {
     const auto& b = x.info(lb);
-    const auto& c = block_coeff_[lb];
-    const auto& c0 = c[static_cast<int>(grid::Dir::kCenter)];
-    const auto& ce = c[static_cast<int>(grid::Dir::kEast)];
-    const auto& cw = c[static_cast<int>(grid::Dir::kWest)];
-    const auto& cn = c[static_cast<int>(grid::Dir::kNorth)];
-    const auto& cs = c[static_cast<int>(grid::Dir::kSouth)];
-    const auto& cne = c[static_cast<int>(grid::Dir::kNorthEast)];
-    const auto& cnw = c[static_cast<int>(grid::Dir::kNorthWest)];
-    const auto& cse = c[static_cast<int>(grid::Dir::kSouthEast)];
-    const auto& csw = c[static_cast<int>(grid::Dir::kSouthWest)];
-    const util::Field& xd = x.data(lb);
-    util::Field& yd = y.data(lb);
-    const int h = x.halo();
-    for (int j = 0; j < b.ny; ++j) {
-      for (int i = 0; i < b.nx; ++i) {
-        const int ii = i + h;
-        const int jj = j + h;
-        yd(ii, jj) = c0(i, j) * xd(ii, jj) + ce(i, j) * xd(ii + 1, jj) +
-                     cw(i, j) * xd(ii - 1, jj) + cn(i, j) * xd(ii, jj + 1) +
-                     cs(i, j) * xd(ii, jj - 1) +
-                     cne(i, j) * xd(ii + 1, jj + 1) +
-                     cnw(i, j) * xd(ii - 1, jj + 1) +
-                     cse(i, j) * xd(ii + 1, jj - 1) +
-                     csw(i, j) * xd(ii - 1, jj - 1);
-      }
-    }
+    kernels::apply9(stencil_view(block_coeff_[lb]), b.nx, b.ny,
+                    x.interior(lb), x.stride(lb), y.interior(lb),
+                    y.stride(lb));
     points += static_cast<std::uint64_t>(b.nx) * b.ny;
   }
   // Paper convention (§2): a nine-point matvec is 9 operations per point.
@@ -86,16 +85,51 @@ void DistOperator::residual(comm::Communicator& comm,
                             const comm::HaloExchanger& halo,
                             const comm::DistField& b, comm::DistField& x,
                             comm::DistField& r) const {
-  apply(comm, halo, x, r);
+  MINIPOP_REQUIRE(b.compatible_with(x) && b.compatible_with(r),
+                  "b/x/r field mismatch");
+  MINIPOP_REQUIRE(&x.decomposition() == decomp_ && x.rank() == rank_,
+                  "field does not match operator decomposition");
+  MINIPOP_REQUIRE(&b != &r && &x != &r, "residual requires distinct r");
+  halo.exchange(comm, x);
+
   std::uint64_t points = 0;
   for (int lb = 0; lb < num_local_blocks(); ++lb) {
     const auto& info = r.info(lb);
-    for (int j = 0; j < info.ny; ++j)
-      for (int i = 0; i < info.nx; ++i)
-        r.at(lb, i, j) = b.at(lb, i, j) - r.at(lb, i, j);
+    kernels::residual9(stencil_view(block_coeff_[lb]), info.nx, info.ny,
+                       b.interior(lb), b.stride(lb), x.interior(lb),
+                       x.stride(lb), r.interior(lb), r.stride(lb));
     points += static_cast<std::uint64_t>(info.nx) * info.ny;
   }
-  comm.costs().add_flops(points);
+  // Matvec (9 ops/point) + subtraction (1 op/point), as before fusion.
+  comm.costs().add_flops(10 * points);
+}
+
+double DistOperator::residual_local_norm2(comm::Communicator& comm,
+                                          const comm::HaloExchanger& halo,
+                                          const comm::DistField& b,
+                                          comm::DistField& x,
+                                          comm::DistField& r) const {
+  MINIPOP_REQUIRE(b.compatible_with(x) && b.compatible_with(r),
+                  "b/x/r field mismatch");
+  MINIPOP_REQUIRE(&x.decomposition() == decomp_ && x.rank() == rank_,
+                  "field does not match operator decomposition");
+  MINIPOP_REQUIRE(&b != &r && &x != &r, "residual requires distinct r");
+  halo.exchange(comm, x);
+
+  double sum = 0.0;
+  std::uint64_t points = 0;
+  for (int lb = 0; lb < num_local_blocks(); ++lb) {
+    const auto& info = r.info(lb);
+    sum = kernels::residual_norm2_9(
+        stencil_view(block_coeff_[lb]), block_mask_[lb].data(),
+        block_mask_[lb].nx(), info.nx, info.ny, b.interior(lb), b.stride(lb),
+        x.interior(lb), x.stride(lb), r.interior(lb), r.stride(lb), sum);
+    points += static_cast<std::uint64_t>(info.nx) * info.ny;
+  }
+  // Residual (10 ops/point) + masked norm (2 ops/point), as when the
+  // sweeps were separate.
+  comm.costs().add_flops(12 * points);
+  return sum;
 }
 
 double DistOperator::local_dot(comm::Communicator& comm,
@@ -107,14 +141,35 @@ double DistOperator::local_dot(comm::Communicator& comm,
   for (int lb = 0; lb < num_local_blocks(); ++lb) {
     const auto& info = a.info(lb);
     const auto& mask = block_mask_[lb];
-    for (int j = 0; j < info.ny; ++j)
-      for (int i = 0; i < info.nx; ++i)
-        if (mask(i, j)) sum += a.at(lb, i, j) * b.at(lb, i, j);
+    sum = kernels::masked_dot(mask.data(), mask.nx(), info.nx, info.ny,
+                              a.interior(lb), a.stride(lb), b.interior(lb),
+                              b.stride(lb), sum);
     points += static_cast<std::uint64_t>(info.nx) * info.ny;
   }
   // Paper convention: inner product is 2 ops/point (multiply + masked add).
   comm.costs().add_flops(2 * points);
   return sum;
+}
+
+void DistOperator::local_dot3(comm::Communicator& comm,
+                              const comm::DistField& r,
+                              const comm::DistField& rp,
+                              const comm::DistField& z, bool with_norm,
+                              double out[3]) const {
+  MINIPOP_REQUIRE(r.compatible_with(rp) && r.compatible_with(z),
+                  "r/rp/z field mismatch");
+  out[0] = out[1] = out[2] = 0.0;
+  std::uint64_t points = 0;
+  for (int lb = 0; lb < num_local_blocks(); ++lb) {
+    const auto& info = r.info(lb);
+    const auto& mask = block_mask_[lb];
+    kernels::masked_dot3(mask.data(), mask.nx(), info.nx, info.ny,
+                         r.interior(lb), r.stride(lb), rp.interior(lb),
+                         rp.stride(lb), z.interior(lb), z.stride(lb),
+                         with_norm, out);
+    points += static_cast<std::uint64_t>(info.nx) * info.ny;
+  }
+  comm.costs().add_flops((with_norm ? 6 : 4) * points);
 }
 
 double DistOperator::global_dot(comm::Communicator& comm,
@@ -127,9 +182,8 @@ void DistOperator::mask_interior(comm::DistField& x) const {
   for (int lb = 0; lb < num_local_blocks(); ++lb) {
     const auto& info = x.info(lb);
     const auto& mask = block_mask_[lb];
-    for (int j = 0; j < info.ny; ++j)
-      for (int i = 0; i < info.nx; ++i)
-        if (!mask(i, j)) x.at(lb, i, j) = 0.0;
+    kernels::mask_zero(mask.data(), mask.nx(), info.nx, info.ny,
+                       x.interior(lb), x.stride(lb));
   }
 }
 

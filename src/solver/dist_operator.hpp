@@ -39,15 +39,31 @@ class DistOperator {
   void apply(comm::Communicator& comm, const comm::HaloExchanger& halo,
              comm::DistField& x, comm::DistField& y) const;
 
-  /// r = b - A x (same halo refresh of x).
+  /// r = b - A x (same halo refresh of x), fused into one sweep.
   void residual(comm::Communicator& comm, const comm::HaloExchanger& halo,
                 const comm::DistField& b, comm::DistField& x,
                 comm::DistField& r) const;
+
+  /// Fused r = b - A x AND local masked ||r||² in the same sweep — the
+  /// solvers' convergence check at zero extra field passes. Returns the
+  /// LOCAL sum; combine across ranks with an allreduce. Bit-identical to
+  /// residual() followed by local_dot(r, r).
+  double residual_local_norm2(comm::Communicator& comm,
+                              const comm::HaloExchanger& halo,
+                              const comm::DistField& b, comm::DistField& x,
+                              comm::DistField& r) const;
 
   /// Local (this rank's) masked inner product over block interiors;
   /// combine across ranks with an allreduce.
   double local_dot(comm::Communicator& comm, const comm::DistField& a,
                    const comm::DistField& b) const;
+
+  /// Fused local dots of the CG-type iterations in one sweep:
+  /// out[0] = <r, rp>, out[1] = <z, rp>, out[2] = <r, r> (only if
+  /// with_norm; else out[2] = 0). Bit-identical to three local_dot calls.
+  void local_dot3(comm::Communicator& comm, const comm::DistField& r,
+                  const comm::DistField& rp, const comm::DistField& z,
+                  bool with_norm, double out[3]) const;
 
   /// Convenience: global masked dot (one reduction).
   double global_dot(comm::Communicator& comm, const comm::DistField& a,

@@ -16,6 +16,13 @@ void lincomb(comm::Communicator& comm, double a, const comm::DistField& x,
 void axpy(comm::Communicator& comm, double a, const comm::DistField& x,
           comm::DistField& y);
 
+/// Fused y = a*x + b*y followed by z += c*y in one sweep (the direction
+/// and iterate updates of P-CSI steps 7-8 and ChronGear steps 13-16).
+/// Bit-identical to lincomb(a, x, b, y) then axpy(c, y, z).
+void lincomb_axpy(comm::Communicator& comm, double a,
+                  const comm::DistField& x, double b, comm::DistField& y,
+                  double c, comm::DistField& z);
+
 /// x *= a.
 void scale(comm::Communicator& comm, double a, comm::DistField& x);
 

@@ -1,0 +1,259 @@
+// Implementation notes
+//
+// Every kernel hoists its row pointers once per j and hands the dense
+// inner loop to a per-row helper whose pointers are restrict-qualified
+// PARAMETERS: GCC honors restrict reliably on parameters (and keeps the
+// no-alias guarantee when the helper inlines back into the j loop), but
+// largely ignores it on local pointer variables — with locals the
+// stencil loops stay scalar. The nine-point expression keeps the exact
+// term order of the original scalar code (center, E, W, N, S, NE, NW,
+// SE, SW) and reductions accumulate scalar, row-major, continuing from
+// the caller's running sum — so the fused kernels are bit-identical to
+// the loops they replace; only the number of passes over memory changes.
+//
+// Masked reductions use a select (`mask ? term : 0.0`) instead of a
+// branch: adding +0.0 cannot change the accumulator, so the select is
+// bitwise equivalent to the branchy form while staying if-convertible.
+#include "src/solver/kernels.hpp"
+
+#include <cstring>
+
+namespace minipop::solver::kernels {
+
+namespace {
+
+/// The shared nine-point row expression over the south/center/north
+/// interior rows xm/x0/xp. A macro, not a helper function: GCC's
+/// restrict tracking does not survive passing the pointers through
+/// another call (even a fully inlined one), and the row loops then
+/// refuse to vectorize. The term order is fixed — it defines the result
+/// bit pattern.
+#define MINIPOP_POINT9(i)                                              \
+  (c0[i] * x0[i] + ce[i] * x0[(i) + 1] + cw[i] * x0[(i)-1] +           \
+   cn[i] * xp[i] + cs[i] * xm[i] + cne[i] * xp[(i) + 1] +              \
+   cnw[i] * xp[(i)-1] + cse[i] * xm[(i) + 1] + csw[i] * xm[(i)-1])
+
+inline void row_apply9(const double* MINIPOP_RESTRICT c0,
+                       const double* MINIPOP_RESTRICT ce,
+                       const double* MINIPOP_RESTRICT cw,
+                       const double* MINIPOP_RESTRICT cn,
+                       const double* MINIPOP_RESTRICT cs,
+                       const double* MINIPOP_RESTRICT cne,
+                       const double* MINIPOP_RESTRICT cnw,
+                       const double* MINIPOP_RESTRICT cse,
+                       const double* MINIPOP_RESTRICT csw,
+                       const double* MINIPOP_RESTRICT xm,
+                       const double* MINIPOP_RESTRICT x0,
+                       const double* MINIPOP_RESTRICT xp,
+                       double* MINIPOP_RESTRICT y, int nx) {
+  for (int i = 0; i < nx; ++i) y[i] = MINIPOP_POINT9(i);
+}
+
+inline void row_residual9(const double* MINIPOP_RESTRICT c0,
+                          const double* MINIPOP_RESTRICT ce,
+                          const double* MINIPOP_RESTRICT cw,
+                          const double* MINIPOP_RESTRICT cn,
+                          const double* MINIPOP_RESTRICT cs,
+                          const double* MINIPOP_RESTRICT cne,
+                          const double* MINIPOP_RESTRICT cnw,
+                          const double* MINIPOP_RESTRICT cse,
+                          const double* MINIPOP_RESTRICT csw,
+                          const double* MINIPOP_RESTRICT b,
+                          const double* MINIPOP_RESTRICT xm,
+                          const double* MINIPOP_RESTRICT x0,
+                          const double* MINIPOP_RESTRICT xp,
+                          double* MINIPOP_RESTRICT r, int nx) {
+  for (int i = 0; i < nx; ++i) r[i] = b[i] - MINIPOP_POINT9(i);
+}
+
+inline double row_residual_norm2(const double* MINIPOP_RESTRICT c0,
+                                 const double* MINIPOP_RESTRICT ce,
+                                 const double* MINIPOP_RESTRICT cw,
+                                 const double* MINIPOP_RESTRICT cn,
+                                 const double* MINIPOP_RESTRICT cs,
+                                 const double* MINIPOP_RESTRICT cne,
+                                 const double* MINIPOP_RESTRICT cnw,
+                                 const double* MINIPOP_RESTRICT cse,
+                                 const double* MINIPOP_RESTRICT csw,
+                                 const unsigned char* MINIPOP_RESTRICT m,
+                                 const double* MINIPOP_RESTRICT b,
+                                 const double* MINIPOP_RESTRICT xm,
+                                 const double* MINIPOP_RESTRICT x0,
+                                 const double* MINIPOP_RESTRICT xp,
+                                 double* MINIPOP_RESTRICT r, int nx,
+                                 double sum) {
+  for (int i = 0; i < nx; ++i) {
+    const double rv = b[i] - MINIPOP_POINT9(i);
+    r[i] = rv;
+    sum += m[i] ? rv * rv : 0.0;
+  }
+  return sum;
+}
+
+#undef MINIPOP_POINT9
+
+inline double row_masked_dot(const unsigned char* MINIPOP_RESTRICT m,
+                             const double* MINIPOP_RESTRICT a,
+                             const double* MINIPOP_RESTRICT b, int nx,
+                             double sum) {
+  for (int i = 0; i < nx; ++i) sum += m[i] ? a[i] * b[i] : 0.0;
+  return sum;
+}
+
+inline void row_lincomb(double a, const double* MINIPOP_RESTRICT x,
+                        double b, double* MINIPOP_RESTRICT y, int nx) {
+  for (int i = 0; i < nx; ++i) y[i] = a * x[i] + b * y[i];
+}
+
+inline void row_axpy(double a, const double* MINIPOP_RESTRICT x,
+                     double* MINIPOP_RESTRICT y, int nx) {
+  for (int i = 0; i < nx; ++i) y[i] += a * x[i];
+}
+
+inline void row_lincomb_axpy(double a, const double* MINIPOP_RESTRICT x,
+                             double b, double* MINIPOP_RESTRICT y, double c,
+                             double* MINIPOP_RESTRICT z, int nx) {
+  for (int i = 0; i < nx; ++i) {
+    const double v = a * x[i] + b * y[i];
+    y[i] = v;
+    z[i] += c * v;
+  }
+}
+
+}  // namespace
+
+void apply9(const Stencil9& c, int nx, int ny, const double* x,
+            std::ptrdiff_t xs, double* y, std::ptrdiff_t ys) {
+  for (int j = 0; j < ny; ++j) {
+    const std::ptrdiff_t cj = j * c.stride;
+    const double* x0 = x + j * xs;
+    row_apply9(c.c0 + cj, c.ce + cj, c.cw + cj, c.cn + cj, c.cs + cj,
+               c.cne + cj, c.cnw + cj, c.cse + cj, c.csw + cj, x0 - xs, x0,
+               x0 + xs, y + j * ys, nx);
+  }
+}
+
+void residual9(const Stencil9& c, int nx, int ny, const double* b,
+               std::ptrdiff_t bs, const double* x, std::ptrdiff_t xs,
+               double* r, std::ptrdiff_t rs) {
+  for (int j = 0; j < ny; ++j) {
+    const std::ptrdiff_t cj = j * c.stride;
+    const double* x0 = x + j * xs;
+    row_residual9(c.c0 + cj, c.ce + cj, c.cw + cj, c.cn + cj, c.cs + cj,
+                  c.cne + cj, c.cnw + cj, c.cse + cj, c.csw + cj,
+                  b + j * bs, x0 - xs, x0, x0 + xs, r + j * rs, nx);
+  }
+}
+
+double residual_norm2_9(const Stencil9& c, const unsigned char* mask,
+                        std::ptrdiff_t ms, int nx, int ny, const double* b,
+                        std::ptrdiff_t bs, const double* x,
+                        std::ptrdiff_t xs, double* r, std::ptrdiff_t rs,
+                        double sum0) {
+  double sum = sum0;
+  for (int j = 0; j < ny; ++j) {
+    const std::ptrdiff_t cj = j * c.stride;
+    const double* x0 = x + j * xs;
+    sum = row_residual_norm2(c.c0 + cj, c.ce + cj, c.cw + cj, c.cn + cj,
+                             c.cs + cj, c.cne + cj, c.cnw + cj, c.cse + cj,
+                             c.csw + cj, mask + j * ms, b + j * bs, x0 - xs,
+                             x0, x0 + xs, r + j * rs, nx, sum);
+  }
+  return sum;
+}
+
+double masked_dot(const unsigned char* mask, std::ptrdiff_t ms, int nx,
+                  int ny, const double* a, std::ptrdiff_t as,
+                  const double* b, std::ptrdiff_t bs, double sum0) {
+  double sum = sum0;
+  for (int j = 0; j < ny; ++j)
+    sum = row_masked_dot(mask + j * ms, a + j * as, b + j * bs, nx, sum);
+  return sum;
+}
+
+void masked_dot3(const unsigned char* mask, std::ptrdiff_t ms, int nx,
+                 int ny, const double* r, std::ptrdiff_t rs,
+                 const double* rp, std::ptrdiff_t ps, const double* z,
+                 std::ptrdiff_t zs, bool with_norm, double out[3]) {
+  // One pass per row with all accumulators live (each field element is
+  // loaded once); per-accumulator add order equals separate masked_dot
+  // calls, so fusing stays bitwise-neutral.
+  double s0 = out[0], s1 = out[1], s2 = out[2];
+  if (with_norm) {
+    for (int j = 0; j < ny; ++j) {
+      const unsigned char* MINIPOP_RESTRICT mr = mask + j * ms;
+      const double* MINIPOP_RESTRICT rr = r + j * rs;
+      const double* MINIPOP_RESTRICT pr = rp + j * ps;
+      const double* MINIPOP_RESTRICT zr = z + j * zs;
+      for (int i = 0; i < nx; ++i) {
+        s0 += mr[i] ? rr[i] * pr[i] : 0.0;
+        s1 += mr[i] ? zr[i] * pr[i] : 0.0;
+        s2 += mr[i] ? rr[i] * rr[i] : 0.0;
+      }
+    }
+  } else {
+    for (int j = 0; j < ny; ++j) {
+      const unsigned char* MINIPOP_RESTRICT mr = mask + j * ms;
+      const double* MINIPOP_RESTRICT rr = r + j * rs;
+      const double* MINIPOP_RESTRICT pr = rp + j * ps;
+      const double* MINIPOP_RESTRICT zr = z + j * zs;
+      for (int i = 0; i < nx; ++i) {
+        s0 += mr[i] ? rr[i] * pr[i] : 0.0;
+        s1 += mr[i] ? zr[i] * pr[i] : 0.0;
+      }
+    }
+  }
+  out[0] = s0;
+  out[1] = s1;
+  out[2] = s2;
+}
+
+void lincomb(int nx, int ny, double a, const double* x, std::ptrdiff_t xs,
+             double b, double* y, std::ptrdiff_t ys) {
+  for (int j = 0; j < ny; ++j)
+    row_lincomb(a, x + j * xs, b, y + j * ys, nx);
+}
+
+void axpy(int nx, int ny, double a, const double* x, std::ptrdiff_t xs,
+          double* y, std::ptrdiff_t ys) {
+  for (int j = 0; j < ny; ++j) row_axpy(a, x + j * xs, y + j * ys, nx);
+}
+
+void lincomb_axpy(int nx, int ny, double a, const double* x,
+                  std::ptrdiff_t xs, double b, double* y, std::ptrdiff_t ys,
+                  double c, double* z, std::ptrdiff_t zs) {
+  for (int j = 0; j < ny; ++j)
+    row_lincomb_axpy(a, x + j * xs, b, y + j * ys, c, z + j * zs, nx);
+}
+
+void scale(int nx, int ny, double a, double* x, std::ptrdiff_t xs) {
+  for (int j = 0; j < ny; ++j) {
+    double* MINIPOP_RESTRICT xr = x + j * xs;
+    for (int i = 0; i < nx; ++i) xr[i] *= a;
+  }
+}
+
+void copy(int nx, int ny, const double* x, std::ptrdiff_t xs, double* y,
+          std::ptrdiff_t ys) {
+  for (int j = 0; j < ny; ++j)
+    std::memcpy(y + j * ys, x + j * xs,
+                static_cast<std::size_t>(nx) * sizeof(double));
+}
+
+void fill(int nx, int ny, double v, double* x, std::ptrdiff_t xs) {
+  for (int j = 0; j < ny; ++j) {
+    double* MINIPOP_RESTRICT xr = x + j * xs;
+    for (int i = 0; i < nx; ++i) xr[i] = v;
+  }
+}
+
+void mask_zero(const unsigned char* mask, std::ptrdiff_t ms, int nx, int ny,
+               double* x, std::ptrdiff_t xs) {
+  for (int j = 0; j < ny; ++j) {
+    const unsigned char* MINIPOP_RESTRICT mr = mask + j * ms;
+    double* MINIPOP_RESTRICT xr = x + j * xs;
+    for (int i = 0; i < nx; ++i) xr[i] = mr[i] ? xr[i] : 0.0;
+  }
+}
+
+}  // namespace minipop::solver::kernels

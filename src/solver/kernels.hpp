@@ -1,0 +1,123 @@
+// Hot-path kernels of the barotropic solvers.
+//
+// Both ChronGear (Alg. 1) and P-CSI (Alg. 2) spend their rank-local time
+// in the same few sweeps: the nine-point matvec, the residual update, the
+// masked inner products and the vector updates. These are memory-bound
+// stencil/streaming loops, so the kernels here are written to (a) touch
+// each field exactly once per logical operation — fused residual, fused
+// residual+norm², fused triple dot, fused lincomb+axpy — and (b) present
+// the compiler with raw, restrict-qualified row pointers so the inner
+// loops vectorize without runtime alias checks or per-element index
+// arithmetic.
+//
+// Contracts shared by every kernel:
+//   * All pointers address the FIRST INTERIOR element of a block-local
+//     row-major array; `*_stride` is the padded row pitch in elements.
+//     A padded field's interior pointer is `base + h*pitch + h`.
+//   * Distinct array arguments must not alias (they are restrict-
+//     qualified); rows of one padded array never overlap because the
+//     pitch exceeds the interior width.
+//   * Floating-point evaluation order is IDENTICAL to the naive scalar
+//     loops these kernels replace (same per-element expression order,
+//     same row-major reduction order), so results are bit-for-bit equal
+//     to the pre-kernel implementation and deterministic across runs.
+//   * No bounds checks: callers guarantee shapes. (Bounds checking in the
+//     object wrappers is governed by MINIPOP_BOUNDS_CHECK; the kernels
+//     never had any.)
+#pragma once
+
+#include <cstddef>
+
+#if defined(_MSC_VER)
+#define MINIPOP_RESTRICT __restrict
+#else
+#define MINIPOP_RESTRICT __restrict__
+#endif
+
+namespace minipop::solver::kernels {
+
+/// Base pointers of one block's nine coefficient arrays (unpadded,
+/// bnx-pitch, row-major — the layout DistOperator stores). Order follows
+/// grid::Dir. `stride` is the coefficient row pitch (= block nx).
+struct Stencil9 {
+  const double* c0;   ///< center
+  const double* ce;   ///< east
+  const double* cw;   ///< west
+  const double* cn;   ///< north
+  const double* cs;   ///< south
+  const double* cne;  ///< north-east
+  const double* cnw;  ///< north-west
+  const double* cse;  ///< south-east
+  const double* csw;  ///< south-west
+  std::ptrdiff_t stride;
+};
+
+/// y = A x over an nx*ny interior. x must have valid halo rows/columns
+/// around the interior (pitch xs); y is written interior-only.
+/// 9 flops/point by the paper's counting convention.
+void apply9(const Stencil9& c, int nx, int ny, const double* x,
+            std::ptrdiff_t xs, double* y, std::ptrdiff_t ys);
+
+/// Fused residual r = b - A x in ONE sweep (the seed code swept twice:
+/// apply, then subtract). 10 flops/point.
+void residual9(const Stencil9& c, int nx, int ny, const double* b,
+               std::ptrdiff_t bs, const double* x, std::ptrdiff_t xs,
+               double* r, std::ptrdiff_t rs);
+
+/// Fused residual + masked norm²: r = b - A x and return
+/// sum0 + sum_{mask} r², all in ONE sweep — the solvers' convergence
+/// check at zero extra field passes. Accumulation CONTINUES from `sum0`
+/// (one running scalar across a rank's blocks, like the seed loops), so
+/// the result matches masked_dot over the same cells bit-for-bit.
+double residual_norm2_9(const Stencil9& c, const unsigned char* mask,
+                        std::ptrdiff_t ms, int nx, int ny, const double* b,
+                        std::ptrdiff_t bs, const double* x,
+                        std::ptrdiff_t xs, double* r, std::ptrdiff_t rs,
+                        double sum0);
+
+/// Masked inner product sum0 + sum_{mask} a*b, row-major accumulation
+/// continuing from `sum0` — callers thread one running accumulator
+/// through all local blocks (FP association matters; starting each block
+/// at zero and adding partials would perturb the last bits).
+double masked_dot(const unsigned char* mask, std::ptrdiff_t ms, int nx,
+                  int ny, const double* a, std::ptrdiff_t as,
+                  const double* b, std::ptrdiff_t bs, double sum0);
+
+/// Fused masked dots of ChronGear steps 7-9 in ONE sweep:
+///   out[0] += <r, rp>, out[1] += <z, rp>, and if with_norm
+///   out[2] += <r, r>.
+/// Each accumulator's order matches the equivalent masked_dot call.
+void masked_dot3(const unsigned char* mask, std::ptrdiff_t ms, int nx,
+                 int ny, const double* r, std::ptrdiff_t rs,
+                 const double* rp, std::ptrdiff_t ps, const double* z,
+                 std::ptrdiff_t zs, bool with_norm, double out[3]);
+
+/// y = a*x + b*y.
+void lincomb(int nx, int ny, double a, const double* x, std::ptrdiff_t xs,
+             double b, double* y, std::ptrdiff_t ys);
+
+/// y += a*x.
+void axpy(int nx, int ny, double a, const double* x, std::ptrdiff_t xs,
+          double* y, std::ptrdiff_t ys);
+
+/// Fused vector update pair (P-CSI steps 7-8; ChronGear steps 13-16 as
+/// two calls): y = a*x + b*y followed by z += c*y, in ONE sweep.
+void lincomb_axpy(int nx, int ny, double a, const double* x,
+                  std::ptrdiff_t xs, double b, double* y, std::ptrdiff_t ys,
+                  double c, double* z, std::ptrdiff_t zs);
+
+/// x *= a.
+void scale(int nx, int ny, double a, double* x, std::ptrdiff_t xs);
+
+/// y = x (row-wise memcpy).
+void copy(int nx, int ny, const double* x, std::ptrdiff_t xs, double* y,
+          std::ptrdiff_t ys);
+
+/// x = v.
+void fill(int nx, int ny, double v, double* x, std::ptrdiff_t xs);
+
+/// x = 0 on land (mask == 0) cells.
+void mask_zero(const unsigned char* mask, std::ptrdiff_t ms, int nx, int ny,
+               double* x, std::ptrdiff_t xs);
+
+}  // namespace minipop::solver::kernels

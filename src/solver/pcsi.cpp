@@ -61,13 +61,16 @@ SolveStats PcsiSolver::solve(comm::Communicator& comm,
     omega = 1.0 / (gamma - omega / (4.0 * alpha * alpha));
 
     m.apply(comm, r, rp);                            // step 6
-    lincomb(comm, omega, rp, gamma * omega - 1.0, dx);  // step 7
-    axpy(comm, 1.0, dx, x);                          // step 8
-    a.residual(comm, halo, b, x, r);                 // steps 9-10
+    // Steps 7-8 fused into one sweep: dx = omega rp + (gamma omega - 1) dx,
+    // then x += dx.
+    lincomb_axpy(comm, omega, rp, gamma * omega - 1.0, dx, 1.0, x);
 
-    // Step 11: convergence check — the only global reduction P-CSI does.
+    // Steps 9-11. On check iterations the residual sweep also produces
+    // the masked ||r||² (fused kernel), so the convergence check — the
+    // only global reduction P-CSI does — costs zero extra field passes.
     if (k % opt_.check_frequency == 0) {
-      const double r_norm2 = comm.allreduce_sum(a.local_dot(comm, r, r));
+      const double r_norm2 =
+          comm.allreduce_sum(a.residual_local_norm2(comm, halo, b, x, r));
       if (opt_.record_residuals)
         stats.residual_history.emplace_back(k,
                                             std::sqrt(r_norm2 / b_norm2));
@@ -76,6 +79,8 @@ SolveStats PcsiSolver::solve(comm::Communicator& comm,
         stats.relative_residual = std::sqrt(r_norm2 / b_norm2);
         break;
       }
+    } else {
+      a.residual(comm, halo, b, x, r);
     }
   }
 

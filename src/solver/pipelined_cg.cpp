@@ -48,11 +48,12 @@ SolveStats PipelinedCgSolver::solve(comm::Communicator& comm,
   for (int k = 1; k <= opt_.max_iterations; ++k) {
     stats.iterations = k;
 
-    // The single fused reduction of the iteration. In a real MPI build
-    // this is the MPI_Iallreduce that overlaps the precond+matvec below.
+    // The single fused reduction of the iteration (local dots in one
+    // sweep). In a real MPI build this is the MPI_Iallreduce that
+    // overlaps the precond+matvec below.
     const bool check = (k % opt_.check_frequency == 0);
-    double local[3] = {a.local_dot(comm, r, u), a.local_dot(comm, w, u),
-                       check ? a.local_dot(comm, r, r) : 0.0};
+    double local[3];
+    a.local_dot3(comm, r, u, w, check, local);
     comm.allreduce(std::span<double>(local, check ? 3 : 2),
                    comm::ReduceOp::kSum);
     const double gamma = local[0];

@@ -42,13 +42,26 @@ namespace detail {
     }                                                                     \
   } while (0)
 
-/// Debug-only assertion for hot paths.
-#ifdef NDEBUG
-#define MINIPOP_ASSERT(expr) ((void)0)
+/// Debug-only assertion for hot paths (per-element bounds checks in the
+/// array wrappers). Governed by MINIPOP_BOUNDS_CHECK, which the build
+/// sets explicitly (CMake option: ON in Debug, OFF otherwise) so the
+/// checks provably compile out of release hot loops; without a build
+/// definition it falls back to following NDEBUG. The raw-pointer kernels
+/// in solver/kernels.* never carry these checks in any configuration.
+#if !defined(MINIPOP_BOUNDS_CHECK)
+#if defined(NDEBUG)
+#define MINIPOP_BOUNDS_CHECK 0
 #else
+#define MINIPOP_BOUNDS_CHECK 1
+#endif
+#endif
+
+#if MINIPOP_BOUNDS_CHECK
 #define MINIPOP_ASSERT(expr)                                              \
   do {                                                                    \
     if (!(expr))                                                          \
       ::minipop::util::detail::raise(#expr, __FILE__, __LINE__, "");      \
   } while (0)
+#else
+#define MINIPOP_ASSERT(expr) ((void)0)
 #endif

@@ -325,6 +325,34 @@ TEST(Halo, HaloWidthOne) { run_halo_case(16, 12, true, 4, 4, 3, 1); }
 
 TEST(Halo, RaggedBlocks) { run_halo_case(14, 10, true, 4, 4, 3, 2); }
 
+// Round-trips for the row-wise memcpy pack/unpack. Full-domain-width
+// blocks make the N/S regions whole padded-row strips (the widest
+// contiguous copies); the multi-rank periodic cases cover wrap seams and
+// corner regions at both supported halo widths.
+TEST(Halo, FullWidthRowStripsSerial) {
+  run_halo_case(24, 12, false, 24, 3, 1, 2);
+}
+
+TEST(Halo, FullWidthRowStripsMultiRank) {
+  run_halo_case(24, 12, false, 24, 3, 4, 2);
+}
+
+TEST(Halo, FullWidthRowStripsPeriodicHaloOne) {
+  run_halo_case(24, 12, true, 24, 3, 4, 1);
+}
+
+TEST(Halo, OddBlocksMultiRankPeriodicHaloOne) {
+  run_halo_case(21, 11, true, 7, 4, 3, 1);
+}
+
+TEST(Halo, OddBlocksMaskedMultiRankPeriodic) {
+  mu::MaskArray mask(21, 11, 1);
+  for (int j = 0; j < 11; ++j)
+    for (int i = 0; i < 21; ++i)
+      if ((i * 7 + j * 3) % 5 == 0) mask(i, j) = 0;
+  run_halo_case(21, 11, true, 7, 4, 3, 2, &mask);
+}
+
 TEST(Halo, EliminatedLandBlockZeroFills) {
   mu::MaskArray mask(12, 12, 1);
   for (int j = 4; j < 8; ++j)
