@@ -7,11 +7,18 @@
 //   * SerialComm  — size 1, no communication (reference/big-grid path)
 //   * ThreadComm  — N ranks as threads with mailbox point-to-point and
 //                   deterministic, fixed-order global reductions
-// Real-machine wall times are *not* measured here (we are on a
-// workstation); the CostTracker records message/reduction/flop counts and
-// src/perf converts them to modeled times.
+//
+// The primitives are split-phase (MPI_Isend/Irecv/Iallreduce style):
+// posting returns a Request handle that is completed with test()/wait().
+// The blocking calls are thin wrappers (post + wait). Real-machine wall
+// times are *not* modeled here (we are on a workstation); the
+// CostTracker records message/reduction/flop counts — plus posted vs
+// exposed request time for the overlap engine — and src/perf converts
+// counts to modeled times.
 #pragma once
 
+#include <chrono>
+#include <memory>
 #include <span>
 
 #include "src/comm/cost_tracker.hpp"
@@ -20,6 +27,57 @@ namespace minipop::comm {
 
 enum class ReduceOp { kSum, kMax, kMin };
 
+/// Backend-side completion state of one in-flight split-phase operation.
+/// poll() attempts completion without blocking and returns true once the
+/// operation has finished with its results (if any) delivered to the
+/// caller's buffers; block() waits for that to happen. After either has
+/// reported completion the state is dead and must not be used again.
+class RequestState {
+ public:
+  virtual ~RequestState() = default;
+  virtual bool poll() = 0;
+  virtual void block() = 0;
+};
+
+/// Lightweight handle to one in-flight split-phase operation (the
+/// MPI_Request analogue). Movable, not copyable. Completing through
+/// test()/wait() records the request's in-flight time as posted
+/// communication, and the time actually blocked inside wait() as exposed
+/// communication, in the owning communicator's CostTracker.
+///
+/// A Request destroyed before completion is *abandoned*: the destructor
+/// makes one non-blocking completion attempt and then drops the state.
+/// Abandonment never blocks (so error-path unwinding cannot deadlock on
+/// a peer that died); an abandoned irecv simply leaves any late-arriving
+/// message queued, and an abandoned iallreduce keeps the contribution it
+/// already made so peers still complete. Deliberate code should always
+/// complete its requests.
+class Request {
+ public:
+  Request() = default;  ///< already-complete (used by eager/serial ops)
+  Request(std::unique_ptr<RequestState> state, CostTracker* costs);
+  Request(Request&&) noexcept = default;
+  Request& operator=(Request&& o) noexcept;
+  Request(const Request&) = delete;
+  Request& operator=(const Request&) = delete;
+  ~Request();
+
+  bool done() const { return state_ == nullptr; }
+
+  /// Nonblocking completion attempt; true once complete (idempotent).
+  bool test();
+
+  /// Block until complete. No-op if already complete.
+  void wait();
+
+ private:
+  void record_completion(double exposed_seconds);
+
+  std::unique_ptr<RequestState> state_;
+  CostTracker* costs_ = nullptr;
+  std::chrono::steady_clock::time_point posted_{};
+};
+
 class Communicator {
  public:
   virtual ~Communicator() = default;
@@ -27,19 +85,29 @@ class Communicator {
   virtual int rank() const = 0;
   virtual int size() const = 0;
 
-  /// Fused in-place reduction of a small vector across all ranks
-  /// (MPI_Allreduce). Deterministic: combination order is rank 0..p-1
-  /// regardless of arrival order.
-  virtual void allreduce(std::span<double> values, ReduceOp op) = 0;
+  /// Post a fused in-place reduction of a small vector across all ranks
+  /// (MPI_Iallreduce). `values` must stay alive until the returned
+  /// request completes; on completion it holds the reduced vector.
+  /// Deterministic: combination order is rank 0..p-1 regardless of
+  /// arrival order. Collective — every rank must post its reductions in
+  /// the same order.
+  virtual Request iallreduce(std::span<double> values, ReduceOp op) = 0;
 
-  /// Buffered ("eager") point-to-point send; never blocks.
-  virtual void send(int dest, int tag, std::span<const double> data) = 0;
+  /// Post a buffered ("eager") point-to-point send. The backends copy
+  /// `data` at post time, so the returned request is always already
+  /// complete and `data` may be reused immediately.
+  virtual Request isend(int dest, int tag, std::span<const double> data) = 0;
 
-  /// Blocking receive matching (src, tag); data.size() must equal the
-  /// sent size.
-  virtual void recv(int src, int tag, std::span<double> data) = 0;
+  /// Post a receive matching (src, tag); data.size() must equal the
+  /// sent size. `data` must stay alive until the request completes.
+  virtual Request irecv(int src, int tag, std::span<double> data) = 0;
 
   virtual void barrier() = 0;
+
+  // Blocking wrappers: post + wait.
+  void allreduce(std::span<double> values, ReduceOp op);
+  void send(int dest, int tag, std::span<const double> data);
+  void recv(int src, int tag, std::span<double> data);
 
   CostTracker& costs() { return costs_; }
   const CostTracker& costs() const { return costs_; }
@@ -48,8 +116,29 @@ class Communicator {
   double allreduce_sum(double v);
   void allreduce_sum2(double* a, double* b);
 
+  /// Tag epochs: disjoint tag sub-spaces for concurrently outstanding
+  /// exchanges. Each call returns the next epoch in a cycling window of
+  /// kTagEpochWindow epochs; callers build tags as
+  /// `epoch * kTagEpochStride + local_tag` with local_tag <
+  /// kTagEpochStride. Every rank must call this in the same collective
+  /// order (exactly like posting collectives), which keeps the counters
+  /// in sync without communication. The window bounds how many epochs
+  /// may be in flight at once; reusing an epoch whose messages are still
+  /// outstanding is caught by the ThreadComm tag audit under
+  /// MINIPOP_BOUNDS_CHECK.
+  static constexpr int kTagEpochWindow = 4;
+  static constexpr int kTagEpochStride = 1 << 27;
+  int next_tag_epoch() {
+    const int e = tag_epoch_;
+    tag_epoch_ = (tag_epoch_ + 1) % kTagEpochWindow;
+    return e;
+  }
+
  protected:
   CostTracker costs_;
+
+ private:
+  int tag_epoch_ = 0;
 };
 
 }  // namespace minipop::comm

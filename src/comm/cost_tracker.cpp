@@ -10,6 +10,11 @@ CostCounters CostTracker::since(const CostCounters& snapshot) const {
   d.halo_exchanges = c_.halo_exchanges - snapshot.halo_exchanges;
   d.allreduces = c_.allreduces - snapshot.allreduces;
   d.allreduce_doubles = c_.allreduce_doubles - snapshot.allreduce_doubles;
+  d.requests = c_.requests - snapshot.requests;
+  d.posted_comm_seconds =
+      c_.posted_comm_seconds - snapshot.posted_comm_seconds;
+  d.exposed_comm_seconds =
+      c_.exposed_comm_seconds - snapshot.exposed_comm_seconds;
   return d;
 }
 

@@ -16,6 +16,20 @@ struct CostCounters {
   std::uint64_t halo_exchanges = 0;  ///< full-field halo update rounds
   std::uint64_t allreduces = 0;      ///< global reduction rounds
   std::uint64_t allreduce_doubles = 0;
+  std::uint64_t requests = 0;  ///< split-phase ops that were in flight
+
+  /// Wall time requests spent in flight (post -> observed completion).
+  /// This is the communication the split-phase engine *could* hide.
+  double posted_comm_seconds = 0.0;
+  /// Wall time actually blocked inside Request::wait(). This is the
+  /// communication that was *exposed* — not hidden behind computation.
+  /// Always <= posted_comm_seconds (the blocked interval is a suffix of
+  /// the in-flight interval of each request).
+  double exposed_comm_seconds = 0.0;
+
+  double hidden_comm_seconds() const {
+    return posted_comm_seconds - exposed_comm_seconds;
+  }
 
   CostCounters& operator+=(const CostCounters& o) {
     flops += o.flops;
@@ -24,6 +38,9 @@ struct CostCounters {
     halo_exchanges += o.halo_exchanges;
     allreduces += o.allreduces;
     allreduce_doubles += o.allreduce_doubles;
+    requests += o.requests;
+    posted_comm_seconds += o.posted_comm_seconds;
+    exposed_comm_seconds += o.exposed_comm_seconds;
     return *this;
   }
 };
@@ -40,6 +57,9 @@ class CostTracker {
     ++c_.allreduces;
     c_.allreduce_doubles += doubles;
   }
+  void add_request() { ++c_.requests; }
+  void add_posted_seconds(double s) { c_.posted_comm_seconds += s; }
+  void add_exposed_seconds(double s) { c_.exposed_comm_seconds += s; }
 
   const CostCounters& counters() const { return c_; }
   void reset() { c_ = CostCounters{}; }

@@ -11,6 +11,7 @@ namespace minipop::comm {
 namespace {
 
 using grid::Dir;
+using detail::HaloRegion;
 
 Dir opposite(Dir d) {
   switch (d) {
@@ -31,14 +32,8 @@ constexpr Dir kExchangeDirs[8] = {
     Dir::kEast,      Dir::kWest,      Dir::kNorth,     Dir::kSouth,
     Dir::kNorthEast, Dir::kNorthWest, Dir::kSouthEast, Dir::kSouthWest};
 
-/// Rectangular region in block-interior coordinates: [i0, i0+ni) x
-/// [j0, j0+nj).
-struct Region {
-  int i0, j0, ni, nj;
-};
-
 /// Interior strip of (bnx x bny) sent toward direction d.
-Region send_region(Dir d, int bnx, int bny, int h) {
+HaloRegion send_region(Dir d, int bnx, int bny, int h) {
   switch (d) {
     case Dir::kEast: return {bnx - h, 0, h, bny};
     case Dir::kWest: return {0, 0, h, bny};
@@ -56,7 +51,7 @@ Region send_region(Dir d, int bnx, int bny, int h) {
 
 /// Halo region (in interior coordinates, so indices may be negative or
 /// >= bnx) filled from the neighbor in direction d.
-Region halo_region(Dir d, int bnx, int bny, int h) {
+HaloRegion halo_region(Dir d, int bnx, int bny, int h) {
   switch (d) {
     case Dir::kEast: return {bnx, 0, h, bny};
     case Dir::kWest: return {-h, 0, h, bny};
@@ -72,10 +67,15 @@ Region halo_region(Dir d, int bnx, int bny, int h) {
   return {};
 }
 
-int message_tag(int src_block_id, Dir d) {
-  const int tag = src_block_id * 9 + static_cast<int>(d);
-  MINIPOP_REQUIRE(tag < (1 << 24), "tag overflow for block " << src_block_id);
-  return tag;
+/// Per-exchange message tag: the epoch selects a disjoint tag sub-space
+/// so concurrently outstanding exchanges cannot match each other's
+/// messages; within an epoch the (source block, direction) pair is
+/// unique per exchange.
+int message_tag(int epoch, int src_block_id, Dir d) {
+  const int local = src_block_id * 9 + static_cast<int>(d);
+  MINIPOP_REQUIRE(local < Communicator::kTagEpochStride,
+                  "tag overflow for block " << src_block_id);
+  return epoch * Communicator::kTagEpochStride + local;
 }
 
 // Pack/unpack move whole region rows at once: region coordinates have i
@@ -85,19 +85,19 @@ int message_tag(int src_block_id, Dir d) {
 // `ni = h` elements, same code path.
 
 /// First element of region row j inside the padded array.
-double* region_row(util::Field& padded, int h, const Region& r, int j) {
+double* region_row(util::Field& padded, int h, const HaloRegion& r, int j) {
   return padded.data() +
          static_cast<std::ptrdiff_t>(r.j0 + j + h) * padded.nx() +
          (r.i0 + h);
 }
-const double* region_row(const util::Field& padded, int h, const Region& r,
-                         int j) {
+const double* region_row(const util::Field& padded, int h,
+                         const HaloRegion& r, int j) {
   return padded.data() +
          static_cast<std::ptrdiff_t>(r.j0 + j + h) * padded.nx() +
          (r.i0 + h);
 }
 
-void pack(const util::Field& padded, int h, const Region& r,
+void pack(const util::Field& padded, int h, const HaloRegion& r,
           std::vector<double>& out) {
   out.resize(static_cast<std::size_t>(r.ni) * r.nj);
   const std::size_t row_bytes = static_cast<std::size_t>(r.ni) *
@@ -107,7 +107,7 @@ void pack(const util::Field& padded, int h, const Region& r,
                 region_row(padded, h, r, j), row_bytes);
 }
 
-void unpack(util::Field& padded, int h, const Region& r,
+void unpack(util::Field& padded, int h, const HaloRegion& r,
             std::span<const double> in) {
   MINIPOP_REQUIRE(in.size() == static_cast<std::size_t>(r.ni) * r.nj,
                   "halo unpack size mismatch");
@@ -118,7 +118,7 @@ void unpack(util::Field& padded, int h, const Region& r,
                 in.data() + static_cast<std::size_t>(j) * r.ni, row_bytes);
 }
 
-void zero_region(util::Field& padded, int h, const Region& r) {
+void zero_region(util::Field& padded, int h, const HaloRegion& r) {
   for (int j = 0; j < r.nj; ++j) {
     double* row = region_row(padded, h, r, j);
     std::fill(row, row + r.ni, 0.0);
@@ -127,17 +127,50 @@ void zero_region(util::Field& padded, int h, const Region& r) {
 
 }  // namespace
 
+HaloHandle::~HaloHandle() {
+  if (!active()) return;
+  try {
+    finish();
+  } catch (...) {
+    // Safety-net finish during unwinding (e.g. a poisoned team): drop
+    // whatever could not complete. Requests abandon non-blocking.
+  }
+}
+
+void HaloHandle::finish() {
+  if (!active()) return;
+  // Complete in post order — the same receive order as the blocking
+  // exchange, so the unpacked halos are bitwise identical to it.
+  for (PendingRecv& p : recvs_) {
+    p.request.wait();
+    unpack(field_->data(p.lb), field_->halo(), p.dst, p.buf);
+  }
+  comm_->costs().add_halo_exchange();
+  recvs_.clear();
+  field_ = nullptr;
+  comm_ = nullptr;
+}
+
 HaloExchanger::HaloExchanger(const grid::Decomposition& decomp)
     : decomp_(&decomp) {}
 
 void HaloExchanger::exchange(Communicator& comm, DistField& field) const {
+  begin(comm, field).finish();
+}
+
+HaloHandle HaloExchanger::begin(Communicator& comm, DistField& field) const {
   MINIPOP_REQUIRE(&field.decomposition() == decomp_,
                   "field belongs to a different decomposition");
   const int h = field.halo();
   const int my_rank = field.rank();
+  const int epoch = comm.next_tag_epoch();
   std::vector<double> buf;
 
-  // Phase 1: post all remote sends (buffered, never blocks).
+  HaloHandle handle;
+  handle.comm_ = &comm;
+  handle.field_ = &field;
+
+  // Phase 1: post all remote sends (eager, complete at post time).
   for (int lb = 0; lb < field.num_local_blocks(); ++lb) {
     const auto& b = field.info(lb);
     for (Dir d : kExchangeDirs) {
@@ -146,22 +179,44 @@ void HaloExchanger::exchange(Communicator& comm, DistField& field) const {
       const int owner = decomp_->block(nid).owner;
       if (owner == my_rank) continue;
       pack(field.data(lb), h, send_region(d, b.nx, b.ny, h), buf);
-      comm.send(owner, message_tag(b.id, d), buf);
+      comm.isend(owner, message_tag(epoch, b.id, d), buf);
     }
   }
 
-  // Phase 2: local copies and zero fills.
+  // Phase 2: post all remote receives (same traversal order as the
+  // blocking receive loop, so finish() unpacks in that order).
   for (int lb = 0; lb < field.num_local_blocks(); ++lb) {
     const auto& b = field.info(lb);
     for (Dir d : kExchangeDirs) {
       const int nid = decomp_->neighbor(b.id, d);
-      const Region dst = halo_region(d, b.nx, b.ny, h);
+      if (nid < 0) continue;
+      const auto& nb = decomp_->block(nid);
+      if (nb.owner == my_rank) continue;
+      const HaloRegion dst = halo_region(d, b.nx, b.ny, h);
+      HaloHandle::PendingRecv p;
+      p.buf.resize(static_cast<std::size_t>(dst.ni) * dst.nj);
+      p.lb = lb;
+      p.dst = dst;
+      handle.recvs_.push_back(std::move(p));
+      HaloHandle::PendingRecv& posted = handle.recvs_.back();
+      posted.request =
+          comm.irecv(nb.owner, message_tag(epoch, nid, opposite(d)),
+                     posted.buf);
+    }
+  }
+
+  // Phase 3: local copies and zero fills (no communication).
+  for (int lb = 0; lb < field.num_local_blocks(); ++lb) {
+    const auto& b = field.info(lb);
+    for (Dir d : kExchangeDirs) {
+      const int nid = decomp_->neighbor(b.id, d);
+      const HaloRegion dst = halo_region(d, b.nx, b.ny, h);
       if (nid < 0) {
         zero_region(field.data(lb), h, dst);
         continue;
       }
       const auto& nb = decomp_->block(nid);
-      if (nb.owner != my_rank) continue;  // handled in phase 3
+      if (nb.owner != my_rank) continue;  // remote: posted in phase 2
       const int nlb = field.local_index(nid);
       MINIPOP_ASSERT(nlb >= 0);
       pack(field.data(nlb), h, send_region(opposite(d), nb.nx, nb.ny, h),
@@ -170,22 +225,7 @@ void HaloExchanger::exchange(Communicator& comm, DistField& field) const {
     }
   }
 
-  // Phase 3: blocking receives for remote neighbors.
-  for (int lb = 0; lb < field.num_local_blocks(); ++lb) {
-    const auto& b = field.info(lb);
-    for (Dir d : kExchangeDirs) {
-      const int nid = decomp_->neighbor(b.id, d);
-      if (nid < 0) continue;
-      const auto& nb = decomp_->block(nid);
-      if (nb.owner == my_rank) continue;
-      const Region dst = halo_region(d, b.nx, b.ny, h);
-      buf.resize(static_cast<std::size_t>(dst.ni) * dst.nj);
-      comm.recv(nb.owner, message_tag(nid, opposite(d)), buf);
-      unpack(field.data(lb), h, dst, buf);
-    }
-  }
-
-  comm.costs().add_halo_exchange();
+  return handle;
 }
 
 std::uint64_t HaloExchanger::bytes_sent_per_exchange(
@@ -199,7 +239,7 @@ std::uint64_t HaloExchanger::bytes_sent_per_exchange(
       const int nid = decomp_->neighbor(b.id, d);
       if (nid < 0) continue;
       if (decomp_->block(nid).owner == my_rank) continue;
-      const Region r = send_region(d, b.nx, b.ny, h);
+      const HaloRegion r = send_region(d, b.nx, b.ny, h);
       bytes += static_cast<std::uint64_t>(r.ni) * r.nj * sizeof(double);
     }
   }

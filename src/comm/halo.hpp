@@ -8,12 +8,80 @@
 // or land-eliminated blocks) zero-fill the halo, which is consistent
 // because the stencil carries identically zero coefficients across
 // coastlines.
+//
+// The exchange is split-phase: begin() packs the strips, posts all sends
+// and receives, and performs the local copies/zero fills, returning a
+// HaloHandle that owns the in-flight state; finish() waits for the
+// receives and unpacks. Computation that does not read the halo (the
+// interior of the 9-point sweep) can run between the two. The blocking
+// exchange() is begin() + finish(). Each begin() draws a fresh tag epoch
+// from the communicator, so up to Communicator::kTagEpochWindow
+// exchanges can be outstanding at once without their messages colliding.
 #pragma once
+
+#include <vector>
 
 #include "src/comm/communicator.hpp"
 #include "src/comm/dist_field.hpp"
 
 namespace minipop::comm {
+
+class HaloExchanger;
+
+/// Caller's statement about the halo state of an input field. Operators
+/// exchange a kStale input's halo before sweeping; kFresh skips the
+/// exchange because the caller just refreshed it (e.g. the model leaves
+/// eta's halo fresh right before the elliptic solve) — passing kFresh
+/// for a halo that is actually stale silently computes with old
+/// boundary values, so only assert it where an exchange provably just
+/// happened with no interior writes in between.
+enum class HaloFreshness { kStale, kFresh };
+
+namespace detail {
+/// Rectangular region in block-interior coordinates: [i0, i0+ni) x
+/// [j0, j0+nj) (indices may be negative or >= block size for halo
+/// regions).
+struct HaloRegion {
+  int i0, j0, ni, nj;
+};
+}  // namespace detail
+
+/// One in-flight split-phase halo exchange. Owns the posted receive
+/// requests and their landing buffers; finish() completes them in post
+/// order (matching the blocking exchange) and unpacks into the field's
+/// halo. The field and communicator must outlive the handle. finish()
+/// must be called exactly once per begin(); the destructor finishes a
+/// still-active handle as a safety net (swallowing errors, since it may
+/// run while unwinding a poisoned team).
+class HaloHandle {
+ public:
+  HaloHandle() = default;
+  HaloHandle(HaloHandle&&) noexcept = default;
+  HaloHandle& operator=(HaloHandle&&) noexcept = default;
+  HaloHandle(const HaloHandle&) = delete;
+  HaloHandle& operator=(const HaloHandle&) = delete;
+  ~HaloHandle();
+
+  bool active() const { return field_ != nullptr; }
+
+  /// Wait for all receives, unpack the halo, and count the exchange.
+  /// No-op on an inactive handle.
+  void finish();
+
+ private:
+  friend class HaloExchanger;
+
+  struct PendingRecv {
+    Request request;
+    std::vector<double> buf;
+    int lb;
+    detail::HaloRegion dst;
+  };
+
+  Communicator* comm_ = nullptr;
+  DistField* field_ = nullptr;
+  std::vector<PendingRecv> recvs_;
+};
 
 class HaloExchanger {
  public:
@@ -21,7 +89,14 @@ class HaloExchanger {
 
   /// Update all halos of `field` (owned by the calling rank). Collective:
   /// every rank of the communicator must call with its own field.
+  /// Equivalent to begin() immediately followed by HaloHandle::finish().
   void exchange(Communicator& comm, DistField& field) const;
+
+  /// Split-phase: pack and post all sends/receives, do the local copies
+  /// and zero fills, and return the in-flight handle. The halo cells of
+  /// `field` are in an unspecified state until finish(); the owned
+  /// interior may be read freely (but not written) in between.
+  HaloHandle begin(Communicator& comm, DistField& field) const;
 
   /// Bytes this rank sends per exchange of `field` (for cost reporting).
   std::uint64_t bytes_sent_per_exchange(const DistField& field) const;

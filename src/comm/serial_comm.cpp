@@ -4,19 +4,25 @@
 
 namespace minipop::comm {
 
-void SerialComm::allreduce(std::span<double> values, ReduceOp /*op*/) {
+Request SerialComm::iallreduce(std::span<double> values, ReduceOp /*op*/) {
   // One rank: the local values are already the reduction, but the event
   // still counts (POP performs the MPI_Allreduce regardless of size).
+  // Complete at post time, so the default-constructed Request is done
+  // and contributes no in-flight time.
   costs_.add_allreduce(values.size());
+  return Request{};
 }
 
-void SerialComm::send(int /*dest*/, int /*tag*/,
-                      std::span<const double> /*data*/) {
+Request SerialComm::isend(int /*dest*/, int /*tag*/,
+                          std::span<const double> /*data*/) {
   MINIPOP_REQUIRE(false, "SerialComm has no peers to send to");
+  return Request{};
 }
 
-void SerialComm::recv(int /*src*/, int /*tag*/, std::span<double> /*data*/) {
+Request SerialComm::irecv(int /*src*/, int /*tag*/,
+                          std::span<double> /*data*/) {
   MINIPOP_REQUIRE(false, "SerialComm has no peers to receive from");
+  return Request{};
 }
 
 }  // namespace minipop::comm

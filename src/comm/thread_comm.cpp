@@ -3,30 +3,82 @@
 #include <algorithm>
 #include <exception>
 #include <thread>
+#include <utility>
 
 #include "src/util/error.hpp"
 
 namespace minipop::comm {
 
+// ---------------------------------------------------------------------------
+// Request states
+
+/// Future for one rank's view of an in-flight reduction round.
+class ThreadReduceRequest final : public RequestState {
+ public:
+  ThreadReduceRequest(ThreadTeam* team,
+                      std::shared_ptr<ThreadTeam::ReduceRound> round,
+                      std::span<double> out)
+      : team_(team), round_(std::move(round)), out_(out) {}
+
+  bool poll() override { return team_->reduce_poll(*round_, out_); }
+  void block() override { team_->reduce_block(*round_, out_); }
+
+ private:
+  ThreadTeam* team_;
+  std::shared_ptr<ThreadTeam::ReduceRound> round_;
+  std::span<double> out_;
+};
+
+/// Mailbox future for one posted receive.
+class ThreadRecvRequest final : public RequestState {
+ public:
+  ThreadRecvRequest(ThreadTeam* team, ThreadTeam::ChannelKey key,
+                    std::span<double> out)
+      : team_(team), key_(key), out_(out) {}
+
+  bool poll() override { return team_->recv_poll(key_, out_); }
+  void block() override { team_->recv_block(key_, out_); }
+
+ private:
+  ThreadTeam* team_;
+  ThreadTeam::ChannelKey key_;
+  std::span<double> out_;
+};
+
+// ---------------------------------------------------------------------------
+// ThreadComm
+
 int ThreadComm::size() const { return team_->nranks(); }
 
-void ThreadComm::allreduce(std::span<double> values, ReduceOp op) {
+Request ThreadComm::iallreduce(std::span<double> values, ReduceOp op) {
   costs_.add_allreduce(values.size());
-  team_->do_allreduce(rank_, values, op);
+  auto round = team_->post_allreduce(rank_, values, op);
+  return Request(
+      std::make_unique<ThreadReduceRequest>(team_, std::move(round), values),
+      &costs_);
 }
 
-void ThreadComm::send(int dest, int tag, std::span<const double> data) {
+Request ThreadComm::isend(int dest, int tag, std::span<const double> data) {
   costs_.add_message(data.size() * sizeof(double));
-  team_->do_send(rank_, dest, tag, data);
+  team_->post_send(rank_, dest, tag, data);
+  // Eager protocol: the message is buffered at post time, so the send is
+  // already complete and contributes no in-flight request time.
+  return Request{};
 }
 
-void ThreadComm::recv(int src, int tag, std::span<double> data) {
-  team_->do_recv(rank_, src, tag, data);
+Request ThreadComm::irecv(int src, int tag, std::span<double> data) {
+  const ThreadTeam::ChannelKey key{src, rank_, tag};
+  team_->post_recv(key);
+  return Request(std::make_unique<ThreadRecvRequest>(team_, key, data),
+                 &costs_);
 }
 
 void ThreadComm::barrier() { team_->do_barrier(); }
 
-ThreadTeam::ThreadTeam(int nranks) : nranks_(nranks), slots_(nranks) {
+// ---------------------------------------------------------------------------
+// ThreadTeam
+
+ThreadTeam::ThreadTeam(int nranks) : nranks_(nranks) {
   MINIPOP_REQUIRE(nranks >= 1, "nranks=" << nranks);
   comms_.reserve(nranks);
   for (int r = 0; r < nranks; ++r)
@@ -36,12 +88,16 @@ ThreadTeam::ThreadTeam(int nranks) : nranks_(nranks), slots_(nranks) {
 ThreadTeam::~ThreadTeam() = default;
 
 void ThreadTeam::run(const std::function<void(Communicator&)>& fn) {
-  // Fresh counters and mailboxes per run.
+  // Fresh counters and message/reduction state per run.
   for (auto& c : comms_) c->costs().reset();
   mailboxes_.clear();
-  reduce_arrived_ = 0;
+  reduce_rounds_.clear();
+  reduce_posts_.assign(nranks_, 0);
   barrier_arrived_ = 0;
   poisoned_ = false;
+#if MINIPOP_BOUNDS_CHECK
+  outstanding_recvs_.clear();
+#endif
 
   std::vector<std::thread> threads;
   std::vector<std::exception_ptr> errors(nranks_);
@@ -84,8 +140,7 @@ void ThreadTeam::poison() {
 
 void ThreadTeam::throw_if_poisoned() const {
   if (poisoned_)
-    throw TeamPoisonedError(
-        "virtual-MPI team aborted: a peer rank failed");
+    throw TeamPoisonedError("virtual-MPI team aborted: a peer rank failed");
 }
 
 const CostCounters& ThreadTeam::costs(int r) const {
@@ -99,63 +154,138 @@ CostCounters ThreadTeam::total_costs() const {
   return total;
 }
 
-std::uint64_t ThreadTeam::mailbox_key(int src, int dest, int tag) {
-  MINIPOP_REQUIRE(tag >= 0 && tag < (1 << 24), "tag " << tag);
-  return (static_cast<std::uint64_t>(src) << 44) |
-         (static_cast<std::uint64_t>(dest) << 24) |
-         static_cast<std::uint64_t>(tag);
+std::size_t ThreadTeam::ChannelKeyHash::operator()(
+    const ChannelKey& k) const {
+  std::uint64_t h = static_cast<std::uint32_t>(k.src);
+  h = h * 0x9e3779b97f4a7c15ULL + static_cast<std::uint32_t>(k.dest);
+  h = h * 0x9e3779b97f4a7c15ULL + static_cast<std::uint32_t>(k.tag);
+  h ^= h >> 32;
+  return static_cast<std::size_t>(h);
 }
 
-void ThreadTeam::do_allreduce(int rank, std::span<double> values,
-                              ReduceOp op) {
+// ---------------------------------------------------------------------------
+// Reductions
+
+std::shared_ptr<ThreadTeam::ReduceRound> ThreadTeam::post_allreduce(
+    int rank, std::span<double> values, ReduceOp op) {
   std::unique_lock<std::mutex> lock(mu_);
   throw_if_poisoned();
-  const std::uint64_t my_generation = reduce_generation_;
-  slots_[rank].assign(values.begin(), values.end());
-  if (++reduce_arrived_ == nranks_) {
+  const std::uint64_t ordinal = reduce_posts_[rank]++;
+  auto [it, inserted] = reduce_rounds_.try_emplace(ordinal);
+  if (inserted) {
+    it->second = std::make_shared<ReduceRound>();
+    it->second->op = op;
+    it->second->slots.resize(nranks_);
+  }
+  std::shared_ptr<ReduceRound> round = it->second;
+  MINIPOP_REQUIRE(round->op == op,
+                  "allreduce op mismatch across ranks at collective #"
+                      << ordinal);
+  round->slots[rank].assign(values.begin(), values.end());
+  if (++round->arrived == nranks_) {
     // Last arriver combines in fixed rank order — deterministic result.
-    reduce_result_ = slots_[0];
+    round->result = round->slots[0];
     for (int r = 1; r < nranks_; ++r) {
-      MINIPOP_REQUIRE(slots_[r].size() == reduce_result_.size(),
+      MINIPOP_REQUIRE(round->slots[r].size() == round->result.size(),
                       "allreduce size mismatch at rank " << r);
-      for (std::size_t k = 0; k < reduce_result_.size(); ++k) {
-        switch (op) {
-          case ReduceOp::kSum: reduce_result_[k] += slots_[r][k]; break;
+      for (std::size_t k = 0; k < round->result.size(); ++k) {
+        switch (round->op) {
+          case ReduceOp::kSum: round->result[k] += round->slots[r][k]; break;
           case ReduceOp::kMax:
-            reduce_result_[k] = std::max(reduce_result_[k], slots_[r][k]);
+            round->result[k] =
+                std::max(round->result[k], round->slots[r][k]);
             break;
           case ReduceOp::kMin:
-            reduce_result_[k] = std::min(reduce_result_[k], slots_[r][k]);
+            round->result[k] =
+                std::min(round->result[k], round->slots[r][k]);
             break;
         }
       }
     }
-    reduce_arrived_ = 0;
-    ++reduce_generation_;
+    round->done = true;
+    // Every rank has posted by now, so nothing routes to this ordinal
+    // again; requests keep the round alive through their shared_ptr.
+    reduce_rounds_.erase(ordinal);
+    lock.unlock();
     cv_.notify_all();
-  } else {
-    cv_.wait(lock, [&] {
-      return poisoned_ || reduce_generation_ != my_generation;
-    });
-    throw_if_poisoned();
   }
-  std::copy(reduce_result_.begin(), reduce_result_.end(), values.begin());
+  return round;
 }
 
-void ThreadTeam::do_send(int src, int dest, int tag,
-                         std::span<const double> data) {
+bool ThreadTeam::reduce_poll(ReduceRound& round, std::span<double> out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  throw_if_poisoned();
+  if (!round.done) return false;
+  std::copy(round.result.begin(), round.result.end(), out.begin());
+  return true;
+}
+
+void ThreadTeam::reduce_block(ReduceRound& round, std::span<double> out) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return poisoned_ || round.done; });
+  throw_if_poisoned();
+  std::copy(round.result.begin(), round.result.end(), out.begin());
+}
+
+// ---------------------------------------------------------------------------
+// Point-to-point
+
+void ThreadTeam::post_send(int src, int dest, int tag,
+                           std::span<const double> data) {
   MINIPOP_REQUIRE(dest >= 0 && dest < nranks_, "send to rank " << dest);
+  MINIPOP_REQUIRE(tag >= 0, "tag " << tag);
   {
     std::lock_guard<std::mutex> lock(mu_);
-    mailboxes_[mailbox_key(src, dest, tag)].push_back(
+    mailboxes_[ChannelKey{src, dest, tag}].push_back(
         Message{std::vector<double>(data.begin(), data.end())});
   }
   cv_.notify_all();
 }
 
-void ThreadTeam::do_recv(int dest, int src, int tag, std::span<double> data) {
-  MINIPOP_REQUIRE(src >= 0 && src < nranks_, "recv from rank " << src);
-  const std::uint64_t key = mailbox_key(src, dest, tag);
+void ThreadTeam::post_recv(const ChannelKey& key) {
+  MINIPOP_REQUIRE(key.src >= 0 && key.src < nranks_,
+                  "recv from rank " << key.src);
+  MINIPOP_REQUIRE(key.tag >= 0, "tag " << key.tag);
+  std::lock_guard<std::mutex> lock(mu_);
+  throw_if_poisoned();
+#if MINIPOP_BOUNDS_CHECK
+  const int outstanding = ++outstanding_recvs_[key];
+  MINIPOP_REQUIRE(outstanding == 1,
+                  "tag-epoch audit: recv posted on channel (src="
+                      << key.src << " dest=" << key.dest
+                      << " tag=" << key.tag << ") while "
+                      << (outstanding - 1)
+                      << " matching recv(s) are still outstanding — a tag "
+                         "epoch was reused before its exchange finished");
+#endif
+}
+
+bool ThreadTeam::try_take_locked(const ChannelKey& key,
+                                 std::span<double> out) {
+  auto it = mailboxes_.find(key);
+  if (it == mailboxes_.end() || it->second.empty()) return false;
+  Message msg = std::move(it->second.front());
+  it->second.pop_front();
+  MINIPOP_REQUIRE(msg.data.size() == out.size(),
+                  "recv size " << out.size() << " != sent "
+                               << msg.data.size() << " (src=" << key.src
+                               << " tag=" << key.tag << ")");
+#if MINIPOP_BOUNDS_CHECK
+  auto oit = outstanding_recvs_.find(key);
+  if (oit != outstanding_recvs_.end() && --oit->second <= 0)
+    outstanding_recvs_.erase(oit);
+#endif
+  std::copy(msg.data.begin(), msg.data.end(), out.begin());
+  return true;
+}
+
+bool ThreadTeam::recv_poll(const ChannelKey& key, std::span<double> out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  throw_if_poisoned();
+  return try_take_locked(key, out);
+}
+
+void ThreadTeam::recv_block(const ChannelKey& key, std::span<double> out) {
   std::unique_lock<std::mutex> lock(mu_);
   cv_.wait(lock, [&] {
     if (poisoned_) return true;
@@ -163,15 +293,13 @@ void ThreadTeam::do_recv(int dest, int src, int tag, std::span<double> data) {
     return it != mailboxes_.end() && !it->second.empty();
   });
   throw_if_poisoned();
-  auto& queue = mailboxes_[key];
-  Message msg = std::move(queue.front());
-  queue.pop_front();
-  MINIPOP_REQUIRE(msg.data.size() == data.size(),
-                  "recv size " << data.size() << " != sent "
-                               << msg.data.size() << " (src=" << src
-                               << " tag=" << tag << ")");
-  std::copy(msg.data.begin(), msg.data.end(), data.begin());
+  const bool taken = try_take_locked(key, out);
+  MINIPOP_REQUIRE(taken, "recv woke without a matching message (src="
+                             << key.src << " tag=" << key.tag << ")");
 }
+
+// ---------------------------------------------------------------------------
+// Barrier
 
 void ThreadTeam::do_barrier() {
   std::unique_lock<std::mutex> lock(mu_);

@@ -1,15 +1,21 @@
 // Threaded virtual-MPI backend: a ThreadTeam runs N ranks as threads
-// sharing a mailbox for point-to-point messages and a slot array for
-// deterministic global reductions.
+// sharing mailboxes for point-to-point messages and reduction "rounds"
+// for deterministic global reductions.
 //
 // Semantics mirror the subset of MPI the solvers need:
-//   * send() is buffered/eager (never blocks) — like MPI's eager protocol
-//     that §5 of the paper tunes via MP_EAGER_LIMIT;
-//   * recv() blocks until a matching (src, tag) message arrives;
-//   * allreduce() is a full-team rendezvous whose combination order is
-//     fixed (rank 0, 1, ..., p-1), so results are bitwise reproducible for
-//     a given rank count, exactly like a fixed-topology MPI reduction
-//     tree.
+//   * isend() is buffered/eager (never blocks, complete at post time) —
+//     like MPI's eager protocol that §5 of the paper tunes via
+//     MP_EAGER_LIMIT;
+//   * irecv() posts a mailbox future matching (src, tag) that completes
+//     when the message arrives;
+//   * iallreduce() posts a full-team rendezvous round whose combination
+//     order is fixed (rank 0, 1, ..., p-1) regardless of arrival order,
+//     so results are bitwise reproducible for a given rank count,
+//     exactly like a fixed-topology MPI reduction tree. Ranks contribute
+//     at post time; requests complete once every rank has posted.
+//     Collectives are matched by call ordinal, so every rank must post
+//     its reductions in the same order — but several may be in flight
+//     at once.
 #pragma once
 
 #include <condition_variable>
@@ -36,6 +42,8 @@ class TeamPoisonedError : public util::Error {
 };
 
 class ThreadTeam;
+class ThreadReduceRequest;
+class ThreadRecvRequest;
 
 /// Communicator handed to each rank function by ThreadTeam::run().
 class ThreadComm final : public Communicator {
@@ -43,9 +51,9 @@ class ThreadComm final : public Communicator {
   int rank() const override { return rank_; }
   int size() const override;
 
-  void allreduce(std::span<double> values, ReduceOp op) override;
-  void send(int dest, int tag, std::span<const double> data) override;
-  void recv(int src, int tag, std::span<double> data) override;
+  Request iallreduce(std::span<double> values, ReduceOp op) override;
+  Request isend(int dest, int tag, std::span<const double> data) override;
+  Request irecv(int src, int tag, std::span<double> data) override;
   void barrier() override;
 
  private:
@@ -79,24 +87,50 @@ class ThreadTeam {
 
  private:
   friend class ThreadComm;
+  friend class ThreadReduceRequest;
+  friend class ThreadRecvRequest;
 
   struct Message {
     std::vector<double> data;
   };
 
-  static std::uint64_t mailbox_key(int src, int dest, int tag);
+  /// Point-to-point channel identity. A plain struct key (not a packed
+  /// integer) so epoch-widened tags get the full non-negative int range.
+  struct ChannelKey {
+    int src;
+    int dest;
+    int tag;
+    bool operator==(const ChannelKey&) const = default;
+  };
+  struct ChannelKeyHash {
+    std::size_t operator()(const ChannelKey& k) const;
+  };
 
-  void do_allreduce(int rank, std::span<double> values, ReduceOp op);
-  void do_send(int src, int dest, int tag, std::span<const double> data);
-  void do_recv(int dest, int src, int tag, std::span<double> data);
+  /// One in-flight deterministic reduction. Every rank deposits its
+  /// contribution at post time; the last arriver combines in fixed rank
+  /// order 0..p-1 and marks the round done. Requests hold a shared_ptr,
+  /// so the team's routing map drops the round as soon as it completes.
+  struct ReduceRound {
+    ReduceOp op{};
+    std::vector<std::vector<double>> slots;
+    int arrived = 0;
+    bool done = false;
+    std::vector<double> result;
+  };
+
+  std::shared_ptr<ReduceRound> post_allreduce(int rank,
+                                              std::span<double> values,
+                                              ReduceOp op);
+  bool reduce_poll(ReduceRound& round, std::span<double> out);
+  void reduce_block(ReduceRound& round, std::span<double> out);
+
+  void post_send(int src, int dest, int tag, std::span<const double> data);
+  void post_recv(const ChannelKey& key);
+  bool recv_poll(const ChannelKey& key, std::span<double> out);
+  void recv_block(const ChannelKey& key, std::span<double> out);
+  bool try_take_locked(const ChannelKey& key, std::span<double> out);
+
   void do_barrier();
-
-  int nranks_;
-  std::vector<std::unique_ptr<ThreadComm>> comms_;
-
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::unordered_map<std::uint64_t, std::deque<Message>> mailboxes_;
 
   /// Set when any rank throws: blocked peers wake up and abort instead
   /// of deadlocking in a rendezvous that can never complete.
@@ -104,15 +138,32 @@ class ThreadTeam {
   void poison();
   void throw_if_poisoned() const;
 
-  // Allreduce rendezvous state.
-  std::vector<std::vector<double>> slots_;
-  int reduce_arrived_ = 0;
-  std::uint64_t reduce_generation_ = 0;
-  std::vector<double> reduce_result_;
+  int nranks_;
+  std::vector<std::unique_ptr<ThreadComm>> comms_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::unordered_map<ChannelKey, std::deque<Message>, ChannelKeyHash>
+      mailboxes_;
+
+  // Reduction rounds routed by global call ordinal: per-rank post
+  // counters stay in sync because collectives are posted in the same
+  // order on every rank.
+  std::unordered_map<std::uint64_t, std::shared_ptr<ReduceRound>>
+      reduce_rounds_;
+  std::vector<std::uint64_t> reduce_posts_;
 
   // Barrier state.
   int barrier_arrived_ = 0;
   std::uint64_t barrier_generation_ = 0;
+
+#if MINIPOP_BOUNDS_CHECK
+  // Tag-epoch audit: number of posted-but-uncompleted recvs per channel.
+  // Posting a second recv on a channel that already has one outstanding
+  // means a tag (epoch) was reused while the previous exchange was still
+  // in flight — the failure the tag-epoch window exists to prevent.
+  std::unordered_map<ChannelKey, int, ChannelKeyHash> outstanding_recvs_;
+#endif
 };
 
 }  // namespace minipop::comm

@@ -107,6 +107,10 @@ int BlockEvpPreconditioner::simplified_tiles() const {
   return n;
 }
 
+// Contract: apply() is block-local and communication-free — it never
+// touches `comm` beyond cost accounting and reads no halo points. The
+// overlapped solvers rely on this to run it while reductions are in
+// flight (split-phase engine); keep it that way.
 void BlockEvpPreconditioner::apply(comm::Communicator& comm,
                                    const comm::DistField& in,
                                    comm::DistField& out) {

@@ -172,7 +172,10 @@ solver::SolveStats BarotropicMode::step(comm::Communicator& comm,
   }
 
   // --- The paper's subject: the elliptic solve (warm start) -------------
-  auto stats = solver_->solve(comm, rhs_, eta_);
+  // eta's halo was refreshed above and its interior only read since, so
+  // attest freshness: the solver's first residual skips one exchange.
+  auto stats =
+      solver_->solve(comm, rhs_, eta_, comm::HaloFreshness::kFresh);
   ++total_solves_;
   total_iterations_ += stats.iterations;
 

@@ -11,7 +11,9 @@ SolveStats ChronGearSolver::solve(comm::Communicator& comm,
                                   const comm::HaloExchanger& halo,
                                   const DistOperator& a, Preconditioner& m,
                                   const comm::DistField& b,
-                                  comm::DistField& x) {
+                                  comm::DistField& x,
+                                  comm::HaloFreshness x_fresh) {
+  if (opt_.overlap) return solve_overlapped(comm, halo, a, m, b, x, x_fresh);
   const auto snapshot = comm.costs().counters();
   SolveStats stats;
 
@@ -32,7 +34,7 @@ SolveStats ChronGearSolver::solve(comm::Communicator& comm,
       opt_.rel_tolerance * opt_.rel_tolerance * b_norm2;
 
   // Algorithm 1, step 1.
-  a.residual(comm, halo, b, x, r);
+  a.residual(comm, halo, b, x, r, x_fresh);
   fill_interior(s, 0.0);
   fill_interior(p, 0.0);
   double rho_old = 1.0;
@@ -75,6 +77,127 @@ SolveStats ChronGearSolver::solve(comm::Communicator& comm,
     // and the iterate update that consumes it share one pass each.
     lincomb_axpy(comm, 1.0, rp, beta, s, alpha, x);  // s = r' + βs; x += αs
     lincomb_axpy(comm, 1.0, z, beta, p, -alpha, r);  // p = z + βp; r -= αp
+
+    rho_old = rho;
+    sigma_old = sigma;
+  }
+
+  if (!stats.converged) {
+    stats.relative_residual =
+        std::sqrt(a.global_dot(comm, r, r) / b_norm2);
+  }
+  stats.costs = comm.costs().since(snapshot);
+  return stats;
+}
+
+// Split-phase ChronGear. Bitwise identical to the blocking path; what
+// differs is only WHEN communication completes:
+//   * <b, b> is posted as an iallreduce and flies behind the entire
+//     initial residual (halo + sweep);
+//   * every halo exchange hides behind the interior stencil sweep
+//     (apply_overlapped / residual_overlapped);
+//   * the convergence-check norm ||r_{k-1}||² is posted at the END of
+//     iteration k-1 and waited at the check point of iteration k, so it
+//     flies behind the block-EVP preconditioner application and the
+//     matvec. Element-wise, a separate 1-element fixed-order reduction
+//     of <r, r> equals the third slot of the blocking path's fused
+//     3-element reduction, and masked_dot3's norm accumulator matches
+//     masked_dot — so check decisions are unchanged bit for bit.
+// The fused {rho, delta} reduction CANNOT be hidden: beta, sigma and
+// alpha gate every subsequent operation of the iteration. That exposed
+// latency is the paper's argument for replacing ChronGear with P-CSI;
+// CostTracker's exposed_comm_seconds now measures it directly.
+SolveStats ChronGearSolver::solve_overlapped(comm::Communicator& comm,
+                                             const comm::HaloExchanger& halo,
+                                             const DistOperator& a,
+                                             Preconditioner& m,
+                                             const comm::DistField& b,
+                                             comm::DistField& x,
+                                             comm::HaloFreshness x_fresh) {
+  const auto snapshot = comm.costs().counters();
+  SolveStats stats;
+
+  comm::DistField r(a.decomposition(), a.rank(), x.halo());
+  comm::DistField rp(a.decomposition(), a.rank(), x.halo());  // r' = M^-1 r
+  comm::DistField z(a.decomposition(), a.rank(), x.halo());
+  comm::DistField s(a.decomposition(), a.rank(), x.halo());
+  comm::DistField p(a.decomposition(), a.rank(), x.halo());
+
+  // <b, b> hidden behind the initial residual.
+  double b_norm2 = a.local_dot(comm, b, b);
+  comm::Request b_req =
+      comm.iallreduce(std::span<double>(&b_norm2, 1), comm::ReduceOp::kSum);
+  a.residual_overlapped(comm, halo, b, x, r, x_fresh);
+  b_req.wait();
+  if (b_norm2 == 0.0) {
+    fill_interior(x, 0.0);
+    stats.converged = true;
+    stats.costs = comm.costs().since(snapshot);
+    return stats;
+  }
+  const double threshold2 =
+      opt_.rel_tolerance * opt_.rel_tolerance * b_norm2;
+
+  fill_interior(s, 0.0);
+  fill_interior(p, 0.0);
+  double rho_old = 1.0;
+  double sigma_old = 0.0;
+
+  comm::Request norm_req;   // in-flight ||r||² for the next check
+  double norm_buf = 0.0;
+  // check_frequency == 1 checks at k = 1, whose norm must be posted
+  // before the loop (the general posting site is "end of iteration k-1").
+  if (opt_.check_frequency == 1 && opt_.max_iterations >= 1) {
+    norm_buf = a.local_dot(comm, r, r);
+    norm_req = comm.iallreduce(std::span<double>(&norm_buf, 1),
+                               comm::ReduceOp::kSum);
+  }
+
+  for (int k = 1; k <= opt_.max_iterations; ++k) {
+    stats.iterations = k;
+    const bool check = (k % opt_.check_frequency == 0);
+
+    m.apply(comm, r, rp);
+    a.apply_overlapped(comm, halo, rp, z);
+
+    // The un-hidable reduction: {rho, delta} gate the rest of the
+    // iteration. On check iterations the norm reduction posted last
+    // iteration has been flying behind m.apply + the matvec above.
+    double local[3];
+    a.local_dot3(comm, r, rp, z, /*with_norm=*/false, local);
+    comm.allreduce(std::span<double>(local, 2), comm::ReduceOp::kSum);
+    const double rho = local[0];
+    const double delta = local[1];
+    if (check) {
+      norm_req.wait();
+      const double r_norm2 = norm_buf;
+      if (opt_.record_residuals)
+        stats.residual_history.emplace_back(k,
+                                            std::sqrt(r_norm2 / b_norm2));
+      if (r_norm2 <= threshold2) {
+        stats.converged = true;
+        stats.relative_residual = std::sqrt(r_norm2 / b_norm2);
+        break;
+      }
+    }
+
+    const double beta = rho / rho_old;
+    const double sigma = delta - beta * beta * sigma_old;
+    MINIPOP_REQUIRE(sigma != 0.0, "ChronGear breakdown: sigma == 0");
+    const double alpha = rho / sigma;
+
+    lincomb_axpy(comm, 1.0, rp, beta, s, alpha, x);  // s = r' + βs; x += αs
+    lincomb_axpy(comm, 1.0, z, beta, p, -alpha, r);  // p = z + βp; r -= αp
+
+    // If the NEXT iteration checks convergence, post its ||r||² now —
+    // r is final for this iteration, so the reduction can fly behind
+    // iteration k+1's preconditioner + matvec.
+    if (k + 1 <= opt_.max_iterations &&
+        (k + 1) % opt_.check_frequency == 0) {
+      norm_buf = a.local_dot(comm, r, r);
+      norm_req = comm.iallreduce(std::span<double>(&norm_buf, 1),
+                                 comm::ReduceOp::kSum);
+    }
 
     rho_old = rho;
     sigma_old = sigma;

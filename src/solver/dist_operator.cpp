@@ -23,6 +23,52 @@ kernels::Stencil9 stencil_view(
       c[static_cast<int>(grid::Dir::kCenter)].nx()};
 }
 
+/// Sub-rectangle of a block interior: [i0, i0+ni) x [j0, j0+nj).
+struct SubRect {
+  int i0, j0, ni, nj;
+};
+
+/// Stencil view with all nine coefficient pointers advanced to (i0, j0).
+kernels::Stencil9 shift(const kernels::Stencil9& s, int i0, int j0) {
+  const std::ptrdiff_t off = static_cast<std::ptrdiff_t>(j0) * s.stride + i0;
+  return kernels::Stencil9{s.c0 + off,  s.ce + off,  s.cw + off,
+                           s.cn + off,  s.cs + off,  s.cne + off,
+                           s.cnw + off, s.cse + off, s.csw + off, s.stride};
+}
+
+/// Field pointer advanced to (i0, j0) of a sub-rectangle.
+double* at(double* base, std::ptrdiff_t stride, const SubRect& r) {
+  return base + static_cast<std::ptrdiff_t>(r.j0) * stride + r.i0;
+}
+const double* at(const double* base, std::ptrdiff_t stride,
+                 const SubRect& r) {
+  return base + static_cast<std::ptrdiff_t>(r.j0) * stride + r.i0;
+}
+
+/// Halo-independent interior of an nx x ny block: the 9-point stencil
+/// reads only the ±1 ring, so cells at least one in from every edge
+/// never touch the halo. False when the block is too thin to have one
+/// (then the whole block is rim).
+bool interior_rect(int nx, int ny, SubRect* r) {
+  if (nx <= 2 || ny <= 2) return false;
+  *r = {1, 1, nx - 2, ny - 2};
+  return true;
+}
+
+/// Complement of interior_rect: 1-wide strips along the four edges (or
+/// the whole block when there is no interior).
+int rim_rects(int nx, int ny, SubRect out[4]) {
+  if (nx <= 2 || ny <= 2) {
+    out[0] = {0, 0, nx, ny};
+    return 1;
+  }
+  out[0] = {0, 0, nx, 1};
+  out[1] = {0, ny - 1, nx, 1};
+  out[2] = {0, 1, 1, ny - 2};
+  out[3] = {nx - 1, 1, 1, ny - 2};
+  return 4;
+}
+
 }  // namespace
 
 DistOperator::DistOperator(const grid::NinePointStencil& stencil,
@@ -62,12 +108,13 @@ DistOperator::DistOperator(const grid::NinePointStencil& stencil,
 
 void DistOperator::apply(comm::Communicator& comm,
                          const comm::HaloExchanger& halo,
-                         comm::DistField& x, comm::DistField& y) const {
+                         comm::DistField& x, comm::DistField& y,
+                         comm::HaloFreshness fresh) const {
   MINIPOP_REQUIRE(x.compatible_with(y), "x/y field mismatch");
   MINIPOP_REQUIRE(&x.decomposition() == decomp_ && x.rank() == rank_,
                   "field does not match operator decomposition");
   MINIPOP_REQUIRE(&x != &y, "apply requires distinct x and y");
-  halo.exchange(comm, x);
+  if (fresh == comm::HaloFreshness::kStale) halo.exchange(comm, x);
 
   std::uint64_t points = 0;
   for (int lb = 0; lb < num_local_blocks(); ++lb) {
@@ -84,13 +131,14 @@ void DistOperator::apply(comm::Communicator& comm,
 void DistOperator::residual(comm::Communicator& comm,
                             const comm::HaloExchanger& halo,
                             const comm::DistField& b, comm::DistField& x,
-                            comm::DistField& r) const {
+                            comm::DistField& r,
+                            comm::HaloFreshness fresh) const {
   MINIPOP_REQUIRE(b.compatible_with(x) && b.compatible_with(r),
                   "b/x/r field mismatch");
   MINIPOP_REQUIRE(&x.decomposition() == decomp_ && x.rank() == rank_,
                   "field does not match operator decomposition");
   MINIPOP_REQUIRE(&b != &r && &x != &r, "residual requires distinct r");
-  halo.exchange(comm, x);
+  if (fresh == comm::HaloFreshness::kStale) halo.exchange(comm, x);
 
   std::uint64_t points = 0;
   for (int lb = 0; lb < num_local_blocks(); ++lb) {
@@ -108,13 +156,14 @@ double DistOperator::residual_local_norm2(comm::Communicator& comm,
                                           const comm::HaloExchanger& halo,
                                           const comm::DistField& b,
                                           comm::DistField& x,
-                                          comm::DistField& r) const {
+                                          comm::DistField& r,
+                                          comm::HaloFreshness fresh) const {
   MINIPOP_REQUIRE(b.compatible_with(x) && b.compatible_with(r),
                   "b/x/r field mismatch");
   MINIPOP_REQUIRE(&x.decomposition() == decomp_ && x.rank() == rank_,
                   "field does not match operator decomposition");
   MINIPOP_REQUIRE(&b != &r && &x != &r, "residual requires distinct r");
-  halo.exchange(comm, x);
+  if (fresh == comm::HaloFreshness::kStale) halo.exchange(comm, x);
 
   double sum = 0.0;
   std::uint64_t points = 0;
@@ -130,6 +179,107 @@ double DistOperator::residual_local_norm2(comm::Communicator& comm,
   // sweeps were separate.
   comm.costs().add_flops(12 * points);
   return sum;
+}
+
+void DistOperator::apply_overlapped(comm::Communicator& comm,
+                                    const comm::HaloExchanger& halo,
+                                    comm::DistField& x, comm::DistField& y,
+                                    comm::HaloFreshness fresh) const {
+  if (fresh == comm::HaloFreshness::kFresh) {
+    apply(comm, halo, x, y, fresh);
+    return;
+  }
+  MINIPOP_REQUIRE(x.compatible_with(y), "x/y field mismatch");
+  MINIPOP_REQUIRE(&x.decomposition() == decomp_ && x.rank() == rank_,
+                  "field does not match operator decomposition");
+  MINIPOP_REQUIRE(&x != &y, "apply requires distinct x and y");
+
+  comm::HaloHandle inflight = halo.begin(comm, x);
+  for (int lb = 0; lb < num_local_blocks(); ++lb) {
+    const auto& b = x.info(lb);
+    SubRect in;
+    if (!interior_rect(b.nx, b.ny, &in)) continue;
+    kernels::apply9(shift(stencil_view(block_coeff_[lb]), in.i0, in.j0),
+                    in.ni, in.nj, at(x.interior(lb), x.stride(lb), in),
+                    x.stride(lb), at(y.interior(lb), y.stride(lb), in),
+                    y.stride(lb));
+  }
+  inflight.finish();
+
+  std::uint64_t points = 0;
+  for (int lb = 0; lb < num_local_blocks(); ++lb) {
+    const auto& b = x.info(lb);
+    SubRect rim[4];
+    const int n = rim_rects(b.nx, b.ny, rim);
+    for (int k = 0; k < n; ++k)
+      kernels::apply9(
+          shift(stencil_view(block_coeff_[lb]), rim[k].i0, rim[k].j0),
+          rim[k].ni, rim[k].nj, at(x.interior(lb), x.stride(lb), rim[k]),
+          x.stride(lb), at(y.interior(lb), y.stride(lb), rim[k]),
+          y.stride(lb));
+    points += static_cast<std::uint64_t>(b.nx) * b.ny;
+  }
+  comm.costs().add_flops(9 * points);
+}
+
+void DistOperator::residual_overlapped(comm::Communicator& comm,
+                                       const comm::HaloExchanger& halo,
+                                       const comm::DistField& b,
+                                       comm::DistField& x,
+                                       comm::DistField& r,
+                                       comm::HaloFreshness fresh) const {
+  if (fresh == comm::HaloFreshness::kFresh) {
+    residual(comm, halo, b, x, r, fresh);
+    return;
+  }
+  MINIPOP_REQUIRE(b.compatible_with(x) && b.compatible_with(r),
+                  "b/x/r field mismatch");
+  MINIPOP_REQUIRE(&x.decomposition() == decomp_ && x.rank() == rank_,
+                  "field does not match operator decomposition");
+  MINIPOP_REQUIRE(&b != &r && &x != &r, "residual requires distinct r");
+
+  comm::HaloHandle inflight = halo.begin(comm, x);
+  for (int lb = 0; lb < num_local_blocks(); ++lb) {
+    const auto& info = r.info(lb);
+    SubRect in;
+    if (!interior_rect(info.nx, info.ny, &in)) continue;
+    kernels::residual9(shift(stencil_view(block_coeff_[lb]), in.i0, in.j0),
+                       in.ni, in.nj, at(b.interior(lb), b.stride(lb), in),
+                       b.stride(lb), at(x.interior(lb), x.stride(lb), in),
+                       x.stride(lb), at(r.interior(lb), r.stride(lb), in),
+                       r.stride(lb));
+  }
+  inflight.finish();
+
+  std::uint64_t points = 0;
+  for (int lb = 0; lb < num_local_blocks(); ++lb) {
+    const auto& info = r.info(lb);
+    SubRect rim[4];
+    const int n = rim_rects(info.nx, info.ny, rim);
+    for (int k = 0; k < n; ++k)
+      kernels::residual9(
+          shift(stencil_view(block_coeff_[lb]), rim[k].i0, rim[k].j0),
+          rim[k].ni, rim[k].nj, at(b.interior(lb), b.stride(lb), rim[k]),
+          b.stride(lb), at(x.interior(lb), x.stride(lb), rim[k]),
+          x.stride(lb), at(r.interior(lb), r.stride(lb), rim[k]),
+          r.stride(lb));
+    points += static_cast<std::uint64_t>(info.nx) * info.ny;
+  }
+  comm.costs().add_flops(10 * points);
+}
+
+double DistOperator::residual_local_norm2_overlapped(
+    comm::Communicator& comm, const comm::HaloExchanger& halo,
+    const comm::DistField& b, comm::DistField& x, comm::DistField& r,
+    comm::HaloFreshness fresh) const {
+  // The fused kernel threads one row-major accumulator through whole
+  // blocks; an interior/rim split would reorder that sum. Instead use
+  // the kernel contract "residual_norm2_9 == residual9 + masked_dot":
+  // overlap the residual sweep, then take the norm in a second pass with
+  // the blocking accumulation order. Flops match the blocking path
+  // (10 + 2 per point).
+  residual_overlapped(comm, halo, b, x, r, fresh);
+  return local_dot(comm, r, r);
 }
 
 double DistOperator::local_dot(comm::Communicator& comm,

@@ -35,14 +35,17 @@ class DistOperator {
   double phi() const { return phi_; }
 
   /// y = A x over block interiors. Refreshes x's halo first (one
-  /// boundary update), so callers never manage halos themselves.
+  /// boundary update) unless the caller attests kFresh, so callers never
+  /// manage halos themselves.
   void apply(comm::Communicator& comm, const comm::HaloExchanger& halo,
-             comm::DistField& x, comm::DistField& y) const;
+             comm::DistField& x, comm::DistField& y,
+             comm::HaloFreshness fresh = comm::HaloFreshness::kStale) const;
 
   /// r = b - A x (same halo refresh of x), fused into one sweep.
   void residual(comm::Communicator& comm, const comm::HaloExchanger& halo,
                 const comm::DistField& b, comm::DistField& x,
-                comm::DistField& r) const;
+                comm::DistField& r,
+                comm::HaloFreshness fresh = comm::HaloFreshness::kStale) const;
 
   /// Fused r = b - A x AND local masked ||r||² in the same sweep — the
   /// solvers' convergence check at zero extra field passes. Returns the
@@ -51,7 +54,39 @@ class DistOperator {
   double residual_local_norm2(comm::Communicator& comm,
                               const comm::HaloExchanger& halo,
                               const comm::DistField& b, comm::DistField& x,
-                              comm::DistField& r) const;
+                              comm::DistField& r,
+                              comm::HaloFreshness fresh =
+                                  comm::HaloFreshness::kStale) const;
+
+  // Split-phase variants: halo.begin() -> sweep the halo-independent
+  // interior of each block -> halo.finish() -> sweep the 1-wide boundary
+  // rim whose stencil reads the halo. Per-cell outputs are bitwise
+  // identical to the blocking sweeps (the 9-point stencil writes each
+  // cell independently), and the overlapped norm² accumulates via
+  // residual + local_dot, whose order is contractually bit-identical to
+  // the fused kernel. With kFresh they skip the exchange and degrade to
+  // the plain sweeps.
+
+  /// y = A x with the halo exchange of x hidden behind the interior
+  /// sweep.
+  void apply_overlapped(
+      comm::Communicator& comm, const comm::HaloExchanger& halo,
+      comm::DistField& x, comm::DistField& y,
+      comm::HaloFreshness fresh = comm::HaloFreshness::kStale) const;
+
+  /// r = b - A x with the halo exchange of x hidden behind the interior
+  /// sweep.
+  void residual_overlapped(
+      comm::Communicator& comm, const comm::HaloExchanger& halo,
+      const comm::DistField& b, comm::DistField& x, comm::DistField& r,
+      comm::HaloFreshness fresh = comm::HaloFreshness::kStale) const;
+
+  /// Overlapped r = b - A x plus local masked ||r||²; bit-identical to
+  /// residual_local_norm2 (and to residual + local_dot).
+  double residual_local_norm2_overlapped(
+      comm::Communicator& comm, const comm::HaloExchanger& halo,
+      const comm::DistField& b, comm::DistField& x, comm::DistField& r,
+      comm::HaloFreshness fresh = comm::HaloFreshness::kStale) const;
 
   /// Local (this rank's) masked inner product over block interiors;
   /// combine across ranks with an allreduce.

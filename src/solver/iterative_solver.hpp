@@ -22,6 +22,13 @@ struct SolverOptions {
   /// Record the relative residual at every convergence check into
   /// SolveStats::residual_history (convergence-curve studies).
   bool record_residuals = false;
+  /// Use the split-phase engine: halo exchanges hidden behind the
+  /// interior stencil sweep, and reductions hidden behind computation
+  /// wherever that is possible without changing the arithmetic. Iterates,
+  /// iteration counts and residuals are bitwise identical to the
+  /// blocking path; CostTracker's posted/exposed seconds show how much
+  /// communication was actually hidden.
+  bool overlap = false;
 
   SolverOptions() = default;
 };
@@ -43,11 +50,13 @@ class IterativeSolver {
 
   /// Solve A x = b starting from the x passed in (often the previous time
   /// step's solution in POP). x is updated in place; collective across the
-  /// communicator.
-  virtual SolveStats solve(comm::Communicator& comm,
-                           const comm::HaloExchanger& halo,
-                           const DistOperator& a, Preconditioner& m,
-                           const comm::DistField& b, comm::DistField& x) = 0;
+  /// communicator. `x_fresh` attests that x's halo was just refreshed, so
+  /// the initial residual needs no boundary update (see HaloFreshness).
+  virtual SolveStats solve(
+      comm::Communicator& comm, const comm::HaloExchanger& halo,
+      const DistOperator& a, Preconditioner& m, const comm::DistField& b,
+      comm::DistField& x,
+      comm::HaloFreshness x_fresh = comm::HaloFreshness::kStale) = 0;
 
   virtual std::string name() const = 0;
 };

@@ -10,7 +10,8 @@ namespace minipop::solver {
 SolveStats PcgSolver::solve(comm::Communicator& comm,
                             const comm::HaloExchanger& halo,
                             const DistOperator& a, Preconditioner& m,
-                            const comm::DistField& b, comm::DistField& x) {
+                            const comm::DistField& b, comm::DistField& x,
+                            comm::HaloFreshness x_fresh) {
   const auto snapshot = comm.costs().counters();
   SolveStats stats;
 
@@ -29,7 +30,7 @@ SolveStats PcgSolver::solve(comm::Communicator& comm,
   const double threshold2 =
       opt_.rel_tolerance * opt_.rel_tolerance * b_norm2;
 
-  a.residual(comm, halo, b, x, r);
+  a.residual(comm, halo, b, x, r, x_fresh);
 
   double rho_old = 1.0;
   fill_interior(p, 0.0);

@@ -11,9 +11,11 @@ class PcgSolver final : public IterativeSolver {
  public:
   explicit PcgSolver(const SolverOptions& options = {}) : opt_(options) {}
 
-  SolveStats solve(comm::Communicator& comm, const comm::HaloExchanger& halo,
-                   const DistOperator& a, Preconditioner& m,
-                   const comm::DistField& b, comm::DistField& x) override;
+  SolveStats solve(
+      comm::Communicator& comm, const comm::HaloExchanger& halo,
+      const DistOperator& a, Preconditioner& m, const comm::DistField& b,
+      comm::DistField& x,
+      comm::HaloFreshness x_fresh = comm::HaloFreshness::kStale) override;
 
   std::string name() const override { return "pcg"; }
 

@@ -23,9 +23,11 @@ class PcsiSolver final : public IterativeSolver {
  public:
   PcsiSolver(EigenBounds bounds, const SolverOptions& options = {});
 
-  SolveStats solve(comm::Communicator& comm, const comm::HaloExchanger& halo,
-                   const DistOperator& a, Preconditioner& m,
-                   const comm::DistField& b, comm::DistField& x) override;
+  SolveStats solve(
+      comm::Communicator& comm, const comm::HaloExchanger& halo,
+      const DistOperator& a, Preconditioner& m, const comm::DistField& b,
+      comm::DistField& x,
+      comm::HaloFreshness x_fresh = comm::HaloFreshness::kStale) override;
 
   std::string name() const override { return "pcsi"; }
 
@@ -33,6 +35,15 @@ class PcsiSolver final : public IterativeSolver {
   void set_bounds(EigenBounds bounds);
 
  private:
+  /// Split-phase path (SolverOptions::overlap): overlapped halo sweeps
+  /// plus the check-norm reduction hidden behind a speculative
+  /// preconditioner apply. Bitwise identical to the blocking path.
+  SolveStats solve_overlapped(comm::Communicator& comm,
+                              const comm::HaloExchanger& halo,
+                              const DistOperator& a, Preconditioner& m,
+                              const comm::DistField& b, comm::DistField& x,
+                              comm::HaloFreshness x_fresh);
+
   EigenBounds bounds_;
   SolverOptions opt_;
 };

@@ -16,7 +16,8 @@ SolveStats PipelinedCgSolver::solve(comm::Communicator& comm,
                                     const comm::HaloExchanger& halo,
                                     const DistOperator& a, Preconditioner& m,
                                     const comm::DistField& b,
-                                    comm::DistField& x) {
+                                    comm::DistField& x,
+                                    comm::HaloFreshness x_fresh) {
   const auto snapshot = comm.costs().counters();
   SolveStats stats;
 
@@ -38,9 +39,15 @@ SolveStats PipelinedCgSolver::solve(comm::Communicator& comm,
   const double threshold2 =
       opt_.rel_tolerance * opt_.rel_tolerance * b_norm2;
 
-  a.residual(comm, halo, b, x, r);  // r0 = b - A x0
-  m.apply(comm, r, u);              // u0 = M^-1 r0
-  a.apply(comm, halo, u, w);        // w0 = A u0
+  if (opt_.overlap) {
+    a.residual_overlapped(comm, halo, b, x, r, x_fresh);  // r0 = b - A x0
+    m.apply(comm, r, u);                                  // u0 = M^-1 r0
+    a.apply_overlapped(comm, halo, u, w);                 // w0 = A u0
+  } else {
+    a.residual(comm, halo, b, x, r, x_fresh);
+    m.apply(comm, r, u);
+    a.apply(comm, halo, u, w);
+  }
 
   double gamma_old = 0.0;
   double alpha_old = 0.0;
@@ -49,13 +56,26 @@ SolveStats PipelinedCgSolver::solve(comm::Communicator& comm,
     stats.iterations = k;
 
     // The single fused reduction of the iteration (local dots in one
-    // sweep). In a real MPI build this is the MPI_Iallreduce that
-    // overlaps the precond+matvec below.
+    // sweep). With SolverOptions::overlap it is a real iallreduce that
+    // flies behind the precond+matvec — the Ghysels & Vanroose point of
+    // the pipelined formulation; m_k and n_k depend only on w_k, never
+    // on the reduction result. (On the final converged check the
+    // overlap path has already computed the scratch m/n pair — one
+    // speculative precond+matvec more than blocking; x, r, iteration
+    // counts and residuals are still bitwise identical.)
     const bool check = (k % opt_.check_frequency == 0);
     double local[3];
     a.local_dot3(comm, r, u, w, check, local);
-    comm.allreduce(std::span<double>(local, check ? 3 : 2),
-                   comm::ReduceOp::kSum);
+    if (opt_.overlap) {
+      comm::Request red = comm.iallreduce(
+          std::span<double>(local, check ? 3 : 2), comm::ReduceOp::kSum);
+      m.apply(comm, w, mm);                  // m_k = M^-1 w_k
+      a.apply_overlapped(comm, halo, mm, nn);  // n_k = A m_k
+      red.wait();
+    } else {
+      comm.allreduce(std::span<double>(local, check ? 3 : 2),
+                     comm::ReduceOp::kSum);
+    }
     const double gamma = local[0];
     const double delta = local[1];
     if (check) {
@@ -69,9 +89,12 @@ SolveStats PipelinedCgSolver::solve(comm::Communicator& comm,
       }
     }
 
-    // Work that overlaps the reduction in the pipelined formulation.
-    m.apply(comm, w, mm);        // m_k = M^-1 w_k
-    a.apply(comm, halo, mm, nn);  // n_k = A m_k
+    // Work that overlaps the reduction in the pipelined formulation
+    // (already issued above when overlap is on).
+    if (!opt_.overlap) {
+      m.apply(comm, w, mm);        // m_k = M^-1 w_k
+      a.apply(comm, halo, mm, nn);  // n_k = A m_k
+    }
 
     double beta, alpha;
     if (k == 1) {
@@ -108,9 +131,15 @@ SolveStats PipelinedCgSolver::solve(comm::Communicator& comm,
     // accuracy stagnates. Periodically recompute r, u, w from their
     // definitions; the search-direction recurrences continue unchanged.
     if (k % kReplacementFrequency == 0) {
-      a.residual(comm, halo, b, x, r);
-      m.apply(comm, r, u);
-      a.apply(comm, halo, u, w);
+      if (opt_.overlap) {
+        a.residual_overlapped(comm, halo, b, x, r);
+        m.apply(comm, r, u);
+        a.apply_overlapped(comm, halo, u, w);
+      } else {
+        a.residual(comm, halo, b, x, r);
+        m.apply(comm, r, u);
+        a.apply(comm, halo, u, w);
+      }
     }
 
     gamma_old = gamma;

@@ -55,6 +55,8 @@ BarotropicSolver::BarotropicSolver(comm::Communicator& comm,
     : config_(config),
       halo_(&halo),
       op_(stencil, decomp, comm.rank()) {
+  // The facade-level flag is a synonym for the per-solver option.
+  if (config_.overlap) config_.options.overlap = true;
   // Pipelined CG amplifies any asymmetry of the preconditioner, and EVP
   // marching round-off IS such an asymmetry: require much more accurate
   // (hence more subdivided) tiles for that pairing.
@@ -99,8 +101,9 @@ BarotropicSolver::BarotropicSolver(comm::Communicator& comm,
 
 SolveStats BarotropicSolver::solve(comm::Communicator& comm,
                                    const comm::DistField& b,
-                                   comm::DistField& x) {
-  return solver_->solve(comm, *halo_, op_, *precond_, b, x);
+                                   comm::DistField& x,
+                                   comm::HaloFreshness x_fresh) {
+  return solver_->solve(comm, *halo_, op_, *precond_, b, x, x_fresh);
 }
 
 std::string BarotropicSolver::description() const {

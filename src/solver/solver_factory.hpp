@@ -32,6 +32,9 @@ struct SolverConfig {
   SolverOptions options;
   evp::BlockEvpOptions evp;
   LanczosOptions lanczos;
+  /// Select the split-phase (overlapped) solver variants; equivalent to
+  /// setting options.overlap. Bitwise identical results either way.
+  bool overlap = false;
 };
 
 /// One rank's fully-assembled barotropic solver. Construction is
@@ -47,8 +50,11 @@ class BarotropicSolver {
                    const SolverConfig& config);
 
   /// Solve A x = b (x is both initial guess and result). Collective.
+  /// `x_fresh` attests that x's halo was refreshed since its interior
+  /// was last written (the model's barotropic step guarantees this).
   SolveStats solve(comm::Communicator& comm, const comm::DistField& b,
-                   comm::DistField& x);
+                   comm::DistField& x,
+                   comm::HaloFreshness x_fresh = comm::HaloFreshness::kStale);
 
   const DistOperator& op() const { return op_; }
   Preconditioner& preconditioner() { return *precond_; }
