@@ -37,7 +37,7 @@ void run(comm::Communicator& comm, const model::ModelConfig& cfg,
   }
 
   util::Table t({"day", "mean T [C]", "mean SSH [m]", "KE [m^5/s^2]",
-                 "max |u| [m/s]", "solver iters/step"});
+                 "max |u| [m/s]", "solver iters/step", "solve fails"});
   util::Timer wall;
   long last_iters = 0;
   long last_steps = 0;
@@ -58,7 +58,9 @@ void run(comm::Communicator& comm, const model::ModelConfig& cfg,
             .add(model.mean_ssh(comm), 5)
             .add(model.kinetic_energy(comm), 3)
             .add(model.max_speed(comm), 3)
-            .add(iters_per_step, 1);
+            .add(iters_per_step, 1)
+            .add(static_cast<double>(model.barotropic().solver_failures()),
+                 0);
       } else {
         // Non-root ranks still participate in the collective diagnostics.
         model.mean_temperature(comm);
@@ -77,7 +79,14 @@ void run(comm::Communicator& comm, const model::ModelConfig& cfg,
               << model.time_days() << " simulated days) in "
               << wall.seconds() << " s wall clock; "
               << model.barotropic().total_iterations()
-              << " total solver iterations.\n";
+              << " total solver iterations";
+    if (model.barotropic().solver_failures() > 0)
+      std::cout << "; " << model.barotropic().solver_failures()
+                << " solve(s) FAILED (last: "
+                << minipop::solver::to_string(
+                       model.barotropic().last_failure())
+                << ")";
+    std::cout << ".\n";
   }
 }
 

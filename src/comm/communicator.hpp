@@ -22,10 +22,22 @@
 #include <span>
 
 #include "src/comm/cost_tracker.hpp"
+#include "src/util/error.hpp"
 
 namespace minipop::comm {
 
 enum class ReduceOp { kSum, kMax, kMin };
+
+/// A communication wait exceeded its configured timeout (see
+/// ThreadComm::set_recv_timeout). Once one rank throws this, the whole
+/// team's communication state is suspect: every subsequent blocking call
+/// on any rank of the team also throws until Communicator::resync() has
+/// been run collectively. Distinct from util::Error subclassing alone so
+/// the recovery layer can catch timeouts specifically.
+class CommTimeoutError : public util::Error {
+ public:
+  using util::Error::Error;
+};
 
 /// Backend-side completion state of one in-flight split-phase operation.
 /// poll() attempts completion without blocking and returns true once the
@@ -104,6 +116,15 @@ class Communicator {
 
   virtual void barrier() = 0;
 
+  /// Collective fence that clears any failed-communication state (pending
+  /// mailboxes, reduction ordinals, timeout flags) and returns with every
+  /// rank at a common point, ready for fresh collectives. A no-op on
+  /// healthy backends with nothing outstanding; after a CommTimeoutError
+  /// it is the only way to make the team usable again. Every rank must
+  /// call it (ranks that did not observe the timeout themselves are
+  /// pushed into it by their next blocking call throwing).
+  virtual void resync() {}
+
   // Blocking wrappers: post + wait.
   void allreduce(std::span<double> values, ReduceOp op);
   void send(int dest, int tag, std::span<const double> data);
@@ -135,6 +156,14 @@ class Communicator {
   }
 
  protected:
+  /// Rewind the epoch counter to its initial value. The counters stay
+  /// aligned only because every rank draws epochs in the same collective
+  /// order; a timed-out exchange aborts ranks after *different* numbers
+  /// of draws, desynchronizing them permanently. resync()
+  /// implementations must call this after the fence (once all stale
+  /// messages are gone) so post-recovery exchanges match tags again.
+  void reset_tag_epoch() { tag_epoch_ = 0; }
+
   CostTracker costs_;
 
  private:

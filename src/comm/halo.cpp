@@ -4,6 +4,7 @@
 #include <cstring>
 #include <vector>
 
+#include "src/fault/fault_injector.hpp"
 #include "src/util/error.hpp"
 
 namespace minipop::comm {
@@ -179,6 +180,7 @@ HaloHandle HaloExchanger::begin(Communicator& comm, DistField& field) const {
       const int owner = decomp_->block(nid).owner;
       if (owner == my_rank) continue;
       pack(field.data(lb), h, send_region(d, b.nx, b.ny, h), buf);
+      fault::hook_halo_payload(my_rank, buf.data(), buf.size());
       comm.isend(owner, message_tag(epoch, b.id, d), buf);
     }
   }

@@ -72,10 +72,16 @@ class HaloHandle {
   friend class HaloExchanger;
 
   struct PendingRecv {
-    Request request;
+    // `request` must be declared after `buf`: an abandoned Request's
+    // destructor performs one non-blocking test, which can still deliver
+    // a matured message into the landing span — so the request has to
+    // die (reverse declaration order) while the buffer it targets is
+    // alive. With the opposite order, unwinding a timed-out exchange
+    // writes into freed memory.
     std::vector<double> buf;
-    int lb;
-    detail::HaloRegion dst;
+    int lb = 0;
+    detail::HaloRegion dst{};
+    Request request;
   };
 
   Communicator* comm_ = nullptr;

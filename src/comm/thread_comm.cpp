@@ -1,10 +1,12 @@
 #include "src/comm/thread_comm.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <exception>
 #include <thread>
 #include <utility>
 
+#include "src/fault/fault_injector.hpp"
 #include "src/util/error.hpp"
 
 namespace minipop::comm {
@@ -51,6 +53,7 @@ class ThreadRecvRequest final : public RequestState {
 int ThreadComm::size() const { return team_->nranks(); }
 
 Request ThreadComm::iallreduce(std::span<double> values, ReduceOp op) {
+  fault::hook_rank_stall(rank_);
   costs_.add_allreduce(values.size());
   auto round = team_->post_allreduce(rank_, values, op);
   return Request(
@@ -75,6 +78,15 @@ Request ThreadComm::irecv(int src, int tag, std::span<double> data) {
 
 void ThreadComm::barrier() { team_->do_barrier(); }
 
+void ThreadComm::resync() {
+  team_->do_resync();
+  // The fence wiped all queued messages, so rewinding every rank's
+  // epoch counter is safe — and necessary: ranks abort a timed-out
+  // exchange after different numbers of epoch draws, so the counters
+  // no longer agree and post-recovery exchanges would mismatch tags.
+  reset_tag_epoch();
+}
+
 // ---------------------------------------------------------------------------
 // ThreadTeam
 
@@ -95,6 +107,8 @@ void ThreadTeam::run(const std::function<void(Communicator&)>& fn) {
   reduce_posts_.assign(nranks_, 0);
   barrier_arrived_ = 0;
   poisoned_ = false;
+  timed_out_ = false;
+  resync_arrived_ = 0;
 #if MINIPOP_BOUNDS_CHECK
   outstanding_recvs_.clear();
 #endif
@@ -115,6 +129,13 @@ void ThreadTeam::run(const std::function<void(Communicator&)>& fn) {
     });
   }
   for (auto& t : threads) t.join();
+  // Drain fault-delayed deliveries: no timer thread may outlive the run.
+  std::vector<std::thread> delayed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    delayed.swap(delayed_threads_);
+  }
+  for (auto& t : delayed) t.join();
   // Prefer the original failure over secondary "team poisoned" aborts.
   std::exception_ptr poison_error;
   for (auto& e : errors) {
@@ -141,6 +162,49 @@ void ThreadTeam::poison() {
 void ThreadTeam::throw_if_poisoned() const {
   if (poisoned_)
     throw TeamPoisonedError("virtual-MPI team aborted: a peer rank failed");
+}
+
+void ThreadTeam::throw_if_timed_out() const {
+  if (timed_out_)
+    throw CommTimeoutError(
+        "virtual-MPI team out of sync after a receive timeout; "
+        "Communicator::resync() required");
+}
+
+void ThreadTeam::set_recv_timeout(double total_ms, int retries) {
+  MINIPOP_REQUIRE(retries >= 1 && retries < 31, "retries " << retries);
+  std::lock_guard<std::mutex> lock(mu_);
+  recv_timeout_ms_ = total_ms;
+  recv_retries_ = retries;
+}
+
+void ThreadTeam::do_resync() {
+  std::unique_lock<std::mutex> lock(mu_);
+  throw_if_poisoned();
+  const std::uint64_t my_generation = resync_generation_;
+  if (++resync_arrived_ == nranks_) {
+    // Last arriver wipes the failed communication epoch: queued and
+    // in-flight messages, reduction rounds and ordinals, the barrier
+    // count and the timeout flag. Outstanding requests from before the
+    // fence are dead; abandoning them is safe (Request's destructor
+    // never blocks).
+    mailboxes_.clear();
+    reduce_rounds_.clear();
+    std::fill(reduce_posts_.begin(), reduce_posts_.end(), 0);
+    barrier_arrived_ = 0;
+    timed_out_ = false;
+#if MINIPOP_BOUNDS_CHECK
+    outstanding_recvs_.clear();
+#endif
+    resync_arrived_ = 0;
+    ++resync_generation_;
+    cv_.notify_all();
+  } else {
+    cv_.wait(lock, [&] {
+      return poisoned_ || resync_generation_ != my_generation;
+    });
+    throw_if_poisoned();
+  }
 }
 
 const CostCounters& ThreadTeam::costs(int r) const {
@@ -170,6 +234,7 @@ std::shared_ptr<ThreadTeam::ReduceRound> ThreadTeam::post_allreduce(
     int rank, std::span<double> values, ReduceOp op) {
   std::unique_lock<std::mutex> lock(mu_);
   throw_if_poisoned();
+  throw_if_timed_out();
   const std::uint64_t ordinal = reduce_posts_[rank]++;
   auto [it, inserted] = reduce_rounds_.try_emplace(ordinal);
   if (inserted) {
@@ -215,15 +280,21 @@ std::shared_ptr<ThreadTeam::ReduceRound> ThreadTeam::post_allreduce(
 bool ThreadTeam::reduce_poll(ReduceRound& round, std::span<double> out) {
   std::lock_guard<std::mutex> lock(mu_);
   throw_if_poisoned();
-  if (!round.done) return false;
+  if (!round.done) {
+    throw_if_timed_out();
+    return false;
+  }
   std::copy(round.result.begin(), round.result.end(), out.begin());
   return true;
 }
 
 void ThreadTeam::reduce_block(ReduceRound& round, std::span<double> out) {
   std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [&] { return poisoned_ || round.done; });
+  cv_.wait(lock, [&] { return poisoned_ || timed_out_ || round.done; });
   throw_if_poisoned();
+  // A completed round is still good data even if a peer timed out
+  // elsewhere; only an incomplete one can never finish.
+  if (!round.done) throw_if_timed_out();
   std::copy(round.result.begin(), round.result.end(), out.begin());
 }
 
@@ -234,10 +305,39 @@ void ThreadTeam::post_send(int src, int dest, int tag,
                            std::span<const double> data) {
   MINIPOP_REQUIRE(dest >= 0 && dest < nranks_, "send to rank " << dest);
   MINIPOP_REQUIRE(tag >= 0, "tag " << tag);
+  const ChannelKey key{src, dest, tag};
+  const fault::MailboxDecision fate = fault::hook_mailbox(src);
   {
     std::lock_guard<std::mutex> lock(mu_);
-    mailboxes_[ChannelKey{src, dest, tag}].push_back(
-        Message{std::vector<double>(data.begin(), data.end())});
+    throw_if_timed_out();
+    if (fate.fired && fate.action == fault::MailboxAction::kDrop) return;
+    if (fate.fired && fate.action == fault::MailboxAction::kDelay) {
+      // Deliver from a timer thread. The message is stamped with the
+      // current resync generation: if a resync intervenes before it
+      // matures, delivery is dropped — a late message must not leak into
+      // a fresh epoch whose tags it could accidentally match.
+      const std::uint64_t generation = resync_generation_;
+      Message msg{std::vector<double>(data.begin(), data.end())};
+      delayed_threads_.emplace_back(
+          [this, key, generation, delay_ms = fate.delay_ms,
+           msg = std::move(msg)]() mutable {
+            std::this_thread::sleep_for(
+                std::chrono::duration<double, std::milli>(delay_ms));
+            {
+              std::lock_guard<std::mutex> inner(mu_);
+              if (poisoned_ || resync_generation_ != generation) return;
+              mailboxes_[key].push_back(std::move(msg));
+            }
+            cv_.notify_all();
+          });
+      return;
+    }
+    const int copies =
+        (fate.fired && fate.action == fault::MailboxAction::kDuplicate) ? 2
+                                                                        : 1;
+    for (int c = 0; c < copies; ++c)
+      mailboxes_[key].push_back(
+          Message{std::vector<double>(data.begin(), data.end())});
   }
   cv_.notify_all();
 }
@@ -248,6 +348,7 @@ void ThreadTeam::post_recv(const ChannelKey& key) {
   MINIPOP_REQUIRE(key.tag >= 0, "tag " << key.tag);
   std::lock_guard<std::mutex> lock(mu_);
   throw_if_poisoned();
+  throw_if_timed_out();
 #if MINIPOP_BOUNDS_CHECK
   const int outstanding = ++outstanding_recvs_[key];
   MINIPOP_REQUIRE(outstanding == 1,
@@ -282,20 +383,50 @@ bool ThreadTeam::try_take_locked(const ChannelKey& key,
 bool ThreadTeam::recv_poll(const ChannelKey& key, std::span<double> out) {
   std::lock_guard<std::mutex> lock(mu_);
   throw_if_poisoned();
-  return try_take_locked(key, out);
+  if (try_take_locked(key, out)) return true;
+  throw_if_timed_out();
+  return false;
 }
 
 void ThreadTeam::recv_block(const ChannelKey& key, std::span<double> out) {
   std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [&] {
-    if (poisoned_) return true;
+  const auto ready = [&] {
+    if (poisoned_ || timed_out_) return true;
     auto it = mailboxes_.find(key);
     return it != mailboxes_.end() && !it->second.empty();
-  });
+  };
+  if (recv_timeout_ms_ <= 0.0) {
+    cv_.wait(lock, ready);
+  } else {
+    // Retry ladder with exponential backoff: attempt i waits slice*2^i,
+    // the attempts summing to recv_timeout_ms_.
+    const int attempts = recv_retries_;
+    const double slice = recv_timeout_ms_ / ((1u << attempts) - 1);
+    bool satisfied = ready();
+    for (int a = 0; a < attempts && !satisfied; ++a)
+      satisfied = cv_.wait_for(
+          lock,
+          std::chrono::duration<double, std::milli>(slice * (1u << a)),
+          ready);
+    if (!satisfied) {
+      // First observer of the timeout: flag the team so every peer
+      // unwinds to the resync fence instead of waiting on collectives
+      // this rank will never join.
+      timed_out_ = true;
+      lock.unlock();
+      cv_.notify_all();
+      throw CommTimeoutError("recv timed out after " +
+                             std::to_string(recv_timeout_ms_) +
+                             " ms (src=" + std::to_string(key.src) +
+                             " tag=" + std::to_string(key.tag) + ")");
+    }
+  }
   throw_if_poisoned();
-  const bool taken = try_take_locked(key, out);
-  MINIPOP_REQUIRE(taken, "recv woke without a matching message (src="
-                             << key.src << " tag=" << key.tag << ")");
+  if (!try_take_locked(key, out)) {
+    throw_if_timed_out();
+    MINIPOP_REQUIRE(false, "recv woke without a matching message (src="
+                               << key.src << " tag=" << key.tag << ")");
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -304,6 +435,7 @@ void ThreadTeam::recv_block(const ChannelKey& key, std::span<double> out) {
 void ThreadTeam::do_barrier() {
   std::unique_lock<std::mutex> lock(mu_);
   throw_if_poisoned();
+  throw_if_timed_out();
   const std::uint64_t my_generation = barrier_generation_;
   if (++barrier_arrived_ == nranks_) {
     barrier_arrived_ = 0;
@@ -311,9 +443,11 @@ void ThreadTeam::do_barrier() {
     cv_.notify_all();
   } else {
     cv_.wait(lock, [&] {
-      return poisoned_ || barrier_generation_ != my_generation;
+      return poisoned_ || timed_out_ ||
+             barrier_generation_ != my_generation;
     });
     throw_if_poisoned();
+    if (barrier_generation_ == my_generation) throw_if_timed_out();
   }
 }
 

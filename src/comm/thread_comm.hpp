@@ -24,6 +24,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -55,6 +56,7 @@ class ThreadComm final : public Communicator {
   Request isend(int dest, int tag, std::span<const double> data) override;
   Request irecv(int src, int tag, std::span<double> data) override;
   void barrier() override;
+  void resync() override;
 
  private:
   friend class ThreadTeam;
@@ -73,6 +75,16 @@ class ThreadTeam {
   ThreadTeam& operator=(const ThreadTeam&) = delete;
 
   int nranks() const { return nranks_; }
+
+  /// Bound blocking receives: a recv_block that finds no message within
+  /// `total_ms` throws CommTimeoutError instead of waiting forever. The
+  /// wait is split into `retries` attempts with exponentially growing
+  /// slices (slice, 2*slice, 4*slice, ... summing to total_ms) — the
+  /// retry/backoff ladder an MPI progress loop would use. Once one rank
+  /// times out the whole team is flagged: every blocked or newly posted
+  /// operation on any rank throws CommTimeoutError until resync() runs
+  /// collectively. total_ms <= 0 restores the default infinite wait.
+  void set_recv_timeout(double total_ms, int retries = 4);
 
   /// Run fn(comm) on every rank concurrently; returns when all finish.
   /// If any rank throws, the first exception is rethrown here after all
@@ -131,12 +143,22 @@ class ThreadTeam {
   bool try_take_locked(const ChannelKey& key, std::span<double> out);
 
   void do_barrier();
+  void do_resync();
 
   /// Set when any rank throws: blocked peers wake up and abort instead
   /// of deadlocking in a rendezvous that can never complete.
   bool poisoned_ = false;
   void poison();
   void throw_if_poisoned() const;
+
+  /// Set when any rank's receive timed out: the team's collective state
+  /// is out of sync (ordinals, mailboxes), so every rank aborts its
+  /// current operation and must rendezvous in do_resync(). Unlike
+  /// poisoning this is recoverable.
+  bool timed_out_ = false;
+  void throw_if_timed_out() const;
+  double recv_timeout_ms_ = 0.0;  ///< <= 0: wait forever (default)
+  int recv_retries_ = 4;
 
   int nranks_;
   std::vector<std::unique_ptr<ThreadComm>> comms_;
@@ -156,6 +178,16 @@ class ThreadTeam {
   // Barrier state.
   int barrier_arrived_ = 0;
   std::uint64_t barrier_generation_ = 0;
+
+  // Resync rendezvous state. The generation also stamps fault-delayed
+  // deliveries: a delayed message posted before a resync is dropped when
+  // it finally matures, so it cannot collide with a reused tag epoch.
+  int resync_arrived_ = 0;
+  std::uint64_t resync_generation_ = 0;
+
+  // Timer threads carrying fault-delayed mailbox deliveries; joined at
+  // the end of run() so no delivery outlives its team run.
+  std::vector<std::thread> delayed_threads_;
 
 #if MINIPOP_BOUNDS_CHECK
   // Tag-epoch audit: number of posted-but-uncompleted recvs per channel.

@@ -1,0 +1,176 @@
+#include "src/fault/fault_injector.hpp"
+
+#include <bit>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <thread>
+
+#include "src/util/error.hpp"
+
+namespace minipop::fault {
+
+const char* to_string(FaultSite s) {
+  switch (s) {
+    case FaultSite::kSolverVector: return "solver_vector";
+    case FaultSite::kHaloPayload: return "halo_payload";
+    case FaultSite::kMailbox: return "mailbox";
+    case FaultSite::kRankStall: return "rank_stall";
+    case FaultSite::kEigenBounds: return "eigen_bounds";
+  }
+  return "?";
+}
+
+namespace {
+
+std::atomic<FaultInjector*> g_injector{nullptr};
+
+double flip_bit(double v, int bit) {
+  const std::uint64_t u = std::bit_cast<std::uint64_t>(v) ^
+                          (std::uint64_t{1} << (bit & 63));
+  return std::bit_cast<double>(u);
+}
+
+}  // namespace
+
+void FaultInjector::install(FaultInjector* inj) {
+  g_injector.store(inj, std::memory_order_release);
+}
+
+FaultInjector* FaultInjector::active() {
+  return g_injector.load(std::memory_order_acquire);
+}
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
+  for (const FaultRule& r : plan_.rules)
+    MINIPOP_REQUIRE(r.probability >= 0.0 && r.probability <= 1.0,
+                    "fault probability " << r.probability);
+  rule_fires_.assign(plan_.rules.size(), 0);
+}
+
+FaultInjector::Stream& FaultInjector::stream_locked(FaultSite site,
+                                                    int rank) {
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(static_cast<int>(site)) << 32) |
+      static_cast<std::uint32_t>(rank);
+  auto it = streams_.find(key);
+  if (it == streams_.end()) {
+    // Per-(site, rank) stream seeded from the plan seed alone: the draw
+    // sequence is independent of thread interleaving.
+    util::SplitMix64 sm(plan_.seed ^ (key * 0x9e3779b97f4a7c15ULL));
+    it = streams_.emplace(key, Stream(sm.next())).first;
+  }
+  return it->second;
+}
+
+const FaultRule* FaultInjector::advance(FaultSite site, int rank,
+                                        util::Xoshiro256** rng_out) {
+  Stream& s = stream_locked(site, rank);
+  const long event = s.events++;
+  *rng_out = &s.rng;
+  for (std::size_t k = 0; k < plan_.rules.size(); ++k) {
+    const FaultRule& r = plan_.rules[k];
+    if (r.site != site) continue;
+    if (r.rank >= 0 && r.rank != rank) continue;
+    if (r.max_fires > 0 && rule_fires_[k] >= r.max_fires) continue;
+    bool fire;
+    if (r.trigger_event >= 0) {
+      fire = (event == r.trigger_event);
+    } else {
+      // Draw once per event per probabilistic rule, whether or not it
+      // fires, so the stream stays aligned with the event ordinal.
+      fire = (s.rng.uniform() < r.probability);
+    }
+    if (!fire) continue;
+    ++rule_fires_[k];
+    fired_.push_back(FiredFault{site, rank, event});
+    return &r;
+  }
+  return nullptr;
+}
+
+void FaultInjector::solver_vector(int rank, double* interior,
+                                  std::ptrdiff_t stride, int nx, int ny,
+                                  const unsigned char* mask,
+                                  std::ptrdiff_t mask_stride) {
+  std::lock_guard<std::mutex> lock(mu_);
+  util::Xoshiro256* rng;
+  const FaultRule* r = advance(FaultSite::kSolverVector, rank, &rng);
+  if (r == nullptr || nx <= 0 || ny <= 0) return;
+  for (int e = 0; e < std::max(1, r->entries); ++e) {
+    // Pick an ocean cell; a handful of retries is enough on any grid
+    // that is not almost all land, and a miss just weakens the fault.
+    int i = 0, j = 0;
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      i = static_cast<int>(rng->below(static_cast<std::uint64_t>(nx)));
+      j = static_cast<int>(rng->below(static_cast<std::uint64_t>(ny)));
+      if (mask == nullptr || mask[j * mask_stride + i]) break;
+    }
+    double& v = interior[j * stride + i];
+    v = r->make_nan ? std::numeric_limits<double>::quiet_NaN()
+                    : flip_bit(v, r->bit);
+  }
+}
+
+void FaultInjector::halo_payload(int rank, double* data, std::size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  util::Xoshiro256* rng;
+  const FaultRule* r = advance(FaultSite::kHaloPayload, rank, &rng);
+  if (r == nullptr || n == 0) return;
+  double& v = data[rng->below(n)];
+  v = r->make_nan ? std::numeric_limits<double>::quiet_NaN()
+                  : flip_bit(v, r->bit);
+}
+
+MailboxDecision FaultInjector::mailbox(int rank) {
+  std::lock_guard<std::mutex> lock(mu_);
+  util::Xoshiro256* rng;
+  const FaultRule* r = advance(FaultSite::kMailbox, rank, &rng);
+  if (r == nullptr) return {};
+  return MailboxDecision{true, r->mailbox, r->delay_ms};
+}
+
+void FaultInjector::rank_stall(int rank) {
+  double stall_ms = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    util::Xoshiro256* rng;
+    const FaultRule* r = advance(FaultSite::kRankStall, rank, &rng);
+    if (r == nullptr) return;
+    stall_ms = r->delay_ms;
+  }
+  // Sleep outside the lock: a stalled rank must not block other hooks.
+  if (stall_ms > 0.0)
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+        stall_ms));
+}
+
+void FaultInjector::eigen_bounds(int rank, double* nu, double* mu) {
+  std::lock_guard<std::mutex> lock(mu_);
+  util::Xoshiro256* rng;
+  const FaultRule* r = advance(FaultSite::kEigenBounds, rank, &rng);
+  if (r == nullptr) return;
+  *nu *= r->nu_scale;
+  *mu *= r->mu_scale;
+}
+
+std::vector<FiredFault> FaultInjector::fired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fired_;
+}
+
+long FaultInjector::fire_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<long>(fired_.size());
+}
+
+long FaultInjector::events(FaultSite site, int rank) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(static_cast<int>(site)) << 32) |
+      static_cast<std::uint32_t>(rank);
+  auto it = streams_.find(key);
+  return it == streams_.end() ? 0 : it->second.events;
+}
+
+}  // namespace minipop::fault

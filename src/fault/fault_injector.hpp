@@ -1,0 +1,167 @@
+// Deterministic, seeded fault injector plus the hook entry points the
+// communication and solver layers call.
+//
+// The injector is installed process-globally (FaultScope is the RAII
+// form); the hooks consult it on every event. Two gates keep the happy
+// path free:
+//   * compile time — with MINIPOP_FAULTS == 0 every hook is an empty
+//     inline function and the call sites compile to nothing;
+//   * run time — with no injector installed (or an empty plan) a hook is
+//     a single pointer load.
+// Determinism: event counters and random streams are per (site, rank),
+// derived from the plan seed alone, so the same plan fires the same
+// faults at the same events regardless of thread scheduling.
+//
+// The fault layer depends only on src/util (raw pointers in the hook
+// signatures keep it below src/comm in the layering).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/fault/fault_plan.hpp"
+#include "src/util/rng.hpp"
+
+#if !defined(MINIPOP_FAULTS)
+#define MINIPOP_FAULTS 0
+#endif
+
+namespace minipop::fault {
+
+/// One fault that actually fired (for detection-latency accounting).
+struct FiredFault {
+  FaultSite site;
+  int rank;
+  long event;  ///< per-(site, rank) event ordinal at which it fired
+};
+
+/// Decision returned by the mailbox hook.
+struct MailboxDecision {
+  bool fired = false;
+  MailboxAction action = MailboxAction::kDrop;
+  double delay_ms = 0.0;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  // --- hook bodies (thread-safe) ---
+
+  /// kSolverVector: corrupt entries of a block interior (nx x ny window
+  /// of a padded array with row pitch `stride`). `mask` (pitch
+  /// mask_stride, nullptr = all wet) restricts corruption to ocean cells
+  /// so the fault cannot land on a point the masked reductions ignore.
+  void solver_vector(int rank, double* interior, std::ptrdiff_t stride,
+                     int nx, int ny, const unsigned char* mask,
+                     std::ptrdiff_t mask_stride);
+
+  /// kHaloPayload: bit-flip an entry of a packed halo send buffer.
+  void halo_payload(int rank, double* data, std::size_t n);
+
+  /// kMailbox: decide the fate of a message this rank is posting.
+  MailboxDecision mailbox(int rank);
+
+  /// kRankStall: sleep the calling rank if a stall rule fires.
+  void rank_stall(int rank);
+
+  /// kEigenBounds: corrupt a P-CSI eigenvalue interval in place.
+  void eigen_bounds(int rank, double* nu, double* mu);
+
+  // --- introspection ---
+  std::vector<FiredFault> fired() const;
+  long fire_count() const;
+  /// Events seen at a site on a rank so far.
+  long events(FaultSite site, int rank) const;
+
+  // --- global installation ---
+  static void install(FaultInjector* inj);
+  static FaultInjector* active();
+
+ private:
+  struct Stream {
+    long events = 0;
+    util::Xoshiro256 rng;
+    explicit Stream(std::uint64_t seed) : rng(seed) {}
+  };
+
+  /// Advance the (site, rank) event counter and return the rule that
+  /// fires at this event, if any (nullptr otherwise). `rng_out` receives
+  /// the stream's generator for drawing action parameters.
+  const FaultRule* advance(FaultSite site, int rank,
+                           util::Xoshiro256** rng_out);
+
+  Stream& stream_locked(FaultSite site, int rank);
+
+  FaultPlan plan_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint64_t, Stream> streams_;  // key: site<<32|rank
+  std::vector<int> rule_fires_;                        // hits per rule
+  std::vector<FiredFault> fired_;
+};
+
+/// RAII installer: builds an injector from `plan` and makes it the
+/// process-global one for the scope's lifetime.
+class FaultScope {
+ public:
+  explicit FaultScope(FaultPlan plan) : inj_(std::move(plan)) {
+    FaultInjector::install(&inj_);
+  }
+  ~FaultScope() { FaultInjector::install(nullptr); }
+  FaultScope(const FaultScope&) = delete;
+  FaultScope& operator=(const FaultScope&) = delete;
+
+  FaultInjector& injector() { return inj_; }
+
+ private:
+  FaultInjector inj_;
+};
+
+// --- hook entry points (the only calls product code makes) -------------
+
+#if MINIPOP_FAULTS
+
+inline void hook_solver_vector(int rank, double* interior,
+                               std::ptrdiff_t stride, int nx, int ny,
+                               const unsigned char* mask,
+                               std::ptrdiff_t mask_stride) {
+  if (FaultInjector* inj = FaultInjector::active())
+    inj->solver_vector(rank, interior, stride, nx, ny, mask, mask_stride);
+}
+
+inline void hook_halo_payload(int rank, double* data, std::size_t n) {
+  if (FaultInjector* inj = FaultInjector::active())
+    inj->halo_payload(rank, data, n);
+}
+
+inline MailboxDecision hook_mailbox(int rank) {
+  if (FaultInjector* inj = FaultInjector::active())
+    return inj->mailbox(rank);
+  return {};
+}
+
+inline void hook_rank_stall(int rank) {
+  if (FaultInjector* inj = FaultInjector::active()) inj->rank_stall(rank);
+}
+
+inline void hook_eigen_bounds(int rank, double* nu, double* mu) {
+  if (FaultInjector* inj = FaultInjector::active())
+    inj->eigen_bounds(rank, nu, mu);
+}
+
+#else  // MINIPOP_FAULTS == 0: hooks compile to nothing.
+
+inline void hook_solver_vector(int, double*, std::ptrdiff_t, int, int,
+                               const unsigned char*, std::ptrdiff_t) {}
+inline void hook_halo_payload(int, double*, std::size_t) {}
+inline MailboxDecision hook_mailbox(int) { return {}; }
+inline void hook_rank_stall(int) {}
+inline void hook_eigen_bounds(int, double*, double*) {}
+
+#endif  // MINIPOP_FAULTS
+
+}  // namespace minipop::fault

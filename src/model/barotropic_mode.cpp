@@ -4,6 +4,7 @@
 
 #include "src/solver/field_ops.hpp"
 #include "src/util/error.hpp"
+#include "src/util/log.hpp"
 
 namespace minipop::model {
 
@@ -178,6 +179,18 @@ solver::SolveStats BarotropicMode::step(comm::Communicator& comm,
       solver_->solve(comm, rhs_, eta_, comm::HaloFreshness::kFresh);
   ++total_solves_;
   total_iterations_ += stats.iterations;
+  if (!stats.converged) {
+    // A non-converged free-surface solve must never pass silently: eta
+    // is about to feed the velocity correction and the tracer fields.
+    ++solver_failures_;
+    last_failure_ = stats.failure;
+    if (comm.rank() == 0)
+      MINIPOP_WARN("barotropic solve " << total_solves_ << " failed ("
+                                       << solver::to_string(stats.failure)
+                                       << ") after " << stats.iterations
+                                       << " iterations, relative residual "
+                                       << stats.relative_residual);
+  }
 
   // --- Velocity correction at corners -----------------------------------
   halo_->exchange(comm, eta_);

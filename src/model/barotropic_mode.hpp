@@ -55,6 +55,10 @@ class BarotropicMode {
   /// Cumulative elliptic-solver iterations / solves since construction.
   long total_iterations() const { return total_iterations_; }
   long total_solves() const { return total_solves_; }
+  /// Solves that ended unconverged (each is warned about on rank 0).
+  long solver_failures() const { return solver_failures_; }
+  /// FailureKind of the most recent unconverged solve (kNone if none).
+  solver::FailureKind last_failure() const { return last_failure_; }
 
  private:
   const comm::HaloExchanger* halo_;
@@ -75,6 +79,8 @@ class BarotropicMode {
 
   long total_iterations_ = 0;
   long total_solves_ = 0;
+  long solver_failures_ = 0;
+  solver::FailureKind last_failure_ = solver::FailureKind::kNone;
 };
 
 }  // namespace minipop::model

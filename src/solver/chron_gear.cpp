@@ -39,6 +39,7 @@ SolveStats ChronGearSolver::solve(comm::Communicator& comm,
   fill_interior(p, 0.0);
   double rho_old = 1.0;
   double sigma_old = 0.0;
+  ConvergenceGuard guard(opt_);
 
   for (int k = 1; k <= opt_.max_iterations; ++k) {
     stats.iterations = k;
@@ -57,20 +58,30 @@ SolveStats ChronGearSolver::solve(comm::Communicator& comm,
     const double rho = local[0];
     const double delta = local[1];
     if (check) {
-      if (opt_.record_residuals)
-        stats.residual_history.emplace_back(k,
-                                            std::sqrt(local[2] / b_norm2));
+      const double rel = std::sqrt(local[2] / b_norm2);
+      if (opt_.record_residuals) stats.residual_history.emplace_back(k, rel);
       if (local[2] <= threshold2) {
         stats.converged = true;
-        stats.relative_residual = std::sqrt(local[2] / b_norm2);
+        stats.relative_residual = rel;
         break;
       }
+      // The checked norm is already reduced, so every rank reaches the
+      // same verdict without an extra collective.
+      stats.failure = guard.check(rel);
+      if (stats.failure != FailureKind::kNone) break;
     }
 
     // Steps 10-12.
     const double beta = rho / rho_old;
     const double sigma = delta - beta * beta * sigma_old;
-    MINIPOP_REQUIRE(sigma != 0.0, "ChronGear breakdown: sigma == 0");
+    if (!ConvergenceGuard::finite(rho) || !ConvergenceGuard::finite(sigma)) {
+      stats.failure = FailureKind::kNanDetected;
+      break;
+    }
+    if (sigma == 0.0) {
+      stats.failure = FailureKind::kBreakdown;
+      break;
+    }
     const double alpha = rho / sigma;
 
     // Steps 13-16, fused pairwise into two sweeps: the direction update
@@ -83,6 +94,8 @@ SolveStats ChronGearSolver::solve(comm::Communicator& comm,
   }
 
   if (!stats.converged) {
+    if (stats.failure == FailureKind::kNone)
+      stats.failure = FailureKind::kMaxIters;
     stats.relative_residual =
         std::sqrt(a.global_dot(comm, r, r) / b_norm2);
   }
@@ -142,9 +155,14 @@ SolveStats ChronGearSolver::solve_overlapped(comm::Communicator& comm,
   fill_interior(p, 0.0);
   double rho_old = 1.0;
   double sigma_old = 0.0;
+  ConvergenceGuard guard(opt_);
 
-  comm::Request norm_req;   // in-flight ||r||² for the next check
+  // norm_buf must be declared before norm_req: an abandoned Request's
+  // destructor performs one non-blocking test that can still deliver a
+  // matured message into its landing span, so the request has to be
+  // destroyed (reverse declaration order) while the buffer is alive.
   double norm_buf = 0.0;
+  comm::Request norm_req;   // in-flight ||r||² for the next check
   // check_frequency == 1 checks at k = 1, whose norm must be posted
   // before the loop (the general posting site is "end of iteration k-1").
   if (opt_.check_frequency == 1 && opt_.max_iterations >= 1) {
@@ -171,19 +189,27 @@ SolveStats ChronGearSolver::solve_overlapped(comm::Communicator& comm,
     if (check) {
       norm_req.wait();
       const double r_norm2 = norm_buf;
-      if (opt_.record_residuals)
-        stats.residual_history.emplace_back(k,
-                                            std::sqrt(r_norm2 / b_norm2));
+      const double rel = std::sqrt(r_norm2 / b_norm2);
+      if (opt_.record_residuals) stats.residual_history.emplace_back(k, rel);
       if (r_norm2 <= threshold2) {
         stats.converged = true;
-        stats.relative_residual = std::sqrt(r_norm2 / b_norm2);
+        stats.relative_residual = rel;
         break;
       }
+      stats.failure = guard.check(rel);
+      if (stats.failure != FailureKind::kNone) break;
     }
 
     const double beta = rho / rho_old;
     const double sigma = delta - beta * beta * sigma_old;
-    MINIPOP_REQUIRE(sigma != 0.0, "ChronGear breakdown: sigma == 0");
+    if (!ConvergenceGuard::finite(rho) || !ConvergenceGuard::finite(sigma)) {
+      stats.failure = FailureKind::kNanDetected;
+      break;
+    }
+    if (sigma == 0.0) {
+      stats.failure = FailureKind::kBreakdown;
+      break;
+    }
     const double alpha = rho / sigma;
 
     lincomb_axpy(comm, 1.0, rp, beta, s, alpha, x);  // s = r' + βs; x += αs
@@ -204,6 +230,8 @@ SolveStats ChronGearSolver::solve_overlapped(comm::Communicator& comm,
   }
 
   if (!stats.converged) {
+    if (stats.failure == FailureKind::kNone)
+      stats.failure = FailureKind::kMaxIters;
     stats.relative_residual =
         std::sqrt(a.global_dot(comm, r, r) / b_norm2);
   }

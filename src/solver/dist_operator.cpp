@@ -1,5 +1,6 @@
 #include "src/solver/dist_operator.hpp"
 
+#include "src/fault/fault_injector.hpp"
 #include "src/solver/kernels.hpp"
 #include "src/util/error.hpp"
 
@@ -106,6 +107,19 @@ DistOperator::DistOperator(const grid::NinePointStencil& stencil,
   }
 }
 
+void DistOperator::offer_fault_sites(comm::DistField& v) const {
+#if MINIPOP_FAULTS
+  for (int lb = 0; lb < num_local_blocks(); ++lb) {
+    const auto& info = v.info(lb);
+    const auto& mask = block_mask_[lb];
+    fault::hook_solver_vector(rank_, v.interior(lb), v.stride(lb), info.nx,
+                              info.ny, mask.data(), mask.nx());
+  }
+#else
+  (void)v;
+#endif
+}
+
 void DistOperator::apply(comm::Communicator& comm,
                          const comm::HaloExchanger& halo,
                          comm::DistField& x, comm::DistField& y,
@@ -126,6 +140,7 @@ void DistOperator::apply(comm::Communicator& comm,
   }
   // Paper convention (§2): a nine-point matvec is 9 operations per point.
   comm.costs().add_flops(9 * points);
+  offer_fault_sites(y);
 }
 
 void DistOperator::residual(comm::Communicator& comm,
@@ -150,6 +165,7 @@ void DistOperator::residual(comm::Communicator& comm,
   }
   // Matvec (9 ops/point) + subtraction (1 op/point), as before fusion.
   comm.costs().add_flops(10 * points);
+  offer_fault_sites(r);
 }
 
 double DistOperator::residual_local_norm2(comm::Communicator& comm,
@@ -178,6 +194,10 @@ double DistOperator::residual_local_norm2(comm::Communicator& comm,
   // Residual (10 ops/point) + masked norm (2 ops/point), as when the
   // sweeps were separate.
   comm.costs().add_flops(12 * points);
+  // Corruption lands after the fused norm was taken, exactly like a bit
+  // flip striking between two sweeps: it rides r into the next iterates
+  // and the *next* check window must catch it.
+  offer_fault_sites(r);
   return sum;
 }
 
@@ -220,6 +240,7 @@ void DistOperator::apply_overlapped(comm::Communicator& comm,
     points += static_cast<std::uint64_t>(b.nx) * b.ny;
   }
   comm.costs().add_flops(9 * points);
+  offer_fault_sites(y);
 }
 
 void DistOperator::residual_overlapped(comm::Communicator& comm,
@@ -266,6 +287,7 @@ void DistOperator::residual_overlapped(comm::Communicator& comm,
     points += static_cast<std::uint64_t>(info.nx) * info.ny;
   }
   comm.costs().add_flops(10 * points);
+  offer_fault_sites(r);
 }
 
 double DistOperator::residual_local_norm2_overlapped(

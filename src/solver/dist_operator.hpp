@@ -118,6 +118,11 @@ class DistOperator {
   const util::MaskArray& block_mask(int lb) const { return block_mask_[lb]; }
 
  private:
+  /// Fault-injection point: offer each block interior of `v` (a sweep's
+  /// freshly written output) to the installed FaultInjector. Compiles to
+  /// nothing when MINIPOP_FAULTS is off.
+  void offer_fault_sites(comm::DistField& v) const;
+
   const grid::Decomposition* decomp_;
   int rank_;
   double phi_;

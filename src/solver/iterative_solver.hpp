@@ -1,6 +1,7 @@
 // Common interface, options and statistics for the barotropic solvers.
 #pragma once
 
+#include <cmath>
 #include <string>
 #include <vector>
 
@@ -11,6 +12,32 @@
 #include "src/solver/preconditioner.hpp"
 
 namespace minipop::solver {
+
+/// Typed outcome of an unsuccessful solve. Ordered by severity so the
+/// recovery layer can agree on the worst failure across ranks with a
+/// single max-reduction of the numeric value.
+enum class FailureKind {
+  kNone = 0,         ///< solve converged (or is still healthy)
+  kMaxIters = 1,     ///< iteration budget exhausted without convergence
+  kStagnated = 2,    ///< residual stopped decreasing for a full window
+  kDiverged = 3,     ///< residual grew beyond divergence_factor * initial
+  kBreakdown = 4,    ///< short-recurrence breakdown (sigma/rho/delta ~ 0)
+  kNanDetected = 5,  ///< non-finite value in a reduced scalar
+  kCommTimeout = 6,  ///< a communication wait timed out (see ThreadComm)
+};
+
+inline const char* to_string(FailureKind k) {
+  switch (k) {
+    case FailureKind::kNone: return "none";
+    case FailureKind::kMaxIters: return "max_iters";
+    case FailureKind::kStagnated: return "stagnated";
+    case FailureKind::kDiverged: return "diverged";
+    case FailureKind::kBreakdown: return "breakdown";
+    case FailureKind::kNanDetected: return "nan_detected";
+    case FailureKind::kCommTimeout: return "comm_timeout";
+  }
+  return "?";
+}
 
 struct SolverOptions {
   /// Convergence: ||r||_2 <= rel_tolerance * ||b||_2 over ocean points.
@@ -30,6 +57,22 @@ struct SolverOptions {
   /// communication was actually hidden.
   bool overlap = false;
 
+  // --- convergence guards (piggybacked on the check_frequency
+  // reduction; no extra collectives on the happy path) ---
+
+  /// Declare kDiverged when the checked relative residual exceeds this
+  /// multiple of the first checked relative residual. The default is far
+  /// above anything a healthy solve produces, so enabling the guard does
+  /// not change fault-free iterates.
+  double divergence_factor = 1e8;
+  /// Declare kStagnated when this many consecutive convergence checks
+  /// fail to improve the best relative residual by at least
+  /// stagnation_decrease. 0 disables the stagnation guard (default).
+  int stagnation_window = 0;
+  /// Minimum fractional improvement per check window that counts as
+  /// progress for the stagnation guard.
+  double stagnation_decrease = 1e-3;
+
   SolverOptions() = default;
 };
 
@@ -37,11 +80,51 @@ struct SolveStats {
   int iterations = 0;
   bool converged = false;
   double relative_residual = 0.0;
+  /// Why the solve stopped, when converged is false (kNone otherwise).
+  FailureKind failure = FailureKind::kNone;
   /// Per-rank communication/computation deltas recorded during the solve.
   comm::CostCounters costs;
   /// (iteration, relative residual) at each convergence check, when
   /// SolverOptions::record_residuals is set.
   std::vector<std::pair<int, double>> residual_history;
+};
+
+/// Shared failure-detection state for the solvers' convergence checks.
+/// Feed it each *already-reduced* relative residual (so every rank sees
+/// the same value and reaches the same verdict — no extra collectives);
+/// it watches for NaN/Inf, divergence and stagnation per SolverOptions.
+class ConvergenceGuard {
+ public:
+  explicit ConvergenceGuard(const SolverOptions& options)
+      : options_(options) {}
+
+  /// Returns kNone while the solve looks healthy.
+  FailureKind check(double relative_residual) {
+    if (!std::isfinite(relative_residual)) return FailureKind::kNanDetected;
+    if (first_ < 0.0) first_ = relative_residual;
+    if (relative_residual > options_.divergence_factor * first_ &&
+        relative_residual > options_.rel_tolerance)
+      return FailureKind::kDiverged;
+    if (options_.stagnation_window > 0) {
+      if (best_ < 0.0 ||
+          relative_residual < best_ * (1.0 - options_.stagnation_decrease)) {
+        best_ = relative_residual;
+        stalled_ = 0;
+      } else if (++stalled_ >= options_.stagnation_window) {
+        return FailureKind::kStagnated;
+      }
+    }
+    return FailureKind::kNone;
+  }
+
+  /// NaN screen for intermediate reduced scalars (rho, sigma, delta...).
+  static bool finite(double v) { return std::isfinite(v); }
+
+ private:
+  const SolverOptions& options_;
+  double first_ = -1.0;
+  double best_ = -1.0;
+  int stalled_ = 0;
 };
 
 class IterativeSolver {

@@ -34,6 +34,7 @@ SolveStats PcgSolver::solve(comm::Communicator& comm,
 
   double rho_old = 1.0;
   fill_interior(p, 0.0);
+  ConvergenceGuard guard(opt_);
 
   for (int k = 1; k <= opt_.max_iterations; ++k) {
     stats.iterations = k;
@@ -47,14 +48,15 @@ SolveStats PcgSolver::solve(comm::Communicator& comm,
                    comm::ReduceOp::kSum);
     const double rho = local[0];
     if (check) {
-      if (opt_.record_residuals)
-        stats.residual_history.emplace_back(k,
-                                            std::sqrt(local[1] / b_norm2));
+      const double rel = std::sqrt(local[1] / b_norm2);
+      if (opt_.record_residuals) stats.residual_history.emplace_back(k, rel);
       if (local[1] <= threshold2) {
         stats.converged = true;
-        stats.relative_residual = std::sqrt(local[1] / b_norm2);
+        stats.relative_residual = rel;
         break;
       }
+      stats.failure = guard.check(rel);
+      if (stats.failure != FailureKind::kNone) break;
     }
 
     const double beta = rho / rho_old;
@@ -64,7 +66,14 @@ SolveStats PcgSolver::solve(comm::Communicator& comm,
 
     // Reduction 2: sigma = p.q.
     const double sigma = comm.allreduce_sum(a.local_dot(comm, p, q));
-    MINIPOP_REQUIRE(sigma != 0.0, "PCG breakdown: p^T A p == 0");
+    if (!ConvergenceGuard::finite(rho) || !ConvergenceGuard::finite(sigma)) {
+      stats.failure = FailureKind::kNanDetected;
+      break;
+    }
+    if (sigma == 0.0) {
+      stats.failure = FailureKind::kBreakdown;
+      break;
+    }
     const double alpha = rho / sigma;
     axpy(comm, alpha, p, x);
     axpy(comm, -alpha, q, r);
@@ -72,6 +81,8 @@ SolveStats PcgSolver::solve(comm::Communicator& comm,
   }
 
   if (!stats.converged) {
+    if (stats.failure == FailureKind::kNone)
+      stats.failure = FailureKind::kMaxIters;
     stats.relative_residual =
         std::sqrt(a.global_dot(comm, r, r) / b_norm2);
   }

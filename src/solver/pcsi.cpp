@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "src/fault/fault_injector.hpp"
 #include "src/solver/field_ops.hpp"
 #include "src/util/error.hpp"
 
@@ -42,9 +43,14 @@ SolveStats PcsiSolver::solve(comm::Communicator& comm,
   const double threshold2 =
       opt_.rel_tolerance * opt_.rel_tolerance * b_norm2;
 
-  // Algorithm 2, step 1: Chebyshev constants from [nu, mu].
-  const double alpha = 2.0 / (bounds_.mu - bounds_.nu);
-  const double beta = (bounds_.mu + bounds_.nu) / (bounds_.mu - bounds_.nu);
+  // Algorithm 2, step 1: Chebyshev constants from [nu, mu]. The fault
+  // hook corrupts a local copy of the interval — a stale or wrong
+  // estimate enters here exactly as a bad Lanczos result would, below
+  // set_bounds' validation.
+  EigenBounds eb = bounds_;
+  fault::hook_eigen_bounds(a.rank(), &eb.nu, &eb.mu);
+  const double alpha = 2.0 / (eb.mu - eb.nu);
+  const double beta = (eb.mu + eb.nu) / (eb.mu - eb.nu);
   const double gamma = beta / alpha;
   double omega = 2.0 / gamma;  // omega_0
 
@@ -56,6 +62,7 @@ SolveStats PcsiSolver::solve(comm::Communicator& comm,
   axpy(comm, 1.0, dx, x);               // x_1 = x_0 + dx_0
   a.residual(comm, halo, b, x, r);      // r_1 = b - B x_1
 
+  ConvergenceGuard guard(opt_);
   for (int k = 1; k <= opt_.max_iterations; ++k) {
     stats.iterations = k;
 
@@ -73,20 +80,23 @@ SolveStats PcsiSolver::solve(comm::Communicator& comm,
     if (k % opt_.check_frequency == 0) {
       const double r_norm2 =
           comm.allreduce_sum(a.residual_local_norm2(comm, halo, b, x, r));
-      if (opt_.record_residuals)
-        stats.residual_history.emplace_back(k,
-                                            std::sqrt(r_norm2 / b_norm2));
+      const double rel = std::sqrt(r_norm2 / b_norm2);
+      if (opt_.record_residuals) stats.residual_history.emplace_back(k, rel);
       if (r_norm2 <= threshold2) {
         stats.converged = true;
-        stats.relative_residual = std::sqrt(r_norm2 / b_norm2);
+        stats.relative_residual = rel;
         break;
       }
+      stats.failure = guard.check(rel);
+      if (stats.failure != FailureKind::kNone) break;
     } else {
       a.residual(comm, halo, b, x, r);
     }
   }
 
   if (!stats.converged) {
+    if (stats.failure == FailureKind::kNone)
+      stats.failure = FailureKind::kMaxIters;
     stats.relative_residual =
         std::sqrt(a.global_dot(comm, r, r) / b_norm2);
   }
@@ -134,8 +144,10 @@ SolveStats PcsiSolver::solve_overlapped(comm::Communicator& comm,
   const double threshold2 =
       opt_.rel_tolerance * opt_.rel_tolerance * b_norm2;
 
-  const double alpha = 2.0 / (bounds_.mu - bounds_.nu);
-  const double beta = (bounds_.mu + bounds_.nu) / (bounds_.mu - bounds_.nu);
+  EigenBounds eb = bounds_;
+  fault::hook_eigen_bounds(a.rank(), &eb.nu, &eb.mu);
+  const double alpha = 2.0 / (eb.mu - eb.nu);
+  const double beta = (eb.mu + eb.nu) / (eb.mu - eb.nu);
   const double gamma = beta / alpha;
   double omega = 2.0 / gamma;  // omega_0
 
@@ -145,6 +157,7 @@ SolveStats PcsiSolver::solve_overlapped(comm::Communicator& comm,
   axpy(comm, 1.0, dx, x);                     // x_1 = x_0 + dx_0
   a.residual_overlapped(comm, halo, b, x, r); // r_1 = b - B x_1
 
+  ConvergenceGuard guard(opt_);
   bool have_rp = false;  // speculative M^-1 r from the previous check
   for (int k = 1; k <= opt_.max_iterations; ++k) {
     stats.iterations = k;
@@ -166,20 +179,23 @@ SolveStats PcsiSolver::solve_overlapped(comm::Communicator& comm,
       have_rp = true;
       norm_req.wait();
       const double r_norm2 = local;
-      if (opt_.record_residuals)
-        stats.residual_history.emplace_back(k,
-                                            std::sqrt(r_norm2 / b_norm2));
+      const double rel = std::sqrt(r_norm2 / b_norm2);
+      if (opt_.record_residuals) stats.residual_history.emplace_back(k, rel);
       if (r_norm2 <= threshold2) {
         stats.converged = true;
-        stats.relative_residual = std::sqrt(r_norm2 / b_norm2);
+        stats.relative_residual = rel;
         break;
       }
+      stats.failure = guard.check(rel);
+      if (stats.failure != FailureKind::kNone) break;
     } else {
       a.residual_overlapped(comm, halo, b, x, r);
     }
   }
 
   if (!stats.converged) {
+    if (stats.failure == FailureKind::kNone)
+      stats.failure = FailureKind::kMaxIters;
     stats.relative_residual =
         std::sqrt(a.global_dot(comm, r, r) / b_norm2);
   }

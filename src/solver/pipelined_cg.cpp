@@ -51,6 +51,7 @@ SolveStats PipelinedCgSolver::solve(comm::Communicator& comm,
 
   double gamma_old = 0.0;
   double alpha_old = 0.0;
+  ConvergenceGuard guard(opt_);
 
   for (int k = 1; k <= opt_.max_iterations; ++k) {
     stats.iterations = k;
@@ -79,14 +80,15 @@ SolveStats PipelinedCgSolver::solve(comm::Communicator& comm,
     const double gamma = local[0];
     const double delta = local[1];
     if (check) {
-      if (opt_.record_residuals)
-        stats.residual_history.emplace_back(k,
-                                            std::sqrt(local[2] / b_norm2));
+      const double rel = std::sqrt(local[2] / b_norm2);
+      if (opt_.record_residuals) stats.residual_history.emplace_back(k, rel);
       if (local[2] <= threshold2) {
         stats.converged = true;
-        stats.relative_residual = std::sqrt(local[2] / b_norm2);
+        stats.relative_residual = rel;
         break;
       }
+      stats.failure = guard.check(rel);
+      if (stats.failure != FailureKind::kNone) break;
     }
 
     // Work that overlaps the reduction in the pipelined formulation
@@ -96,16 +98,26 @@ SolveStats PipelinedCgSolver::solve(comm::Communicator& comm,
       a.apply(comm, halo, mm, nn);  // n_k = A m_k
     }
 
+    if (!ConvergenceGuard::finite(gamma) ||
+        !ConvergenceGuard::finite(delta)) {
+      stats.failure = FailureKind::kNanDetected;
+      break;
+    }
     double beta, alpha;
     if (k == 1) {
       beta = 0.0;
-      MINIPOP_REQUIRE(delta != 0.0, "pipelined CG breakdown: delta == 0");
+      if (delta == 0.0) {
+        stats.failure = FailureKind::kBreakdown;
+        break;
+      }
       alpha = gamma / delta;
     } else {
       beta = gamma / gamma_old;
       const double denom = delta - beta * gamma / alpha_old;
-      MINIPOP_REQUIRE(denom != 0.0,
-                      "pipelined CG breakdown: alpha denominator == 0");
+      if (denom == 0.0 || !ConvergenceGuard::finite(denom)) {
+        stats.failure = FailureKind::kBreakdown;
+        break;
+      }
       alpha = gamma / denom;
     }
 
@@ -147,6 +159,8 @@ SolveStats PipelinedCgSolver::solve(comm::Communicator& comm,
   }
 
   if (!stats.converged) {
+    if (stats.failure == FailureKind::kNone)
+      stats.failure = FailureKind::kMaxIters;
     stats.relative_residual =
         std::sqrt(a.global_dot(comm, r, r) / b_norm2);
   }

@@ -1,0 +1,189 @@
+#include "src/solver/resilient_solver.hpp"
+
+#include <cmath>
+#include <span>
+#include <utility>
+
+#include "src/solver/field_ops.hpp"
+#include "src/solver/pcsi.hpp"
+#include "src/solver/preconditioner.hpp"
+#include "src/util/error.hpp"
+#include "src/util/log.hpp"
+
+namespace minipop::solver {
+
+namespace {
+
+void zero_nonfinite(comm::DistField& v) {
+  for (int lb = 0; lb < v.num_local_blocks(); ++lb) {
+    const auto& info = v.info(lb);
+    double* p = v.interior(lb);
+    const std::ptrdiff_t stride = v.stride(lb);
+    for (int j = 0; j < info.ny; ++j)
+      for (int i = 0; i < info.nx; ++i)
+        if (!std::isfinite(p[j * stride + i])) p[j * stride + i] = 0.0;
+  }
+}
+
+}  // namespace
+
+ResilientSolver::ResilientSolver(std::unique_ptr<IterativeSolver> primary,
+                                 RecoveryPolicy policy)
+    : policy_(policy) {
+  MINIPOP_REQUIRE(primary != nullptr, "resilient solver needs a primary");
+  chain_.push_back(Stage{std::move(primary), false});
+}
+
+void ResilientSolver::add_fallback(std::unique_ptr<IterativeSolver> solver,
+                                   bool use_diagonal_precond) {
+  MINIPOP_REQUIRE(solver != nullptr, "null fallback solver");
+  chain_.push_back(Stage{std::move(solver), use_diagonal_precond});
+}
+
+std::string ResilientSolver::name() const {
+  return "resilient(" + chain_.front().solver->name() + ")";
+}
+
+void ResilientSolver::checkpoint(const comm::DistField& x) {
+  // Drop snapshots from a different problem shape before reusing the ring.
+  while (!ring_.empty() && !ring_.front().compatible_with(x)) ring_.clear();
+  comm::DistField snap(x.decomposition(), x.rank(), x.halo());
+  copy_interior(x, snap);
+  ring_.push_front(std::move(snap));
+  while (ring_.size() > 2) ring_.pop_back();
+}
+
+void ResilientSolver::restore(comm::DistField& x, std::size_t slot) const {
+  MINIPOP_REQUIRE(!ring_.empty(), "restore without a checkpoint");
+  if (slot >= ring_.size()) slot = ring_.size() - 1;
+  copy_interior(ring_[slot], x);
+  zero_nonfinite(x);
+}
+
+SolveStats ResilientSolver::solve(comm::Communicator& comm,
+                                  const comm::HaloExchanger& halo,
+                                  const DistOperator& a, Preconditioner& m,
+                                  const comm::DistField& b,
+                                  comm::DistField& x,
+                                  comm::HaloFreshness x_fresh) {
+  const auto snapshot = comm.costs().counters();
+  checkpoint(x);
+
+  std::size_t stage = 0;
+  int restarts_used = 0;
+  bool bounds_reestimated = false;
+  int total_iterations = 0;
+  comm::HaloFreshness fresh = x_fresh;
+
+  for (int attempt = 0;; ++attempt) {
+    SolveStats stats;
+    FailureKind observed;
+    bool comm_broken = false;
+    try {
+      stats = chain_[stage].use_diagonal_precond
+                  ? [&] {
+                      DiagonalPreconditioner diag(a);
+                      return chain_[stage].solver->solve(comm, halo, a, diag,
+                                                         b, x, fresh);
+                    }()
+                  : chain_[stage].solver->solve(comm, halo, a, m, b, x,
+                                                fresh);
+      observed = stats.converged ? FailureKind::kNone : stats.failure;
+    } catch (const comm::CommTimeoutError&) {
+      observed = FailureKind::kCommTimeout;
+      comm_broken = true;
+    }
+
+    // Agreement: one kMax reduction of the failure code so every rank
+    // takes the same branch. All in-solve failure verdicts come from
+    // already-reduced scalars, so in practice the codes agree; the
+    // reduction makes that a guarantee (and is the only collective this
+    // decorator adds to a fault-free solve). If a peer timed out, this
+    // very reduction throws and routes us to the resync fence too.
+    double code = static_cast<double>(static_cast<int>(observed));
+    if (!comm_broken) {
+      try {
+        comm.allreduce(std::span<double>(&code, 1), comm::ReduceOp::kMax);
+      } catch (const comm::CommTimeoutError&) {
+        comm_broken = true;
+      }
+    }
+    if (comm_broken) {
+      // Collective fence: every rank funnels here (its solve or its
+      // agreement reduction throws), clearing the failed epoch.
+      comm.resync();
+      code = static_cast<double>(static_cast<int>(FailureKind::kCommTimeout));
+      comm.allreduce(std::span<double>(&code, 1), comm::ReduceOp::kMax);
+    }
+    const FailureKind agreed = static_cast<FailureKind>(
+        static_cast<int>(code));
+
+    total_iterations += stats.iterations;
+    if (agreed == FailureKind::kNone) {
+      stats.iterations = total_iterations;
+      stats.failure = FailureKind::kNone;
+      stats.costs = comm.costs().since(snapshot);
+      return stats;
+    }
+
+    // --- recovery decision (identical on every rank) ---
+    RecoveryEvent ev;
+    ev.failure = agreed;
+    ev.solver = chain_[stage].solver->name();
+    ev.attempt = attempt;
+    ev.iterations = stats.iterations;
+
+    if (stage == 0 && policy_.reestimate_bounds && !bounds_reestimated &&
+        (agreed == FailureKind::kDiverged ||
+         agreed == FailureKind::kStagnated)) {
+      if (auto* pcsi = dynamic_cast<PcsiSolver*>(chain_[0].solver.get())) {
+        // A diverging P-CSI usually means the Chebyshev interval no
+        // longer brackets the spectrum; measure it again (collective).
+        const LanczosResult lr =
+            estimate_eigenvalue_bounds(comm, halo, a, m, policy_.lanczos);
+        pcsi->set_bounds(lr.bounds);
+        bounds_reestimated = true;
+        ev.action = "reestimate_bounds";
+        events_.push_back(ev);
+        restore(x, 0);
+        fresh = comm::HaloFreshness::kStale;
+        continue;
+      }
+    }
+
+    if (stage == 0 && restarts_used < policy_.max_restarts) {
+      // Restart 1 retries from this solve's entry state; restart 2 falls
+      // back to the previous solve's (the older ring slot).
+      ev.action = "restart";
+      events_.push_back(ev);
+      restore(x, static_cast<std::size_t>(restarts_used));
+      ++restarts_used;
+      fresh = comm::HaloFreshness::kStale;
+      continue;
+    }
+
+    if (policy_.fallback && stage + 1 < chain_.size()) {
+      ev.action = "fallback";
+      events_.push_back(ev);
+      ++stage;
+      restore(x, 0);
+      fresh = comm::HaloFreshness::kStale;
+      continue;
+    }
+
+    // Out of options: hand the typed failure to the caller.
+    ev.action = "give_up";
+    events_.push_back(ev);
+    if (comm.rank() == 0)
+      MINIPOP_WARN("resilient solver giving up: "
+                   << to_string(agreed) << " after " << (attempt + 1)
+                   << " attempt(s), " << total_iterations << " iterations");
+    stats.converged = false;
+    stats.failure = agreed;
+    stats.iterations = total_iterations;
+    stats.costs = comm.costs().since(snapshot);
+    return stats;
+  }
+}
+
+}  // namespace minipop::solver

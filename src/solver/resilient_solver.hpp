@@ -1,0 +1,96 @@
+// ResilientSolver: detect → recover → fall back decorator around any
+// IterativeSolver.
+//
+// Every attempt ends with a one-scalar agreement allreduce (kMax of the
+// FailureKind code) so all ranks reach the same recovery decision — the
+// only collective the decorator adds to a fault-free solve. On an agreed
+// failure it walks the recovery chain:
+//   1. restart the primary from the last lightweight checkpoint of x
+//      (a ring of the two most recent solve-entry snapshots);
+//   2. if the primary is P-CSI and it diverged/stagnated, re-estimate
+//      the eigenvalue interval with Lanczos once, then restart;
+//   3. fall back down the solver chain (e.g. P-CSI → ChronGear →
+//      diagonal-preconditioned PCG), restarting each from a sanitized
+//      checkpoint.
+// A CommTimeoutError from any attempt is absorbed: the team is fenced
+// with Communicator::resync() and the attempt is treated as a
+// kCommTimeout failure, so a dropped or over-delayed message costs one
+// restart instead of a hang. Every transition is recorded as a
+// RecoveryEvent for tests and bench_resilience.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/solver/iterative_solver.hpp"
+#include "src/solver/lanczos.hpp"
+
+namespace minipop::solver {
+
+struct RecoveryPolicy {
+  /// Checkpoint restarts of the primary solver before falling back.
+  int max_restarts = 2;
+  /// Re-run Lanczos (once per solve) when a P-CSI primary diverges or
+  /// stagnates — the classic stale-interval failure.
+  bool reestimate_bounds = true;
+  LanczosOptions lanczos;
+  /// Walk the fallback chain after the primary is out of options.
+  bool fallback = true;
+};
+
+/// One recorded recovery transition.
+struct RecoveryEvent {
+  FailureKind failure;  ///< what the failed attempt reported
+  std::string solver;   ///< solver that failed
+  std::string action;   ///< restart | reestimate_bounds | fallback | give_up
+  int attempt;          ///< 0-based attempt ordinal within the solve
+  int iterations;       ///< iterations spent in the failed attempt
+};
+
+class ResilientSolver final : public IterativeSolver {
+ public:
+  explicit ResilientSolver(std::unique_ptr<IterativeSolver> primary,
+                           RecoveryPolicy policy = {});
+
+  /// Append a fallback stage (tried in order). With
+  /// `use_diagonal_precond` the stage runs with a diagonal preconditioner
+  /// built from the operator instead of the caller's — the last-resort
+  /// configuration that cannot itself be the source of the failure.
+  void add_fallback(std::unique_ptr<IterativeSolver> solver,
+                    bool use_diagonal_precond = false);
+
+  SolveStats solve(
+      comm::Communicator& comm, const comm::HaloExchanger& halo,
+      const DistOperator& a, Preconditioner& m, const comm::DistField& b,
+      comm::DistField& x,
+      comm::HaloFreshness x_fresh = comm::HaloFreshness::kStale) override;
+
+  std::string name() const override;
+
+  /// Recovery transitions recorded over this solver's lifetime.
+  const std::vector<RecoveryEvent>& events() const { return events_; }
+  void clear_events() { events_.clear(); }
+
+  IterativeSolver& primary() { return *chain_.front().solver; }
+
+ private:
+  struct Stage {
+    std::unique_ptr<IterativeSolver> solver;
+    bool use_diagonal_precond = false;
+  };
+
+  /// Push a snapshot of x onto the checkpoint ring (keeps 2).
+  void checkpoint(const comm::DistField& x);
+  /// Restore x from ring slot `slot` (clamped), zeroing non-finite
+  /// entries so a corrupted entry state cannot re-poison the retry.
+  void restore(comm::DistField& x, std::size_t slot) const;
+
+  std::vector<Stage> chain_;
+  RecoveryPolicy policy_;
+  std::vector<RecoveryEvent> events_;
+  std::deque<comm::DistField> ring_;  ///< [0] = newest entry snapshot
+};
+
+}  // namespace minipop::solver

@@ -97,6 +97,24 @@ BarotropicSolver::BarotropicSolver(comm::Communicator& comm,
       break;
     }
   }
+
+  if (config_.resilient) {
+    config_.recovery.lanczos = config_.lanczos;
+    auto resilient = std::make_unique<ResilientSolver>(std::move(solver_),
+                                                       config_.recovery);
+    // Fallback chain toward ever-simpler methods, ending at the
+    // configuration least likely to share the primary's failure mode:
+    // PCG with a freshly built diagonal preconditioner.
+    if (config_.solver == SolverKind::kPcsi ||
+        config_.solver == SolverKind::kPipelinedCg)
+      resilient->add_fallback(
+          std::make_unique<ChronGearSolver>(config_.options));
+    if (config_.solver != SolverKind::kPcg)
+      resilient->add_fallback(std::make_unique<PcgSolver>(config_.options),
+                              /*use_diagonal_precond=*/true);
+    resilient_ = resilient.get();
+    solver_ = std::move(resilient);
+  }
 }
 
 SolveStats BarotropicSolver::solve(comm::Communicator& comm,

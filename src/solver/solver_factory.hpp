@@ -15,6 +15,7 @@
 #include "src/solver/pcg.hpp"
 #include "src/solver/pcsi.hpp"
 #include "src/solver/pipelined_cg.hpp"
+#include "src/solver/resilient_solver.hpp"
 
 namespace minipop::solver {
 
@@ -35,6 +36,13 @@ struct SolverConfig {
   /// Select the split-phase (overlapped) solver variants; equivalent to
   /// setting options.overlap. Bitwise identical results either way.
   bool overlap = false;
+  /// Route solves through the ResilientSolver decorator (checkpoint
+  /// restarts, P-CSI bounds re-estimation, fallback chain down to
+  /// diagonal-preconditioned PCG). Fault-free iterates are bitwise
+  /// identical with or without it; the decorator adds one agreement
+  /// reduction per solve.
+  bool resilient = true;
+  RecoveryPolicy recovery;
 };
 
 /// One rank's fully-assembled barotropic solver. Construction is
@@ -61,6 +69,8 @@ class BarotropicSolver {
   const SolverConfig& config() const { return config_; }
   /// Lanczos estimation details; only set for P-CSI.
   const std::optional<LanczosResult>& lanczos() const { return lanczos_; }
+  /// The resilience decorator, or nullptr when config.resilient is off.
+  ResilientSolver* resilient() { return resilient_; }
   /// e.g. "pcsi+block-evp".
   std::string description() const;
 
@@ -70,6 +80,7 @@ class BarotropicSolver {
   DistOperator op_;
   std::unique_ptr<Preconditioner> precond_;
   std::unique_ptr<IterativeSolver> solver_;
+  ResilientSolver* resilient_ = nullptr;  ///< view into solver_, if wrapped
   std::optional<LanczosResult> lanczos_;
 };
 
