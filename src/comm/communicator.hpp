@@ -18,6 +18,7 @@
 #pragma once
 
 #include <chrono>
+#include <cstddef>
 #include <memory>
 #include <span>
 
@@ -105,14 +106,35 @@ class Communicator {
   /// the same order.
   virtual Request iallreduce(std::span<double> values, ReduceOp op) = 0;
 
-  /// Post a buffered ("eager") point-to-point send. The backends copy
-  /// `data` at post time, so the returned request is always already
-  /// complete and `data` may be reused immediately.
-  virtual Request isend(int dest, int tag, std::span<const double> data) = 0;
+  /// Post a buffered ("eager") point-to-point send of raw bytes. The
+  /// backends copy `data` at post time, so the returned request is
+  /// always already complete and `data` may be reused immediately.
+  /// Point-to-point is byte-addressed (MPI_BYTE style) so halo messages
+  /// carry whatever element type the field stores — an fp32 halo is
+  /// half the wire bytes of an fp64 one with no comm-layer changes.
+  virtual Request isend_bytes(int dest, int tag,
+                              std::span<const std::byte> data) = 0;
 
   /// Post a receive matching (src, tag); data.size() must equal the
-  /// sent size. `data` must stay alive until the request completes.
-  virtual Request irecv(int src, int tag, std::span<double> data) = 0;
+  /// sent byte count. `data` must stay alive until the request
+  /// completes.
+  virtual Request irecv_bytes(int src, int tag,
+                              std::span<std::byte> data) = 0;
+
+  /// Typed element wrappers over the byte primitives (the historical
+  /// API; kept non-virtual so backends implement bytes only).
+  Request isend(int dest, int tag, std::span<const double> data) {
+    return isend_bytes(dest, tag, std::as_bytes(data));
+  }
+  Request irecv(int src, int tag, std::span<double> data) {
+    return irecv_bytes(src, tag, std::as_writable_bytes(data));
+  }
+  Request isend(int dest, int tag, std::span<const float> data) {
+    return isend_bytes(dest, tag, std::as_bytes(data));
+  }
+  Request irecv(int src, int tag, std::span<float> data) {
+    return irecv_bytes(src, tag, std::as_writable_bytes(data));
+  }
 
   virtual void barrier() = 0;
 

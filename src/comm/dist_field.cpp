@@ -4,7 +4,9 @@
 
 namespace minipop::comm {
 
-DistField::DistField(const grid::Decomposition& decomp, int rank, int halo)
+template <typename T>
+DistFieldT<T>::DistFieldT(const grid::Decomposition& decomp, int rank,
+                          int halo)
     : decomp_(&decomp), rank_(rank), halo_(halo) {
   MINIPOP_REQUIRE(halo >= 1, "halo=" << halo);
   MINIPOP_REQUIRE(rank >= 0 && rank < decomp.nranks(), "rank=" << rank);
@@ -15,25 +17,29 @@ DistField::DistField(const grid::Decomposition& decomp, int rank, int halo)
     MINIPOP_REQUIRE(b.nx >= halo && b.ny >= halo,
                     "block " << b.nx << "x" << b.ny
                              << " smaller than halo " << halo);
-    data_.emplace_back(b.nx + 2 * halo, b.ny + 2 * halo, 0.0);
+    data_.emplace_back(b.nx + 2 * halo, b.ny + 2 * halo, T(0));
     local_of_global_[block_ids_[lb]] = static_cast<int>(lb);
   }
 }
 
-const grid::BlockInfo& DistField::info(int lb) const {
+template <typename T>
+const grid::BlockInfo& DistFieldT<T>::info(int lb) const {
   return decomp_->block(block_ids_.at(lb));
 }
 
-int DistField::local_index(int global_block_id) const {
+template <typename T>
+int DistFieldT<T>::local_index(int global_block_id) const {
   auto it = local_of_global_.find(global_block_id);
   return it == local_of_global_.end() ? -1 : it->second;
 }
 
-void DistField::fill(double v) {
+template <typename T>
+void DistFieldT<T>::fill(T v) {
   for (auto& f : data_) f.fill(v);
 }
 
-void DistField::load_global(const util::Field& global) {
+template <typename T>
+void DistFieldT<T>::load_global(const util::Field& global) {
   MINIPOP_REQUIRE(global.nx() == decomp_->nx_global() &&
                       global.ny() == decomp_->ny_global(),
                   "global field shape mismatch");
@@ -41,11 +47,12 @@ void DistField::load_global(const util::Field& global) {
     const auto& b = info(lb);
     for (int j = 0; j < b.ny; ++j)
       for (int i = 0; i < b.nx; ++i)
-        at(lb, i, j) = global(b.i0 + i, b.j0 + j);
+        at(lb, i, j) = static_cast<T>(global(b.i0 + i, b.j0 + j));
   }
 }
 
-void DistField::store_global(util::Field& global) const {
+template <typename T>
+void DistFieldT<T>::store_global(util::Field& global) const {
   MINIPOP_REQUIRE(global.nx() == decomp_->nx_global() &&
                       global.ny() == decomp_->ny_global(),
                   "global field shape mismatch");
@@ -57,9 +64,7 @@ void DistField::store_global(util::Field& global) const {
   }
 }
 
-bool DistField::compatible_with(const DistField& other) const {
-  return decomp_ == other.decomp_ && rank_ == other.rank_ &&
-         halo_ == other.halo_;
-}
+template class DistFieldT<double>;
+template class DistFieldT<float>;
 
 }  // namespace minipop::comm

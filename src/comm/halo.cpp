@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <type_traits>
 #include <vector>
 
 #include "src/fault/fault_injector.hpp"
@@ -80,55 +81,59 @@ int message_tag(int epoch, int src_block_id, Dir d) {
 }
 
 // Pack/unpack move whole region rows at once: region coordinates have i
-// fast, so row j of a region is `ni` contiguous doubles in the padded
+// fast, so row j of a region is `ni` contiguous elements in the padded
 // array. Full-width N/S strips (the big messages) move as `nj` memcpys of
 // `ni = bnx` elements each; E/W strips degenerate to short rows of
 // `ni = h` elements, same code path.
 
 /// First element of region row j inside the padded array.
-double* region_row(util::Field& padded, int h, const HaloRegion& r, int j) {
+template <typename T>
+T* region_row(util::Array2D<T>& padded, int h, const HaloRegion& r, int j) {
   return padded.data() +
          static_cast<std::ptrdiff_t>(r.j0 + j + h) * padded.nx() +
          (r.i0 + h);
 }
-const double* region_row(const util::Field& padded, int h,
-                         const HaloRegion& r, int j) {
+template <typename T>
+const T* region_row(const util::Array2D<T>& padded, int h,
+                    const HaloRegion& r, int j) {
   return padded.data() +
          static_cast<std::ptrdiff_t>(r.j0 + j + h) * padded.nx() +
          (r.i0 + h);
 }
 
-void pack(const util::Field& padded, int h, const HaloRegion& r,
-          std::vector<double>& out) {
+template <typename T>
+void pack(const util::Array2D<T>& padded, int h, const HaloRegion& r,
+          std::vector<T>& out) {
   out.resize(static_cast<std::size_t>(r.ni) * r.nj);
-  const std::size_t row_bytes = static_cast<std::size_t>(r.ni) *
-                                sizeof(double);
+  const std::size_t row_bytes = static_cast<std::size_t>(r.ni) * sizeof(T);
   for (int j = 0; j < r.nj; ++j)
     std::memcpy(out.data() + static_cast<std::size_t>(j) * r.ni,
                 region_row(padded, h, r, j), row_bytes);
 }
 
-void unpack(util::Field& padded, int h, const HaloRegion& r,
-            std::span<const double> in) {
+template <typename T>
+void unpack(util::Array2D<T>& padded, int h, const HaloRegion& r,
+            std::span<const T> in) {
   MINIPOP_REQUIRE(in.size() == static_cast<std::size_t>(r.ni) * r.nj,
                   "halo unpack size mismatch");
-  const std::size_t row_bytes = static_cast<std::size_t>(r.ni) *
-                                sizeof(double);
+  const std::size_t row_bytes = static_cast<std::size_t>(r.ni) * sizeof(T);
   for (int j = 0; j < r.nj; ++j)
     std::memcpy(region_row(padded, h, r, j),
                 in.data() + static_cast<std::size_t>(j) * r.ni, row_bytes);
 }
 
-void zero_region(util::Field& padded, int h, const HaloRegion& r) {
+template <typename T>
+void zero_region(util::Array2D<T>& padded, int h, const HaloRegion& r) {
   for (int j = 0; j < r.nj; ++j) {
-    double* row = region_row(padded, h, r, j);
-    std::fill(row, row + r.ni, 0.0);
+    T* row = region_row(padded, h, r, j);
+    std::fill(row, row + r.ni, T(0));
   }
 }
 
 }  // namespace
 
-HaloHandle::~HaloHandle() {
+template <typename T>
+HaloHandleT<T>::~HaloHandleT() {
   if (!active()) return;
   try {
     finish();
@@ -138,13 +143,14 @@ HaloHandle::~HaloHandle() {
   }
 }
 
-void HaloHandle::finish() {
+template <typename T>
+void HaloHandleT<T>::finish() {
   if (!active()) return;
   // Complete in post order — the same receive order as the blocking
   // exchange, so the unpacked halos are bitwise identical to it.
   for (PendingRecv& p : recvs_) {
     p.request.wait();
-    unpack(field_->data(p.lb), field_->halo(), p.dst, p.buf);
+    unpack<T>(field_->data(p.lb), field_->halo(), p.dst, p.buf);
   }
   comm_->costs().add_halo_exchange();
   recvs_.clear();
@@ -155,19 +161,23 @@ void HaloHandle::finish() {
 HaloExchanger::HaloExchanger(const grid::Decomposition& decomp)
     : decomp_(&decomp) {}
 
-void HaloExchanger::exchange(Communicator& comm, DistField& field) const {
+template <typename T>
+void HaloExchanger::exchange(Communicator& comm,
+                             DistFieldT<T>& field) const {
   begin(comm, field).finish();
 }
 
-HaloHandle HaloExchanger::begin(Communicator& comm, DistField& field) const {
+template <typename T>
+HaloHandleT<T> HaloExchanger::begin(Communicator& comm,
+                                    DistFieldT<T>& field) const {
   MINIPOP_REQUIRE(&field.decomposition() == decomp_,
                   "field belongs to a different decomposition");
   const int h = field.halo();
   const int my_rank = field.rank();
   const int epoch = comm.next_tag_epoch();
-  std::vector<double> buf;
+  std::vector<T> buf;
 
-  HaloHandle handle;
+  HaloHandleT<T> handle;
   handle.comm_ = &comm;
   handle.field_ = &field;
 
@@ -179,9 +189,13 @@ HaloHandle HaloExchanger::begin(Communicator& comm, DistField& field) const {
       if (nid < 0) continue;
       const int owner = decomp_->block(nid).owner;
       if (owner == my_rank) continue;
-      pack(field.data(lb), h, send_region(d, b.nx, b.ny, h), buf);
-      fault::hook_halo_payload(my_rank, buf.data(), buf.size());
-      comm.isend(owner, message_tag(epoch, b.id, d), buf);
+      pack<T>(field.data(lb), h, send_region(d, b.nx, b.ny, h), buf);
+      // The fault sites corrupt fp64 state halos; the fp32 mirror path
+      // is exercised under the fp64 refinement guard instead.
+      if constexpr (std::is_same_v<T, double>)
+        fault::hook_halo_payload(my_rank, buf.data(), buf.size());
+      comm.isend(owner, message_tag(epoch, b.id, d),
+                 std::span<const T>(buf));
     }
   }
 
@@ -195,15 +209,15 @@ HaloHandle HaloExchanger::begin(Communicator& comm, DistField& field) const {
       const auto& nb = decomp_->block(nid);
       if (nb.owner == my_rank) continue;
       const HaloRegion dst = halo_region(d, b.nx, b.ny, h);
-      HaloHandle::PendingRecv p;
+      typename HaloHandleT<T>::PendingRecv p;
       p.buf.resize(static_cast<std::size_t>(dst.ni) * dst.nj);
       p.lb = lb;
       p.dst = dst;
       handle.recvs_.push_back(std::move(p));
-      HaloHandle::PendingRecv& posted = handle.recvs_.back();
+      typename HaloHandleT<T>::PendingRecv& posted = handle.recvs_.back();
       posted.request =
           comm.irecv(nb.owner, message_tag(epoch, nid, opposite(d)),
-                     posted.buf);
+                     std::span<T>(posted.buf));
     }
   }
 
@@ -214,24 +228,25 @@ HaloHandle HaloExchanger::begin(Communicator& comm, DistField& field) const {
       const int nid = decomp_->neighbor(b.id, d);
       const HaloRegion dst = halo_region(d, b.nx, b.ny, h);
       if (nid < 0) {
-        zero_region(field.data(lb), h, dst);
+        zero_region<T>(field.data(lb), h, dst);
         continue;
       }
       const auto& nb = decomp_->block(nid);
       if (nb.owner != my_rank) continue;  // remote: posted in phase 2
       const int nlb = field.local_index(nid);
       MINIPOP_ASSERT(nlb >= 0);
-      pack(field.data(nlb), h, send_region(opposite(d), nb.nx, nb.ny, h),
-           buf);
-      unpack(field.data(lb), h, dst, buf);
+      pack<T>(field.data(nlb), h, send_region(opposite(d), nb.nx, nb.ny, h),
+              buf);
+      unpack<T>(field.data(lb), h, dst, buf);
     }
   }
 
   return handle;
 }
 
+template <typename T>
 std::uint64_t HaloExchanger::bytes_sent_per_exchange(
-    const DistField& field) const {
+    const DistFieldT<T>& field) const {
   const int h = field.halo();
   const int my_rank = field.rank();
   std::uint64_t bytes = 0;
@@ -242,10 +257,24 @@ std::uint64_t HaloExchanger::bytes_sent_per_exchange(
       if (nid < 0) continue;
       if (decomp_->block(nid).owner == my_rank) continue;
       const HaloRegion r = send_region(d, b.nx, b.ny, h);
-      bytes += static_cast<std::uint64_t>(r.ni) * r.nj * sizeof(double);
+      bytes += static_cast<std::uint64_t>(r.ni) * r.nj * sizeof(T);
     }
   }
   return bytes;
 }
+
+template class HaloHandleT<double>;
+template class HaloHandleT<float>;
+
+#define MINIPOP_HALO_INSTANTIATE(T)                                        \
+  template void HaloExchanger::exchange<T>(Communicator&, DistFieldT<T>&)  \
+      const;                                                               \
+  template HaloHandleT<T> HaloExchanger::begin<T>(Communicator&,           \
+                                                  DistFieldT<T>&) const;   \
+  template std::uint64_t HaloExchanger::bytes_sent_per_exchange<T>(        \
+      const DistFieldT<T>&) const;
+MINIPOP_HALO_INSTANTIATE(double)
+MINIPOP_HALO_INSTANTIATE(float)
+#undef MINIPOP_HALO_INSTANTIATE
 
 }  // namespace minipop::comm

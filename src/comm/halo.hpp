@@ -17,6 +17,11 @@
 // exchange() is begin() + finish(). Each begin() draws a fresh tag epoch
 // from the communicator, so up to Communicator::kTagEpochWindow
 // exchanges can be outstanding at once without their messages colliding.
+//
+// The exchange is generic over the field's element type: an fp32 field
+// packs fp32 strips and moves HALF the wire bytes of an fp64 exchange
+// through the identical byte-addressed point-to-point path — the same
+// tags, the same message count, the same overlap structure.
 #pragma once
 
 #include <vector>
@@ -53,14 +58,15 @@ struct HaloRegion {
 /// must be called exactly once per begin(); the destructor finishes a
 /// still-active handle as a safety net (swallowing errors, since it may
 /// run while unwinding a poisoned team).
-class HaloHandle {
+template <typename T>
+class HaloHandleT {
  public:
-  HaloHandle() = default;
-  HaloHandle(HaloHandle&&) noexcept = default;
-  HaloHandle& operator=(HaloHandle&&) noexcept = default;
-  HaloHandle(const HaloHandle&) = delete;
-  HaloHandle& operator=(const HaloHandle&) = delete;
-  ~HaloHandle();
+  HaloHandleT() = default;
+  HaloHandleT(HaloHandleT&&) noexcept = default;
+  HaloHandleT& operator=(HaloHandleT&&) noexcept = default;
+  HaloHandleT(const HaloHandleT&) = delete;
+  HaloHandleT& operator=(const HaloHandleT&) = delete;
+  ~HaloHandleT();
 
   bool active() const { return field_ != nullptr; }
 
@@ -78,16 +84,22 @@ class HaloHandle {
     // die (reverse declaration order) while the buffer it targets is
     // alive. With the opposite order, unwinding a timed-out exchange
     // writes into freed memory.
-    std::vector<double> buf;
+    std::vector<T> buf;
     int lb = 0;
     detail::HaloRegion dst{};
     Request request;
   };
 
   Communicator* comm_ = nullptr;
-  DistField* field_ = nullptr;
+  DistFieldT<T>* field_ = nullptr;
   std::vector<PendingRecv> recvs_;
 };
+
+extern template class HaloHandleT<double>;
+extern template class HaloHandleT<float>;
+
+using HaloHandle = HaloHandleT<double>;
+using HaloHandle32 = HaloHandleT<float>;
 
 class HaloExchanger {
  public:
@@ -95,20 +107,35 @@ class HaloExchanger {
 
   /// Update all halos of `field` (owned by the calling rank). Collective:
   /// every rank of the communicator must call with its own field.
-  /// Equivalent to begin() immediately followed by HaloHandle::finish().
-  void exchange(Communicator& comm, DistField& field) const;
+  /// Equivalent to begin() immediately followed by finish().
+  template <typename T>
+  void exchange(Communicator& comm, DistFieldT<T>& field) const;
 
   /// Split-phase: pack and post all sends/receives, do the local copies
   /// and zero fills, and return the in-flight handle. The halo cells of
   /// `field` are in an unspecified state until finish(); the owned
   /// interior may be read freely (but not written) in between.
-  HaloHandle begin(Communicator& comm, DistField& field) const;
+  template <typename T>
+  HaloHandleT<T> begin(Communicator& comm, DistFieldT<T>& field) const;
 
   /// Bytes this rank sends per exchange of `field` (for cost reporting).
-  std::uint64_t bytes_sent_per_exchange(const DistField& field) const;
+  /// Scales with sizeof(T): an fp32 field reports half the fp64 bytes.
+  template <typename T>
+  std::uint64_t bytes_sent_per_exchange(const DistFieldT<T>& field) const;
 
  private:
   const grid::Decomposition* decomp_;
 };
+
+#define MINIPOP_HALO_EXTERN(T)                                             \
+  extern template void HaloExchanger::exchange<T>(Communicator&,           \
+                                                  DistFieldT<T>&) const;   \
+  extern template HaloHandleT<T> HaloExchanger::begin<T>(                  \
+      Communicator&, DistFieldT<T>&) const;                                \
+  extern template std::uint64_t HaloExchanger::bytes_sent_per_exchange<T>( \
+      const DistFieldT<T>&) const;
+MINIPOP_HALO_EXTERN(double)
+MINIPOP_HALO_EXTERN(float)
+#undef MINIPOP_HALO_EXTERN
 
 }  // namespace minipop::comm

@@ -13,14 +13,14 @@ Request SerialComm::iallreduce(std::span<double> values, ReduceOp /*op*/) {
   return Request{};
 }
 
-Request SerialComm::isend(int /*dest*/, int /*tag*/,
-                          std::span<const double> /*data*/) {
+Request SerialComm::isend_bytes(int /*dest*/, int /*tag*/,
+                                std::span<const std::byte> /*data*/) {
   MINIPOP_REQUIRE(false, "SerialComm has no peers to send to");
   return Request{};
 }
 
-Request SerialComm::irecv(int /*src*/, int /*tag*/,
-                          std::span<double> /*data*/) {
+Request SerialComm::irecv_bytes(int /*src*/, int /*tag*/,
+                                std::span<std::byte> /*data*/) {
   MINIPOP_REQUIRE(false, "SerialComm has no peers to receive from");
   return Request{};
 }

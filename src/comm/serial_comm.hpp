@@ -13,8 +13,9 @@ class SerialComm final : public Communicator {
   int size() const override { return 1; }
 
   Request iallreduce(std::span<double> values, ReduceOp op) override;
-  Request isend(int dest, int tag, std::span<const double> data) override;
-  Request irecv(int src, int tag, std::span<double> data) override;
+  Request isend_bytes(int dest, int tag,
+                      std::span<const std::byte> data) override;
+  Request irecv_bytes(int src, int tag, std::span<std::byte> data) override;
   void barrier() override {}
 };
 

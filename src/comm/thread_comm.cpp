@@ -35,7 +35,7 @@ class ThreadReduceRequest final : public RequestState {
 class ThreadRecvRequest final : public RequestState {
  public:
   ThreadRecvRequest(ThreadTeam* team, ThreadTeam::ChannelKey key,
-                    std::span<double> out)
+                    std::span<std::byte> out)
       : team_(team), key_(key), out_(out) {}
 
   bool poll() override { return team_->recv_poll(key_, out_); }
@@ -44,7 +44,7 @@ class ThreadRecvRequest final : public RequestState {
  private:
   ThreadTeam* team_;
   ThreadTeam::ChannelKey key_;
-  std::span<double> out_;
+  std::span<std::byte> out_;
 };
 
 // ---------------------------------------------------------------------------
@@ -61,15 +61,17 @@ Request ThreadComm::iallreduce(std::span<double> values, ReduceOp op) {
       &costs_);
 }
 
-Request ThreadComm::isend(int dest, int tag, std::span<const double> data) {
-  costs_.add_message(data.size() * sizeof(double));
+Request ThreadComm::isend_bytes(int dest, int tag,
+                                std::span<const std::byte> data) {
+  costs_.add_message(data.size());
   team_->post_send(rank_, dest, tag, data);
   // Eager protocol: the message is buffered at post time, so the send is
   // already complete and contributes no in-flight request time.
   return Request{};
 }
 
-Request ThreadComm::irecv(int src, int tag, std::span<double> data) {
+Request ThreadComm::irecv_bytes(int src, int tag,
+                                std::span<std::byte> data) {
   const ThreadTeam::ChannelKey key{src, rank_, tag};
   team_->post_recv(key);
   return Request(std::make_unique<ThreadRecvRequest>(team_, key, data),
@@ -302,7 +304,7 @@ void ThreadTeam::reduce_block(ReduceRound& round, std::span<double> out) {
 // Point-to-point
 
 void ThreadTeam::post_send(int src, int dest, int tag,
-                           std::span<const double> data) {
+                           std::span<const std::byte> data) {
   MINIPOP_REQUIRE(dest >= 0 && dest < nranks_, "send to rank " << dest);
   MINIPOP_REQUIRE(tag >= 0, "tag " << tag);
   const ChannelKey key{src, dest, tag};
@@ -317,7 +319,7 @@ void ThreadTeam::post_send(int src, int dest, int tag,
       // matures, delivery is dropped — a late message must not leak into
       // a fresh epoch whose tags it could accidentally match.
       const std::uint64_t generation = resync_generation_;
-      Message msg{std::vector<double>(data.begin(), data.end())};
+      Message msg{std::vector<std::byte>(data.begin(), data.end())};
       delayed_threads_.emplace_back(
           [this, key, generation, delay_ms = fate.delay_ms,
            msg = std::move(msg)]() mutable {
@@ -337,7 +339,7 @@ void ThreadTeam::post_send(int src, int dest, int tag,
                                                                         : 1;
     for (int c = 0; c < copies; ++c)
       mailboxes_[key].push_back(
-          Message{std::vector<double>(data.begin(), data.end())});
+          Message{std::vector<std::byte>(data.begin(), data.end())});
   }
   cv_.notify_all();
 }
@@ -362,13 +364,13 @@ void ThreadTeam::post_recv(const ChannelKey& key) {
 }
 
 bool ThreadTeam::try_take_locked(const ChannelKey& key,
-                                 std::span<double> out) {
+                                 std::span<std::byte> out) {
   auto it = mailboxes_.find(key);
   if (it == mailboxes_.end() || it->second.empty()) return false;
   Message msg = std::move(it->second.front());
   it->second.pop_front();
   MINIPOP_REQUIRE(msg.data.size() == out.size(),
-                  "recv size " << out.size() << " != sent "
+                  "recv size " << out.size() << " bytes != sent "
                                << msg.data.size() << " (src=" << key.src
                                << " tag=" << key.tag << ")");
 #if MINIPOP_BOUNDS_CHECK
@@ -380,7 +382,7 @@ bool ThreadTeam::try_take_locked(const ChannelKey& key,
   return true;
 }
 
-bool ThreadTeam::recv_poll(const ChannelKey& key, std::span<double> out) {
+bool ThreadTeam::recv_poll(const ChannelKey& key, std::span<std::byte> out) {
   std::lock_guard<std::mutex> lock(mu_);
   throw_if_poisoned();
   if (try_take_locked(key, out)) return true;
@@ -388,7 +390,8 @@ bool ThreadTeam::recv_poll(const ChannelKey& key, std::span<double> out) {
   return false;
 }
 
-void ThreadTeam::recv_block(const ChannelKey& key, std::span<double> out) {
+void ThreadTeam::recv_block(const ChannelKey& key,
+                            std::span<std::byte> out) {
   std::unique_lock<std::mutex> lock(mu_);
   const auto ready = [&] {
     if (poisoned_ || timed_out_) return true;

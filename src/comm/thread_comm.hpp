@@ -53,8 +53,9 @@ class ThreadComm final : public Communicator {
   int size() const override;
 
   Request iallreduce(std::span<double> values, ReduceOp op) override;
-  Request isend(int dest, int tag, std::span<const double> data) override;
-  Request irecv(int src, int tag, std::span<double> data) override;
+  Request isend_bytes(int dest, int tag,
+                      std::span<const std::byte> data) override;
+  Request irecv_bytes(int src, int tag, std::span<std::byte> data) override;
   void barrier() override;
   void resync() override;
 
@@ -102,8 +103,11 @@ class ThreadTeam {
   friend class ThreadReduceRequest;
   friend class ThreadRecvRequest;
 
+  // Mailbox payloads are raw bytes: the team relays whatever element
+  // type the sender packed (fp64 state halos, fp32 mixed-precision
+  // halos) without reinterpretation; sizes are checked in bytes.
   struct Message {
-    std::vector<double> data;
+    std::vector<std::byte> data;
   };
 
   /// Point-to-point channel identity. A plain struct key (not a packed
@@ -136,11 +140,12 @@ class ThreadTeam {
   bool reduce_poll(ReduceRound& round, std::span<double> out);
   void reduce_block(ReduceRound& round, std::span<double> out);
 
-  void post_send(int src, int dest, int tag, std::span<const double> data);
+  void post_send(int src, int dest, int tag,
+                 std::span<const std::byte> data);
   void post_recv(const ChannelKey& key);
-  bool recv_poll(const ChannelKey& key, std::span<double> out);
-  void recv_block(const ChannelKey& key, std::span<double> out);
-  bool try_take_locked(const ChannelKey& key, std::span<double> out);
+  bool recv_poll(const ChannelKey& key, std::span<std::byte> out);
+  void recv_block(const ChannelKey& key, std::span<std::byte> out);
+  bool try_take_locked(const ChannelKey& key, std::span<std::byte> out);
 
   void do_barrier();
   void do_resync();

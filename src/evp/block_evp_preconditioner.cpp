@@ -58,9 +58,11 @@ BlockEvpPreconditioner::BlockEvpPreconditioner(
   evp_opt.simplified = options.simplified;
   evp_opt.validate_accuracy = options.tile_accuracy;
 
+  reg_coeff_.reserve(ids.size());
   for (int lb = 0; lb < static_cast<int>(ids.size()); ++lb) {
     const auto& b = decomp.block(ids[lb]);
-    // Copy the regularized coefficients of this block.
+    // Copy the regularized coefficients of this block (kept around so
+    // the fp32 tile set can be built lazily later).
     std::array<util::Field, grid::kNumDirs> coeff;
     for (int d = 0; d < grid::kNumDirs; ++d) {
       coeff[d] = util::Field(b.nx, b.ny);
@@ -97,6 +99,48 @@ BlockEvpPreconditioner::BlockEvpPreconditioner(
     for (const auto& [ti0, tnx] : split(b.nx, options.max_tile))
       for (const auto& [tj0, tny] : split(b.ny, options.max_tile))
         add_tile(ti0, tj0, tnx, tny);
+    reg_coeff_.push_back(std::move(coeff));
+  }
+}
+
+void BlockEvpPreconditioner::build_tiles32() {
+  EvpOptions evp_opt;
+  evp_opt.simplified = options_.simplified;
+  // The fp64 self-check already ran per fp32 tile candidate at
+  // construction below; what gates fp32 use is the fp32 self-check.
+  evp_opt.validate_accuracy = options_.tile_accuracy;
+  const int max_tile32 =
+      options_.max_tile32 > 0 ? options_.max_tile32 : options_.max_tile;
+
+  for (int lb = 0; lb < static_cast<int>(reg_coeff_.size()); ++lb) {
+    const auto& coeff = reg_coeff_[lb];
+    const std::function<void(int, int, int, int)> add_tile =
+        [&](int ti0, int tj0, int tnx, int tny) {
+          try {
+            Tile t;
+            t.local_block = lb;
+            t.solver = std::make_unique<EvpTileSolver>(coeff, ti0, tj0,
+                                                       tnx, tny, evp_opt);
+            t.solver->enable_fp32(options_.tile_accuracy32);
+            setup_flops_ += t.solver->setup_flops();
+            tiles32_.push_back(std::move(t));
+          } catch (const util::Error&) {
+            if (tnx <= 2 && tny <= 2) throw;
+            ++subdivided_tiles32_;
+            if (tnx >= tny) {
+              add_tile(ti0, tj0, tnx / 2, tny);
+              add_tile(ti0 + tnx / 2, tj0, tnx - tnx / 2, tny);
+            } else {
+              add_tile(ti0, tj0, tnx, tny / 2);
+              add_tile(ti0, tj0 + tny / 2, tnx, tny - tny / 2);
+            }
+          }
+        };
+    const int bnx = coeff[0].nx();
+    const int bny = coeff[0].ny();
+    for (const auto& [ti0, tnx] : split(bnx, max_tile32))
+      for (const auto& [tj0, tny] : split(bny, max_tile32))
+        add_tile(ti0, tj0, tnx, tny);
   }
 }
 
@@ -123,15 +167,59 @@ void BlockEvpPreconditioner::apply(comm::Communicator& comm,
       y = util::Field(s.nx(), s.ny());
       x = util::Field(s.nx(), s.ny());
     }
-    for (int j = 0; j < s.ny(); ++j)
-      for (int i = 0; i < s.nx(); ++i)
-        y(i, j) = in.at(t.local_block, s.i0() + i, s.j0() + j);
+    // Row-pointer gather/scatter: this runs per tile per iteration, so
+    // skip the per-element block lookup of DistField::at.
+    const double* in_p = in.interior(t.local_block);
+    const std::ptrdiff_t in_s = in.stride(t.local_block);
+    for (int j = 0; j < s.ny(); ++j) {
+      const double* row = in_p + (s.j0() + j) * in_s + s.i0();
+      for (int i = 0; i < s.nx(); ++i) y(i, j) = row[i];
+    }
     s.solve(y, x);
     const auto& mask = op_->block_mask(t.local_block);
-    for (int j = 0; j < s.ny(); ++j)
-      for (int i = 0; i < s.nx(); ++i)
-        out.at(t.local_block, s.i0() + i, s.j0() + j) =
-            mask(s.i0() + i, s.j0() + j) ? x(i, j) : 0.0;
+    double* out_p = out.interior(t.local_block);
+    const std::ptrdiff_t out_s = out.stride(t.local_block);
+    for (int j = 0; j < s.ny(); ++j) {
+      double* row = out_p + (s.j0() + j) * out_s + s.i0();
+      const unsigned char* mrow = mask.data() + (s.j0() + j) * mask.nx() +
+                                  s.i0();
+      for (int i = 0; i < s.nx(); ++i) row[i] = mrow[i] ? x(i, j) : 0.0;
+    }
+    flops += s.solve_flops();
+  }
+  comm.costs().add_flops(flops);
+}
+
+// Same contract as the fp64 apply: block-local, communication-free.
+void BlockEvpPreconditioner::apply(comm::Communicator& comm,
+                                   const comm::DistField32& in,
+                                   comm::DistField32& out) {
+  MINIPOP_REQUIRE(in.compatible_with(out), "block-EVP field mismatch");
+  if (tiles32_.empty()) build_tiles32();
+  std::uint64_t flops = 0;
+  util::Array2D<float> y, x;
+  for (const auto& t : tiles32_) {
+    const auto& s = *t.solver;
+    if (y.nx() != s.nx() || y.ny() != s.ny()) {
+      y = util::Array2D<float>(s.nx(), s.ny());
+      x = util::Array2D<float>(s.nx(), s.ny());
+    }
+    const float* in_p = in.interior(t.local_block);
+    const std::ptrdiff_t in_s = in.stride(t.local_block);
+    for (int j = 0; j < s.ny(); ++j) {
+      const float* row = in_p + (s.j0() + j) * in_s + s.i0();
+      for (int i = 0; i < s.nx(); ++i) y(i, j) = row[i];
+    }
+    s.solve32(y, x);
+    const auto& mask = op_->block_mask(t.local_block);
+    float* out_p = out.interior(t.local_block);
+    const std::ptrdiff_t out_s = out.stride(t.local_block);
+    for (int j = 0; j < s.ny(); ++j) {
+      float* row = out_p + (s.j0() + j) * out_s + s.i0();
+      const unsigned char* mrow = mask.data() + (s.j0() + j) * mask.nx() +
+                                  s.i0();
+      for (int i = 0; i < s.nx(); ++i) row[i] = mrow[i] ? x(i, j) : 0.0f;
+    }
     flops += s.solve_flops();
   }
   comm.costs().add_flops(flops);

@@ -109,6 +109,11 @@ std::vector<double> LuFactorization::solve(const std::vector<double>& b) const {
   MINIPOP_REQUIRE(static_cast<int>(b.size()) == n_,
                   "solve: b.size()=" << b.size() << " n=" << n_);
   std::vector<double> x(n_);
+  solve_into(b.data(), x.data());
+  return x;
+}
+
+void LuFactorization::solve_into(const double* b, double* x) const {
   // Apply permutation, then forward substitution with unit lower factor.
   for (int r = 0; r < n_; ++r) x[r] = b[perm_[r]];
   for (int r = 1; r < n_; ++r) {
@@ -122,7 +127,6 @@ std::vector<double> LuFactorization::solve(const std::vector<double>& b) const {
     for (int c = r + 1; c < n_; ++c) acc -= lu_(r, c) * x[c];
     x[r] = acc / lu_(r, r);
   }
-  return x;
 }
 
 DenseMatrix LuFactorization::inverse() const {

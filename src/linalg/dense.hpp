@@ -59,6 +59,11 @@ class LuFactorization {
   /// Solve A x = b.
   std::vector<double> solve(const std::vector<double>& b) const;
 
+  /// Allocation-free solve: x = A^-1 b, both length size(). b and x may
+  /// not alias. For hot callers (EVP tile corrections) that solve the
+  /// same small system thousands of times per sweep.
+  void solve_into(const double* b, double* x) const;
+
   /// Explicit inverse (n solves against unit vectors).
   DenseMatrix inverse() const;
 

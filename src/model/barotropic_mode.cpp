@@ -179,6 +179,7 @@ solver::SolveStats BarotropicMode::step(comm::Communicator& comm,
       solver_->solve(comm, rhs_, eta_, comm::HaloFreshness::kFresh);
   ++total_solves_;
   total_iterations_ += stats.iterations;
+  total_refine_sweeps_ += stats.refine_sweeps;
   if (!stats.converged) {
     // A non-converged free-surface solve must never pass silently: eta
     // is about to feed the velocity correction and the tracer fields.

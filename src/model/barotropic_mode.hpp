@@ -55,6 +55,9 @@ class BarotropicMode {
   /// Cumulative elliptic-solver iterations / solves since construction.
   long total_iterations() const { return total_iterations_; }
   long total_solves() const { return total_solves_; }
+  /// Cumulative mixed-precision refinement sweeps (0 unless the solver
+  /// runs with options.precision == kMixed).
+  long total_refine_sweeps() const { return total_refine_sweeps_; }
   /// Solves that ended unconverged (each is warned about on rank 0).
   long solver_failures() const { return solver_failures_; }
   /// FailureKind of the most recent unconverged solve (kNone if none).
@@ -79,6 +82,7 @@ class BarotropicMode {
 
   long total_iterations_ = 0;
   long total_solves_ = 0;
+  long total_refine_sweeps_ = 0;
   long solver_failures_ = 0;
   solver::FailureKind last_failure_ = solver::FailureKind::kNone;
 };

@@ -107,6 +107,58 @@ class DistOperator {
   /// Zero out land cells of the interiors (keeps iterates masked).
   void mask_interior(comm::DistField& x) const;
 
+  // -------------------------------------------------------------------
+  // fp32 mirror path. Same sweeps over a lazily-built float copy of the
+  // stencil coefficients: half the bytes per point, half the halo
+  // traffic, identical structure (including the interior/rim overlap
+  // split). Reductions still return double — the kernels accumulate
+  // fp32 operands in fp64, so convergence checks on the fp32 path
+  // measure the true fp32 residual rather than fp32 round-off of it.
+  // The fault-injection hooks only arm the fp64 path: injected state
+  // corruption is caught by the fp64 refinement guard above any fp32
+  // inner solve.
+
+  void apply(comm::Communicator& comm, const comm::HaloExchanger& halo,
+             comm::DistField32& x, comm::DistField32& y,
+             comm::HaloFreshness fresh = comm::HaloFreshness::kStale) const;
+  void residual(comm::Communicator& comm, const comm::HaloExchanger& halo,
+                const comm::DistField32& b, comm::DistField32& x,
+                comm::DistField32& r,
+                comm::HaloFreshness fresh = comm::HaloFreshness::kStale) const;
+  double residual_local_norm2(comm::Communicator& comm,
+                              const comm::HaloExchanger& halo,
+                              const comm::DistField32& b,
+                              comm::DistField32& x, comm::DistField32& r,
+                              comm::HaloFreshness fresh =
+                                  comm::HaloFreshness::kStale) const;
+  void apply_overlapped(
+      comm::Communicator& comm, const comm::HaloExchanger& halo,
+      comm::DistField32& x, comm::DistField32& y,
+      comm::HaloFreshness fresh = comm::HaloFreshness::kStale) const;
+  void residual_overlapped(
+      comm::Communicator& comm, const comm::HaloExchanger& halo,
+      const comm::DistField32& b, comm::DistField32& x,
+      comm::DistField32& r,
+      comm::HaloFreshness fresh = comm::HaloFreshness::kStale) const;
+  double residual_local_norm2_overlapped(
+      comm::Communicator& comm, const comm::HaloExchanger& halo,
+      const comm::DistField32& b, comm::DistField32& x,
+      comm::DistField32& r,
+      comm::HaloFreshness fresh = comm::HaloFreshness::kStale) const;
+  double local_dot(comm::Communicator& comm, const comm::DistField32& a,
+                   const comm::DistField32& b) const;
+  void local_dot3(comm::Communicator& comm, const comm::DistField32& r,
+                  const comm::DistField32& rp, const comm::DistField32& z,
+                  bool with_norm, double out[3]) const;
+  double global_dot(comm::Communicator& comm, const comm::DistField32& a,
+                    const comm::DistField32& b) const;
+  void mask_interior(comm::DistField32& x) const;
+
+  /// fp32 coefficient field of direction d for local block lb (builds
+  /// the mirror on first use; preconditioners read it for their own
+  /// fp32 setups).
+  const util::Array2D<float>& block_coeff32(int lb, grid::Dir d) const;
+
   /// Operator diagonal of local block lb (interior coordinates).
   const util::Field& block_diagonal(int lb) const {
     return block_coeff_[lb][static_cast<int>(grid::Dir::kCenter)];
@@ -120,8 +172,58 @@ class DistOperator {
  private:
   /// Fault-injection point: offer each block interior of `v` (a sweep's
   /// freshly written output) to the installed FaultInjector. Compiles to
-  /// nothing when MINIPOP_FAULTS is off.
+  /// nothing when MINIPOP_FAULTS is off (and to nothing for fp32 fields;
+  /// fault sites live on the fp64 state).
   void offer_fault_sites(comm::DistField& v) const;
+  void offer_fault_sites(comm::DistField32&) const {}
+
+  // Shared sweep bodies: one template instantiated at double (the
+  // pre-existing code, bit-identical) and float (the mirror).
+  template <typename T>
+  void apply_t(comm::Communicator& comm, const comm::HaloExchanger& halo,
+               comm::DistFieldT<T>& x, comm::DistFieldT<T>& y,
+               comm::HaloFreshness fresh) const;
+  template <typename T>
+  void residual_t(comm::Communicator& comm,
+                  const comm::HaloExchanger& halo,
+                  const comm::DistFieldT<T>& b, comm::DistFieldT<T>& x,
+                  comm::DistFieldT<T>& r, comm::HaloFreshness fresh) const;
+  template <typename T>
+  double residual_local_norm2_t(comm::Communicator& comm,
+                                const comm::HaloExchanger& halo,
+                                const comm::DistFieldT<T>& b,
+                                comm::DistFieldT<T>& x,
+                                comm::DistFieldT<T>& r,
+                                comm::HaloFreshness fresh) const;
+  template <typename T>
+  void apply_overlapped_t(comm::Communicator& comm,
+                          const comm::HaloExchanger& halo,
+                          comm::DistFieldT<T>& x, comm::DistFieldT<T>& y,
+                          comm::HaloFreshness fresh) const;
+  template <typename T>
+  void residual_overlapped_t(comm::Communicator& comm,
+                             const comm::HaloExchanger& halo,
+                             const comm::DistFieldT<T>& b,
+                             comm::DistFieldT<T>& x, comm::DistFieldT<T>& r,
+                             comm::HaloFreshness fresh) const;
+  template <typename T>
+  double local_dot_t(comm::Communicator& comm,
+                     const comm::DistFieldT<T>& a,
+                     const comm::DistFieldT<T>& b) const;
+  template <typename T>
+  void local_dot3_t(comm::Communicator& comm, const comm::DistFieldT<T>& r,
+                    const comm::DistFieldT<T>& rp,
+                    const comm::DistFieldT<T>& z, bool with_norm,
+                    double out[3]) const;
+  template <typename T>
+  void mask_interior_t(comm::DistFieldT<T>& x) const;
+
+  /// Coefficient storage for scalar T: the double original or the
+  /// lazily-built float mirror.
+  template <typename T>
+  const std::vector<std::array<util::Array2D<T>, grid::kNumDirs>>& coeffs()
+      const;
+  void ensure_coeff32() const;
 
   const grid::Decomposition* decomp_;
   int rank_;
@@ -129,6 +231,11 @@ class DistOperator {
   long local_ocean_cells_ = 0;
   std::vector<std::array<util::Field, grid::kNumDirs>> block_coeff_;
   std::vector<util::MaskArray> block_mask_;
+  /// fp32 mirror of block_coeff_, built on first fp32 sweep. mutable +
+  /// lazily built is safe: each rank owns its DistOperator, so no two
+  /// threads share one.
+  mutable std::vector<std::array<util::Array2D<float>, grid::kNumDirs>>
+      block_coeff32_;
 };
 
 }  // namespace minipop::solver

@@ -32,4 +32,32 @@ void copy_interior(const comm::DistField& x, comm::DistField& y);
 /// x = v everywhere in the interiors.
 void fill_interior(comm::DistField& x, double v);
 
+// fp32 overloads of the same operations (scalars arrive as double and
+// are rounded once to float at entry, not per element).
+void lincomb(comm::Communicator& comm, double a, const comm::DistField32& x,
+             double b, comm::DistField32& y);
+void axpy(comm::Communicator& comm, double a, const comm::DistField32& x,
+          comm::DistField32& y);
+void lincomb_axpy(comm::Communicator& comm, double a,
+                  const comm::DistField32& x, double b,
+                  comm::DistField32& y, double c, comm::DistField32& z);
+void scale(comm::Communicator& comm, double a, comm::DistField32& x);
+void copy_interior(const comm::DistField32& x, comm::DistField32& y);
+void fill_interior(comm::DistField32& x, double v);
+
+// Precision boundary of the mixed-precision refinement loop (interiors
+// only; halos are refreshed by the next exchange).
+
+/// y32 = (float) x64.
+void demote(const comm::DistField& x, comm::DistField32& y);
+
+/// y64 = (double) x32.
+void promote(const comm::DistField32& x, comm::DistField& y);
+
+/// y64 += a * x32, widening each fp32 element to double before the
+/// multiply — the refinement update x += d without materializing a
+/// promoted copy of d.
+void axpy_promoted(comm::Communicator& comm, double a,
+                   const comm::DistField32& x, comm::DistField& y);
+
 }  // namespace minipop::solver

@@ -39,6 +39,22 @@ inline const char* to_string(FailureKind k) {
   return "?";
 }
 
+/// Arithmetic of the solver's field sweeps and halos.
+enum class Precision {
+  kFp64 = 0,  ///< everything double (the bit-identical legacy path)
+  kFp32 = 1,  ///< whole solve in float; floors at rel residual ~1e-7
+  kMixed = 2, ///< fp32 inner sweeps inside an fp64 refinement outer loop
+};
+
+inline const char* to_string(Precision p) {
+  switch (p) {
+    case Precision::kFp64: return "fp64";
+    case Precision::kFp32: return "fp32";
+    case Precision::kMixed: return "mixed";
+  }
+  return "?";
+}
+
 struct SolverOptions {
   /// Convergence: ||r||_2 <= rel_tolerance * ||b||_2 over ocean points.
   double rel_tolerance = 1e-13;
@@ -73,6 +89,22 @@ struct SolverOptions {
   /// progress for the stagnation guard.
   double stagnation_decrease = 1e-3;
 
+  // --- mixed-precision path (MixedPrecisionSolver) ---
+
+  /// Arithmetic of the inner sweeps. kFp64 leaves every existing solver
+  /// untouched; kFp32/kMixed route the solve through the fp32 mirror
+  /// sweeps (half the bytes per point and per halo message).
+  Precision precision = Precision::kFp64;
+  /// Mixed mode: relative tolerance of each fp32 inner solve (against
+  /// its own right-hand side, the current fp64 residual). Must sit above
+  /// the fp32 accuracy floor (~1e-7) or every sweep runs to stagnation.
+  double refine_inner_tolerance = 1e-5;
+  /// Mixed mode: iteration cap per fp32 inner solve.
+  int refine_max_inner_iterations = 1000;
+  /// Mixed mode: cap on refinement sweeps (outer corrections) before the
+  /// solve reports failure.
+  int refine_max_sweeps = 50;
+
   SolverOptions() = default;
 };
 
@@ -82,6 +114,9 @@ struct SolveStats {
   double relative_residual = 0.0;
   /// Why the solve stopped, when converged is false (kNone otherwise).
   FailureKind failure = FailureKind::kNone;
+  /// Mixed-precision refinement sweeps (fp32 inner solves); 0 for plain
+  /// fp64/fp32 solves.
+  int refine_sweeps = 0;
   /// Per-rank communication/computation deltas recorded during the solve.
   comm::CostCounters costs;
   /// (iteration, relative residual) at each convergence check, when

@@ -14,6 +14,15 @@
 // Masked reductions use a select (`mask ? term : 0.0`) instead of a
 // branch: adding +0.0 cannot change the accumulator, so the select is
 // bitwise equivalent to the branchy form while staying if-convertible.
+//
+// Everything is a template over the storage scalar T, explicitly
+// instantiated for double and float at the bottom of this file. The
+// double instantiation generates EXACTLY the code of the pre-template
+// kernels (the widening casts in the reduction helpers are no-ops for
+// T = double), preserving the bit-for-bit contract. Reduction
+// accumulators are double for both instantiations; reduction operands
+// are widened BEFORE multiplying so fp32 products enter the accumulator
+// exactly.
 #include "src/solver/kernels.hpp"
 
 #include <cstring>
@@ -33,127 +42,144 @@ namespace {
    cn[i] * xp[i] + cs[i] * xm[i] + cne[i] * xp[(i) + 1] +              \
    cnw[i] * xp[(i)-1] + cse[i] * xm[(i) + 1] + csw[i] * xm[(i)-1])
 
-inline void row_apply9(const double* MINIPOP_RESTRICT c0,
-                       const double* MINIPOP_RESTRICT ce,
-                       const double* MINIPOP_RESTRICT cw,
-                       const double* MINIPOP_RESTRICT cn,
-                       const double* MINIPOP_RESTRICT cs,
-                       const double* MINIPOP_RESTRICT cne,
-                       const double* MINIPOP_RESTRICT cnw,
-                       const double* MINIPOP_RESTRICT cse,
-                       const double* MINIPOP_RESTRICT csw,
-                       const double* MINIPOP_RESTRICT xm,
-                       const double* MINIPOP_RESTRICT x0,
-                       const double* MINIPOP_RESTRICT xp,
-                       double* MINIPOP_RESTRICT y, int nx) {
+template <typename T>
+inline void row_apply9(const T* MINIPOP_RESTRICT c0,
+                       const T* MINIPOP_RESTRICT ce,
+                       const T* MINIPOP_RESTRICT cw,
+                       const T* MINIPOP_RESTRICT cn,
+                       const T* MINIPOP_RESTRICT cs,
+                       const T* MINIPOP_RESTRICT cne,
+                       const T* MINIPOP_RESTRICT cnw,
+                       const T* MINIPOP_RESTRICT cse,
+                       const T* MINIPOP_RESTRICT csw,
+                       const T* MINIPOP_RESTRICT xm,
+                       const T* MINIPOP_RESTRICT x0,
+                       const T* MINIPOP_RESTRICT xp,
+                       T* MINIPOP_RESTRICT y, int nx) {
   for (int i = 0; i < nx; ++i) y[i] = MINIPOP_POINT9(i);
 }
 
-inline void row_residual9(const double* MINIPOP_RESTRICT c0,
-                          const double* MINIPOP_RESTRICT ce,
-                          const double* MINIPOP_RESTRICT cw,
-                          const double* MINIPOP_RESTRICT cn,
-                          const double* MINIPOP_RESTRICT cs,
-                          const double* MINIPOP_RESTRICT cne,
-                          const double* MINIPOP_RESTRICT cnw,
-                          const double* MINIPOP_RESTRICT cse,
-                          const double* MINIPOP_RESTRICT csw,
-                          const double* MINIPOP_RESTRICT b,
-                          const double* MINIPOP_RESTRICT xm,
-                          const double* MINIPOP_RESTRICT x0,
-                          const double* MINIPOP_RESTRICT xp,
-                          double* MINIPOP_RESTRICT r, int nx) {
+template <typename T>
+inline void row_residual9(const T* MINIPOP_RESTRICT c0,
+                          const T* MINIPOP_RESTRICT ce,
+                          const T* MINIPOP_RESTRICT cw,
+                          const T* MINIPOP_RESTRICT cn,
+                          const T* MINIPOP_RESTRICT cs,
+                          const T* MINIPOP_RESTRICT cne,
+                          const T* MINIPOP_RESTRICT cnw,
+                          const T* MINIPOP_RESTRICT cse,
+                          const T* MINIPOP_RESTRICT csw,
+                          const T* MINIPOP_RESTRICT b,
+                          const T* MINIPOP_RESTRICT xm,
+                          const T* MINIPOP_RESTRICT x0,
+                          const T* MINIPOP_RESTRICT xp,
+                          T* MINIPOP_RESTRICT r, int nx) {
   for (int i = 0; i < nx; ++i) r[i] = b[i] - MINIPOP_POINT9(i);
 }
 
-inline double row_residual_norm2(const double* MINIPOP_RESTRICT c0,
-                                 const double* MINIPOP_RESTRICT ce,
-                                 const double* MINIPOP_RESTRICT cw,
-                                 const double* MINIPOP_RESTRICT cn,
-                                 const double* MINIPOP_RESTRICT cs,
-                                 const double* MINIPOP_RESTRICT cne,
-                                 const double* MINIPOP_RESTRICT cnw,
-                                 const double* MINIPOP_RESTRICT cse,
-                                 const double* MINIPOP_RESTRICT csw,
+template <typename T>
+inline double row_residual_norm2(const T* MINIPOP_RESTRICT c0,
+                                 const T* MINIPOP_RESTRICT ce,
+                                 const T* MINIPOP_RESTRICT cw,
+                                 const T* MINIPOP_RESTRICT cn,
+                                 const T* MINIPOP_RESTRICT cs,
+                                 const T* MINIPOP_RESTRICT cne,
+                                 const T* MINIPOP_RESTRICT cnw,
+                                 const T* MINIPOP_RESTRICT cse,
+                                 const T* MINIPOP_RESTRICT csw,
                                  const unsigned char* MINIPOP_RESTRICT m,
-                                 const double* MINIPOP_RESTRICT b,
-                                 const double* MINIPOP_RESTRICT xm,
-                                 const double* MINIPOP_RESTRICT x0,
-                                 const double* MINIPOP_RESTRICT xp,
-                                 double* MINIPOP_RESTRICT r, int nx,
+                                 const T* MINIPOP_RESTRICT b,
+                                 const T* MINIPOP_RESTRICT xm,
+                                 const T* MINIPOP_RESTRICT x0,
+                                 const T* MINIPOP_RESTRICT xp,
+                                 T* MINIPOP_RESTRICT r, int nx,
                                  double sum) {
   for (int i = 0; i < nx; ++i) {
-    const double rv = b[i] - MINIPOP_POINT9(i);
+    const T rv = b[i] - MINIPOP_POINT9(i);
     r[i] = rv;
-    sum += m[i] ? rv * rv : 0.0;
+    sum += m[i] ? static_cast<double>(rv) * static_cast<double>(rv) : 0.0;
   }
   return sum;
 }
 
 #undef MINIPOP_POINT9
 
+template <typename T>
 inline double row_masked_dot(const unsigned char* MINIPOP_RESTRICT m,
-                             const double* MINIPOP_RESTRICT a,
-                             const double* MINIPOP_RESTRICT b, int nx,
+                             const T* MINIPOP_RESTRICT a,
+                             const T* MINIPOP_RESTRICT b, int nx,
                              double sum) {
-  for (int i = 0; i < nx; ++i) sum += m[i] ? a[i] * b[i] : 0.0;
+  for (int i = 0; i < nx; ++i)
+    sum += m[i] ? static_cast<double>(a[i]) * static_cast<double>(b[i])
+                : 0.0;
   return sum;
 }
 
-inline void row_lincomb(double a, const double* MINIPOP_RESTRICT x,
-                        double b, double* MINIPOP_RESTRICT y, int nx) {
+template <typename T>
+inline void row_lincomb(T a, const T* MINIPOP_RESTRICT x, T b,
+                        T* MINIPOP_RESTRICT y, int nx) {
   for (int i = 0; i < nx; ++i) y[i] = a * x[i] + b * y[i];
 }
 
-inline void row_axpy(double a, const double* MINIPOP_RESTRICT x,
-                     double* MINIPOP_RESTRICT y, int nx) {
+template <typename T>
+inline void row_axpy(T a, const T* MINIPOP_RESTRICT x,
+                     T* MINIPOP_RESTRICT y, int nx) {
   for (int i = 0; i < nx; ++i) y[i] += a * x[i];
 }
 
-inline void row_lincomb_axpy(double a, const double* MINIPOP_RESTRICT x,
-                             double b, double* MINIPOP_RESTRICT y, double c,
-                             double* MINIPOP_RESTRICT z, int nx) {
+template <typename T>
+inline void row_lincomb_axpy(T a, const T* MINIPOP_RESTRICT x, T b,
+                             T* MINIPOP_RESTRICT y, T c,
+                             T* MINIPOP_RESTRICT z, int nx) {
   for (int i = 0; i < nx; ++i) {
-    const double v = a * x[i] + b * y[i];
+    const T v = a * x[i] + b * y[i];
     y[i] = v;
     z[i] += c * v;
   }
 }
 
+template <typename D, typename S>
+inline void row_convert(const S* MINIPOP_RESTRICT x, D* MINIPOP_RESTRICT y,
+                        int nx) {
+  for (int i = 0; i < nx; ++i) y[i] = static_cast<D>(x[i]);
+}
+
 }  // namespace
 
-void apply9(const Stencil9& c, int nx, int ny, const double* x,
-            std::ptrdiff_t xs, double* y, std::ptrdiff_t ys) {
+template <typename T>
+void apply9(const Stencil9T<T>& c, int nx, int ny, const T* x,
+            std::ptrdiff_t xs, T* y, std::ptrdiff_t ys) {
   for (int j = 0; j < ny; ++j) {
     const std::ptrdiff_t cj = j * c.stride;
-    const double* x0 = x + j * xs;
+    const T* x0 = x + j * xs;
     row_apply9(c.c0 + cj, c.ce + cj, c.cw + cj, c.cn + cj, c.cs + cj,
                c.cne + cj, c.cnw + cj, c.cse + cj, c.csw + cj, x0 - xs, x0,
                x0 + xs, y + j * ys, nx);
   }
 }
 
-void residual9(const Stencil9& c, int nx, int ny, const double* b,
-               std::ptrdiff_t bs, const double* x, std::ptrdiff_t xs,
-               double* r, std::ptrdiff_t rs) {
+template <typename T>
+void residual9(const Stencil9T<T>& c, int nx, int ny, const T* b,
+               std::ptrdiff_t bs, const T* x, std::ptrdiff_t xs, T* r,
+               std::ptrdiff_t rs) {
   for (int j = 0; j < ny; ++j) {
     const std::ptrdiff_t cj = j * c.stride;
-    const double* x0 = x + j * xs;
+    const T* x0 = x + j * xs;
     row_residual9(c.c0 + cj, c.ce + cj, c.cw + cj, c.cn + cj, c.cs + cj,
                   c.cne + cj, c.cnw + cj, c.cse + cj, c.csw + cj,
                   b + j * bs, x0 - xs, x0, x0 + xs, r + j * rs, nx);
   }
 }
 
-double residual_norm2_9(const Stencil9& c, const unsigned char* mask,
-                        std::ptrdiff_t ms, int nx, int ny, const double* b,
-                        std::ptrdiff_t bs, const double* x,
-                        std::ptrdiff_t xs, double* r, std::ptrdiff_t rs,
-                        double sum0) {
+template <typename T>
+double residual_norm2_9(const Stencil9T<T>& c, const unsigned char* mask,
+                        std::ptrdiff_t ms, int nx, int ny, const T* b,
+                        std::ptrdiff_t bs, const T* x, std::ptrdiff_t xs,
+                        T* r, std::ptrdiff_t rs, double sum0) {
   double sum = sum0;
   for (int j = 0; j < ny; ++j) {
     const std::ptrdiff_t cj = j * c.stride;
-    const double* x0 = x + j * xs;
+    const T* x0 = x + j * xs;
     sum = row_residual_norm2(c.c0 + cj, c.ce + cj, c.cw + cj, c.cn + cj,
                              c.cs + cj, c.cne + cj, c.cnw + cj, c.cse + cj,
                              c.csw + cj, mask + j * ms, b + j * bs, x0 - xs,
@@ -162,19 +188,21 @@ double residual_norm2_9(const Stencil9& c, const unsigned char* mask,
   return sum;
 }
 
+template <typename T>
 double masked_dot(const unsigned char* mask, std::ptrdiff_t ms, int nx,
-                  int ny, const double* a, std::ptrdiff_t as,
-                  const double* b, std::ptrdiff_t bs, double sum0) {
+                  int ny, const T* a, std::ptrdiff_t as, const T* b,
+                  std::ptrdiff_t bs, double sum0) {
   double sum = sum0;
   for (int j = 0; j < ny; ++j)
     sum = row_masked_dot(mask + j * ms, a + j * as, b + j * bs, nx, sum);
   return sum;
 }
 
+template <typename T>
 void masked_dot3(const unsigned char* mask, std::ptrdiff_t ms, int nx,
-                 int ny, const double* r, std::ptrdiff_t rs,
-                 const double* rp, std::ptrdiff_t ps, const double* z,
-                 std::ptrdiff_t zs, bool with_norm, double out[3]) {
+                 int ny, const T* r, std::ptrdiff_t rs, const T* rp,
+                 std::ptrdiff_t ps, const T* z, std::ptrdiff_t zs,
+                 bool with_norm, double out[3]) {
   // One pass per row with all accumulators live (each field element is
   // loaded once); per-accumulator add order equals separate masked_dot
   // calls, so fusing stays bitwise-neutral.
@@ -182,24 +210,29 @@ void masked_dot3(const unsigned char* mask, std::ptrdiff_t ms, int nx,
   if (with_norm) {
     for (int j = 0; j < ny; ++j) {
       const unsigned char* MINIPOP_RESTRICT mr = mask + j * ms;
-      const double* MINIPOP_RESTRICT rr = r + j * rs;
-      const double* MINIPOP_RESTRICT pr = rp + j * ps;
-      const double* MINIPOP_RESTRICT zr = z + j * zs;
+      const T* MINIPOP_RESTRICT rr = r + j * rs;
+      const T* MINIPOP_RESTRICT pr = rp + j * ps;
+      const T* MINIPOP_RESTRICT zr = z + j * zs;
       for (int i = 0; i < nx; ++i) {
-        s0 += mr[i] ? rr[i] * pr[i] : 0.0;
-        s1 += mr[i] ? zr[i] * pr[i] : 0.0;
-        s2 += mr[i] ? rr[i] * rr[i] : 0.0;
+        s0 += mr[i] ? static_cast<double>(rr[i]) * static_cast<double>(pr[i])
+                    : 0.0;
+        s1 += mr[i] ? static_cast<double>(zr[i]) * static_cast<double>(pr[i])
+                    : 0.0;
+        s2 += mr[i] ? static_cast<double>(rr[i]) * static_cast<double>(rr[i])
+                    : 0.0;
       }
     }
   } else {
     for (int j = 0; j < ny; ++j) {
       const unsigned char* MINIPOP_RESTRICT mr = mask + j * ms;
-      const double* MINIPOP_RESTRICT rr = r + j * rs;
-      const double* MINIPOP_RESTRICT pr = rp + j * ps;
-      const double* MINIPOP_RESTRICT zr = z + j * zs;
+      const T* MINIPOP_RESTRICT rr = r + j * rs;
+      const T* MINIPOP_RESTRICT pr = rp + j * ps;
+      const T* MINIPOP_RESTRICT zr = z + j * zs;
       for (int i = 0; i < nx; ++i) {
-        s0 += mr[i] ? rr[i] * pr[i] : 0.0;
-        s1 += mr[i] ? zr[i] * pr[i] : 0.0;
+        s0 += mr[i] ? static_cast<double>(rr[i]) * static_cast<double>(pr[i])
+                    : 0.0;
+        s1 += mr[i] ? static_cast<double>(zr[i]) * static_cast<double>(pr[i])
+                    : 0.0;
       }
     }
   }
@@ -208,52 +241,103 @@ void masked_dot3(const unsigned char* mask, std::ptrdiff_t ms, int nx,
   out[2] = s2;
 }
 
-void lincomb(int nx, int ny, double a, const double* x, std::ptrdiff_t xs,
-             double b, double* y, std::ptrdiff_t ys) {
+template <typename T>
+void lincomb(int nx, int ny, T a, const T* x, std::ptrdiff_t xs, T b, T* y,
+             std::ptrdiff_t ys) {
   for (int j = 0; j < ny; ++j)
     row_lincomb(a, x + j * xs, b, y + j * ys, nx);
 }
 
-void axpy(int nx, int ny, double a, const double* x, std::ptrdiff_t xs,
-          double* y, std::ptrdiff_t ys) {
+template <typename T>
+void axpy(int nx, int ny, T a, const T* x, std::ptrdiff_t xs, T* y,
+          std::ptrdiff_t ys) {
   for (int j = 0; j < ny; ++j) row_axpy(a, x + j * xs, y + j * ys, nx);
 }
 
-void lincomb_axpy(int nx, int ny, double a, const double* x,
-                  std::ptrdiff_t xs, double b, double* y, std::ptrdiff_t ys,
-                  double c, double* z, std::ptrdiff_t zs) {
+template <typename T>
+void lincomb_axpy(int nx, int ny, T a, const T* x, std::ptrdiff_t xs, T b,
+                  T* y, std::ptrdiff_t ys, T c, T* z, std::ptrdiff_t zs) {
   for (int j = 0; j < ny; ++j)
     row_lincomb_axpy(a, x + j * xs, b, y + j * ys, c, z + j * zs, nx);
 }
 
-void scale(int nx, int ny, double a, double* x, std::ptrdiff_t xs) {
+template <typename T>
+void scale(int nx, int ny, T a, T* x, std::ptrdiff_t xs) {
   for (int j = 0; j < ny; ++j) {
-    double* MINIPOP_RESTRICT xr = x + j * xs;
+    T* MINIPOP_RESTRICT xr = x + j * xs;
     for (int i = 0; i < nx; ++i) xr[i] *= a;
   }
 }
 
-void copy(int nx, int ny, const double* x, std::ptrdiff_t xs, double* y,
+template <typename T>
+void copy(int nx, int ny, const T* x, std::ptrdiff_t xs, T* y,
           std::ptrdiff_t ys) {
   for (int j = 0; j < ny; ++j)
     std::memcpy(y + j * ys, x + j * xs,
-                static_cast<std::size_t>(nx) * sizeof(double));
+                static_cast<std::size_t>(nx) * sizeof(T));
 }
 
-void fill(int nx, int ny, double v, double* x, std::ptrdiff_t xs) {
+template <typename T>
+void fill(int nx, int ny, T v, T* x, std::ptrdiff_t xs) {
   for (int j = 0; j < ny; ++j) {
-    double* MINIPOP_RESTRICT xr = x + j * xs;
+    T* MINIPOP_RESTRICT xr = x + j * xs;
     for (int i = 0; i < nx; ++i) xr[i] = v;
   }
 }
 
+template <typename T>
 void mask_zero(const unsigned char* mask, std::ptrdiff_t ms, int nx, int ny,
-               double* x, std::ptrdiff_t xs) {
+               T* x, std::ptrdiff_t xs) {
   for (int j = 0; j < ny; ++j) {
     const unsigned char* MINIPOP_RESTRICT mr = mask + j * ms;
-    double* MINIPOP_RESTRICT xr = x + j * xs;
-    for (int i = 0; i < nx; ++i) xr[i] = mr[i] ? xr[i] : 0.0;
+    T* MINIPOP_RESTRICT xr = x + j * xs;
+    for (int i = 0; i < nx; ++i) xr[i] = mr[i] ? xr[i] : T(0);
   }
 }
+
+template <typename D, typename S>
+void convert(int nx, int ny, const S* x, std::ptrdiff_t xs, D* y,
+             std::ptrdiff_t ys) {
+  for (int j = 0; j < ny; ++j) row_convert(x + j * xs, y + j * ys, nx);
+}
+
+#define MINIPOP_KERNELS_INSTANTIATE(T)                                     \
+  template void apply9<T>(const Stencil9T<T>&, int, int, const T*,         \
+                          std::ptrdiff_t, T*, std::ptrdiff_t);             \
+  template void residual9<T>(const Stencil9T<T>&, int, int, const T*,      \
+                             std::ptrdiff_t, const T*, std::ptrdiff_t, T*, \
+                             std::ptrdiff_t);                              \
+  template double residual_norm2_9<T>(                                     \
+      const Stencil9T<T>&, const unsigned char*, std::ptrdiff_t, int, int, \
+      const T*, std::ptrdiff_t, const T*, std::ptrdiff_t, T*,              \
+      std::ptrdiff_t, double);                                             \
+  template double masked_dot<T>(const unsigned char*, std::ptrdiff_t, int, \
+                                int, const T*, std::ptrdiff_t, const T*,   \
+                                std::ptrdiff_t, double);                   \
+  template void masked_dot3<T>(const unsigned char*, std::ptrdiff_t, int,  \
+                               int, const T*, std::ptrdiff_t, const T*,    \
+                               std::ptrdiff_t, const T*, std::ptrdiff_t,   \
+                               bool, double[3]);                           \
+  template void lincomb<T>(int, int, T, const T*, std::ptrdiff_t, T, T*,   \
+                           std::ptrdiff_t);                                \
+  template void axpy<T>(int, int, T, const T*, std::ptrdiff_t, T*,         \
+                        std::ptrdiff_t);                                   \
+  template void lincomb_axpy<T>(int, int, T, const T*, std::ptrdiff_t, T,  \
+                                T*, std::ptrdiff_t, T, T*, std::ptrdiff_t);\
+  template void scale<T>(int, int, T, T*, std::ptrdiff_t);                 \
+  template void copy<T>(int, int, const T*, std::ptrdiff_t, T*,            \
+                        std::ptrdiff_t);                                   \
+  template void fill<T>(int, int, T, T*, std::ptrdiff_t);                  \
+  template void mask_zero<T>(const unsigned char*, std::ptrdiff_t, int,    \
+                             int, T*, std::ptrdiff_t);
+
+MINIPOP_KERNELS_INSTANTIATE(double)
+MINIPOP_KERNELS_INSTANTIATE(float)
+#undef MINIPOP_KERNELS_INSTANTIATE
+
+template void convert<float, double>(int, int, const double*,
+                                     std::ptrdiff_t, float*, std::ptrdiff_t);
+template void convert<double, float>(int, int, const float*, std::ptrdiff_t,
+                                     double*, std::ptrdiff_t);
 
 }  // namespace minipop::solver::kernels

@@ -10,6 +10,15 @@
 // loops vectorize without runtime alias checks or per-element index
 // arithmetic.
 //
+// Every kernel is templated on the storage scalar T (explicitly
+// instantiated for float and double; nothing else links). Element
+// arithmetic runs at storage precision — fp32 storage exists to halve
+// bytes per point, and widening every operand would forfeit half the
+// vector lanes — but every REDUCTION accumulates in double regardless of
+// T: a float accumulator over a 0.1-degree block (~10^5 points) loses
+// ~5 digits to cancellation, which is exactly the failure mode the
+// mixed-precision refinement loop must be able to measure, not suffer.
+//
 // Contracts shared by every kernel:
 //   * All pointers address the FIRST INTERIOR element of a block-local
 //     row-major array; `*_stride` is the padded row pitch in elements.
@@ -17,10 +26,13 @@
 //   * Distinct array arguments must not alias (they are restrict-
 //     qualified); rows of one padded array never overlap because the
 //     pitch exceeds the interior width.
-//   * Floating-point evaluation order is IDENTICAL to the naive scalar
-//     loops these kernels replace (same per-element expression order,
-//     same row-major reduction order), so results are bit-for-bit equal
-//     to the pre-kernel implementation and deterministic across runs.
+//   * For T = double, floating-point evaluation order is IDENTICAL to
+//     the naive scalar loops these kernels replace (same per-element
+//     expression order, same row-major reduction order), so results are
+//     bit-for-bit equal to the pre-kernel implementation and
+//     deterministic across runs. The float instantiation keeps the same
+//     order at float precision (and double reduction accumulators), so
+//     it too is deterministic and matches a naive fp32 scalar loop.
 //   * No bounds checks: callers guarantee shapes. (Bounds checking in the
 //     object wrappers is governed by MINIPOP_BOUNDS_CHECK; the kernels
 //     never had any.)
@@ -39,85 +51,156 @@ namespace minipop::solver::kernels {
 /// Base pointers of one block's nine coefficient arrays (unpadded,
 /// bnx-pitch, row-major — the layout DistOperator stores). Order follows
 /// grid::Dir. `stride` is the coefficient row pitch (= block nx).
-struct Stencil9 {
-  const double* c0;   ///< center
-  const double* ce;   ///< east
-  const double* cw;   ///< west
-  const double* cn;   ///< north
-  const double* cs;   ///< south
-  const double* cne;  ///< north-east
-  const double* cnw;  ///< north-west
-  const double* cse;  ///< south-east
-  const double* csw;  ///< south-west
+template <typename T>
+struct Stencil9T {
+  const T* c0;   ///< center
+  const T* ce;   ///< east
+  const T* cw;   ///< west
+  const T* cn;   ///< north
+  const T* cs;   ///< south
+  const T* cne;  ///< north-east
+  const T* cnw;  ///< north-west
+  const T* cse;  ///< south-east
+  const T* csw;  ///< south-west
   std::ptrdiff_t stride;
 };
+
+using Stencil9 = Stencil9T<double>;
+using Stencil9f = Stencil9T<float>;
 
 /// y = A x over an nx*ny interior. x must have valid halo rows/columns
 /// around the interior (pitch xs); y is written interior-only.
 /// 9 flops/point by the paper's counting convention.
-void apply9(const Stencil9& c, int nx, int ny, const double* x,
-            std::ptrdiff_t xs, double* y, std::ptrdiff_t ys);
+template <typename T>
+void apply9(const Stencil9T<T>& c, int nx, int ny, const T* x,
+            std::ptrdiff_t xs, T* y, std::ptrdiff_t ys);
 
 /// Fused residual r = b - A x in ONE sweep (the seed code swept twice:
 /// apply, then subtract). 10 flops/point.
-void residual9(const Stencil9& c, int nx, int ny, const double* b,
-               std::ptrdiff_t bs, const double* x, std::ptrdiff_t xs,
-               double* r, std::ptrdiff_t rs);
+template <typename T>
+void residual9(const Stencil9T<T>& c, int nx, int ny, const T* b,
+               std::ptrdiff_t bs, const T* x, std::ptrdiff_t xs, T* r,
+               std::ptrdiff_t rs);
 
 /// Fused residual + masked norm²: r = b - A x and return
 /// sum0 + sum_{mask} r², all in ONE sweep — the solvers' convergence
 /// check at zero extra field passes. Accumulation CONTINUES from `sum0`
 /// (one running scalar across a rank's blocks, like the seed loops), so
-/// the result matches masked_dot over the same cells bit-for-bit.
-double residual_norm2_9(const Stencil9& c, const unsigned char* mask,
-                        std::ptrdiff_t ms, int nx, int ny, const double* b,
-                        std::ptrdiff_t bs, const double* x,
-                        std::ptrdiff_t xs, double* r, std::ptrdiff_t rs,
-                        double sum0);
+/// the result matches masked_dot over the same cells bit-for-bit. The
+/// accumulator is double for every T (each r element is widened before
+/// squaring).
+template <typename T>
+double residual_norm2_9(const Stencil9T<T>& c, const unsigned char* mask,
+                        std::ptrdiff_t ms, int nx, int ny, const T* b,
+                        std::ptrdiff_t bs, const T* x, std::ptrdiff_t xs,
+                        T* r, std::ptrdiff_t rs, double sum0);
 
 /// Masked inner product sum0 + sum_{mask} a*b, row-major accumulation
 /// continuing from `sum0` — callers thread one running accumulator
 /// through all local blocks (FP association matters; starting each block
-/// at zero and adding partials would perturb the last bits).
+/// at zero and adding partials would perturb the last bits). Operands
+/// are widened to double BEFORE the multiply, so for T = float the
+/// product itself is exact and only storage rounding remains.
+template <typename T>
 double masked_dot(const unsigned char* mask, std::ptrdiff_t ms, int nx,
-                  int ny, const double* a, std::ptrdiff_t as,
-                  const double* b, std::ptrdiff_t bs, double sum0);
+                  int ny, const T* a, std::ptrdiff_t as, const T* b,
+                  std::ptrdiff_t bs, double sum0);
 
 /// Fused masked dots of ChronGear steps 7-9 in ONE sweep:
 ///   out[0] += <r, rp>, out[1] += <z, rp>, and if with_norm
 ///   out[2] += <r, r>.
-/// Each accumulator's order matches the equivalent masked_dot call.
+/// Each accumulator is double (widen-then-multiply) and its add order
+/// matches the equivalent masked_dot call.
+template <typename T>
 void masked_dot3(const unsigned char* mask, std::ptrdiff_t ms, int nx,
-                 int ny, const double* r, std::ptrdiff_t rs,
-                 const double* rp, std::ptrdiff_t ps, const double* z,
-                 std::ptrdiff_t zs, bool with_norm, double out[3]);
+                 int ny, const T* r, std::ptrdiff_t rs, const T* rp,
+                 std::ptrdiff_t ps, const T* z, std::ptrdiff_t zs,
+                 bool with_norm, double out[3]);
 
 /// y = a*x + b*y.
-void lincomb(int nx, int ny, double a, const double* x, std::ptrdiff_t xs,
-             double b, double* y, std::ptrdiff_t ys);
+template <typename T>
+void lincomb(int nx, int ny, T a, const T* x, std::ptrdiff_t xs, T b, T* y,
+             std::ptrdiff_t ys);
 
 /// y += a*x.
-void axpy(int nx, int ny, double a, const double* x, std::ptrdiff_t xs,
-          double* y, std::ptrdiff_t ys);
+template <typename T>
+void axpy(int nx, int ny, T a, const T* x, std::ptrdiff_t xs, T* y,
+          std::ptrdiff_t ys);
 
 /// Fused vector update pair (P-CSI steps 7-8; ChronGear steps 13-16 as
 /// two calls): y = a*x + b*y followed by z += c*y, in ONE sweep.
-void lincomb_axpy(int nx, int ny, double a, const double* x,
-                  std::ptrdiff_t xs, double b, double* y, std::ptrdiff_t ys,
-                  double c, double* z, std::ptrdiff_t zs);
+template <typename T>
+void lincomb_axpy(int nx, int ny, T a, const T* x, std::ptrdiff_t xs, T b,
+                  T* y, std::ptrdiff_t ys, T c, T* z, std::ptrdiff_t zs);
 
 /// x *= a.
-void scale(int nx, int ny, double a, double* x, std::ptrdiff_t xs);
+template <typename T>
+void scale(int nx, int ny, T a, T* x, std::ptrdiff_t xs);
 
 /// y = x (row-wise memcpy).
-void copy(int nx, int ny, const double* x, std::ptrdiff_t xs, double* y,
+template <typename T>
+void copy(int nx, int ny, const T* x, std::ptrdiff_t xs, T* y,
           std::ptrdiff_t ys);
 
 /// x = v.
-void fill(int nx, int ny, double v, double* x, std::ptrdiff_t xs);
+template <typename T>
+void fill(int nx, int ny, T v, T* x, std::ptrdiff_t xs);
 
 /// x = 0 on land (mask == 0) cells.
+template <typename T>
 void mask_zero(const unsigned char* mask, std::ptrdiff_t ms, int nx, int ny,
-               double* x, std::ptrdiff_t xs);
+               T* x, std::ptrdiff_t xs);
+
+/// Precision converters: y (dst scalar) = x (src scalar), value-converted
+/// per element. Used to demote fp64 residuals into the fp32 inner solve
+/// and promote fp32 corrections back.
+template <typename D, typename S>
+void convert(int nx, int ny, const S* x, std::ptrdiff_t xs, D* y,
+             std::ptrdiff_t ys);
+
+// The instantiations live in kernels.cpp; only float and double exist.
+#define MINIPOP_KERNELS_EXTERN(T)                                          \
+  extern template void apply9<T>(const Stencil9T<T>&, int, int, const T*,  \
+                                 std::ptrdiff_t, T*, std::ptrdiff_t);      \
+  extern template void residual9<T>(const Stencil9T<T>&, int, int,         \
+                                    const T*, std::ptrdiff_t, const T*,    \
+                                    std::ptrdiff_t, T*, std::ptrdiff_t);   \
+  extern template double residual_norm2_9<T>(                              \
+      const Stencil9T<T>&, const unsigned char*, std::ptrdiff_t, int, int, \
+      const T*, std::ptrdiff_t, const T*, std::ptrdiff_t, T*,              \
+      std::ptrdiff_t, double);                                             \
+  extern template double masked_dot<T>(const unsigned char*,               \
+                                       std::ptrdiff_t, int, int, const T*, \
+                                       std::ptrdiff_t, const T*,           \
+                                       std::ptrdiff_t, double);            \
+  extern template void masked_dot3<T>(const unsigned char*, std::ptrdiff_t,\
+                                      int, int, const T*, std::ptrdiff_t,  \
+                                      const T*, std::ptrdiff_t, const T*,  \
+                                      std::ptrdiff_t, bool, double[3]);    \
+  extern template void lincomb<T>(int, int, T, const T*, std::ptrdiff_t,   \
+                                  T, T*, std::ptrdiff_t);                  \
+  extern template void axpy<T>(int, int, T, const T*, std::ptrdiff_t, T*,  \
+                               std::ptrdiff_t);                            \
+  extern template void lincomb_axpy<T>(int, int, T, const T*,              \
+                                       std::ptrdiff_t, T, T*,              \
+                                       std::ptrdiff_t, T, T*,              \
+                                       std::ptrdiff_t);                    \
+  extern template void scale<T>(int, int, T, T*, std::ptrdiff_t);          \
+  extern template void copy<T>(int, int, const T*, std::ptrdiff_t, T*,     \
+                               std::ptrdiff_t);                            \
+  extern template void fill<T>(int, int, T, T*, std::ptrdiff_t);           \
+  extern template void mask_zero<T>(const unsigned char*, std::ptrdiff_t,  \
+                                    int, int, T*, std::ptrdiff_t);
+
+MINIPOP_KERNELS_EXTERN(double)
+MINIPOP_KERNELS_EXTERN(float)
+#undef MINIPOP_KERNELS_EXTERN
+
+extern template void convert<float, double>(int, int, const double*,
+                                            std::ptrdiff_t, float*,
+                                            std::ptrdiff_t);
+extern template void convert<double, float>(int, int, const float*,
+                                            std::ptrdiff_t, double*,
+                                            std::ptrdiff_t);
 
 }  // namespace minipop::solver::kernels

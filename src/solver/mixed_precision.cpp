@@ -1,0 +1,338 @@
+#include "src/solver/mixed_precision.hpp"
+
+#include <cmath>
+#include <span>
+
+#include "src/solver/field_ops.hpp"
+#include "src/util/error.hpp"
+
+namespace minipop::solver {
+
+namespace {
+
+/// Outcome of one fp32 solve (whole-solve or refinement inner).
+struct Inner32Result {
+  int iterations = 0;
+  bool converged = false;
+  double rel = 0.0;  ///< final relative residual vs. the fp32 rhs
+  FailureKind failure = FailureKind::kNone;
+};
+
+/// fp32 P-CSI: the blocking Algorithm 2 loop on fp32 fields and the fp32
+/// coefficient mirror. With opt.overlap the halo exchanges hide behind
+/// the interior sweeps (the overlapped fp32 variants); the reduction
+/// speculation of the fp64 overlapped path is not replicated — inner
+/// solves check rarely, so there is little to hide.
+Inner32Result run_pcsi32(comm::Communicator& comm,
+                         const comm::HaloExchanger& halo,
+                         const DistOperator& a, Preconditioner& m,
+                         const comm::DistField32& b32,
+                         comm::DistField32& x32, EigenBounds eb,
+                         const SolverOptions& opt, double rel_tol,
+                         int max_iters,
+                         std::vector<std::pair<int, double>>* history) {
+  Inner32Result out;
+  const bool ov = opt.overlap;
+  comm::DistField32 r(a.decomposition(), a.rank(), x32.halo());
+  comm::DistField32 rp(a.decomposition(), a.rank(), x32.halo());
+  comm::DistField32 dx(a.decomposition(), a.rank(), x32.halo());
+
+  const double b_norm2 = a.global_dot(comm, b32, b32);
+  if (b_norm2 == 0.0) {
+    fill_interior(x32, 0.0);
+    out.converged = true;
+    return out;
+  }
+  const double threshold2 = rel_tol * rel_tol * b_norm2;
+
+  const double alpha = 2.0 / (eb.mu - eb.nu);
+  const double beta = (eb.mu + eb.nu) / (eb.mu - eb.nu);
+  const double gamma = beta / alpha;
+  double omega = 2.0 / gamma;
+
+  if (ov)
+    a.residual_overlapped(comm, halo, b32, x32, r);
+  else
+    a.residual(comm, halo, b32, x32, r);
+  m.apply(comm, r, rp);
+  copy_interior(rp, dx);
+  scale(comm, 1.0 / gamma, dx);
+  axpy(comm, 1.0, dx, x32);
+  if (ov)
+    a.residual_overlapped(comm, halo, b32, x32, r);
+  else
+    a.residual(comm, halo, b32, x32, r);
+
+  ConvergenceGuard guard(opt);
+  for (int k = 1; k <= max_iters; ++k) {
+    out.iterations = k;
+    omega = 1.0 / (gamma - omega / (4.0 * alpha * alpha));
+    m.apply(comm, r, rp);
+    lincomb_axpy(comm, omega, rp, gamma * omega - 1.0, dx, 1.0, x32);
+
+    if (k % opt.check_frequency == 0) {
+      const double local =
+          ov ? a.residual_local_norm2_overlapped(comm, halo, b32, x32, r)
+             : a.residual_local_norm2(comm, halo, b32, x32, r);
+      const double r_norm2 = comm.allreduce_sum(local);
+      const double rel = std::sqrt(r_norm2 / b_norm2);
+      if (history) history->emplace_back(k, rel);
+      if (r_norm2 <= threshold2) {
+        out.converged = true;
+        out.rel = rel;
+        break;
+      }
+      out.failure = guard.check(rel);
+      if (out.failure != FailureKind::kNone) break;
+    } else {
+      if (ov)
+        a.residual_overlapped(comm, halo, b32, x32, r);
+      else
+        a.residual(comm, halo, b32, x32, r);
+    }
+  }
+
+  if (!out.converged) {
+    if (out.failure == FailureKind::kNone) out.failure = FailureKind::kMaxIters;
+    out.rel = std::sqrt(a.global_dot(comm, r, r) / b_norm2);
+  }
+  return out;
+}
+
+/// fp32 ChronGear: the blocking Algorithm 1 loop on fp32 fields. The
+/// fused dot reductions already arrive as doubles (the fp32 kernels
+/// accumulate in fp64), so the scalar recurrence is unchanged.
+Inner32Result run_cg32(comm::Communicator& comm,
+                       const comm::HaloExchanger& halo,
+                       const DistOperator& a, Preconditioner& m,
+                       const comm::DistField32& b32, comm::DistField32& x32,
+                       const SolverOptions& opt, double rel_tol,
+                       int max_iters,
+                       std::vector<std::pair<int, double>>* history) {
+  Inner32Result out;
+  const bool ov = opt.overlap;
+  comm::DistField32 r(a.decomposition(), a.rank(), x32.halo());
+  comm::DistField32 rp(a.decomposition(), a.rank(), x32.halo());
+  comm::DistField32 z(a.decomposition(), a.rank(), x32.halo());
+  comm::DistField32 s(a.decomposition(), a.rank(), x32.halo());
+  comm::DistField32 p(a.decomposition(), a.rank(), x32.halo());
+
+  const double b_norm2 = a.global_dot(comm, b32, b32);
+  if (b_norm2 == 0.0) {
+    fill_interior(x32, 0.0);
+    out.converged = true;
+    return out;
+  }
+  const double threshold2 = rel_tol * rel_tol * b_norm2;
+
+  if (ov)
+    a.residual_overlapped(comm, halo, b32, x32, r);
+  else
+    a.residual(comm, halo, b32, x32, r);
+  fill_interior(s, 0.0);
+  fill_interior(p, 0.0);
+  double rho_old = 1.0;
+  double sigma_old = 0.0;
+  ConvergenceGuard guard(opt);
+
+  for (int k = 1; k <= max_iters; ++k) {
+    out.iterations = k;
+    m.apply(comm, r, rp);
+    if (ov)
+      a.apply_overlapped(comm, halo, rp, z);
+    else
+      a.apply(comm, halo, rp, z);
+
+    const bool check = (k % opt.check_frequency == 0);
+    double local[3];
+    a.local_dot3(comm, r, rp, z, check, local);
+    comm.allreduce(std::span<double>(local, check ? 3 : 2),
+                   comm::ReduceOp::kSum);
+    const double rho = local[0];
+    const double delta = local[1];
+    if (check) {
+      const double rel = std::sqrt(local[2] / b_norm2);
+      if (history) history->emplace_back(k, rel);
+      if (local[2] <= threshold2) {
+        out.converged = true;
+        out.rel = rel;
+        break;
+      }
+      out.failure = guard.check(rel);
+      if (out.failure != FailureKind::kNone) break;
+    }
+
+    const double beta = rho / rho_old;
+    const double sigma = delta - beta * beta * sigma_old;
+    if (!ConvergenceGuard::finite(rho) || !ConvergenceGuard::finite(sigma)) {
+      out.failure = FailureKind::kNanDetected;
+      break;
+    }
+    if (sigma == 0.0) {
+      out.failure = FailureKind::kBreakdown;
+      break;
+    }
+    const double alpha = rho / sigma;
+
+    lincomb_axpy(comm, 1.0, rp, beta, s, alpha, x32);
+    lincomb_axpy(comm, 1.0, z, beta, p, -alpha, r);
+
+    rho_old = rho;
+    sigma_old = sigma;
+  }
+
+  if (!out.converged) {
+    if (out.failure == FailureKind::kNone) out.failure = FailureKind::kMaxIters;
+    out.rel = std::sqrt(a.global_dot(comm, r, r) / b_norm2);
+  }
+  return out;
+}
+
+}  // namespace
+
+MixedPrecisionSolver::MixedPrecisionSolver(
+    std::unique_ptr<IterativeSolver> fp64_twin, const SolverOptions& options)
+    : twin_(std::move(fp64_twin)), opt_(options) {
+  MINIPOP_REQUIRE(twin_ != nullptr, "mixed precision needs a solver");
+  pcsi_ = dynamic_cast<PcsiSolver*>(twin_.get());
+  cg_ = dynamic_cast<ChronGearSolver*>(twin_.get());
+  MINIPOP_REQUIRE(pcsi_ != nullptr || cg_ != nullptr,
+                  "mixed precision wraps pcsi or chrongear, got '"
+                      << twin_->name() << "'");
+}
+
+std::string MixedPrecisionSolver::name() const {
+  return std::string(to_string(opt_.precision)) + "(" + twin_->name() + ")";
+}
+
+SolveStats MixedPrecisionSolver::solve(comm::Communicator& comm,
+                                       const comm::HaloExchanger& halo,
+                                       const DistOperator& a,
+                                       Preconditioner& m,
+                                       const comm::DistField& b,
+                                       comm::DistField& x,
+                                       comm::HaloFreshness x_fresh) {
+  if (forced_fp64_ || opt_.precision == Precision::kFp64)
+    return twin_->solve(comm, halo, a, m, b, x, x_fresh);
+  if (opt_.precision == Precision::kFp32)
+    return solve_fp32(comm, halo, a, m, b, x);
+  return solve_mixed(comm, halo, a, m, b, x, x_fresh);
+}
+
+SolveStats MixedPrecisionSolver::solve_fp32(comm::Communicator& comm,
+                                            const comm::HaloExchanger& halo,
+                                            const DistOperator& a,
+                                            Preconditioner& m,
+                                            const comm::DistField& b,
+                                            comm::DistField& x) {
+  const auto snapshot = comm.costs().counters();
+  SolveStats stats;
+
+  comm::DistField32 b32(a.decomposition(), a.rank(), b.halo());
+  comm::DistField32 x32(a.decomposition(), a.rank(), x.halo());
+  demote(b, b32);
+  demote(x, x32);  // halos stale; the first residual refreshes them
+
+  auto* history = opt_.record_residuals ? &stats.residual_history : nullptr;
+  const Inner32Result res =
+      pcsi_ ? run_pcsi32(comm, halo, a, m, b32, x32, pcsi_->bounds(), opt_,
+                         opt_.rel_tolerance, opt_.max_iterations, history)
+            : run_cg32(comm, halo, a, m, b32, x32, opt_, opt_.rel_tolerance,
+                       opt_.max_iterations, history);
+  promote(x32, x);
+
+  stats.iterations = res.iterations;
+  stats.converged = res.converged;
+  stats.relative_residual = res.rel;
+  stats.failure = res.failure;
+  stats.costs = comm.costs().since(snapshot);
+  return stats;
+}
+
+SolveStats MixedPrecisionSolver::solve_mixed(comm::Communicator& comm,
+                                             const comm::HaloExchanger& halo,
+                                             const DistOperator& a,
+                                             Preconditioner& m,
+                                             const comm::DistField& b,
+                                             comm::DistField& x,
+                                             comm::HaloFreshness x_fresh) {
+  const auto snapshot = comm.costs().counters();
+  SolveStats stats;
+  const bool ov = opt_.overlap;
+
+  comm::DistField r(a.decomposition(), a.rank(), x.halo());
+  comm::DistField32 r32(a.decomposition(), a.rank(), x.halo());
+  comm::DistField32 d32(a.decomposition(), a.rank(), x.halo());
+
+  const double b_norm2 = a.global_dot(comm, b, b);
+  if (b_norm2 == 0.0) {
+    fill_interior(x, 0.0);
+    stats.converged = true;
+    stats.costs = comm.costs().since(snapshot);
+    return stats;
+  }
+  const double threshold2 =
+      opt_.rel_tolerance * opt_.rel_tolerance * b_norm2;
+
+  ConvergenceGuard guard(opt_);
+  comm::HaloFreshness fresh = x_fresh;
+  for (int sweep = 0;; ++sweep) {
+    // True fp64 residual and convergence check (the refinement guard).
+    double local = ov ? a.residual_local_norm2_overlapped(comm, halo, b, x,
+                                                          r, fresh)
+                      : a.residual_local_norm2(comm, halo, b, x, r, fresh);
+    fresh = comm::HaloFreshness::kStale;
+    double r_norm2;
+    if (ov) {
+      // Hide the check reduction behind the (local) demotion of r; the
+      // demoted copy is only wasted on the final, converged sweep.
+      comm::Request req =
+          comm.iallreduce(std::span<double>(&local, 1), comm::ReduceOp::kSum);
+      demote(r, r32);
+      req.wait();
+      r_norm2 = local;
+    } else {
+      r_norm2 = comm.allreduce_sum(local);
+    }
+    const double rel = std::sqrt(r_norm2 / b_norm2);
+    stats.relative_residual = rel;
+    if (opt_.record_residuals)
+      stats.residual_history.emplace_back(stats.iterations, rel);
+    if (r_norm2 <= threshold2) {
+      stats.converged = true;
+      break;
+    }
+    stats.failure = guard.check(rel);
+    if (stats.failure != FailureKind::kNone) break;
+    if (sweep >= opt_.refine_max_sweeps) {
+      stats.failure = FailureKind::kMaxIters;
+      break;
+    }
+
+    // fp32 inner solve of A d = r from zero, to a loose tolerance
+    // relative to ||r|| — each sweep shrinks the fp64 residual by about
+    // that factor, so fp64 tolerance is reached in a handful of sweeps.
+    if (!ov) demote(r, r32);
+    fill_interior(d32, 0.0);
+    const Inner32Result inner =
+        pcsi_ ? run_pcsi32(comm, halo, a, m, r32, d32, pcsi_->bounds(), opt_,
+                           opt_.refine_inner_tolerance,
+                           opt_.refine_max_inner_iterations, nullptr)
+              : run_cg32(comm, halo, a, m, r32, d32, opt_,
+                         opt_.refine_inner_tolerance,
+                         opt_.refine_max_inner_iterations, nullptr);
+    stats.iterations += inner.iterations;
+    ++stats.refine_sweeps;
+    if (inner.failure == FailureKind::kNanDetected ||
+        inner.failure == FailureKind::kBreakdown) {
+      stats.failure = inner.failure;
+      break;
+    }
+    axpy_promoted(comm, 1.0, d32, x);  // x += d in fp64
+  }
+
+  stats.costs = comm.costs().since(snapshot);
+  return stats;
+}
+
+}  // namespace minipop::solver

@@ -1,0 +1,87 @@
+// Mixed-precision decorator: fp32 inner sweeps under an fp64 guard.
+//
+// Wraps a P-CSI or ChronGear solver and, per SolverOptions::precision,
+// runs its iteration in one of three ways:
+//
+//   kFp64  — delegate to the wrapped solver untouched (bit-identical).
+//   kFp32  — the whole solve in float: fp32 fields, fp32 stencil
+//            coefficients, half-size halo messages. Reductions still
+//            accumulate in double (the kernels widen per element), so
+//            the convergence check measures the true fp32 residual.
+//            fp32 round-off floors the relative residual near 1e-7;
+//            a tighter tolerance stalls there and the ConvergenceGuard's
+//            stagnation window reports kStagnated.
+//   kMixed — iterative refinement: an fp64 outer loop computes the true
+//            residual r = b - A x and checks convergence against the
+//            caller's fp64 tolerance; each sweep demotes r, solves
+//            A d = r in fp32 to a loose inner tolerance, and applies
+//            x += d in fp64 (axpy_promoted). The inner solve does the
+//            heavy iterating at fp32 bandwidth; the fp64 outer residual
+//            is what lets the combination converge to fp64 tolerance.
+//
+// The outer check reuses the solvers' existing fused residual+norm sweep
+// and costs one reduction per refinement sweep — the same reduction the
+// inner iteration would have spent on a convergence check at that point,
+// so mixed mode adds no new collectives over the fp64 solver at equal
+// check frequency.
+//
+// ResilientSolver escalates a failing fp32/mixed solve to the wrapped
+// fp64 solver (set_forced_fp64) before trying solver-swap fallbacks.
+#pragma once
+
+#include <memory>
+
+#include "src/solver/chron_gear.hpp"
+#include "src/solver/iterative_solver.hpp"
+#include "src/solver/pcsi.hpp"
+
+namespace minipop::solver {
+
+class MixedPrecisionSolver final : public IterativeSolver {
+ public:
+  /// `fp64_twin` must be a PcsiSolver or ChronGearSolver; it defines the
+  /// iteration run at every precision and is the escalation target.
+  MixedPrecisionSolver(std::unique_ptr<IterativeSolver> fp64_twin,
+                       const SolverOptions& options);
+
+  SolveStats solve(
+      comm::Communicator& comm, const comm::HaloExchanger& halo,
+      const DistOperator& a, Preconditioner& m, const comm::DistField& b,
+      comm::DistField& x,
+      comm::HaloFreshness x_fresh = comm::HaloFreshness::kStale) override;
+
+  /// e.g. "mixed(pcsi)"; the precision prefix names the configured mode
+  /// even while escalation forces fp64.
+  std::string name() const override;
+
+  Precision precision() const { return opt_.precision; }
+  /// Escalation switch (ResilientSolver): true routes solves through the
+  /// fp64 twin until reset.
+  void set_forced_fp64(bool forced) { forced_fp64_ = forced; }
+  bool forced_fp64() const { return forced_fp64_; }
+
+  IterativeSolver& fp64_twin() { return *twin_; }
+  /// The wrapped P-CSI, or nullptr for a ChronGear twin (bounds
+  /// re-estimation reaches through this; the fp32 loop reads the twin's
+  /// bounds at solve time, so set_bounds needs no mirroring).
+  PcsiSolver* pcsi() { return pcsi_; }
+
+ private:
+  SolveStats solve_fp32(comm::Communicator& comm,
+                        const comm::HaloExchanger& halo,
+                        const DistOperator& a, Preconditioner& m,
+                        const comm::DistField& b, comm::DistField& x);
+  SolveStats solve_mixed(comm::Communicator& comm,
+                         const comm::HaloExchanger& halo,
+                         const DistOperator& a, Preconditioner& m,
+                         const comm::DistField& b, comm::DistField& x,
+                         comm::HaloFreshness x_fresh);
+
+  std::unique_ptr<IterativeSolver> twin_;
+  PcsiSolver* pcsi_ = nullptr;          ///< view into twin_, if P-CSI
+  ChronGearSolver* cg_ = nullptr;       ///< view into twin_, if ChronGear
+  SolverOptions opt_;
+  bool forced_fp64_ = false;
+};
+
+}  // namespace minipop::solver

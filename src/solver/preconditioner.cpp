@@ -4,6 +4,13 @@
 
 namespace minipop::solver {
 
+void Preconditioner::apply(comm::Communicator& /*comm*/,
+                           const comm::DistField32& /*in*/,
+                           comm::DistField32& /*out*/) {
+  MINIPOP_REQUIRE(false, "preconditioner '" << name()
+                                            << "' has no fp32 path");
+}
+
 void IdentityPreconditioner::apply(comm::Communicator& /*comm*/,
                                    const comm::DistField& in,
                                    comm::DistField& out) {
@@ -14,6 +21,19 @@ void IdentityPreconditioner::apply(comm::Communicator& /*comm*/,
     for (int j = 0; j < info.ny; ++j)
       for (int i = 0; i < info.nx; ++i)
         out.at(lb, i, j) = mask(i, j) ? in.at(lb, i, j) : 0.0;
+  }
+}
+
+void IdentityPreconditioner::apply(comm::Communicator& /*comm*/,
+                                   const comm::DistField32& in,
+                                   comm::DistField32& out) {
+  MINIPOP_REQUIRE(in.compatible_with(out), "identity precond field mismatch");
+  for (int lb = 0; lb < in.num_local_blocks(); ++lb) {
+    const auto& info = in.info(lb);
+    const auto& mask = op_->block_mask(lb);
+    for (int j = 0; j < info.ny; ++j)
+      for (int i = 0; i < info.nx; ++i)
+        out.at(lb, i, j) = mask(i, j) ? in.at(lb, i, j) : 0.0f;
   }
 }
 
@@ -50,6 +70,32 @@ void DiagonalPreconditioner::apply(comm::Communicator& comm,
     points += static_cast<std::uint64_t>(info.nx) * info.ny;
   }
   // Paper convention: diagonal preconditioning is 1 op/point (T_p).
+  comm.costs().add_flops(points);
+}
+
+void DiagonalPreconditioner::apply(comm::Communicator& comm,
+                                   const comm::DistField32& in,
+                                   comm::DistField32& out) {
+  MINIPOP_REQUIRE(in.compatible_with(out), "diagonal precond field mismatch");
+  if (inv_diag32_.empty()) {
+    inv_diag32_.reserve(inv_diag_.size());
+    for (const auto& inv : inv_diag_) {
+      util::Array2D<float> inv32(inv.nx(), inv.ny());
+      for (int j = 0; j < inv.ny(); ++j)
+        for (int i = 0; i < inv.nx(); ++i)
+          inv32(i, j) = static_cast<float>(inv(i, j));
+      inv_diag32_.push_back(std::move(inv32));
+    }
+  }
+  std::uint64_t points = 0;
+  for (int lb = 0; lb < in.num_local_blocks(); ++lb) {
+    const auto& info = in.info(lb);
+    const auto& inv = inv_diag32_[lb];
+    for (int j = 0; j < info.ny; ++j)
+      for (int i = 0; i < info.nx; ++i)
+        out.at(lb, i, j) = inv(i, j) * in.at(lb, i, j);
+    points += static_cast<std::uint64_t>(info.nx) * info.ny;
+  }
   comm.costs().add_flops(points);
 }
 

@@ -25,6 +25,14 @@ class Preconditioner {
   virtual void apply(comm::Communicator& comm, const comm::DistField& in,
                      comm::DistField& out) = 0;
 
+  /// fp32 mirror of apply(): same block-local, communication-free
+  /// contract on fp32 fields. The built-in preconditioners all implement
+  /// it from a lazily-built float copy of their setup data; the default
+  /// errors so a preconditioner without an fp32 path fails loudly rather
+  /// than silently up-converting.
+  virtual void apply(comm::Communicator& comm, const comm::DistField32& in,
+                     comm::DistField32& out);
+
   virtual std::string name() const = 0;
 };
 
@@ -34,6 +42,8 @@ class IdentityPreconditioner final : public Preconditioner {
   explicit IdentityPreconditioner(const DistOperator& op) : op_(&op) {}
   void apply(comm::Communicator& comm, const comm::DistField& in,
              comm::DistField& out) override;
+  void apply(comm::Communicator& comm, const comm::DistField32& in,
+             comm::DistField32& out) override;
   std::string name() const override { return "identity"; }
 
  private:
@@ -46,11 +56,16 @@ class DiagonalPreconditioner final : public Preconditioner {
   explicit DiagonalPreconditioner(const DistOperator& op);
   void apply(comm::Communicator& comm, const comm::DistField& in,
              comm::DistField& out) override;
+  void apply(comm::Communicator& comm, const comm::DistField32& in,
+             comm::DistField32& out) override;
   std::string name() const override { return "diagonal"; }
 
  private:
   const DistOperator* op_;
   std::vector<util::Field> inv_diag_;  ///< masked inverse diagonal per block
+  /// float mirror of inv_diag_, built on first fp32 apply (each inverse
+  /// is rounded from the double one, not recomputed in float).
+  std::vector<util::Array2D<float>> inv_diag32_;
 };
 
 }  // namespace minipop::solver

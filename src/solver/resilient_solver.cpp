@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "src/solver/field_ops.hpp"
+#include "src/solver/mixed_precision.hpp"
 #include "src/solver/pcsi.hpp"
 #include "src/solver/preconditioner.hpp"
 #include "src/util/error.hpp"
@@ -68,6 +69,11 @@ SolveStats ResilientSolver::solve(comm::Communicator& comm,
                                   comm::HaloFreshness x_fresh) {
   const auto snapshot = comm.costs().counters();
   checkpoint(x);
+
+  // A previous solve's precision escalation does not outlive it: each
+  // solve gets a fresh shot at the fast fp32/mixed path.
+  auto* mixed = dynamic_cast<MixedPrecisionSolver*>(chain_.front().solver.get());
+  if (mixed) mixed->set_forced_fp64(false);
 
   std::size_t stage = 0;
   int restarts_used = 0;
@@ -133,10 +139,27 @@ SolveStats ResilientSolver::solve(comm::Communicator& comm,
     ev.attempt = attempt;
     ev.iterations = stats.iterations;
 
+    // Reduced-precision arithmetic is the cheapest thing to rule out:
+    // retry once with the fp64 twin before spending restarts, Lanczos
+    // re-estimation or solver swaps. Not for comm timeouts — precision
+    // cannot fix a lost message.
+    if (stage == 0 && mixed && !mixed->forced_fp64() &&
+        mixed->precision() != Precision::kFp64 &&
+        agreed != FailureKind::kCommTimeout) {
+      ev.action = "escalate_precision";
+      events_.push_back(ev);
+      mixed->set_forced_fp64(true);
+      restore(x, 0);
+      fresh = comm::HaloFreshness::kStale;
+      continue;
+    }
+
     if (stage == 0 && policy_.reestimate_bounds && !bounds_reestimated &&
         (agreed == FailureKind::kDiverged ||
          agreed == FailureKind::kStagnated)) {
-      if (auto* pcsi = dynamic_cast<PcsiSolver*>(chain_[0].solver.get())) {
+      PcsiSolver* pcsi = dynamic_cast<PcsiSolver*>(chain_[0].solver.get());
+      if (!pcsi && mixed) pcsi = mixed->pcsi();
+      if (pcsi) {
         // A diverging P-CSI usually means the Chebyshev interval no
         // longer brackets the spectrum; measure it again (collective).
         const LanczosResult lr =

@@ -5,11 +5,17 @@
 // FailureKind code) so all ranks reach the same recovery decision — the
 // only collective the decorator adds to a fault-free solve. On an agreed
 // failure it walks the recovery chain:
-//   1. restart the primary from the last lightweight checkpoint of x
+//   1. if the primary is a MixedPrecisionSolver running fp32 or mixed
+//      sweeps, escalate it to its fp64 twin and retry — a numeric
+//      failure of reduced-precision arithmetic (typically kStagnated at
+//      the fp32 accuracy floor) is cured by precision, not by a
+//      different solver;
+//   2. restart the primary from the last lightweight checkpoint of x
 //      (a ring of the two most recent solve-entry snapshots);
-//   2. if the primary is P-CSI and it diverged/stagnated, re-estimate
-//      the eigenvalue interval with Lanczos once, then restart;
-//   3. fall back down the solver chain (e.g. P-CSI → ChronGear →
+//   3. if the primary is P-CSI (possibly inside the mixed wrapper) and
+//      it diverged/stagnated, re-estimate the eigenvalue interval with
+//      Lanczos once, then restart;
+//   4. fall back down the solver chain (e.g. P-CSI → ChronGear →
 //      diagonal-preconditioned PCG), restarting each from a sanitized
 //      checkpoint.
 // A CommTimeoutError from any attempt is absorbed: the team is fenced
@@ -44,7 +50,8 @@ struct RecoveryPolicy {
 struct RecoveryEvent {
   FailureKind failure;  ///< what the failed attempt reported
   std::string solver;   ///< solver that failed
-  std::string action;   ///< restart | reestimate_bounds | fallback | give_up
+  /// escalate_precision | restart | reestimate_bounds | fallback | give_up
+  std::string action;
   int attempt;          ///< 0-based attempt ordinal within the solve
   int iterations;       ///< iterations spent in the failed attempt
 };

@@ -26,6 +26,14 @@ PreconditionerKind preconditioner_kind_from_string(const std::string& s) {
   return PreconditionerKind::kDiagonal;
 }
 
+Precision precision_from_string(const std::string& s) {
+  if (s == "fp64" || s == "double") return Precision::kFp64;
+  if (s == "fp32" || s == "float") return Precision::kFp32;
+  if (s == "mixed") return Precision::kMixed;
+  MINIPOP_REQUIRE(false, "unknown precision '" << s << "' (fp64|fp32|mixed)");
+  return Precision::kFp64;
+}
+
 std::string to_string(SolverKind k) {
   switch (k) {
     case SolverKind::kPcg: return "pcg";
@@ -98,6 +106,18 @@ BarotropicSolver::BarotropicSolver(comm::Communicator& comm,
     }
   }
 
+  if (config_.options.precision != Precision::kFp64) {
+    MINIPOP_REQUIRE(config_.solver == SolverKind::kPcsi ||
+                        config_.solver == SolverKind::kChronGear,
+                    "precision " << to_string(config_.options.precision)
+                                 << " needs pcsi or chrongear (got "
+                                 << to_string(config_.solver) << ")");
+    auto mixed = std::make_unique<MixedPrecisionSolver>(std::move(solver_),
+                                                        config_.options);
+    mixed_ = mixed.get();
+    solver_ = std::move(mixed);
+  }
+
   if (config_.resilient) {
     config_.recovery.lanczos = config_.lanczos;
     auto resilient = std::make_unique<ResilientSolver>(std::move(solver_),
@@ -125,7 +145,11 @@ SolveStats BarotropicSolver::solve(comm::Communicator& comm,
 }
 
 std::string BarotropicSolver::description() const {
-  return to_string(config_.solver) + "+" + to_string(config_.preconditioner);
+  std::string d =
+      to_string(config_.solver) + "+" + to_string(config_.preconditioner);
+  if (config_.options.precision != Precision::kFp64)
+    d += "+" + std::string(to_string(config_.options.precision));
+  return d;
 }
 
 }  // namespace minipop::solver

@@ -12,6 +12,7 @@
 #include "src/evp/block_evp_preconditioner.hpp"
 #include "src/solver/chron_gear.hpp"
 #include "src/solver/lanczos.hpp"
+#include "src/solver/mixed_precision.hpp"
 #include "src/solver/pcg.hpp"
 #include "src/solver/pcsi.hpp"
 #include "src/solver/pipelined_cg.hpp"
@@ -24,6 +25,7 @@ enum class PreconditionerKind { kIdentity, kDiagonal, kBlockEvp };
 
 SolverKind solver_kind_from_string(const std::string& s);
 PreconditionerKind preconditioner_kind_from_string(const std::string& s);
+Precision precision_from_string(const std::string& s);
 std::string to_string(SolverKind k);
 std::string to_string(PreconditionerKind k);
 
@@ -66,6 +68,9 @@ class BarotropicSolver {
 
   const DistOperator& op() const { return op_; }
   Preconditioner& preconditioner() { return *precond_; }
+  /// The mixed-precision wrapper, or nullptr when options.precision is
+  /// kFp64 (only P-CSI and ChronGear have an fp32 inner path).
+  MixedPrecisionSolver* mixed() { return mixed_; }
   const SolverConfig& config() const { return config_; }
   /// Lanczos estimation details; only set for P-CSI.
   const std::optional<LanczosResult>& lanczos() const { return lanczos_; }
@@ -81,6 +86,7 @@ class BarotropicSolver {
   std::unique_ptr<Preconditioner> precond_;
   std::unique_ptr<IterativeSolver> solver_;
   ResilientSolver* resilient_ = nullptr;  ///< view into solver_, if wrapped
+  MixedPrecisionSolver* mixed_ = nullptr;  ///< view into solver_, if wrapped
   std::optional<LanczosResult> lanczos_;
 };
 
