@@ -8,6 +8,8 @@ CostCounters CostTracker::since(const CostCounters& snapshot) const {
   d.p2p_messages = c_.p2p_messages - snapshot.p2p_messages;
   d.p2p_bytes = c_.p2p_bytes - snapshot.p2p_bytes;
   d.halo_exchanges = c_.halo_exchanges - snapshot.halo_exchanges;
+  d.halo_member_updates =
+      c_.halo_member_updates - snapshot.halo_member_updates;
   d.allreduces = c_.allreduces - snapshot.allreduces;
   d.allreduce_doubles = c_.allreduce_doubles - snapshot.allreduce_doubles;
   d.requests = c_.requests - snapshot.requests;

@@ -14,6 +14,11 @@ struct CostCounters {
   std::uint64_t p2p_messages = 0;
   std::uint64_t p2p_bytes = 0;
   std::uint64_t halo_exchanges = 0;  ///< full-field halo update rounds
+  /// Field planes refreshed across all halo rounds: a scalar exchange
+  /// adds 1, an aggregated nb-member batch exchange adds nb (it moves nb
+  /// planes' worth of bytes in the same message count as one plane).
+  /// halo_member_updates / halo_exchanges is the mean aggregation factor.
+  std::uint64_t halo_member_updates = 0;
   std::uint64_t allreduces = 0;      ///< global reduction rounds
   std::uint64_t allreduce_doubles = 0;
   std::uint64_t requests = 0;  ///< split-phase ops that were in flight
@@ -36,6 +41,7 @@ struct CostCounters {
     p2p_messages += o.p2p_messages;
     p2p_bytes += o.p2p_bytes;
     halo_exchanges += o.halo_exchanges;
+    halo_member_updates += o.halo_member_updates;
     allreduces += o.allreduces;
     allreduce_doubles += o.allreduce_doubles;
     requests += o.requests;
@@ -52,7 +58,10 @@ class CostTracker {
     ++c_.p2p_messages;
     c_.p2p_bytes += bytes;
   }
-  void add_halo_exchange() { ++c_.halo_exchanges; }
+  void add_halo_exchange(int members = 1) {
+    ++c_.halo_exchanges;
+    c_.halo_member_updates += static_cast<std::uint64_t>(members);
+  }
   void add_allreduce(std::uint64_t doubles) {
     ++c_.allreduces;
     c_.allreduce_doubles += doubles;

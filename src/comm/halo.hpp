@@ -28,6 +28,7 @@
 
 #include "src/comm/communicator.hpp"
 #include "src/comm/dist_field.hpp"
+#include "src/comm/dist_field_batch.hpp"
 
 namespace minipop::comm {
 
@@ -101,6 +102,43 @@ extern template class HaloHandleT<float>;
 using HaloHandle = HaloHandleT<double>;
 using HaloHandle32 = HaloHandleT<float>;
 
+/// In-flight split-phase halo exchange of an nb-member batch. The
+/// member-interleaved layout makes a region row ni * nb contiguous
+/// doubles, so one message per (block, neighbor) carries ALL members:
+/// the same message count as a scalar exchange with nb x the payload.
+/// finish() counts one exchange round refreshing nb member planes
+/// (CostTracker::add_halo_exchange(nb)).
+class BatchHaloHandle {
+ public:
+  BatchHaloHandle() = default;
+  BatchHaloHandle(BatchHaloHandle&&) noexcept = default;
+  BatchHaloHandle& operator=(BatchHaloHandle&&) noexcept = default;
+  BatchHaloHandle(const BatchHaloHandle&) = delete;
+  BatchHaloHandle& operator=(const BatchHaloHandle&) = delete;
+  ~BatchHaloHandle();
+
+  bool active() const { return field_ != nullptr; }
+
+  /// Wait for all receives, unpack the halo, and count the exchange.
+  /// No-op on an inactive handle.
+  void finish();
+
+ private:
+  friend class HaloExchanger;
+
+  struct PendingRecv {
+    // `request` must die while `buf` is alive — see HaloHandleT.
+    std::vector<double> buf;
+    int lb = 0;
+    detail::HaloRegion dst{};
+    Request request;
+  };
+
+  Communicator* comm_ = nullptr;
+  DistFieldBatch* field_ = nullptr;
+  std::vector<PendingRecv> recvs_;
+};
+
 class HaloExchanger {
  public:
   explicit HaloExchanger(const grid::Decomposition& decomp);
@@ -118,10 +156,21 @@ class HaloExchanger {
   template <typename T>
   HaloHandleT<T> begin(Communicator& comm, DistFieldT<T>& field) const;
 
+  /// Aggregated batch exchange: one message per (block, neighbor)
+  /// carries all nb members. Same tag space, traversal order, and
+  /// overlap structure as the scalar exchange. The fault-injection halo
+  /// payload hook is NOT armed on this path — fault sites target the
+  /// scalar resilient solve, which batching bypasses (DESIGN.md §10).
+  void exchange(Communicator& comm, DistFieldBatch& field) const;
+  BatchHaloHandle begin(Communicator& comm, DistFieldBatch& field) const;
+
   /// Bytes this rank sends per exchange of `field` (for cost reporting).
   /// Scales with sizeof(T): an fp32 field reports half the fp64 bytes.
   template <typename T>
   std::uint64_t bytes_sent_per_exchange(const DistFieldT<T>& field) const;
+
+  /// Batch payload: nb x the scalar fp64 bytes, in the same messages.
+  std::uint64_t bytes_sent_per_exchange(const DistFieldBatch& field) const;
 
  private:
   const grid::Decomposition* decomp_;

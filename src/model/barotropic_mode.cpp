@@ -58,6 +58,17 @@ BarotropicMode::BarotropicMode(comm::Communicator& comm,
 
 solver::SolveStats BarotropicMode::step(comm::Communicator& comm,
                                         double yearday) {
+  step_begin(comm, yearday);
+  // eta's halo was refreshed in step_begin and its interior only read
+  // since, so attest freshness: the solver's first residual skips one
+  // exchange.
+  auto stats =
+      solver_->solve(comm, rhs_, eta_, comm::HaloFreshness::kFresh);
+  step_finish(comm, stats);
+  return stats;
+}
+
+void BarotropicMode::step_begin(comm::Communicator& comm, double yearday) {
   const double dt = cfg_.dt;
   const double g = cfg_.gravity;
   const double theta = cfg_.theta;
@@ -172,11 +183,14 @@ solver::SolveStats BarotropicMode::step(comm::Communicator& comm,
     }
   }
 
-  // --- The paper's subject: the elliptic solve (warm start) -------------
-  // eta's halo was refreshed above and its interior only read since, so
-  // attest freshness: the solver's first residual skips one exchange.
-  auto stats =
-      solver_->solve(comm, rhs_, eta_, comm::HaloFreshness::kFresh);
+}
+
+void BarotropicMode::step_finish(comm::Communicator& comm,
+                                 const solver::SolveStats& stats) {
+  const double dt = cfg_.dt;
+  const double theta = cfg_.theta;
+  const int nb = u_.num_local_blocks();
+
   ++total_solves_;
   total_iterations_ += stats.iterations;
   total_refine_sweeps_ += stats.refine_sweeps;
@@ -224,8 +238,6 @@ solver::SolveStats BarotropicMode::step(comm::Communicator& comm,
   // Leave all prognostic halos fresh (the tracer reads u/v halos).
   halo_->exchange(comm, u_);
   halo_->exchange(comm, v_);
-
-  return stats;
 }
 
 }  // namespace minipop::model

@@ -41,6 +41,23 @@ class BarotropicMode {
   /// Returns the elliptic solve statistics. Leaves u/v/eta halos fresh.
   solver::SolveStats step(comm::Communicator& comm, double yearday);
 
+  /// Split-phase stepping for the batched ensemble runner (DESIGN.md
+  /// §10): step_begin() runs the momentum predictor and the elliptic
+  /// RHS assembly, leaving rhs() ready and eta()'s halo fresh (the
+  /// solve may attest HaloFreshness::kFresh); the caller then solves
+  /// (K + phi area) eta = rhs — possibly batched across several
+  /// members' systems — and hands the stats to step_finish() for the
+  /// failure accounting and the velocity correction.
+  /// step() == step_begin() + solver.solve() + step_finish(), bit for
+  /// bit.
+  void step_begin(comm::Communicator& comm, double yearday);
+  void step_finish(comm::Communicator& comm,
+                   const solver::SolveStats& stats);
+
+  /// The elliptic right-hand side assembled by step_begin(), solved in
+  /// place against eta().
+  comm::DistField& rhs() { return rhs_; }
+
   /// Corner (U-point) velocities; corner (i, j) is NE of cell (i, j).
   comm::DistField& u() { return u_; }
   comm::DistField& v() { return v_; }

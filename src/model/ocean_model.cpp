@@ -49,6 +49,17 @@ solver::SolveStats OceanModel::step(comm::Communicator& comm) {
   return stats;
 }
 
+void OceanModel::step_begin(comm::Communicator& comm) {
+  barotropic_->step_begin(comm, yearday());
+}
+
+void OceanModel::step_finish(comm::Communicator& comm,
+                             const solver::SolveStats& stats) {
+  barotropic_->step_finish(comm, stats);
+  tracer_->step(comm, barotropic_->u(), barotropic_->v(), yearday());
+  ++steps_;
+}
+
 void OceanModel::run_days(comm::Communicator& comm, double days) {
   const long n = static_cast<long>(std::llround(days * kSecondsPerDay /
                                                 cfg_.dt));

@@ -23,6 +23,16 @@ class OceanModel {
   /// One barotropic + tracer step. Returns the elliptic solve stats.
   solver::SolveStats step(comm::Communicator& comm);
 
+  /// Split-phase stepping for the batched ensemble runner: step_begin()
+  /// assembles the barotropic RHS; the caller solves the elliptic
+  /// system — possibly batched with other members' systems — and
+  /// step_finish() applies the velocity correction, steps the tracer
+  /// and advances the clock. step() == step_begin() + solve +
+  /// step_finish(), bit for bit.
+  void step_begin(comm::Communicator& comm);
+  void step_finish(comm::Communicator& comm,
+                   const solver::SolveStats& stats);
+
   /// Convenience: an integer number of days.
   void run_days(comm::Communicator& comm, double days);
 

@@ -1,0 +1,508 @@
+#include "src/solver/batched_solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <span>
+
+#include "src/fault/fault_injector.hpp"
+#include "src/solver/kernels.hpp"
+#include "src/util/error.hpp"
+
+namespace minipop::solver {
+
+namespace {
+
+/// Interior cell count of one member plane (BlockInfo dims are cells,
+/// not the nb-widened storage columns).
+std::uint64_t interior_points(const comm::DistFieldBatch& f) {
+  std::uint64_t n = 0;
+  for (int lb = 0; lb < f.num_local_blocks(); ++lb) {
+    const auto& b = f.info(lb);
+    n += static_cast<std::uint64_t>(b.nx) * b.ny;
+  }
+  return n;
+}
+
+/// y = x over all members' interiors (batched copy_interior).
+void copy_all(const comm::DistFieldBatch& x, comm::DistFieldBatch& y) {
+  MINIPOP_REQUIRE(x.compatible_with(y), "batch copy field mismatch");
+  for (int lb = 0; lb < x.num_local_blocks(); ++lb) {
+    const auto& info = x.info(lb);
+    kernels::copy_batch(x.nb(), info.nx, info.ny, x.interior(lb),
+                        x.stride(lb), y.interior(lb), y.stride(lb));
+  }
+}
+
+/// Interior of member m := v (batched counterpart of fill_interior for
+/// one member plane; only used on zero-RHS members, so no fused kernel).
+void fill_member(comm::DistFieldBatch& x, int m, double v) {
+  for (int lb = 0; lb < x.num_local_blocks(); ++lb) {
+    const auto& info = x.info(lb);
+    for (int j = 0; j < info.ny; ++j)
+      for (int i = 0; i < info.nx; ++i) x.at(lb, i, j, m) = v;
+  }
+}
+
+/// x_m *= a[m] for active members. Flops counted for active lanes only
+/// (scalar parity: a frozen member's scalar solve has already returned).
+void scale_active(comm::Communicator& comm, const double* a,
+                  comm::DistFieldBatch& x,
+                  const std::vector<unsigned char>& active, int n_act) {
+  for (int lb = 0; lb < x.num_local_blocks(); ++lb) {
+    const auto& info = x.info(lb);
+    kernels::scale_batch(x.nb(), info.nx, info.ny, a, x.interior(lb),
+                         x.stride(lb), active.data());
+  }
+  comm.costs().add_flops(interior_points(x) * n_act);
+}
+
+/// y_m += a[m] * x_m for active members.
+void axpy_active(comm::Communicator& comm, const double* a,
+                 const comm::DistFieldBatch& x, comm::DistFieldBatch& y,
+                 const std::vector<unsigned char>& active, int n_act) {
+  MINIPOP_REQUIRE(x.compatible_with(y), "batch axpy field mismatch");
+  for (int lb = 0; lb < x.num_local_blocks(); ++lb) {
+    const auto& info = x.info(lb);
+    kernels::axpy_batch(x.nb(), info.nx, info.ny, a, x.interior(lb),
+                        x.stride(lb), y.interior(lb), y.stride(lb),
+                        active.data());
+  }
+  comm.costs().add_flops(2 * interior_points(x) * n_act);
+}
+
+/// Fused y_m = a[m] x_m + b[m] y_m; z_m += c[m] y_m for active members.
+void lincomb_axpy_active(comm::Communicator& comm, const double* a,
+                         const comm::DistFieldBatch& x, const double* b,
+                         comm::DistFieldBatch& y, const double* c,
+                         comm::DistFieldBatch& z,
+                         const std::vector<unsigned char>& active,
+                         int n_act) {
+  MINIPOP_REQUIRE(x.compatible_with(y) && x.compatible_with(z),
+                  "batch lincomb_axpy field mismatch");
+  for (int lb = 0; lb < x.num_local_blocks(); ++lb) {
+    const auto& info = x.info(lb);
+    kernels::lincomb_axpy_batch(x.nb(), info.nx, info.ny, a, x.interior(lb),
+                                x.stride(lb), b, y.interior(lb), y.stride(lb),
+                                c, z.interior(lb), z.stride(lb),
+                                active.data());
+  }
+  comm.costs().add_flops(4 * interior_points(x) * n_act);
+}
+
+/// Slot bookkeeping shared by the batched solvers. Per-MEMBER state
+/// (stats, ||b||², thresholds, guards) is indexed by the member's
+/// original position in the caller's batch and survives retirement;
+/// per-SLOT state (member_of, active) tracks the current, possibly
+/// compacted, batch.
+struct BatchControl {
+  BatchSolveStats out;
+  std::vector<double> b_norm2;          // by original member
+  std::vector<double> threshold2;       // by original member
+  std::vector<ConvergenceGuard> guards; // by original member
+  /// Member froze without a residual norm in hand (kMaxIters,
+  /// kNanDetected, kBreakdown); stamp its relative residual from its
+  /// frozen r plane at the next stamp point (retirement or solve end).
+  std::vector<unsigned char> needs_stamp;  // by original member
+  std::vector<int> member_of;           // slot -> original member
+  std::vector<unsigned char> active;    // slot -> still iterating
+  int n_active = 0;
+  int cur_nb = 0;
+
+  void freeze(int s, bool converged, double rel, FailureKind failure) {
+    BatchMemberStats& ms = out.members[member_of[s]];
+    ms.converged = converged;
+    ms.relative_residual = rel;
+    ms.failure = failure;
+    active[s] = 0;
+    --n_active;
+  }
+};
+
+/// ||b_m||² for every member with ONE vector allreduce; zero-RHS members
+/// resolve immediately (x_m = 0, converged), mirroring the scalar
+/// early-out. Returns the initialized control block.
+BatchControl init_control(const SolverOptions& opt, comm::Communicator& comm,
+                          const DistOperator& a,
+                          const comm::DistFieldBatch& b,
+                          comm::DistFieldBatch& x) {
+  const int nb = b.nb();
+  BatchControl ctl;
+  ctl.out.members.resize(nb);
+  ctl.b_norm2.assign(nb, 0.0);
+  ctl.threshold2.assign(nb, 0.0);
+  ctl.guards.reserve(nb);
+  ctl.needs_stamp.assign(nb, 0);
+  ctl.member_of.resize(nb);
+  ctl.active.assign(nb, 1);
+  ctl.n_active = nb;
+  ctl.cur_nb = nb;
+
+  a.local_dot_batch(comm, b, b, ctl.b_norm2.data());
+  comm.allreduce(std::span<double>(ctl.b_norm2.data(), nb),
+                 comm::ReduceOp::kSum);
+  for (int m = 0; m < nb; ++m) {
+    ctl.guards.emplace_back(opt);
+    ctl.member_of[m] = m;
+    ctl.threshold2[m] =
+        opt.rel_tolerance * opt.rel_tolerance * ctl.b_norm2[m];
+    if (ctl.b_norm2[m] == 0.0) {
+      fill_member(x, m, 0.0);
+      ctl.out.members[m].converged = true;
+      ctl.active[m] = 0;
+      --ctl.n_active;
+    }
+  }
+  return ctl;
+}
+
+/// Stamp the relative residual of every member frozen without a norm in
+/// hand, from its (frozen or deterministically recomputed) r plane. One
+/// extra vector allreduce; bit-equal per member to the scalar solver's
+/// final global_dot(r, r) stamp because dot_batch keeps masked_dot's
+/// accumulation order and vector allreduces combine element-wise.
+void stamp_pending(BatchControl& ctl, comm::Communicator& comm,
+                   const DistOperator& a, const comm::DistFieldBatch& r,
+                   std::vector<double>& sums) {
+  bool any = false;
+  for (int s = 0; s < ctl.cur_nb && !any; ++s)
+    any = ctl.needs_stamp[ctl.member_of[s]] != 0;
+  if (!any) return;
+  a.local_dot_batch(comm, r, r, sums.data());
+  comm.allreduce(std::span<double>(sums.data(), ctl.cur_nb),
+                 comm::ReduceOp::kSum);
+  for (int s = 0; s < ctl.cur_nb; ++s) {
+    const int mm = ctl.member_of[s];
+    if (!ctl.needs_stamp[mm]) continue;
+    ctl.out.members[mm].relative_residual =
+        std::sqrt(sums[s] / ctl.b_norm2[mm]);
+    ctl.needs_stamp[mm] = 0;
+  }
+}
+
+bool should_retire(const SolverOptions& opt, const BatchControl& ctl) {
+  return opt.batch_retire_fraction > 0.0 && ctl.n_active > 0 &&
+         ctl.n_active < ctl.cur_nb &&
+         static_cast<double>(ctl.n_active) <=
+             opt.batch_retire_fraction * ctl.cur_nb;
+}
+
+/// Retirement compaction: flush every slot's solution plane back to the
+/// caller's batch, then migrate the survivors (b, x and the solver's
+/// carried fields) into freshly allocated width-n_active batches and
+/// reallocate the per-iteration scratch fields. Pure data movement —
+/// no member's arithmetic changes, only the lane count.
+void compact(BatchControl& ctl, comm::Communicator& comm,
+             const DistOperator& a, comm::DistFieldBatch& x_caller,
+             const comm::DistFieldBatch*& bw,
+             std::unique_ptr<comm::DistFieldBatch>& b_own,
+             comm::DistFieldBatch*& xw,
+             std::unique_ptr<comm::DistFieldBatch>& x_own,
+             comm::DistFieldBatch& r,
+             const std::vector<comm::DistFieldBatch*>& carried,
+             const std::vector<comm::DistFieldBatch*>& scratch,
+             std::vector<double>& sums) {
+  // Frozen failures lose their r planes below; stamp them first.
+  stamp_pending(ctl, comm, a, r, sums);
+
+  if (xw != &x_caller)
+    for (int s = 0; s < ctl.cur_nb; ++s)
+      x_caller.copy_member_from(ctl.member_of[s], *xw, s);
+
+  std::vector<int> keep;
+  keep.reserve(ctl.n_active);
+  for (int s = 0; s < ctl.cur_nb; ++s)
+    if (ctl.active[s]) keep.push_back(s);
+  const int n_new = static_cast<int>(keep.size());
+  const auto& decomp = x_caller.decomposition();
+  const int rank = x_caller.rank();
+  const int halo = x_caller.halo();
+
+  auto nb_own = std::make_unique<comm::DistFieldBatch>(decomp, rank, n_new,
+                                                       halo);
+  auto nx_own = std::make_unique<comm::DistFieldBatch>(decomp, rank, n_new,
+                                                       halo);
+  for (int t = 0; t < n_new; ++t) {
+    nb_own->copy_member_from(t, *bw, keep[t]);
+    nx_own->copy_member_from(t, *xw, keep[t]);
+  }
+  b_own = std::move(nb_own);
+  x_own = std::move(nx_own);
+  bw = b_own.get();
+  xw = x_own.get();
+
+  for (comm::DistFieldBatch* f : carried) {
+    comm::DistFieldBatch nf(decomp, rank, n_new, halo);
+    for (int t = 0; t < n_new; ++t) nf.copy_member_from(t, *f, keep[t]);
+    *f = std::move(nf);
+  }
+  for (comm::DistFieldBatch* f : scratch)
+    *f = comm::DistFieldBatch(decomp, rank, n_new, halo);
+
+  std::vector<int> member_of(n_new);
+  for (int t = 0; t < n_new; ++t) member_of[t] = ctl.member_of[keep[t]];
+  ctl.member_of = std::move(member_of);
+  ctl.active.assign(n_new, 1);
+  ctl.cur_nb = n_new;
+  ++ctl.out.retirements;
+}
+
+/// Final bookkeeping shared by the solvers: survivors exhaust the
+/// iteration budget (kMaxIters), pending residual stamps are resolved,
+/// and — if retirement migrated the batch — the compacted solution
+/// planes flush back to the caller.
+void finish(BatchControl& ctl, comm::Communicator& comm,
+            const DistOperator& a, comm::DistFieldBatch& x_caller,
+            comm::DistFieldBatch* xw, const comm::DistFieldBatch& r,
+            std::vector<double>& sums) {
+  for (int s = 0; s < ctl.cur_nb; ++s) {
+    if (!ctl.active[s]) continue;
+    const int mm = ctl.member_of[s];
+    ctl.out.members[mm].failure = FailureKind::kMaxIters;
+    ctl.needs_stamp[mm] = 1;
+  }
+  stamp_pending(ctl, comm, a, r, sums);
+  if (xw != &x_caller)
+    for (int s = 0; s < ctl.cur_nb; ++s)
+      x_caller.copy_member_from(ctl.member_of[s], *xw, s);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Batched P-CSI
+
+BatchedPcsiSolver::BatchedPcsiSolver(EigenBounds bounds,
+                                     const SolverOptions& options)
+    : opt_(options) {
+  MINIPOP_REQUIRE(bounds.nu > 0.0 && bounds.mu > bounds.nu,
+                  "invalid eigenvalue interval [" << bounds.nu << ", "
+                                                  << bounds.mu << "]");
+  bounds_ = bounds;
+}
+
+BatchSolveStats BatchedPcsiSolver::solve(comm::Communicator& comm,
+                                         const comm::HaloExchanger& halo,
+                                         const DistOperator& a,
+                                         Preconditioner& m,
+                                         const comm::DistFieldBatch& b,
+                                         comm::DistFieldBatch& x,
+                                         comm::HaloFreshness x_fresh) {
+  MINIPOP_REQUIRE(b.compatible_with(x), "batched pcsi: b/x mismatch");
+  const auto snapshot = comm.costs().counters();
+  const int nb0 = b.nb();
+
+  BatchControl ctl = init_control(opt_, comm, a, b, x);
+  if (ctl.n_active == 0) {
+    ctl.out.costs = comm.costs().since(snapshot);
+    return ctl.out;
+  }
+
+  // Chebyshev constants are member-independent: one shared recurrence.
+  EigenBounds eb = bounds_;
+  fault::hook_eigen_bounds(a.rank(), &eb.nu, &eb.mu);
+  const double alpha = 2.0 / (eb.mu - eb.nu);
+  const double beta = (eb.mu + eb.nu) / (eb.mu - eb.nu);
+  const double gamma = beta / alpha;
+  double omega = 2.0 / gamma;  // omega_0
+
+  // Until the first retirement the solve runs directly on the caller's
+  // planes; compaction migrates into the owned narrow batches.
+  const comm::DistFieldBatch* bw = &b;
+  comm::DistFieldBatch* xw = &x;
+  std::unique_ptr<comm::DistFieldBatch> b_own, x_own;
+  comm::DistFieldBatch r(a.decomposition(), a.rank(), nb0, x.halo());
+  comm::DistFieldBatch rp(a.decomposition(), a.rank(), nb0, x.halo());
+  comm::DistFieldBatch dx(a.decomposition(), a.rank(), nb0, x.halo());
+
+  std::vector<double> ca(nb0), cb(nb0), cc(nb0), sums(nb0);
+
+  // Initial step (Algorithm 2, step 2), gated so zero-RHS members'
+  // solutions stay exactly at the scalar early-out's fill(0).
+  a.residual_batch(comm, halo, *bw, *xw, r, x_fresh);
+  m.apply_batch(comm, r, rp);
+  copy_all(rp, dx);
+  std::fill(ca.begin(), ca.end(), 1.0 / gamma);
+  scale_active(comm, ca.data(), dx, ctl.active, ctl.n_active);
+  std::fill(ca.begin(), ca.end(), 1.0);
+  axpy_active(comm, ca.data(), dx, *xw, ctl.active, ctl.n_active);
+  a.residual_batch(comm, halo, *bw, *xw, r);
+
+  for (int k = 1; k <= opt_.max_iterations; ++k) {
+    ctl.out.iterations = k;
+    for (int s = 0; s < ctl.cur_nb; ++s)
+      if (ctl.active[s]) ctl.out.members[ctl.member_of[s]].iterations = k;
+
+    omega = 1.0 / (gamma - omega / (4.0 * alpha * alpha));
+
+    m.apply_batch(comm, r, rp);
+    std::fill(ca.begin(), ca.begin() + ctl.cur_nb, omega);
+    std::fill(cb.begin(), cb.begin() + ctl.cur_nb, gamma * omega - 1.0);
+    std::fill(cc.begin(), cc.begin() + ctl.cur_nb, 1.0);
+    lincomb_axpy_active(comm, ca.data(), rp, cb.data(), dx, cc.data(), *xw,
+                        ctl.active, ctl.n_active);
+
+    if (k % opt_.check_frequency == 0) {
+      // One fused residual+norm sweep, one CURRENT-WIDTH vector
+      // allreduce: slot s reduces bit-identically to the scalar
+      // solver's 1-element check reduction for that member.
+      a.residual_local_norm2_batch(comm, halo, *bw, *xw, r, sums.data());
+      comm.allreduce(std::span<double>(sums.data(), ctl.cur_nb),
+                     comm::ReduceOp::kSum);
+      for (int s = 0; s < ctl.cur_nb; ++s) {
+        if (!ctl.active[s]) continue;
+        const int mm = ctl.member_of[s];
+        const double rel = std::sqrt(sums[s] / ctl.b_norm2[mm]);
+        if (sums[s] <= ctl.threshold2[mm]) {
+          ctl.freeze(s, true, rel, FailureKind::kNone);
+          continue;
+        }
+        const FailureKind f = ctl.guards[mm].check(rel);
+        // The checked norm doubles as the scalar solver's final
+        // global_dot(r, r) stamp (same sweep, same bits), so a guard
+        // freeze needs no pending stamp.
+        if (f != FailureKind::kNone) ctl.freeze(s, false, rel, f);
+      }
+      if (ctl.n_active == 0) break;
+      if (should_retire(opt_, ctl)) {
+        compact(ctl, comm, a, x, bw, b_own, xw, x_own, r, {&r, &dx}, {&rp},
+                sums);
+      }
+    } else {
+      a.residual_batch(comm, halo, *bw, *xw, r);
+    }
+  }
+
+  finish(ctl, comm, a, x, xw, r, sums);
+  ctl.out.costs = comm.costs().since(snapshot);
+  return ctl.out;
+}
+
+// ---------------------------------------------------------------------------
+// Batched ChronGear
+
+BatchedChronGearSolver::BatchedChronGearSolver(const SolverOptions& options)
+    : opt_(options) {}
+
+BatchSolveStats BatchedChronGearSolver::solve(comm::Communicator& comm,
+                                              const comm::HaloExchanger& halo,
+                                              const DistOperator& a,
+                                              Preconditioner& m,
+                                              const comm::DistFieldBatch& b,
+                                              comm::DistFieldBatch& x,
+                                              comm::HaloFreshness x_fresh) {
+  MINIPOP_REQUIRE(b.compatible_with(x), "batched chron_gear: b/x mismatch");
+  const auto snapshot = comm.costs().counters();
+  const int nb0 = b.nb();
+
+  BatchControl ctl = init_control(opt_, comm, a, b, x);
+  if (ctl.n_active == 0) {
+    ctl.out.costs = comm.costs().since(snapshot);
+    return ctl.out;
+  }
+
+  const comm::DistFieldBatch* bw = &b;
+  comm::DistFieldBatch* xw = &x;
+  std::unique_ptr<comm::DistFieldBatch> b_own, x_own;
+  comm::DistFieldBatch r(a.decomposition(), a.rank(), nb0, x.halo());
+  comm::DistFieldBatch rp(a.decomposition(), a.rank(), nb0, x.halo());
+  comm::DistFieldBatch z(a.decomposition(), a.rank(), nb0, x.halo());
+  // s and p start at zero — the constructors zero-fill, matching the
+  // scalar fill_interior(s/p, 0).
+  comm::DistFieldBatch s_dir(a.decomposition(), a.rank(), nb0, x.halo());
+  comm::DistFieldBatch p_dir(a.decomposition(), a.rank(), nb0, x.halo());
+
+  a.residual_batch(comm, halo, *bw, *xw, r, x_fresh);
+
+  // Per-member recurrence scalars, indexed by ORIGINAL member id so
+  // they survive retirement compactions.
+  std::vector<double> rho_old(nb0, 1.0);
+  std::vector<double> sigma_old(nb0, 0.0);
+
+  std::vector<double> ca(nb0), cb(nb0), cc(nb0), cneg(nb0), sums(nb0);
+  std::vector<double> red(3 * static_cast<std::size_t>(nb0));
+
+  for (int k = 1; k <= opt_.max_iterations; ++k) {
+    ctl.out.iterations = k;
+    for (int s = 0; s < ctl.cur_nb; ++s)
+      if (ctl.active[s]) ctl.out.members[ctl.member_of[s]].iterations = k;
+
+    m.apply_batch(comm, r, rp);
+    a.apply_batch(comm, halo, rp, z);
+
+    // All members' fused {rho, delta[, ||r||²]} partial sums ride ONE
+    // grouped vector allreduce. Element-wise fixed-order combination
+    // makes each member's scalars bit-equal to its scalar solve's.
+    const bool check = (k % opt_.check_frequency == 0);
+    a.local_dot3_batch(comm, r, rp, z, check, red.data());
+    comm.allreduce(
+        std::span<double>(red.data(),
+                          static_cast<std::size_t>(check ? 3 : 2) *
+                              ctl.cur_nb),
+        comm::ReduceOp::kSum);
+
+    if (check) {
+      for (int s = 0; s < ctl.cur_nb; ++s) {
+        if (!ctl.active[s]) continue;
+        const int mm = ctl.member_of[s];
+        const double r_norm2 = red[2 * ctl.cur_nb + s];
+        const double rel = std::sqrt(r_norm2 / ctl.b_norm2[mm]);
+        if (r_norm2 <= ctl.threshold2[mm]) {
+          ctl.freeze(s, true, rel, FailureKind::kNone);
+          continue;
+        }
+        const FailureKind f = ctl.guards[mm].check(rel);
+        if (f != FailureKind::kNone) ctl.freeze(s, false, rel, f);
+      }
+      if (ctl.n_active == 0) break;
+    }
+
+    // Steps 10-12 per still-active member; rho/sigma pathologies freeze
+    // the member where the scalar solver aborts its solve.
+    for (int s = 0; s < ctl.cur_nb; ++s) {
+      if (!ctl.active[s]) continue;
+      const int mm = ctl.member_of[s];
+      const double rho = red[s];
+      const double delta = red[ctl.cur_nb + s];
+      const double beta = rho / rho_old[mm];
+      const double sigma = delta - beta * beta * sigma_old[mm];
+      if (!ConvergenceGuard::finite(rho) ||
+          !ConvergenceGuard::finite(sigma)) {
+        ctl.needs_stamp[mm] = 1;
+        ctl.freeze(s, false, 0.0, FailureKind::kNanDetected);
+        continue;
+      }
+      if (sigma == 0.0) {
+        ctl.needs_stamp[mm] = 1;
+        ctl.freeze(s, false, 0.0, FailureKind::kBreakdown);
+        continue;
+      }
+      const double alpha = rho / sigma;
+      ca[s] = 1.0;
+      cb[s] = beta;
+      cc[s] = alpha;
+      cneg[s] = -alpha;
+      rho_old[mm] = rho;
+      sigma_old[mm] = sigma;
+    }
+    if (ctl.n_active == 0) break;
+
+    // Steps 13-16, fused pairwise as in the scalar solver; frozen lanes
+    // masked out so their x and r planes stay exactly at freeze state.
+    lincomb_axpy_active(comm, ca.data(), rp, cb.data(), s_dir, cc.data(),
+                        *xw, ctl.active, ctl.n_active);
+    lincomb_axpy_active(comm, ca.data(), z, cb.data(), p_dir, cneg.data(),
+                        r, ctl.active, ctl.n_active);
+
+    if (check && should_retire(opt_, ctl)) {
+      compact(ctl, comm, a, x, bw, b_own, xw, x_own, r,
+              {&r, &s_dir, &p_dir}, {&rp, &z}, sums);
+    }
+  }
+
+  finish(ctl, comm, a, x, xw, r, sums);
+  ctl.out.costs = comm.costs().since(snapshot);
+  return ctl.out;
+}
+
+}  // namespace minipop::solver

@@ -1,0 +1,130 @@
+// Batched multi-RHS solvers: one lockstep Krylov/Chebyshev iteration
+// advancing B independent right-hand sides over the SAME operator and
+// decomposition (paper §6 ensemble workload, Fig. 13).
+//
+// Why batching wins: every iteration's stencil sweep reloads the same
+// nine coefficient planes regardless of how many members ride along, the
+// halo exchange sends one message per neighbor regardless of payload,
+// and the convergence reduction is one allreduce whether it carries 1
+// or B partial sums. Batching B members amortizes all three: ~B× fewer
+// messages and reductions per solve, coefficients loaded once per cell
+// instead of once per cell per member.
+//
+// Bit-for-bit contract: member m of a batched fp64 solve produces
+// EXACTLY the scalar solver's iterates, iteration count, residuals and
+// solution bits (see kernels.hpp — batched kernels keep the scalar
+// per-point expression and accumulation order, and vector allreduces
+// combine element-wise in the same fixed rank order as scalar ones).
+//
+// Lockstep + masking: members share one iteration loop. A member that
+// converges (or trips a guard) at a convergence check FREEZES — its x
+// plane stops updating, exactly as if the scalar solver had returned —
+// but its lanes keep riding in the batch until retirement
+// (SolverOptions::batch_retire_fraction) compacts the survivors into a
+// narrower batch. Retirement never changes member arithmetic, only the
+// lane count. See DESIGN.md §10 for the policy discussion.
+#pragma once
+
+#include <vector>
+
+#include "src/comm/dist_field_batch.hpp"
+#include "src/solver/iterative_solver.hpp"
+#include "src/solver/pcsi.hpp"
+
+namespace minipop::solver {
+
+/// Outcome of one member of a batched solve. Mirrors the scalar
+/// SolveStats fields that are per-member meaningful.
+struct BatchMemberStats {
+  /// Lockstep iteration at which this member froze (converged or
+  /// failed), or the final iteration count if it ran to the end.
+  int iterations = 0;
+  bool converged = false;
+  double relative_residual = 0.0;
+  FailureKind failure = FailureKind::kNone;
+};
+
+/// Outcome of a batched solve.
+struct BatchSolveStats {
+  /// Per-member outcomes, indexed by the member's position in the batch
+  /// handed to solve() (stable across retirement compactions).
+  std::vector<BatchMemberStats> members;
+  /// Total lockstep iterations the batch ran (max over members).
+  int iterations = 0;
+  /// Number of retirement compactions performed.
+  int retirements = 0;
+  /// Per-rank communication/computation deltas during the whole batch
+  /// solve (shared across members — halos and reductions are joint).
+  comm::CostCounters costs;
+};
+
+/// Interface of the batched solvers. Semantic differences from the
+/// scalar IterativeSolver, by design:
+///  - a guard failure (divergence/stagnation/NaN) freezes THAT member
+///    and the batch keeps iterating the others, where the scalar solver
+///    aborts its (single-member) solve — per-member outcomes match, the
+///    scalar "whole solve stops" behavior just has no batched analogue;
+///  - SolverOptions::overlap is ignored: the batched path always uses
+///    blocking aggregated exchanges (overlap is bitwise-neutral, and
+///    one aggregated message per neighbor is already the win).
+/// Fault-injection halo/residual hooks are NOT armed on batched
+/// exchanges; hook_eigen_bounds still applies (see DESIGN.md §10).
+class BatchedSolver {
+ public:
+  virtual ~BatchedSolver() = default;
+
+  /// Solve A x_m = b_m for every member, in place, starting from the
+  /// x planes passed in. Collective across the communicator; all ranks
+  /// must pass batches over the same decomposition with the same nb.
+  virtual BatchSolveStats solve(
+      comm::Communicator& comm, const comm::HaloExchanger& halo,
+      const DistOperator& a, Preconditioner& m,
+      const comm::DistFieldBatch& b, comm::DistFieldBatch& x,
+      comm::HaloFreshness x_fresh = comm::HaloFreshness::kStale) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Lockstep batched P-CSI. The Chebyshev scalar recurrence (omega,
+/// gamma, alpha) depends only on the eigenvalue bounds — member
+/// independent — so all members genuinely share one iteration schedule;
+/// per-member state is just the field planes and the convergence mask.
+class BatchedPcsiSolver final : public BatchedSolver {
+ public:
+  BatchedPcsiSolver(EigenBounds bounds, const SolverOptions& options = {});
+
+  BatchSolveStats solve(
+      comm::Communicator& comm, const comm::HaloExchanger& halo,
+      const DistOperator& a, Preconditioner& m,
+      const comm::DistFieldBatch& b, comm::DistFieldBatch& x,
+      comm::HaloFreshness x_fresh = comm::HaloFreshness::kStale) override;
+
+  std::string name() const override { return "batched_pcsi"; }
+
+  const EigenBounds& bounds() const { return bounds_; }
+
+ private:
+  EigenBounds bounds_;
+  SolverOptions opt_;
+};
+
+/// Lockstep batched ChronGear (s-step preconditioned CG). Per-member
+/// scalar state {rho, sigma} with all members' fused {rho, delta, norm}
+/// partial sums riding ONE grouped vector allreduce per iteration.
+class BatchedChronGearSolver final : public BatchedSolver {
+ public:
+  explicit BatchedChronGearSolver(const SolverOptions& options = {});
+
+  BatchSolveStats solve(
+      comm::Communicator& comm, const comm::HaloExchanger& halo,
+      const DistOperator& a, Preconditioner& m,
+      const comm::DistFieldBatch& b, comm::DistFieldBatch& x,
+      comm::HaloFreshness x_fresh = comm::HaloFreshness::kStale) override;
+
+  std::string name() const override { return "batched_chron_gear"; }
+
+ private:
+  SolverOptions opt_;
+};
+
+}  // namespace minipop::solver

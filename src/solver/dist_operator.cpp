@@ -545,4 +545,134 @@ void DistOperator::mask_interior(comm::DistField32& x) const {
   mask_interior_t<float>(x);
 }
 
+// ---------------------------------------------------------------------------
+// Batched multi-RHS sweeps. No fault sites: the batched engine bypasses
+// the scalar resilient decorator the fault campaign targets.
+
+void DistOperator::apply_batch(comm::Communicator& comm,
+                               const comm::HaloExchanger& halo,
+                               comm::DistFieldBatch& x,
+                               comm::DistFieldBatch& y,
+                               comm::HaloFreshness fresh) const {
+  MINIPOP_REQUIRE(x.compatible_with(y), "x/y batch mismatch");
+  MINIPOP_REQUIRE(&x.decomposition() == decomp_ && x.rank() == rank_,
+                  "batch does not match operator decomposition");
+  MINIPOP_REQUIRE(&x != &y, "apply requires distinct x and y");
+  if (fresh == comm::HaloFreshness::kStale) halo.exchange(comm, x);
+
+  const int nb = x.nb();
+  std::uint64_t points = 0;
+  for (int lb = 0; lb < num_local_blocks(); ++lb) {
+    const auto& b = x.info(lb);
+    kernels::apply9_batch(stencil_view(block_coeff_[lb]), nb, b.nx, b.ny,
+                          x.interior(lb), x.stride(lb), y.interior(lb),
+                          y.stride(lb));
+    points += static_cast<std::uint64_t>(b.nx) * b.ny;
+  }
+  comm.costs().add_flops(9 * points * nb);
+}
+
+void DistOperator::residual_batch(comm::Communicator& comm,
+                                  const comm::HaloExchanger& halo,
+                                  const comm::DistFieldBatch& b,
+                                  comm::DistFieldBatch& x,
+                                  comm::DistFieldBatch& r,
+                                  comm::HaloFreshness fresh) const {
+  MINIPOP_REQUIRE(b.compatible_with(x) && b.compatible_with(r),
+                  "b/x/r batch mismatch");
+  MINIPOP_REQUIRE(&x.decomposition() == decomp_ && x.rank() == rank_,
+                  "batch does not match operator decomposition");
+  MINIPOP_REQUIRE(&b != &r && &x != &r, "residual requires distinct r");
+  if (fresh == comm::HaloFreshness::kStale) halo.exchange(comm, x);
+
+  const int nb = x.nb();
+  std::uint64_t points = 0;
+  for (int lb = 0; lb < num_local_blocks(); ++lb) {
+    const auto& info = r.info(lb);
+    kernels::residual9_batch(stencil_view(block_coeff_[lb]), nb, info.nx,
+                             info.ny, b.interior(lb), b.stride(lb),
+                             x.interior(lb), x.stride(lb), r.interior(lb),
+                             r.stride(lb));
+    points += static_cast<std::uint64_t>(info.nx) * info.ny;
+  }
+  comm.costs().add_flops(10 * points * nb);
+}
+
+void DistOperator::residual_local_norm2_batch(
+    comm::Communicator& comm, const comm::HaloExchanger& halo,
+    const comm::DistFieldBatch& b, comm::DistFieldBatch& x,
+    comm::DistFieldBatch& r, double* sums,
+    comm::HaloFreshness fresh) const {
+  MINIPOP_REQUIRE(b.compatible_with(x) && b.compatible_with(r),
+                  "b/x/r batch mismatch");
+  MINIPOP_REQUIRE(&x.decomposition() == decomp_ && x.rank() == rank_,
+                  "batch does not match operator decomposition");
+  MINIPOP_REQUIRE(&b != &r && &x != &r, "residual requires distinct r");
+  if (fresh == comm::HaloFreshness::kStale) halo.exchange(comm, x);
+
+  const int nb = x.nb();
+  for (int m = 0; m < nb; ++m) sums[m] = 0.0;
+  std::uint64_t points = 0;
+  for (int lb = 0; lb < num_local_blocks(); ++lb) {
+    const auto& info = r.info(lb);
+    kernels::residual_norm2_9_batch(
+        stencil_view(block_coeff_[lb]), block_mask_[lb].data(),
+        block_mask_[lb].nx(), nb, info.nx, info.ny, b.interior(lb),
+        b.stride(lb), x.interior(lb), x.stride(lb), r.interior(lb),
+        r.stride(lb), sums);
+    points += static_cast<std::uint64_t>(info.nx) * info.ny;
+  }
+  comm.costs().add_flops(12 * points * nb);
+}
+
+void DistOperator::local_dot_batch(comm::Communicator& comm,
+                                   const comm::DistFieldBatch& a,
+                                   const comm::DistFieldBatch& b,
+                                   double* sums) const {
+  MINIPOP_REQUIRE(a.compatible_with(b), "a/b batch mismatch");
+  const int nb = a.nb();
+  for (int m = 0; m < nb; ++m) sums[m] = 0.0;
+  std::uint64_t points = 0;
+  for (int lb = 0; lb < num_local_blocks(); ++lb) {
+    const auto& info = a.info(lb);
+    const auto& mask = block_mask_[lb];
+    kernels::dot_batch(mask.data(), mask.nx(), nb, info.nx, info.ny,
+                       a.interior(lb), a.stride(lb), b.interior(lb),
+                       b.stride(lb), sums);
+    points += static_cast<std::uint64_t>(info.nx) * info.ny;
+  }
+  comm.costs().add_flops(2 * points * nb);
+}
+
+void DistOperator::local_dot3_batch(comm::Communicator& comm,
+                                    const comm::DistFieldBatch& r,
+                                    const comm::DistFieldBatch& rp,
+                                    const comm::DistFieldBatch& z,
+                                    bool with_norm, double* out) const {
+  MINIPOP_REQUIRE(r.compatible_with(rp) && r.compatible_with(z),
+                  "r/rp/z batch mismatch");
+  const int nb = r.nb();
+  for (int m = 0; m < 3 * nb; ++m) out[m] = 0.0;
+  std::uint64_t points = 0;
+  for (int lb = 0; lb < num_local_blocks(); ++lb) {
+    const auto& info = r.info(lb);
+    const auto& mask = block_mask_[lb];
+    kernels::dot3_batch(mask.data(), mask.nx(), nb, info.nx, info.ny,
+                        r.interior(lb), r.stride(lb), rp.interior(lb),
+                        rp.stride(lb), z.interior(lb), z.stride(lb),
+                        with_norm, out);
+    points += static_cast<std::uint64_t>(info.nx) * info.ny;
+  }
+  comm.costs().add_flops((with_norm ? 6u : 4u) * points * nb);
+}
+
+void DistOperator::mask_interior_batch(comm::DistFieldBatch& x) const {
+  for (int lb = 0; lb < num_local_blocks(); ++lb) {
+    const auto& info = x.info(lb);
+    const auto& mask = block_mask_[lb];
+    kernels::mask_zero_batch(mask.data(), mask.nx(), x.nb(), info.nx,
+                             info.ny, x.interior(lb), x.stride(lb));
+  }
+}
+
 }  // namespace minipop::solver

@@ -108,6 +108,54 @@ class DistOperator {
   void mask_interior(comm::DistField& x) const;
 
   // -------------------------------------------------------------------
+  // Batched multi-RHS sweeps (fp64 only). Same structure as the scalar
+  // sweeps over an nb-member interleaved batch: ONE aggregated halo
+  // exchange and one coefficient pass serve all members, flop counts
+  // scale by nb, and member m of every result is bit-identical to the
+  // scalar sweep on member m's plane (kernels.hpp contract). Reductions
+  // fill per-member arrays the caller combines in ONE vector allreduce.
+  // The fault-injection hooks are NOT armed here — fault sites target
+  // the scalar resilient path, which batching bypasses (DESIGN.md §10).
+
+  /// y = A x, all members. sums-free; 9*nb flops/point.
+  void apply_batch(
+      comm::Communicator& comm, const comm::HaloExchanger& halo,
+      comm::DistFieldBatch& x, comm::DistFieldBatch& y,
+      comm::HaloFreshness fresh = comm::HaloFreshness::kStale) const;
+
+  /// r = b - A x, all members.
+  void residual_batch(
+      comm::Communicator& comm, const comm::HaloExchanger& halo,
+      const comm::DistFieldBatch& b, comm::DistFieldBatch& x,
+      comm::DistFieldBatch& r,
+      comm::HaloFreshness fresh = comm::HaloFreshness::kStale) const;
+
+  /// Fused r = b - A x AND local masked ||r_m||² for every member:
+  /// sums[0..nb) is OVERWRITTEN with the local sums.
+  void residual_local_norm2_batch(
+      comm::Communicator& comm, const comm::HaloExchanger& halo,
+      const comm::DistFieldBatch& b, comm::DistFieldBatch& x,
+      comm::DistFieldBatch& r, double* sums,
+      comm::HaloFreshness fresh = comm::HaloFreshness::kStale) const;
+
+  /// Local masked per-member dots: sums[0..nb) is OVERWRITTEN.
+  void local_dot_batch(comm::Communicator& comm,
+                       const comm::DistFieldBatch& a,
+                       const comm::DistFieldBatch& b, double* sums) const;
+
+  /// Fused per-member ChronGear dots, grouped for one vector allreduce:
+  /// out[0..nb) = <r, rp>, out[nb..2nb) = <z, rp>, out[2nb..3nb) =
+  /// <r, r> (zeros unless with_norm). out[0..3nb) is OVERWRITTEN.
+  void local_dot3_batch(comm::Communicator& comm,
+                        const comm::DistFieldBatch& r,
+                        const comm::DistFieldBatch& rp,
+                        const comm::DistFieldBatch& z, bool with_norm,
+                        double* out) const;
+
+  /// Zero out land cells of all members' interiors.
+  void mask_interior_batch(comm::DistFieldBatch& x) const;
+
+  // -------------------------------------------------------------------
   // fp32 mirror path. Same sweeps over a lazily-built float copy of the
   // stencil coefficients: half the bytes per point, half the halo
   // traffic, identical structure (including the interior/rim overlap

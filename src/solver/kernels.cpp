@@ -301,6 +301,303 @@ void convert(int nx, int ny, const S* x, std::ptrdiff_t xs, D* y,
   for (int j = 0; j < ny; ++j) row_convert(x + j * xs, y + j * ys, nx);
 }
 
+// ---------------------------------------------------------------------
+// Batched multi-RHS kernels. Same structure as the scalar kernels —
+// row helpers with restrict-qualified parameters, fixed nine-point term
+// order — plus an inner member loop over the interleaved lanes. Each
+// coefficient is hoisted into a scalar once per cell and reused across
+// the member loop; member m's expression and reduction order match the
+// scalar kernels exactly (the bit-for-bit contract in kernels.hpp).
+// ---------------------------------------------------------------------
+
+namespace {
+
+/// The nine-point expression for member m of cell i in an interleaved
+/// row (ib = i*nb): east/west neighbors sit a full member group (nb)
+/// away. Term order identical to MINIPOP_POINT9.
+#define MINIPOP_POINT9B(ib, m, nb)                                       \
+  (w0 * x0[(ib) + (m)] + we * x0[(ib) + (nb) + (m)] +                    \
+   ww * x0[(ib) - (nb) + (m)] + wn * xp[(ib) + (m)] +                    \
+   ws * xm[(ib) + (m)] + wne * xp[(ib) + (nb) + (m)] +                   \
+   wnw * xp[(ib) - (nb) + (m)] + wse * xm[(ib) + (nb) + (m)] +           \
+   wsw * xm[(ib) - (nb) + (m)])
+
+/// Hoists the nine coefficients of cell i into scalars; the member loop
+/// then re-reads only field lanes.
+#define MINIPOP_LOAD9(i)                                                 \
+  const double w0 = c0[i], we = ce[i], ww = cw[i], wn = cn[i],           \
+               ws = cs[i], wne = cne[i], wnw = cnw[i], wse = cse[i],     \
+               wsw = csw[i]
+
+inline void row_apply9_batch(const double* MINIPOP_RESTRICT c0,
+                             const double* MINIPOP_RESTRICT ce,
+                             const double* MINIPOP_RESTRICT cw,
+                             const double* MINIPOP_RESTRICT cn,
+                             const double* MINIPOP_RESTRICT cs,
+                             const double* MINIPOP_RESTRICT cne,
+                             const double* MINIPOP_RESTRICT cnw,
+                             const double* MINIPOP_RESTRICT cse,
+                             const double* MINIPOP_RESTRICT csw,
+                             const double* MINIPOP_RESTRICT xm,
+                             const double* MINIPOP_RESTRICT x0,
+                             const double* MINIPOP_RESTRICT xp,
+                             double* MINIPOP_RESTRICT y, int nx, int nb) {
+  for (int i = 0; i < nx; ++i) {
+    const std::ptrdiff_t ib = static_cast<std::ptrdiff_t>(i) * nb;
+    MINIPOP_LOAD9(i);
+    for (int m = 0; m < nb; ++m) y[ib + m] = MINIPOP_POINT9B(ib, m, nb);
+  }
+}
+
+inline void row_residual9_batch(const double* MINIPOP_RESTRICT c0,
+                                const double* MINIPOP_RESTRICT ce,
+                                const double* MINIPOP_RESTRICT cw,
+                                const double* MINIPOP_RESTRICT cn,
+                                const double* MINIPOP_RESTRICT cs,
+                                const double* MINIPOP_RESTRICT cne,
+                                const double* MINIPOP_RESTRICT cnw,
+                                const double* MINIPOP_RESTRICT cse,
+                                const double* MINIPOP_RESTRICT csw,
+                                const double* MINIPOP_RESTRICT b,
+                                const double* MINIPOP_RESTRICT xm,
+                                const double* MINIPOP_RESTRICT x0,
+                                const double* MINIPOP_RESTRICT xp,
+                                double* MINIPOP_RESTRICT r, int nx,
+                                int nb) {
+  for (int i = 0; i < nx; ++i) {
+    const std::ptrdiff_t ib = static_cast<std::ptrdiff_t>(i) * nb;
+    MINIPOP_LOAD9(i);
+    for (int m = 0; m < nb; ++m)
+      r[ib + m] = b[ib + m] - MINIPOP_POINT9B(ib, m, nb);
+  }
+}
+
+inline void row_residual_norm2_batch(
+    const double* MINIPOP_RESTRICT c0, const double* MINIPOP_RESTRICT ce,
+    const double* MINIPOP_RESTRICT cw, const double* MINIPOP_RESTRICT cn,
+    const double* MINIPOP_RESTRICT cs, const double* MINIPOP_RESTRICT cne,
+    const double* MINIPOP_RESTRICT cnw, const double* MINIPOP_RESTRICT cse,
+    const double* MINIPOP_RESTRICT csw,
+    const unsigned char* MINIPOP_RESTRICT m,
+    const double* MINIPOP_RESTRICT b, const double* MINIPOP_RESTRICT xm,
+    const double* MINIPOP_RESTRICT x0, const double* MINIPOP_RESTRICT xp,
+    double* MINIPOP_RESTRICT r, double* MINIPOP_RESTRICT sums, int nx,
+    int nb) {
+  for (int i = 0; i < nx; ++i) {
+    const std::ptrdiff_t ib = static_cast<std::ptrdiff_t>(i) * nb;
+    MINIPOP_LOAD9(i);
+    const unsigned char sel = m[i];
+    for (int mm = 0; mm < nb; ++mm) {
+      const double rv = b[ib + mm] - MINIPOP_POINT9B(ib, mm, nb);
+      r[ib + mm] = rv;
+      sums[mm] += sel ? rv * rv : 0.0;
+    }
+  }
+}
+
+inline void row_dot_batch(const unsigned char* MINIPOP_RESTRICT m,
+                          const double* MINIPOP_RESTRICT a,
+                          const double* MINIPOP_RESTRICT b,
+                          double* MINIPOP_RESTRICT sums, int nx, int nb) {
+  for (int i = 0; i < nx; ++i) {
+    const std::ptrdiff_t ib = static_cast<std::ptrdiff_t>(i) * nb;
+    const unsigned char sel = m[i];
+    for (int mm = 0; mm < nb; ++mm)
+      sums[mm] += sel ? a[ib + mm] * b[ib + mm] : 0.0;
+  }
+}
+
+#undef MINIPOP_LOAD9
+#undef MINIPOP_POINT9B
+
+}  // namespace
+
+void apply9_batch(const Stencil9& c, int nb, int nx, int ny,
+                  const double* x, std::ptrdiff_t xs, double* y,
+                  std::ptrdiff_t ys) {
+  for (int j = 0; j < ny; ++j) {
+    const std::ptrdiff_t cj = j * c.stride;
+    const double* x0 = x + j * xs;
+    row_apply9_batch(c.c0 + cj, c.ce + cj, c.cw + cj, c.cn + cj,
+                     c.cs + cj, c.cne + cj, c.cnw + cj, c.cse + cj,
+                     c.csw + cj, x0 - xs, x0, x0 + xs, y + j * ys, nx, nb);
+  }
+}
+
+void residual9_batch(const Stencil9& c, int nb, int nx, int ny,
+                     const double* b, std::ptrdiff_t bs, const double* x,
+                     std::ptrdiff_t xs, double* r, std::ptrdiff_t rs) {
+  for (int j = 0; j < ny; ++j) {
+    const std::ptrdiff_t cj = j * c.stride;
+    const double* x0 = x + j * xs;
+    row_residual9_batch(c.c0 + cj, c.ce + cj, c.cw + cj, c.cn + cj,
+                        c.cs + cj, c.cne + cj, c.cnw + cj, c.cse + cj,
+                        c.csw + cj, b + j * bs, x0 - xs, x0, x0 + xs,
+                        r + j * rs, nx, nb);
+  }
+}
+
+void residual_norm2_9_batch(const Stencil9& c, const unsigned char* mask,
+                            std::ptrdiff_t ms, int nb, int nx, int ny,
+                            const double* b, std::ptrdiff_t bs,
+                            const double* x, std::ptrdiff_t xs, double* r,
+                            std::ptrdiff_t rs, double* sums) {
+  for (int j = 0; j < ny; ++j) {
+    const std::ptrdiff_t cj = j * c.stride;
+    const double* x0 = x + j * xs;
+    row_residual_norm2_batch(c.c0 + cj, c.ce + cj, c.cw + cj, c.cn + cj,
+                             c.cs + cj, c.cne + cj, c.cnw + cj,
+                             c.cse + cj, c.csw + cj, mask + j * ms,
+                             b + j * bs, x0 - xs, x0, x0 + xs, r + j * rs,
+                             sums, nx, nb);
+  }
+}
+
+void dot_batch(const unsigned char* mask, std::ptrdiff_t ms, int nb,
+               int nx, int ny, const double* a, std::ptrdiff_t as,
+               const double* b, std::ptrdiff_t bs, double* sums) {
+  for (int j = 0; j < ny; ++j)
+    row_dot_batch(mask + j * ms, a + j * as, b + j * bs, sums, nx, nb);
+}
+
+void dot3_batch(const unsigned char* mask, std::ptrdiff_t ms, int nb,
+                int nx, int ny, const double* r, std::ptrdiff_t rs,
+                const double* rp, std::ptrdiff_t ps, const double* z,
+                std::ptrdiff_t zs, bool with_norm, double* out) {
+  // Grouped accumulators [rho x nb][delta x nb][norm x nb]; per-member
+  // add order equals separate dot_batch calls, matching masked_dot3's
+  // bitwise-neutral fusion contract.
+  double* MINIPOP_RESTRICT s0 = out;
+  double* MINIPOP_RESTRICT s1 = out + nb;
+  double* MINIPOP_RESTRICT s2 = out + 2 * nb;
+  for (int j = 0; j < ny; ++j) {
+    const unsigned char* MINIPOP_RESTRICT mr = mask + j * ms;
+    const double* MINIPOP_RESTRICT rr = r + j * rs;
+    const double* MINIPOP_RESTRICT pr = rp + j * ps;
+    const double* MINIPOP_RESTRICT zr = z + j * zs;
+    for (int i = 0; i < nx; ++i) {
+      const std::ptrdiff_t ib = static_cast<std::ptrdiff_t>(i) * nb;
+      const unsigned char sel = mr[i];
+      for (int m = 0; m < nb; ++m) {
+        s0[m] += sel ? rr[ib + m] * pr[ib + m] : 0.0;
+        s1[m] += sel ? zr[ib + m] * pr[ib + m] : 0.0;
+        if (with_norm) s2[m] += sel ? rr[ib + m] * rr[ib + m] : 0.0;
+      }
+    }
+  }
+}
+
+void lincomb_axpy_batch(int nb, int nx, int ny, const double* a,
+                        const double* x, std::ptrdiff_t xs,
+                        const double* b, double* y, std::ptrdiff_t ys,
+                        const double* c, double* z, std::ptrdiff_t zs,
+                        const unsigned char* active) {
+  for (int j = 0; j < ny; ++j) {
+    const double* MINIPOP_RESTRICT xr = x + j * xs;
+    double* MINIPOP_RESTRICT yr = y + j * ys;
+    double* MINIPOP_RESTRICT zr = z + j * zs;
+    for (int i = 0; i < nx; ++i) {
+      const std::ptrdiff_t ib = static_cast<std::ptrdiff_t>(i) * nb;
+      for (int m = 0; m < nb; ++m) {
+        if (active && !active[m]) continue;
+        const double v = a[m] * xr[ib + m] + b[m] * yr[ib + m];
+        yr[ib + m] = v;
+        zr[ib + m] += c[m] * v;
+      }
+    }
+  }
+}
+
+void axpy_batch(int nb, int nx, int ny, const double* a, const double* x,
+                std::ptrdiff_t xs, double* y, std::ptrdiff_t ys,
+                const unsigned char* active) {
+  for (int j = 0; j < ny; ++j) {
+    const double* MINIPOP_RESTRICT xr = x + j * xs;
+    double* MINIPOP_RESTRICT yr = y + j * ys;
+    for (int i = 0; i < nx; ++i) {
+      const std::ptrdiff_t ib = static_cast<std::ptrdiff_t>(i) * nb;
+      for (int m = 0; m < nb; ++m) {
+        if (active && !active[m]) continue;
+        yr[ib + m] += a[m] * xr[ib + m];
+      }
+    }
+  }
+}
+
+void scale_batch(int nb, int nx, int ny, const double* a, double* x,
+                 std::ptrdiff_t xs, const unsigned char* active) {
+  for (int j = 0; j < ny; ++j) {
+    double* MINIPOP_RESTRICT xr = x + j * xs;
+    for (int i = 0; i < nx; ++i) {
+      const std::ptrdiff_t ib = static_cast<std::ptrdiff_t>(i) * nb;
+      for (int m = 0; m < nb; ++m) {
+        if (active && !active[m]) continue;
+        xr[ib + m] *= a[m];
+      }
+    }
+  }
+}
+
+void copy_batch(int nb, int nx, int ny, const double* x, std::ptrdiff_t xs,
+                double* y, std::ptrdiff_t ys) {
+  for (int j = 0; j < ny; ++j)
+    std::memcpy(y + j * ys, x + j * xs,
+                static_cast<std::size_t>(nx) * nb * sizeof(double));
+}
+
+void fill_batch(int nb, int nx, int ny, double v, double* x,
+                std::ptrdiff_t xs) {
+  const std::ptrdiff_t row = static_cast<std::ptrdiff_t>(nx) * nb;
+  for (int j = 0; j < ny; ++j) {
+    double* MINIPOP_RESTRICT xr = x + j * xs;
+    for (std::ptrdiff_t i = 0; i < row; ++i) xr[i] = v;
+  }
+}
+
+void mask_zero_batch(const unsigned char* mask, std::ptrdiff_t ms, int nb,
+                     int nx, int ny, double* x, std::ptrdiff_t xs) {
+  for (int j = 0; j < ny; ++j) {
+    const unsigned char* MINIPOP_RESTRICT mr = mask + j * ms;
+    double* MINIPOP_RESTRICT xr = x + j * xs;
+    for (int i = 0; i < nx; ++i) {
+      const std::ptrdiff_t ib = static_cast<std::ptrdiff_t>(i) * nb;
+      const unsigned char sel = mr[i];
+      for (int m = 0; m < nb; ++m) xr[ib + m] = sel ? xr[ib + m] : 0.0;
+    }
+  }
+}
+
+void diag_apply_batch(const double* inv, std::ptrdiff_t is, int nb, int nx,
+                      int ny, const double* in, std::ptrdiff_t ins,
+                      double* out, std::ptrdiff_t outs) {
+  for (int j = 0; j < ny; ++j) {
+    const double* MINIPOP_RESTRICT vr = inv + j * is;
+    const double* MINIPOP_RESTRICT ir = in + j * ins;
+    double* MINIPOP_RESTRICT orr = out + j * outs;
+    for (int i = 0; i < nx; ++i) {
+      const std::ptrdiff_t ib = static_cast<std::ptrdiff_t>(i) * nb;
+      const double v = vr[i];
+      for (int m = 0; m < nb; ++m) orr[ib + m] = v * ir[ib + m];
+    }
+  }
+}
+
+void masked_copy_batch(const unsigned char* mask, std::ptrdiff_t ms,
+                       int nb, int nx, int ny, const double* in,
+                       std::ptrdiff_t ins, double* out,
+                       std::ptrdiff_t outs) {
+  for (int j = 0; j < ny; ++j) {
+    const unsigned char* MINIPOP_RESTRICT mr = mask + j * ms;
+    const double* MINIPOP_RESTRICT ir = in + j * ins;
+    double* MINIPOP_RESTRICT orr = out + j * outs;
+    for (int i = 0; i < nx; ++i) {
+      const std::ptrdiff_t ib = static_cast<std::ptrdiff_t>(i) * nb;
+      const unsigned char sel = mr[i];
+      for (int m = 0; m < nb; ++m) orr[ib + m] = sel ? ir[ib + m] : 0.0;
+    }
+  }
+}
+
 #define MINIPOP_KERNELS_INSTANTIATE(T)                                     \
   template void apply9<T>(const Stencil9T<T>&, int, int, const T*,         \
                           std::ptrdiff_t, T*, std::ptrdiff_t);             \

@@ -158,6 +158,104 @@ template <typename D, typename S>
 void convert(int nx, int ny, const S* x, std::ptrdiff_t xs, D* y,
              std::ptrdiff_t ys);
 
+// ---------------------------------------------------------------------
+// Batched multi-RHS kernels (double-only — batching composes with the
+// fp64 solver path; see DESIGN.md §10).
+//
+// Batched fields are member-fastest interleaved SoA planes: member m of
+// interior cell (i, j) lives at base[j*stride + i*nb + m], neighbors of
+// cell i sit nb elements away. Each kernel loads a cell's nine stencil
+// coefficients (or its mask byte) ONCE and reuses them across all nb
+// members — coefficient bytes are read once per point instead of once
+// per point per member, which is the batching bandwidth win.
+//
+// Bit-for-bit contract: for every member m the per-element expression
+// order and the row-major reduction order are IDENTICAL to the scalar
+// kernels above, so member m of any batched result equals the scalar
+// kernel run on member m's plane exactly.
+//
+// Reductions write/continue per-member accumulators in a caller array
+// (sums[m]); update kernels take per-member coefficients and an
+// optional `active` mask of nb bytes — members with active[m] == 0 are
+// not written (their planes stay frozen), which implements per-member
+// convergence masking in the batched solvers. A null `active` means all
+// members are active.
+// ---------------------------------------------------------------------
+
+/// y = A x for all nb members. 9*nb flops/point.
+void apply9_batch(const Stencil9& c, int nb, int nx, int ny,
+                  const double* x, std::ptrdiff_t xs, double* y,
+                  std::ptrdiff_t ys);
+
+/// r = b - A x for all nb members. 10*nb flops/point.
+void residual9_batch(const Stencil9& c, int nb, int nx, int ny,
+                     const double* b, std::ptrdiff_t bs, const double* x,
+                     std::ptrdiff_t xs, double* r, std::ptrdiff_t rs);
+
+/// Fused residual + per-member masked norm²: r = b - A x and
+/// sums[m] += sum_{mask} r_m² — accumulation CONTINUES from the caller's
+/// sums[] (threaded across a rank's blocks, like the scalar kernels).
+void residual_norm2_9_batch(const Stencil9& c, const unsigned char* mask,
+                            std::ptrdiff_t ms, int nb, int nx, int ny,
+                            const double* b, std::ptrdiff_t bs,
+                            const double* x, std::ptrdiff_t xs, double* r,
+                            std::ptrdiff_t rs, double* sums);
+
+/// Per-member masked dots: sums[m] += sum_{mask} a_m * b_m in one pass.
+void dot_batch(const unsigned char* mask, std::ptrdiff_t ms, int nb,
+               int nx, int ny, const double* a, std::ptrdiff_t as,
+               const double* b, std::ptrdiff_t bs, double* sums);
+
+/// Per-member fused ChronGear dots, grouped for ONE vector allreduce:
+///   out[m]        += <r_m, rp_m>        (rho)
+///   out[nb + m]   += <z_m, rp_m>        (delta)
+///   out[2nb + m]  += <r_m, r_m>         (norm, only if with_norm)
+void dot3_batch(const unsigned char* mask, std::ptrdiff_t ms, int nb,
+                int nx, int ny, const double* r, std::ptrdiff_t rs,
+                const double* rp, std::ptrdiff_t ps, const double* z,
+                std::ptrdiff_t zs, bool with_norm, double* out);
+
+/// Per-member fused update pair: for each active m,
+/// y_m = a[m]*x_m + b[m]*y_m followed by z_m += c[m]*y_m.
+void lincomb_axpy_batch(int nb, int nx, int ny, const double* a,
+                        const double* x, std::ptrdiff_t xs,
+                        const double* b, double* y, std::ptrdiff_t ys,
+                        const double* c, double* z, std::ptrdiff_t zs,
+                        const unsigned char* active);
+
+/// y_m += a[m]*x_m for each active m.
+void axpy_batch(int nb, int nx, int ny, const double* a, const double* x,
+                std::ptrdiff_t xs, double* y, std::ptrdiff_t ys,
+                const unsigned char* active);
+
+/// x_m *= a[m] for each active m.
+void scale_batch(int nb, int nx, int ny, const double* a, double* x,
+                 std::ptrdiff_t xs, const unsigned char* active);
+
+/// y = x, all members (row-wise memcpy over the widened rows).
+void copy_batch(int nb, int nx, int ny, const double* x, std::ptrdiff_t xs,
+                double* y, std::ptrdiff_t ys);
+
+/// x = v, all members.
+void fill_batch(int nb, int nx, int ny, double v, double* x,
+                std::ptrdiff_t xs);
+
+/// x = 0 on land cells, all members.
+void mask_zero_batch(const unsigned char* mask, std::ptrdiff_t ms, int nb,
+                     int nx, int ny, double* x, std::ptrdiff_t xs);
+
+/// out_m = inv * in_m (diagonal preconditioner, shared inverse-diagonal
+/// plane). nb flops/point.
+void diag_apply_batch(const double* inv, std::ptrdiff_t is, int nb, int nx,
+                      int ny, const double* in, std::ptrdiff_t ins,
+                      double* out, std::ptrdiff_t outs);
+
+/// out_m = mask ? in_m : 0 (identity preconditioner).
+void masked_copy_batch(const unsigned char* mask, std::ptrdiff_t ms,
+                       int nb, int nx, int ny, const double* in,
+                       std::ptrdiff_t ins, double* out,
+                       std::ptrdiff_t outs);
+
 // The instantiations live in kernels.cpp; only float and double exist.
 #define MINIPOP_KERNELS_EXTERN(T)                                          \
   extern template void apply9<T>(const Stencil9T<T>&, int, int, const T*,  \

@@ -106,6 +106,18 @@ BarotropicSolver::BarotropicSolver(comm::Communicator& comm,
     }
   }
 
+  // Fused multi-RHS engine for the fp64 short-recurrence solvers. Kept
+  // beside (not inside) the decorator stack: batching composes with the
+  // bare solver only (DESIGN.md §10), so solve_batch() falls back to
+  // sequential decorated solves for every other configuration.
+  if (config_.options.precision == Precision::kFp64) {
+    if (config_.solver == SolverKind::kPcsi)
+      batched_ = std::make_unique<BatchedPcsiSolver>(lanczos_->bounds,
+                                                     config_.options);
+    else if (config_.solver == SolverKind::kChronGear)
+      batched_ = std::make_unique<BatchedChronGearSolver>(config_.options);
+  }
+
   if (config_.options.precision != Precision::kFp64) {
     MINIPOP_REQUIRE(config_.solver == SolverKind::kPcsi ||
                         config_.solver == SolverKind::kChronGear,
@@ -142,6 +154,51 @@ SolveStats BarotropicSolver::solve(comm::Communicator& comm,
                                    comm::DistField& x,
                                    comm::HaloFreshness x_fresh) {
   return solver_->solve(comm, *halo_, op_, *precond_, b, x, x_fresh);
+}
+
+BatchSolveStats BarotropicSolver::solve_batch(
+    comm::Communicator& comm, std::span<const comm::DistField* const> bs,
+    std::span<comm::DistField* const> xs, comm::HaloFreshness x_fresh) {
+  const int nb = static_cast<int>(bs.size());
+  MINIPOP_REQUIRE(nb >= 1 && bs.size() == xs.size(),
+                  "solve_batch: need matching non-empty b/x sets (got "
+                      << bs.size() << " vs " << xs.size() << ")");
+
+  if (!batched_) {
+    // Sequential fallback through the full decorated scalar path.
+    const auto snapshot = comm.costs().counters();
+    BatchSolveStats out;
+    out.members.resize(nb);
+    for (int m = 0; m < nb; ++m) {
+      const SolveStats s =
+          solver_->solve(comm, *halo_, op_, *precond_, *bs[m], *xs[m],
+                         x_fresh);
+      out.members[m].iterations = s.iterations;
+      out.members[m].converged = s.converged;
+      out.members[m].relative_residual = s.relative_residual;
+      out.members[m].failure = s.failure;
+      out.iterations = std::max(out.iterations, s.iterations);
+    }
+    out.costs = comm.costs().since(snapshot);
+    return out;
+  }
+
+  const int halo_width = xs[0]->halo();
+  comm::DistFieldBatch bb(op_.decomposition(), op_.rank(), nb, halo_width);
+  comm::DistFieldBatch xb(op_.decomposition(), op_.rank(), nb, halo_width);
+  for (int m = 0; m < nb; ++m) {
+    MINIPOP_REQUIRE(bb.member_compatible(*bs[m]) &&
+                        xb.member_compatible(*xs[m]),
+                    "solve_batch: member " << m
+                                           << " incompatible with batch");
+    bb.load_member(m, *bs[m]);
+    xb.load_member(m, *xs[m]);
+  }
+
+  BatchSolveStats out =
+      batched_->solve(comm, *halo_, op_, *precond_, bb, xb, x_fresh);
+  for (int m = 0; m < nb; ++m) xb.store_member(m, *xs[m]);
+  return out;
 }
 
 std::string BarotropicSolver::description() const {

@@ -7,9 +7,11 @@
 
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 
 #include "src/evp/block_evp_preconditioner.hpp"
+#include "src/solver/batched_solver.hpp"
 #include "src/solver/chron_gear.hpp"
 #include "src/solver/lanczos.hpp"
 #include "src/solver/mixed_precision.hpp"
@@ -66,6 +68,29 @@ class BarotropicSolver {
                    comm::DistField& x,
                    comm::HaloFreshness x_fresh = comm::HaloFreshness::kStale);
 
+  /// Solve the B independent systems A x_i = b_i as one batch.
+  /// When a batched solver exists for this configuration (P-CSI or
+  /// ChronGear at fp64 — see has_batched_path()), the members are
+  /// interleaved into a DistFieldBatch and advanced in lockstep:
+  /// ~B× fewer halo messages and allreduces, per-member results
+  /// bit-identical to B scalar solves. Otherwise the members are solved
+  /// sequentially through solve() and the per-member stats aggregated —
+  /// same results, no batching win.
+  ///
+  /// NOTE: the batched path runs the bare solver — the mixed-precision
+  /// and resilience decorators are scalar-only and are bypassed
+  /// (DESIGN.md §10). The sequential fallback keeps them.
+  BatchSolveStats solve_batch(
+      comm::Communicator& comm,
+      std::span<const comm::DistField* const> bs,
+      std::span<comm::DistField* const> xs,
+      comm::HaloFreshness x_fresh = comm::HaloFreshness::kStale);
+
+  /// True when this configuration has a fused batched solver (fp64
+  /// P-CSI or ChronGear; other solvers/precisions fall back to
+  /// sequential member solves in solve_batch()).
+  bool has_batched_path() const { return batched_ != nullptr; }
+
   const DistOperator& op() const { return op_; }
   Preconditioner& preconditioner() { return *precond_; }
   /// The mixed-precision wrapper, or nullptr when options.precision is
@@ -85,6 +110,7 @@ class BarotropicSolver {
   DistOperator op_;
   std::unique_ptr<Preconditioner> precond_;
   std::unique_ptr<IterativeSolver> solver_;
+  std::unique_ptr<BatchedSolver> batched_;  ///< fp64 pcsi/chrongear only
   ResilientSolver* resilient_ = nullptr;  ///< view into solver_, if wrapped
   MixedPrecisionSolver* mixed_ = nullptr;  ///< view into solver_, if wrapped
   std::optional<LanczosResult> lanczos_;
