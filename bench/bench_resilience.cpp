@@ -103,9 +103,10 @@ struct SolveRun {
   bool threw = false;  ///< a rank escaped with an (unrecovered) exception
 };
 
+#if MINIPOP_FAULTS
 /// One solve over `nranks` virtual ranks (1 = SerialComm) with a
 /// diagonal preconditioner; gathers the solution and rank 0's stats and
-/// recovery log.
+/// recovery log. Only the fault campaigns need it.
 SolveRun run_with(const Problem& p, int nranks, const SolverFactory& make,
                   double recv_timeout_ms = 0.0) {
   SolveRun out;
@@ -139,6 +140,7 @@ SolveRun run_with(const Problem& p, int nranks, const SolverFactory& make,
   out.stats = stats[0];
   return out;
 }
+#endif  // MINIPOP_FAULTS
 
 ms::SolverOptions solve_options() {
   ms::SolverOptions opt;
@@ -172,6 +174,7 @@ SolverFactory raw(const std::string& kind, ms::EigenBounds bounds) {
   return [kind, bounds](int) { return make_primary(kind, bounds); };
 }
 
+#if MINIPOP_FAULTS
 double max_rel_error(const mu::Field& a, const mu::Field& ref) {
   double scale = 0.0, err = 0.0;
   for (const double v : ref) scale = std::max(scale, std::abs(v));
@@ -180,6 +183,7 @@ double max_rel_error(const mu::Field& a, const mu::Field& ref) {
       err = std::max(err, std::abs(a(i, j) - ref(i, j)));
   return scale > 0 ? err / scale : err;
 }
+#endif  // MINIPOP_FAULTS
 
 // --- experiment 1: guard overhead -------------------------------------
 

@@ -7,8 +7,9 @@
 
 namespace minipop::comm {
 
-DistFieldBatch::DistFieldBatch(const grid::Decomposition& decomp, int rank,
-                               int nb, int halo)
+template <typename T>
+DistFieldBatchT<T>::DistFieldBatchT(const grid::Decomposition& decomp,
+                                    int rank, int nb, int halo)
     : decomp_(&decomp), rank_(rank), halo_(halo), nb_(nb) {
   MINIPOP_REQUIRE(halo >= 1, "halo=" << halo);
   MINIPOP_REQUIRE(nb >= 1, "nb=" << nb);
@@ -20,25 +21,29 @@ DistFieldBatch::DistFieldBatch(const grid::Decomposition& decomp, int rank,
     MINIPOP_REQUIRE(b.nx >= halo && b.ny >= halo,
                     "block " << b.nx << "x" << b.ny
                              << " smaller than halo " << halo);
-    data_.emplace_back((b.nx + 2 * halo) * nb, b.ny + 2 * halo, 0.0);
+    data_.emplace_back((b.nx + 2 * halo) * nb, b.ny + 2 * halo, T(0));
     local_of_global_[block_ids_[lb]] = static_cast<int>(lb);
   }
 }
 
-const grid::BlockInfo& DistFieldBatch::info(int lb) const {
+template <typename T>
+const grid::BlockInfo& DistFieldBatchT<T>::info(int lb) const {
   return decomp_->block(block_ids_.at(lb));
 }
 
-int DistFieldBatch::local_index(int global_block_id) const {
+template <typename T>
+int DistFieldBatchT<T>::local_index(int global_block_id) const {
   auto it = local_of_global_.find(global_block_id);
   return it == local_of_global_.end() ? -1 : it->second;
 }
 
-void DistFieldBatch::fill(double v) {
+template <typename T>
+void DistFieldBatchT<T>::fill(T v) {
   for (auto& f : data_) f.fill(v);
 }
 
-bool DistFieldBatch::member_compatible(const DistField& f) const {
+template <typename T>
+bool DistFieldBatchT<T>::member_compatible(const DistFieldT<T>& f) const {
   if (f.halo() != halo_ ||
       f.num_local_blocks() != num_local_blocks())
     return false;
@@ -52,30 +57,34 @@ bool DistFieldBatch::member_compatible(const DistField& f) const {
   return true;
 }
 
-void DistFieldBatch::load_member(int m, const DistField& f) {
+template <typename T>
+void DistFieldBatchT<T>::load_member(int m, const DistFieldT<T>& f) {
   MINIPOP_REQUIRE(m >= 0 && m < nb_, "member " << m << " of " << nb_);
   MINIPOP_REQUIRE(member_compatible(f), "incompatible member field");
   for (int lb = 0; lb < num_local_blocks(); ++lb) {
-    util::Array2D<double>& dst = data_[lb];
-    const util::Array2D<double>& src = f.data(lb);
+    util::Array2D<T>& dst = data_[lb];
+    const util::Array2D<T>& src = f.data(lb);
     for (int j = 0; j < src.ny(); ++j)
       for (int i = 0; i < src.nx(); ++i) dst(i * nb_ + m, j) = src(i, j);
   }
 }
 
-void DistFieldBatch::store_member(int m, DistField& f) const {
+template <typename T>
+void DistFieldBatchT<T>::store_member(int m, DistFieldT<T>& f) const {
   MINIPOP_REQUIRE(m >= 0 && m < nb_, "member " << m << " of " << nb_);
   MINIPOP_REQUIRE(member_compatible(f), "incompatible member field");
   for (int lb = 0; lb < num_local_blocks(); ++lb) {
-    const util::Array2D<double>& src = data_[lb];
-    util::Array2D<double>& dst = f.data(lb);
+    const util::Array2D<T>& src = data_[lb];
+    util::Array2D<T>& dst = f.data(lb);
     for (int j = 0; j < dst.ny(); ++j)
       for (int i = 0; i < dst.nx(); ++i) dst(i, j) = src(i * nb_ + m, j);
   }
 }
 
-void DistFieldBatch::copy_member_from(int m, const DistFieldBatch& src,
-                                      int src_m) {
+template <typename T>
+void DistFieldBatchT<T>::copy_member_from(int m,
+                                          const DistFieldBatchT<T>& src,
+                                          int src_m) {
   MINIPOP_REQUIRE(m >= 0 && m < nb_, "member " << m << " of " << nb_);
   MINIPOP_REQUIRE(src_m >= 0 && src_m < src.nb_,
                   "member " << src_m << " of " << src.nb_);
@@ -83,13 +92,16 @@ void DistFieldBatch::copy_member_from(int m, const DistFieldBatch& src,
                       halo_ == src.halo_,
                   "incompatible source batch");
   for (int lb = 0; lb < num_local_blocks(); ++lb) {
-    util::Array2D<double>& dst = data_[lb];
-    const util::Array2D<double>& sp = src.data_[lb];
+    util::Array2D<T>& dst = data_[lb];
+    const util::Array2D<T>& sp = src.data_[lb];
     const int ncols = dst.nx() / nb_;  // padded cells per row
     for (int j = 0; j < dst.ny(); ++j)
       for (int i = 0; i < ncols; ++i)
         dst(i * nb_ + m, j) = sp(i * src.nb_ + src_m, j);
   }
 }
+
+template class DistFieldBatchT<double>;
+template class DistFieldBatchT<float>;
 
 }  // namespace minipop::comm

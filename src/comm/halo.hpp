@@ -18,10 +18,17 @@
 // from the communicator, so up to Communicator::kTagEpochWindow
 // exchanges can be outstanding at once without their messages colliding.
 //
-// The exchange is generic over the field's element type: an fp32 field
-// packs fp32 strips and moves HALF the wire bytes of an fp64 exchange
-// through the identical byte-addressed point-to-point path — the same
-// tags, the same message count, the same overlap structure.
+// There is ONE exchange engine, written against the FieldSet view: a
+// scalar field is a width-1 set, an nb-member batch a width-nb set
+// whose member-interleaved layout makes a region row ni * nb contiguous
+// elements — so one message per (block, neighbor) carries ALL members,
+// the same message count as a scalar exchange with nb x the payload.
+// The engine is also generic over the element type: an fp32 set packs
+// fp32 strips and moves HALF the wire bytes of an fp64 exchange through
+// the identical byte-addressed point-to-point path — the same tags, the
+// same message count, the same overlap structure. finish() counts one
+// exchange round refreshing nb member planes
+// (CostTracker::add_halo_exchange(nb)).
 #pragma once
 
 #include <vector>
@@ -29,6 +36,7 @@
 #include "src/comm/communicator.hpp"
 #include "src/comm/dist_field.hpp"
 #include "src/comm/dist_field_batch.hpp"
+#include "src/comm/field_set.hpp"
 
 namespace minipop::comm {
 
@@ -52,11 +60,12 @@ struct HaloRegion {
 };
 }  // namespace detail
 
-/// One in-flight split-phase halo exchange. Owns the posted receive
-/// requests and their landing buffers; finish() completes them in post
-/// order (matching the blocking exchange) and unpacks into the field's
-/// halo. The field and communicator must outlive the handle. finish()
-/// must be called exactly once per begin(); the destructor finishes a
+/// One in-flight split-phase halo exchange of a FieldSet (scalar field
+/// or batch). Owns the posted receive requests and their landing
+/// buffers; finish() completes them in post order (matching the
+/// blocking exchange) and unpacks into the set's halo. The backing
+/// container and communicator must outlive the handle. finish() must be
+/// called exactly once per begin(); the destructor finishes a
 /// still-active handle as a safety net (swallowing errors, since it may
 /// run while unwinding a poisoned team).
 template <typename T>
@@ -69,10 +78,11 @@ class HaloHandleT {
   HaloHandleT& operator=(const HaloHandleT&) = delete;
   ~HaloHandleT();
 
-  bool active() const { return field_ != nullptr; }
+  bool active() const { return fs_.valid(); }
 
-  /// Wait for all receives, unpack the halo, and count the exchange.
-  /// No-op on an inactive handle.
+  /// Wait for all receives, unpack the halo, and count the exchange
+  /// (one round refreshing nb member planes). No-op on an inactive
+  /// handle.
   void finish();
 
  private:
@@ -92,7 +102,7 @@ class HaloHandleT {
   };
 
   Communicator* comm_ = nullptr;
-  DistFieldT<T>* field_ = nullptr;
+  FieldSetT<T> fs_;
   std::vector<PendingRecv> recvs_;
 };
 
@@ -101,88 +111,76 @@ extern template class HaloHandleT<float>;
 
 using HaloHandle = HaloHandleT<double>;
 using HaloHandle32 = HaloHandleT<float>;
-
-/// In-flight split-phase halo exchange of an nb-member batch. The
-/// member-interleaved layout makes a region row ni * nb contiguous
-/// doubles, so one message per (block, neighbor) carries ALL members:
-/// the same message count as a scalar exchange with nb x the payload.
-/// finish() counts one exchange round refreshing nb member planes
-/// (CostTracker::add_halo_exchange(nb)).
-class BatchHaloHandle {
- public:
-  BatchHaloHandle() = default;
-  BatchHaloHandle(BatchHaloHandle&&) noexcept = default;
-  BatchHaloHandle& operator=(BatchHaloHandle&&) noexcept = default;
-  BatchHaloHandle(const BatchHaloHandle&) = delete;
-  BatchHaloHandle& operator=(const BatchHaloHandle&) = delete;
-  ~BatchHaloHandle();
-
-  bool active() const { return field_ != nullptr; }
-
-  /// Wait for all receives, unpack the halo, and count the exchange.
-  /// No-op on an inactive handle.
-  void finish();
-
- private:
-  friend class HaloExchanger;
-
-  struct PendingRecv {
-    // `request` must die while `buf` is alive — see HaloHandleT.
-    std::vector<double> buf;
-    int lb = 0;
-    detail::HaloRegion dst{};
-    Request request;
-  };
-
-  Communicator* comm_ = nullptr;
-  DistFieldBatch* field_ = nullptr;
-  std::vector<PendingRecv> recvs_;
-};
+/// The batch exchange rides the unified handle; kept as named aliases
+/// for readability at batched call sites.
+using BatchHaloHandle = HaloHandleT<double>;
+using BatchHaloHandle32 = HaloHandleT<float>;
 
 class HaloExchanger {
  public:
   explicit HaloExchanger(const grid::Decomposition& decomp);
 
-  /// Update all halos of `field` (owned by the calling rank). Collective:
-  /// every rank of the communicator must call with its own field.
-  /// Equivalent to begin() immediately followed by finish().
+  /// Update all halos of `fs` (owned by the calling rank). Collective:
+  /// every rank of the communicator must call with its own set.
+  /// Equivalent to begin_set() immediately followed by finish().
   template <typename T>
-  void exchange(Communicator& comm, DistFieldT<T>& field) const;
+  void exchange_set(Communicator& comm, const FieldSetT<T>& fs) const;
 
-  /// Split-phase: pack and post all sends/receives, do the local copies
-  /// and zero fills, and return the in-flight handle. The halo cells of
-  /// `field` are in an unspecified state until finish(); the owned
-  /// interior may be read freely (but not written) in between.
+  /// Split-phase over a FieldSet: pack and post all sends/receives, do
+  /// the local copies and zero fills, and return the in-flight handle.
+  /// The halo cells of the set are in an unspecified state until
+  /// finish(); the owned interior may be read freely (but not written)
+  /// in between. One message per (block, neighbor) carries all nb()
+  /// members. The fault-injection halo payload hook arms only on
+  /// scalar-backed fp64 sets — fault sites target the scalar resilient
+  /// solve; batch members recover through per-member sub-batches
+  /// (DESIGN.md §10, §11).
   template <typename T>
-  HaloHandleT<T> begin(Communicator& comm, DistFieldT<T>& field) const;
+  HaloHandleT<T> begin_set(Communicator& comm,
+                           const FieldSetT<T>& fs) const;
 
-  /// Aggregated batch exchange: one message per (block, neighbor)
-  /// carries all nb members. Same tag space, traversal order, and
-  /// overlap structure as the scalar exchange. The fault-injection halo
-  /// payload hook is NOT armed on this path — fault sites target the
-  /// scalar resilient solve, which batching bypasses (DESIGN.md §10).
-  void exchange(Communicator& comm, DistFieldBatch& field) const;
-  BatchHaloHandle begin(Communicator& comm, DistFieldBatch& field) const;
+  /// Convenience wrappers forwarding to the FieldSet engine.
+  template <typename T>
+  void exchange(Communicator& comm, DistFieldT<T>& field) const {
+    exchange_set<T>(comm, FieldSetT<T>(field));
+  }
+  template <typename T>
+  HaloHandleT<T> begin(Communicator& comm, DistFieldT<T>& field) const {
+    return begin_set<T>(comm, FieldSetT<T>(field));
+  }
+  template <typename T>
+  void exchange(Communicator& comm, DistFieldBatchT<T>& field) const {
+    exchange_set<T>(comm, FieldSetT<T>(field));
+  }
+  template <typename T>
+  HaloHandleT<T> begin(Communicator& comm,
+                       DistFieldBatchT<T>& field) const {
+    return begin_set<T>(comm, FieldSetT<T>(field));
+  }
 
-  /// Bytes this rank sends per exchange of `field` (for cost reporting).
-  /// Scales with sizeof(T): an fp32 field reports half the fp64 bytes.
+  /// Bytes this rank sends per exchange of `field` (for cost
+  /// reporting). Scales with sizeof(T) and the batch width: an fp32
+  /// field reports half the fp64 bytes; a batch reports nb x the
+  /// scalar bytes, carried in the same messages.
   template <typename T>
   std::uint64_t bytes_sent_per_exchange(const DistFieldT<T>& field) const;
-
-  /// Batch payload: nb x the scalar fp64 bytes, in the same messages.
-  std::uint64_t bytes_sent_per_exchange(const DistFieldBatch& field) const;
+  template <typename T>
+  std::uint64_t bytes_sent_per_exchange(
+      const DistFieldBatchT<T>& field) const;
 
  private:
   const grid::Decomposition* decomp_;
 };
 
 #define MINIPOP_HALO_EXTERN(T)                                             \
-  extern template void HaloExchanger::exchange<T>(Communicator&,           \
-                                                  DistFieldT<T>&) const;   \
-  extern template HaloHandleT<T> HaloExchanger::begin<T>(                  \
-      Communicator&, DistFieldT<T>&) const;                                \
+  extern template void HaloExchanger::exchange_set<T>(                     \
+      Communicator&, const FieldSetT<T>&) const;                           \
+  extern template HaloHandleT<T> HaloExchanger::begin_set<T>(              \
+      Communicator&, const FieldSetT<T>&) const;                           \
   extern template std::uint64_t HaloExchanger::bytes_sent_per_exchange<T>( \
-      const DistFieldT<T>&) const;
+      const DistFieldT<T>&) const;                                         \
+  extern template std::uint64_t HaloExchanger::bytes_sent_per_exchange<T>( \
+      const DistFieldBatchT<T>&) const;
 MINIPOP_HALO_EXTERN(double)
 MINIPOP_HALO_EXTERN(float)
 #undef MINIPOP_HALO_EXTERN

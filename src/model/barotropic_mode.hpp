@@ -42,12 +42,14 @@ class BarotropicMode {
   solver::SolveStats step(comm::Communicator& comm, double yearday);
 
   /// Split-phase stepping for the batched ensemble runner (DESIGN.md
-  /// §10): step_begin() runs the momentum predictor and the elliptic
-  /// RHS assembly, leaving rhs() ready and eta()'s halo fresh (the
-  /// solve may attest HaloFreshness::kFresh); the caller then solves
-  /// (K + phi area) eta = rhs — possibly batched across several
-  /// members' systems — and hands the stats to step_finish() for the
-  /// failure accounting and the velocity correction.
+  /// §10-§11): step_begin() runs the momentum predictor and the
+  /// elliptic RHS assembly, leaving rhs() ready and eta()'s halo fresh
+  /// (the solve may attest HaloFreshness::kFresh); the caller then
+  /// solves (K + phi area) eta = rhs — possibly batched across several
+  /// members' systems, with the full decorator stack (mixed precision,
+  /// per-member resilience, overlap) riding along — and hands the
+  /// stats to step_finish() for the failure/refinement accounting and
+  /// the velocity correction.
   /// step() == step_begin() + solver.solve() + step_finish(), bit for
   /// bit.
   void step_begin(comm::Communicator& comm, double yearday);

@@ -1,0 +1,181 @@
+// Decorators over the batched execution core, mirroring the scalar
+// decorator stack so SolverConfig composes identically at any batch
+// width:
+//
+//   BatchedMixedPrecisionSolver — fp32/mixed arithmetic over batched
+//     lockstep sweeps. kFp32 demotes the whole batch and runs the
+//     core's fp32 storage path; kMixed runs an fp64 outer refinement
+//     loop whose per-sweep correction is ONE batched fp32 inner solve
+//     (members that have reached the fp64 tolerance get their residual
+//     plane zeroed, so the inner solve's zero-RHS early-out freezes
+//     them instantly and the batch stops paying for them after the
+//     next retirement compaction).
+//
+//   BatchedResilientSolver — detect → recover → fall back with
+//     per-member recovery: each attempt ends with one B-element kMax
+//     agreement allreduce of the members' failure codes; members that
+//     converged are final, and ONLY the failed members are gathered
+//     into a narrow recovery sub-batch that walks the scalar
+//     decorator's chain (escalate precision → checkpoint restart →
+//     Lanczos re-estimation → batched fallback solvers → scalar demux
+//     as last resort). One diverging member therefore never freezes or
+//     restarts the healthy rest of the batch.
+//
+//   SequentialBatchedSolver — adapts the fully decorated SCALAR solver
+//     stack to the BatchedSolver interface by solving members one at a
+//     time. This is the composition path for solvers without a lockstep
+//     batched core (PCG, pipelined CG): every SolverConfig keeps a
+//     working solve_batch, just without the fused-lane amortization.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/solver/batched_solver.hpp"
+#include "src/solver/resilient_solver.hpp"
+
+namespace minipop::solver {
+
+/// Batched twin of MixedPrecisionSolver. `fp64_twin` must be a
+/// BatchedPcsiSolver or BatchedChronGearSolver; it defines the lockstep
+/// iteration run at every precision and is the escalation target.
+class BatchedMixedPrecisionSolver final : public BatchedSolver {
+ public:
+  BatchedMixedPrecisionSolver(std::unique_ptr<BatchedSolver> fp64_twin,
+                              const SolverOptions& options);
+
+  BatchSolveStats solve(
+      comm::Communicator& comm, const comm::HaloExchanger& halo,
+      const DistOperator& a, Preconditioner& m,
+      const comm::DistFieldBatch& b, comm::DistFieldBatch& x,
+      comm::HaloFreshness x_fresh = comm::HaloFreshness::kStale) override;
+
+  /// fp32 storage entry point: delegate straight to the twin's fp32
+  /// core (the decorator's own job — choosing the arithmetic — is
+  /// already decided by the caller here).
+  BatchSolveStats solve(
+      comm::Communicator& comm, const comm::HaloExchanger& halo,
+      const DistOperator& a, Preconditioner& m,
+      const comm::DistFieldBatch32& b, comm::DistFieldBatch32& x,
+      comm::HaloFreshness x_fresh = comm::HaloFreshness::kStale) override;
+
+  /// e.g. "mixed(batched_pcsi)"; the precision prefix names the
+  /// configured mode even while escalation forces fp64.
+  std::string name() const override;
+
+  Precision precision() const { return opt_.precision; }
+  /// Escalation switch (BatchedResilientSolver): true routes solves
+  /// through the fp64 twin until reset.
+  void set_forced_fp64(bool forced) { forced_fp64_ = forced; }
+  bool forced_fp64() const { return forced_fp64_; }
+
+  BatchedSolver& fp64_twin() { return *twin_; }
+  /// The wrapped batched P-CSI, or nullptr for a ChronGear twin (bounds
+  /// re-estimation reaches through this; the fp32/mixed paths read the
+  /// twin's bounds at solve time, so set_bounds needs no mirroring).
+  BatchedPcsiSolver* pcsi() { return pcsi_; }
+
+ private:
+  BatchSolveStats solve_fp32(comm::Communicator& comm,
+                             const comm::HaloExchanger& halo,
+                             const DistOperator& a, Preconditioner& m,
+                             const comm::DistFieldBatch& b,
+                             comm::DistFieldBatch& x);
+  BatchSolveStats solve_mixed(comm::Communicator& comm,
+                              const comm::HaloExchanger& halo,
+                              const DistOperator& a, Preconditioner& m,
+                              const comm::DistFieldBatch& b,
+                              comm::DistFieldBatch& x,
+                              comm::HaloFreshness x_fresh);
+  /// Fresh inner core for one refinement solve, configured with the
+  /// refine_* knobs and the twin's CURRENT eigenvalue bounds.
+  std::unique_ptr<BatchedSolver> make_inner() const;
+
+  std::unique_ptr<BatchedSolver> twin_;
+  BatchedPcsiSolver* pcsi_ = nullptr;     ///< view into twin_, if P-CSI
+  BatchedChronGearSolver* cg_ = nullptr;  ///< view into twin_, if ChronGear
+  SolverOptions opt_;
+  bool forced_fp64_ = false;
+};
+
+/// Batched twin of ResilientSolver with per-member recovery (see the
+/// file comment). Recovery policy, event vocabulary and chain order are
+/// shared with the scalar decorator; RecoveryEvent::members records how
+/// many members entered each transition.
+class BatchedResilientSolver final : public BatchedSolver {
+ public:
+  explicit BatchedResilientSolver(std::unique_ptr<BatchedSolver> primary,
+                                  RecoveryPolicy policy = {});
+
+  /// Append a batched fallback stage (tried in order).
+  void add_fallback(std::unique_ptr<BatchedSolver> solver,
+                    bool use_diagonal_precond = false);
+
+  /// Append a SCALAR fallback stage: the failed members are solved one
+  /// at a time through `solver` — the last-resort configuration that
+  /// shares no code with the lockstep batched engine.
+  void add_scalar_fallback(std::unique_ptr<IterativeSolver> solver,
+                           bool use_diagonal_precond = false);
+
+  BatchSolveStats solve(
+      comm::Communicator& comm, const comm::HaloExchanger& halo,
+      const DistOperator& a, Preconditioner& m,
+      const comm::DistFieldBatch& b, comm::DistFieldBatch& x,
+      comm::HaloFreshness x_fresh = comm::HaloFreshness::kStale) override;
+
+  std::string name() const override;
+
+  /// Recovery transitions recorded over this solver's lifetime.
+  const std::vector<RecoveryEvent>& events() const { return events_; }
+  void clear_events() { events_.clear(); }
+
+  BatchedSolver& primary() { return *chain_.front().batched; }
+
+ private:
+  /// One stage of the recovery chain: a batched solver, or a scalar
+  /// solver run member-by-member (exactly one of the two is set).
+  struct Stage {
+    std::unique_ptr<BatchedSolver> batched;
+    std::unique_ptr<IterativeSolver> scalar;
+    bool use_diagonal_precond = false;
+  };
+
+  /// Push a snapshot of the full-width x onto the checkpoint ring
+  /// (keeps 2, like the scalar decorator's entry snapshots).
+  void checkpoint(const comm::DistFieldBatch& x);
+  /// Run `stage` on the working batch (member demux for scalar stages).
+  BatchSolveStats run_stage(Stage& st, comm::Communicator& comm,
+                            const comm::HaloExchanger& halo,
+                            const DistOperator& a, Preconditioner& m,
+                            const comm::DistFieldBatch& bw,
+                            comm::DistFieldBatch& xw,
+                            comm::HaloFreshness fresh);
+
+  std::vector<Stage> chain_;
+  RecoveryPolicy policy_;
+  std::vector<RecoveryEvent> events_;
+  std::deque<comm::DistFieldBatch> ring_;  ///< [0] = newest entry snapshot
+};
+
+/// Adapter: the decorated scalar stack as a BatchedSolver, one member
+/// at a time. Non-owning — the factory keeps the scalar stack alive for
+/// BarotropicSolver::solve(); this view shares it.
+class SequentialBatchedSolver final : public BatchedSolver {
+ public:
+  explicit SequentialBatchedSolver(IterativeSolver* scalar);
+
+  BatchSolveStats solve(
+      comm::Communicator& comm, const comm::HaloExchanger& halo,
+      const DistOperator& a, Preconditioner& m,
+      const comm::DistFieldBatch& b, comm::DistFieldBatch& x,
+      comm::HaloFreshness x_fresh = comm::HaloFreshness::kStale) override;
+
+  std::string name() const override;
+
+ private:
+  IterativeSolver* scalar_;  ///< non-owning; outlives this adapter
+};
+
+}  // namespace minipop::solver

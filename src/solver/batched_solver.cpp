@@ -4,6 +4,7 @@
 #include <cmath>
 #include <memory>
 #include <span>
+#include <type_traits>
 
 #include "src/fault/fault_injector.hpp"
 #include "src/solver/kernels.hpp"
@@ -15,7 +16,8 @@ namespace {
 
 /// Interior cell count of one member plane (BlockInfo dims are cells,
 /// not the nb-widened storage columns).
-std::uint64_t interior_points(const comm::DistFieldBatch& f) {
+template <typename T>
+std::uint64_t interior_points(const comm::DistFieldBatchT<T>& f) {
   std::uint64_t n = 0;
   for (int lb = 0; lb < f.num_local_blocks(); ++lb) {
     const auto& b = f.info(lb);
@@ -25,7 +27,8 @@ std::uint64_t interior_points(const comm::DistFieldBatch& f) {
 }
 
 /// y = x over all members' interiors (batched copy_interior).
-void copy_all(const comm::DistFieldBatch& x, comm::DistFieldBatch& y) {
+template <typename T>
+void copy_all(const comm::DistFieldBatchT<T>& x, comm::DistFieldBatchT<T>& y) {
   MINIPOP_REQUIRE(x.compatible_with(y), "batch copy field mismatch");
   for (int lb = 0; lb < x.num_local_blocks(); ++lb) {
     const auto& info = x.info(lb);
@@ -36,18 +39,21 @@ void copy_all(const comm::DistFieldBatch& x, comm::DistFieldBatch& y) {
 
 /// Interior of member m := v (batched counterpart of fill_interior for
 /// one member plane; only used on zero-RHS members, so no fused kernel).
-void fill_member(comm::DistFieldBatch& x, int m, double v) {
+template <typename T>
+void fill_member(comm::DistFieldBatchT<T>& x, int m, double v) {
+  const T vt = static_cast<T>(v);
   for (int lb = 0; lb < x.num_local_blocks(); ++lb) {
     const auto& info = x.info(lb);
     for (int j = 0; j < info.ny; ++j)
-      for (int i = 0; i < info.nx; ++i) x.at(lb, i, j, m) = v;
+      for (int i = 0; i < info.nx; ++i) x.at(lb, i, j, m) = vt;
   }
 }
 
 /// x_m *= a[m] for active members. Flops counted for active lanes only
 /// (scalar parity: a frozen member's scalar solve has already returned).
-void scale_active(comm::Communicator& comm, const double* a,
-                  comm::DistFieldBatch& x,
+template <typename T>
+void scale_active(comm::Communicator& comm, const T* a,
+                  comm::DistFieldBatchT<T>& x,
                   const std::vector<unsigned char>& active, int n_act) {
   for (int lb = 0; lb < x.num_local_blocks(); ++lb) {
     const auto& info = x.info(lb);
@@ -58,8 +64,10 @@ void scale_active(comm::Communicator& comm, const double* a,
 }
 
 /// y_m += a[m] * x_m for active members.
-void axpy_active(comm::Communicator& comm, const double* a,
-                 const comm::DistFieldBatch& x, comm::DistFieldBatch& y,
+template <typename T>
+void axpy_active(comm::Communicator& comm, const T* a,
+                 const comm::DistFieldBatchT<T>& x,
+                 comm::DistFieldBatchT<T>& y,
                  const std::vector<unsigned char>& active, int n_act) {
   MINIPOP_REQUIRE(x.compatible_with(y), "batch axpy field mismatch");
   for (int lb = 0; lb < x.num_local_blocks(); ++lb) {
@@ -72,10 +80,11 @@ void axpy_active(comm::Communicator& comm, const double* a,
 }
 
 /// Fused y_m = a[m] x_m + b[m] y_m; z_m += c[m] y_m for active members.
-void lincomb_axpy_active(comm::Communicator& comm, const double* a,
-                         const comm::DistFieldBatch& x, const double* b,
-                         comm::DistFieldBatch& y, const double* c,
-                         comm::DistFieldBatch& z,
+template <typename T>
+void lincomb_axpy_active(comm::Communicator& comm, const T* a,
+                         const comm::DistFieldBatchT<T>& x, const T* b,
+                         comm::DistFieldBatchT<T>& y, const T* c,
+                         comm::DistFieldBatchT<T>& z,
                          const std::vector<unsigned char>& active,
                          int n_act) {
   MINIPOP_REQUIRE(x.compatible_with(y) && x.compatible_with(z),
@@ -94,7 +103,8 @@ void lincomb_axpy_active(comm::Communicator& comm, const double* a,
 /// (stats, ||b||², thresholds, guards) is indexed by the member's
 /// original position in the caller's batch and survives retirement;
 /// per-SLOT state (member_of, active) tracks the current, possibly
-/// compacted, batch.
+/// compacted, batch. Thresholds and reduced scalars are double at every
+/// storage precision (the fp32 kernels accumulate reductions in fp64).
 struct BatchControl {
   BatchSolveStats out;
   std::vector<double> b_norm2;          // by original member
@@ -122,10 +132,11 @@ struct BatchControl {
 /// ||b_m||² for every member with ONE vector allreduce; zero-RHS members
 /// resolve immediately (x_m = 0, converged), mirroring the scalar
 /// early-out. Returns the initialized control block.
+template <typename T>
 BatchControl init_control(const SolverOptions& opt, comm::Communicator& comm,
                           const DistOperator& a,
-                          const comm::DistFieldBatch& b,
-                          comm::DistFieldBatch& x) {
+                          const comm::DistFieldBatchT<T>& b,
+                          comm::DistFieldBatchT<T>& x) {
   const int nb = b.nb();
   BatchControl ctl;
   ctl.out.members.resize(nb);
@@ -161,8 +172,9 @@ BatchControl init_control(const SolverOptions& opt, comm::Communicator& comm,
 /// extra vector allreduce; bit-equal per member to the scalar solver's
 /// final global_dot(r, r) stamp because dot_batch keeps masked_dot's
 /// accumulation order and vector allreduces combine element-wise.
+template <typename T>
 void stamp_pending(BatchControl& ctl, comm::Communicator& comm,
-                   const DistOperator& a, const comm::DistFieldBatch& r,
+                   const DistOperator& a, const comm::DistFieldBatchT<T>& r,
                    std::vector<double>& sums) {
   bool any = false;
   for (int s = 0; s < ctl.cur_nb && !any; ++s)
@@ -192,15 +204,16 @@ bool should_retire(const SolverOptions& opt, const BatchControl& ctl) {
 /// carried fields) into freshly allocated width-n_active batches and
 /// reallocate the per-iteration scratch fields. Pure data movement —
 /// no member's arithmetic changes, only the lane count.
+template <typename T>
 void compact(BatchControl& ctl, comm::Communicator& comm,
-             const DistOperator& a, comm::DistFieldBatch& x_caller,
-             const comm::DistFieldBatch*& bw,
-             std::unique_ptr<comm::DistFieldBatch>& b_own,
-             comm::DistFieldBatch*& xw,
-             std::unique_ptr<comm::DistFieldBatch>& x_own,
-             comm::DistFieldBatch& r,
-             const std::vector<comm::DistFieldBatch*>& carried,
-             const std::vector<comm::DistFieldBatch*>& scratch,
+             const DistOperator& a, comm::DistFieldBatchT<T>& x_caller,
+             const comm::DistFieldBatchT<T>*& bw,
+             std::unique_ptr<comm::DistFieldBatchT<T>>& b_own,
+             comm::DistFieldBatchT<T>*& xw,
+             std::unique_ptr<comm::DistFieldBatchT<T>>& x_own,
+             comm::DistFieldBatchT<T>& r,
+             const std::vector<comm::DistFieldBatchT<T>*>& carried,
+             const std::vector<comm::DistFieldBatchT<T>*>& scratch,
              std::vector<double>& sums) {
   // Frozen failures lose their r planes below; stamp them first.
   stamp_pending(ctl, comm, a, r, sums);
@@ -218,10 +231,10 @@ void compact(BatchControl& ctl, comm::Communicator& comm,
   const int rank = x_caller.rank();
   const int halo = x_caller.halo();
 
-  auto nb_own = std::make_unique<comm::DistFieldBatch>(decomp, rank, n_new,
-                                                       halo);
-  auto nx_own = std::make_unique<comm::DistFieldBatch>(decomp, rank, n_new,
-                                                       halo);
+  auto nb_own = std::make_unique<comm::DistFieldBatchT<T>>(decomp, rank,
+                                                           n_new, halo);
+  auto nx_own = std::make_unique<comm::DistFieldBatchT<T>>(decomp, rank,
+                                                           n_new, halo);
   for (int t = 0; t < n_new; ++t) {
     nb_own->copy_member_from(t, *bw, keep[t]);
     nx_own->copy_member_from(t, *xw, keep[t]);
@@ -231,13 +244,13 @@ void compact(BatchControl& ctl, comm::Communicator& comm,
   bw = b_own.get();
   xw = x_own.get();
 
-  for (comm::DistFieldBatch* f : carried) {
-    comm::DistFieldBatch nf(decomp, rank, n_new, halo);
+  for (comm::DistFieldBatchT<T>* f : carried) {
+    comm::DistFieldBatchT<T> nf(decomp, rank, n_new, halo);
     for (int t = 0; t < n_new; ++t) nf.copy_member_from(t, *f, keep[t]);
     *f = std::move(nf);
   }
-  for (comm::DistFieldBatch* f : scratch)
-    *f = comm::DistFieldBatch(decomp, rank, n_new, halo);
+  for (comm::DistFieldBatchT<T>* f : scratch)
+    *f = comm::DistFieldBatchT<T>(decomp, rank, n_new, halo);
 
   std::vector<int> member_of(n_new);
   for (int t = 0; t < n_new; ++t) member_of[t] = ctl.member_of[keep[t]];
@@ -251,9 +264,10 @@ void compact(BatchControl& ctl, comm::Communicator& comm,
 /// iteration budget (kMaxIters), pending residual stamps are resolved,
 /// and — if retirement migrated the batch — the compacted solution
 /// planes flush back to the caller.
+template <typename T>
 void finish(BatchControl& ctl, comm::Communicator& comm,
-            const DistOperator& a, comm::DistFieldBatch& x_caller,
-            comm::DistFieldBatch* xw, const comm::DistFieldBatch& r,
+            const DistOperator& a, comm::DistFieldBatchT<T>& x_caller,
+            comm::DistFieldBatchT<T>* xw, const comm::DistFieldBatchT<T>& r,
             std::vector<double>& sums) {
   for (int s = 0; s < ctl.cur_nb; ++s) {
     if (!ctl.active[s]) continue;
@@ -270,11 +284,30 @@ void finish(BatchControl& ctl, comm::Communicator& comm,
 }  // namespace
 
 // ---------------------------------------------------------------------------
+// BatchedSolver default fp32 path
+
+BatchSolveStats BatchedSolver::solve(comm::Communicator& /*comm*/,
+                                     const comm::HaloExchanger& /*halo*/,
+                                     const DistOperator& /*a*/,
+                                     Preconditioner& /*m*/,
+                                     const comm::DistFieldBatch32& /*b*/,
+                                     comm::DistFieldBatch32& /*x*/,
+                                     comm::HaloFreshness /*x_fresh*/) {
+  MINIPOP_REQUIRE(false,
+                  "batched solver '" << name() << "' has no fp32 path");
+  return {};
+}
+
+// ---------------------------------------------------------------------------
 // Batched P-CSI
 
 BatchedPcsiSolver::BatchedPcsiSolver(EigenBounds bounds,
                                      const SolverOptions& options)
     : opt_(options) {
+  set_bounds(bounds);
+}
+
+void BatchedPcsiSolver::set_bounds(EigenBounds bounds) {
   MINIPOP_REQUIRE(bounds.nu > 0.0 && bounds.mu > bounds.nu,
                   "invalid eigenvalue interval [" << bounds.nu << ", "
                                                   << bounds.mu << "]");
@@ -288,9 +321,31 @@ BatchSolveStats BatchedPcsiSolver::solve(comm::Communicator& comm,
                                          const comm::DistFieldBatch& b,
                                          comm::DistFieldBatch& x,
                                          comm::HaloFreshness x_fresh) {
+  return solve_t<double>(comm, halo, a, m, b, x, x_fresh);
+}
+
+BatchSolveStats BatchedPcsiSolver::solve(comm::Communicator& comm,
+                                         const comm::HaloExchanger& halo,
+                                         const DistOperator& a,
+                                         Preconditioner& m,
+                                         const comm::DistFieldBatch32& b,
+                                         comm::DistFieldBatch32& x,
+                                         comm::HaloFreshness x_fresh) {
+  return solve_t<float>(comm, halo, a, m, b, x, x_fresh);
+}
+
+template <typename T>
+BatchSolveStats BatchedPcsiSolver::solve_t(comm::Communicator& comm,
+                                           const comm::HaloExchanger& halo,
+                                           const DistOperator& a,
+                                           Preconditioner& m,
+                                           const comm::DistFieldBatchT<T>& b,
+                                           comm::DistFieldBatchT<T>& x,
+                                           comm::HaloFreshness x_fresh) {
   MINIPOP_REQUIRE(b.compatible_with(x), "batched pcsi: b/x mismatch");
   const auto snapshot = comm.costs().counters();
   const int nb0 = b.nb();
+  const bool ov = opt_.overlap;
 
   BatchControl ctl = init_control(opt_, comm, a, b, x);
   if (ctl.n_active == 0) {
@@ -298,9 +353,13 @@ BatchSolveStats BatchedPcsiSolver::solve(comm::Communicator& comm,
     return ctl.out;
   }
 
-  // Chebyshev constants are member-independent: one shared recurrence.
+  // Chebyshev constants are member-independent: one shared recurrence,
+  // computed in double at every storage precision (the fp32 mirror
+  // rounds each coefficient once per fill, exactly like the scalar fp32
+  // sweeps round their entry scalars).
   EigenBounds eb = bounds_;
-  fault::hook_eigen_bounds(a.rank(), &eb.nu, &eb.mu);
+  if constexpr (std::is_same_v<T, double>)
+    fault::hook_eigen_bounds(a.rank(), &eb.nu, &eb.mu);
   const double alpha = 2.0 / (eb.mu - eb.nu);
   const double beta = (eb.mu + eb.nu) / (eb.mu - eb.nu);
   const double gamma = beta / alpha;
@@ -308,25 +367,32 @@ BatchSolveStats BatchedPcsiSolver::solve(comm::Communicator& comm,
 
   // Until the first retirement the solve runs directly on the caller's
   // planes; compaction migrates into the owned narrow batches.
-  const comm::DistFieldBatch* bw = &b;
-  comm::DistFieldBatch* xw = &x;
-  std::unique_ptr<comm::DistFieldBatch> b_own, x_own;
-  comm::DistFieldBatch r(a.decomposition(), a.rank(), nb0, x.halo());
-  comm::DistFieldBatch rp(a.decomposition(), a.rank(), nb0, x.halo());
-  comm::DistFieldBatch dx(a.decomposition(), a.rank(), nb0, x.halo());
+  const comm::DistFieldBatchT<T>* bw = &b;
+  comm::DistFieldBatchT<T>* xw = &x;
+  std::unique_ptr<comm::DistFieldBatchT<T>> b_own, x_own;
+  comm::DistFieldBatchT<T> r(a.decomposition(), a.rank(), nb0, x.halo());
+  comm::DistFieldBatchT<T> rp(a.decomposition(), a.rank(), nb0, x.halo());
+  comm::DistFieldBatchT<T> dx(a.decomposition(), a.rank(), nb0, x.halo());
 
-  std::vector<double> ca(nb0), cb(nb0), cc(nb0), sums(nb0);
+  std::vector<T> ca(nb0), cb(nb0), cc(nb0);
+  std::vector<double> sums(nb0);
 
   // Initial step (Algorithm 2, step 2), gated so zero-RHS members'
   // solutions stay exactly at the scalar early-out's fill(0).
-  a.residual_batch(comm, halo, *bw, *xw, r, x_fresh);
+  if (ov)
+    a.residual_overlapped_batch(comm, halo, *bw, *xw, r, x_fresh);
+  else
+    a.residual_batch(comm, halo, *bw, *xw, r, x_fresh);
   m.apply_batch(comm, r, rp);
   copy_all(rp, dx);
-  std::fill(ca.begin(), ca.end(), 1.0 / gamma);
+  std::fill(ca.begin(), ca.end(), static_cast<T>(1.0 / gamma));
   scale_active(comm, ca.data(), dx, ctl.active, ctl.n_active);
-  std::fill(ca.begin(), ca.end(), 1.0);
+  std::fill(ca.begin(), ca.end(), static_cast<T>(1.0));
   axpy_active(comm, ca.data(), dx, *xw, ctl.active, ctl.n_active);
-  a.residual_batch(comm, halo, *bw, *xw, r);
+  if (ov)
+    a.residual_overlapped_batch(comm, halo, *bw, *xw, r);
+  else
+    a.residual_batch(comm, halo, *bw, *xw, r);
 
   for (int k = 1; k <= opt_.max_iterations; ++k) {
     ctl.out.iterations = k;
@@ -336,9 +402,10 @@ BatchSolveStats BatchedPcsiSolver::solve(comm::Communicator& comm,
     omega = 1.0 / (gamma - omega / (4.0 * alpha * alpha));
 
     m.apply_batch(comm, r, rp);
-    std::fill(ca.begin(), ca.begin() + ctl.cur_nb, omega);
-    std::fill(cb.begin(), cb.begin() + ctl.cur_nb, gamma * omega - 1.0);
-    std::fill(cc.begin(), cc.begin() + ctl.cur_nb, 1.0);
+    std::fill(ca.begin(), ca.begin() + ctl.cur_nb, static_cast<T>(omega));
+    std::fill(cb.begin(), cb.begin() + ctl.cur_nb,
+              static_cast<T>(gamma * omega - 1.0));
+    std::fill(cc.begin(), cc.begin() + ctl.cur_nb, static_cast<T>(1.0));
     lincomb_axpy_active(comm, ca.data(), rp, cb.data(), dx, cc.data(), *xw,
                         ctl.active, ctl.n_active);
 
@@ -346,7 +413,11 @@ BatchSolveStats BatchedPcsiSolver::solve(comm::Communicator& comm,
       // One fused residual+norm sweep, one CURRENT-WIDTH vector
       // allreduce: slot s reduces bit-identically to the scalar
       // solver's 1-element check reduction for that member.
-      a.residual_local_norm2_batch(comm, halo, *bw, *xw, r, sums.data());
+      if (ov)
+        a.residual_local_norm2_overlapped_batch(comm, halo, *bw, *xw, r,
+                                                sums.data());
+      else
+        a.residual_local_norm2_batch(comm, halo, *bw, *xw, r, sums.data());
       comm.allreduce(std::span<double>(sums.data(), ctl.cur_nb),
                      comm::ReduceOp::kSum);
       for (int s = 0; s < ctl.cur_nb; ++s) {
@@ -369,7 +440,10 @@ BatchSolveStats BatchedPcsiSolver::solve(comm::Communicator& comm,
                 sums);
       }
     } else {
-      a.residual_batch(comm, halo, *bw, *xw, r);
+      if (ov)
+        a.residual_overlapped_batch(comm, halo, *bw, *xw, r);
+      else
+        a.residual_batch(comm, halo, *bw, *xw, r);
     }
   }
 
@@ -391,9 +465,29 @@ BatchSolveStats BatchedChronGearSolver::solve(comm::Communicator& comm,
                                               const comm::DistFieldBatch& b,
                                               comm::DistFieldBatch& x,
                                               comm::HaloFreshness x_fresh) {
+  return solve_t<double>(comm, halo, a, m, b, x, x_fresh);
+}
+
+BatchSolveStats BatchedChronGearSolver::solve(comm::Communicator& comm,
+                                              const comm::HaloExchanger& halo,
+                                              const DistOperator& a,
+                                              Preconditioner& m,
+                                              const comm::DistFieldBatch32& b,
+                                              comm::DistFieldBatch32& x,
+                                              comm::HaloFreshness x_fresh) {
+  return solve_t<float>(comm, halo, a, m, b, x, x_fresh);
+}
+
+template <typename T>
+BatchSolveStats BatchedChronGearSolver::solve_t(
+    comm::Communicator& comm, const comm::HaloExchanger& halo,
+    const DistOperator& a, Preconditioner& m,
+    const comm::DistFieldBatchT<T>& b, comm::DistFieldBatchT<T>& x,
+    comm::HaloFreshness x_fresh) {
   MINIPOP_REQUIRE(b.compatible_with(x), "batched chron_gear: b/x mismatch");
   const auto snapshot = comm.costs().counters();
   const int nb0 = b.nb();
+  const bool ov = opt_.overlap;
 
   BatchControl ctl = init_control(opt_, comm, a, b, x);
   if (ctl.n_active == 0) {
@@ -401,25 +495,30 @@ BatchSolveStats BatchedChronGearSolver::solve(comm::Communicator& comm,
     return ctl.out;
   }
 
-  const comm::DistFieldBatch* bw = &b;
-  comm::DistFieldBatch* xw = &x;
-  std::unique_ptr<comm::DistFieldBatch> b_own, x_own;
-  comm::DistFieldBatch r(a.decomposition(), a.rank(), nb0, x.halo());
-  comm::DistFieldBatch rp(a.decomposition(), a.rank(), nb0, x.halo());
-  comm::DistFieldBatch z(a.decomposition(), a.rank(), nb0, x.halo());
+  const comm::DistFieldBatchT<T>* bw = &b;
+  comm::DistFieldBatchT<T>* xw = &x;
+  std::unique_ptr<comm::DistFieldBatchT<T>> b_own, x_own;
+  comm::DistFieldBatchT<T> r(a.decomposition(), a.rank(), nb0, x.halo());
+  comm::DistFieldBatchT<T> rp(a.decomposition(), a.rank(), nb0, x.halo());
+  comm::DistFieldBatchT<T> z(a.decomposition(), a.rank(), nb0, x.halo());
   // s and p start at zero — the constructors zero-fill, matching the
   // scalar fill_interior(s/p, 0).
-  comm::DistFieldBatch s_dir(a.decomposition(), a.rank(), nb0, x.halo());
-  comm::DistFieldBatch p_dir(a.decomposition(), a.rank(), nb0, x.halo());
+  comm::DistFieldBatchT<T> s_dir(a.decomposition(), a.rank(), nb0, x.halo());
+  comm::DistFieldBatchT<T> p_dir(a.decomposition(), a.rank(), nb0, x.halo());
 
-  a.residual_batch(comm, halo, *bw, *xw, r, x_fresh);
+  if (ov)
+    a.residual_overlapped_batch(comm, halo, *bw, *xw, r, x_fresh);
+  else
+    a.residual_batch(comm, halo, *bw, *xw, r, x_fresh);
 
   // Per-member recurrence scalars, indexed by ORIGINAL member id so
-  // they survive retirement compactions.
+  // they survive retirement compactions. Double at every storage
+  // precision (the dot reductions arrive as doubles).
   std::vector<double> rho_old(nb0, 1.0);
   std::vector<double> sigma_old(nb0, 0.0);
 
-  std::vector<double> ca(nb0), cb(nb0), cc(nb0), cneg(nb0), sums(nb0);
+  std::vector<T> ca(nb0), cb(nb0), cc(nb0), cneg(nb0);
+  std::vector<double> sums(nb0);
   std::vector<double> red(3 * static_cast<std::size_t>(nb0));
 
   for (int k = 1; k <= opt_.max_iterations; ++k) {
@@ -428,7 +527,10 @@ BatchSolveStats BatchedChronGearSolver::solve(comm::Communicator& comm,
       if (ctl.active[s]) ctl.out.members[ctl.member_of[s]].iterations = k;
 
     m.apply_batch(comm, r, rp);
-    a.apply_batch(comm, halo, rp, z);
+    if (ov)
+      a.apply_overlapped_batch(comm, halo, rp, z);
+    else
+      a.apply_batch(comm, halo, rp, z);
 
     // All members' fused {rho, delta[, ||r||²]} partial sums ride ONE
     // grouped vector allreduce. Element-wise fixed-order combination
@@ -478,10 +580,10 @@ BatchSolveStats BatchedChronGearSolver::solve(comm::Communicator& comm,
         continue;
       }
       const double alpha = rho / sigma;
-      ca[s] = 1.0;
-      cb[s] = beta;
-      cc[s] = alpha;
-      cneg[s] = -alpha;
+      ca[s] = static_cast<T>(1.0);
+      cb[s] = static_cast<T>(beta);
+      cc[s] = static_cast<T>(alpha);
+      cneg[s] = static_cast<T>(-alpha);
       rho_old[mm] = rho;
       sigma_old[mm] = sigma;
     }

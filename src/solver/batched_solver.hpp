@@ -15,14 +15,24 @@
 // solution bits (see kernels.hpp — batched kernels keep the scalar
 // per-point expression and accumulation order, and vector allreduces
 // combine element-wise in the same fixed rank order as scalar ones).
+// The fp32 batched path holds the same contract against the scalar fp32
+// sweeps (run by MixedPrecisionSolver): coefficients are rounded from
+// the identical double recurrence once per member, and the fp32 kernels
+// accumulate reductions in double exactly like their scalar twins.
 //
 // Lockstep + masking: members share one iteration loop. A member that
 // converges (or trips a guard) at a convergence check FREEZES — its x
 // plane stops updating, exactly as if the scalar solver had returned —
 // but its lanes keep riding in the batch until retirement
 // (SolverOptions::batch_retire_fraction) compacts the survivors into a
-// narrower batch. Retirement never changes member arithmetic, only the
-// lane count. See DESIGN.md §10 for the policy discussion.
+// narrower batch. Retirement never changes any member's arithmetic,
+// only the lane count. See DESIGN.md §10 for the policy discussion.
+//
+// SolverOptions::overlap is honored: the split-phase batched sweeps
+// hide the aggregated halo exchange behind the interior stencil update
+// (bitwise identical to the blocking path, same as the scalar engine).
+// The scalar fp64 path's reduction speculation is not replicated —
+// the batch already amortizes each reduction over B members.
 #pragma once
 
 #include <vector>
@@ -53,22 +63,23 @@ struct BatchSolveStats {
   int iterations = 0;
   /// Number of retirement compactions performed.
   int retirements = 0;
+  /// Mixed-precision refinement sweeps (batched fp32 inner solves);
+  /// 0 for plain fp64/fp32 batched solves.
+  int refine_sweeps = 0;
   /// Per-rank communication/computation deltas during the whole batch
   /// solve (shared across members — halos and reductions are joint).
   comm::CostCounters costs;
 };
 
-/// Interface of the batched solvers. Semantic differences from the
-/// scalar IterativeSolver, by design:
-///  - a guard failure (divergence/stagnation/NaN) freezes THAT member
-///    and the batch keeps iterating the others, where the scalar solver
-///    aborts its (single-member) solve — per-member outcomes match, the
-///    scalar "whole solve stops" behavior just has no batched analogue;
-///  - SolverOptions::overlap is ignored: the batched path always uses
-///    blocking aggregated exchanges (overlap is bitwise-neutral, and
-///    one aggregated message per neighbor is already the win).
+/// Interface of the batched solvers and their decorators. Semantic
+/// difference from the scalar IterativeSolver, by design: a guard
+/// failure (divergence/stagnation/NaN) freezes THAT member and the
+/// batch keeps iterating the others, where the scalar solver aborts its
+/// (single-member) solve — per-member outcomes match, the scalar "whole
+/// solve stops" behavior just has no batched analogue.
 /// Fault-injection halo/residual hooks are NOT armed on batched
-/// exchanges; hook_eigen_bounds still applies (see DESIGN.md §10).
+/// exchanges (FieldSet::scalar_backed() gates them); hook_eigen_bounds
+/// still applies (see DESIGN.md §10).
 class BatchedSolver {
  public:
   virtual ~BatchedSolver() = default;
@@ -81,6 +92,18 @@ class BatchedSolver {
       const DistOperator& a, Preconditioner& m,
       const comm::DistFieldBatch& b, comm::DistFieldBatch& x,
       comm::HaloFreshness x_fresh = comm::HaloFreshness::kStale) = 0;
+
+  /// fp32 storage mirror of solve(): same lockstep loop on fp32 batches
+  /// and the fp32 coefficient mirror (half the bytes per point and per
+  /// aggregated halo message; reductions still accumulate in double).
+  /// This is the inner engine of the batched mixed-precision decorator.
+  /// The default errors so a solver without an fp32 batched path fails
+  /// loudly rather than silently up-converting.
+  virtual BatchSolveStats solve(
+      comm::Communicator& comm, const comm::HaloExchanger& halo,
+      const DistOperator& a, Preconditioner& m,
+      const comm::DistFieldBatch32& b, comm::DistFieldBatch32& x,
+      comm::HaloFreshness x_fresh = comm::HaloFreshness::kStale);
 
   virtual std::string name() const = 0;
 };
@@ -99,11 +122,28 @@ class BatchedPcsiSolver final : public BatchedSolver {
       const comm::DistFieldBatch& b, comm::DistFieldBatch& x,
       comm::HaloFreshness x_fresh = comm::HaloFreshness::kStale) override;
 
+  BatchSolveStats solve(
+      comm::Communicator& comm, const comm::HaloExchanger& halo,
+      const DistOperator& a, Preconditioner& m,
+      const comm::DistFieldBatch32& b, comm::DistFieldBatch32& x,
+      comm::HaloFreshness x_fresh = comm::HaloFreshness::kStale) override;
+
   std::string name() const override { return "batched_pcsi"; }
 
   const EigenBounds& bounds() const { return bounds_; }
+  /// Replace the Chebyshev interval (BatchedResilientSolver's Lanczos
+  /// re-estimation reaches through this, like PcsiSolver::set_bounds).
+  void set_bounds(EigenBounds bounds);
 
  private:
+  template <typename T>
+  BatchSolveStats solve_t(comm::Communicator& comm,
+                          const comm::HaloExchanger& halo,
+                          const DistOperator& a, Preconditioner& m,
+                          const comm::DistFieldBatchT<T>& b,
+                          comm::DistFieldBatchT<T>& x,
+                          comm::HaloFreshness x_fresh);
+
   EigenBounds bounds_;
   SolverOptions opt_;
 };
@@ -121,9 +161,23 @@ class BatchedChronGearSolver final : public BatchedSolver {
       const comm::DistFieldBatch& b, comm::DistFieldBatch& x,
       comm::HaloFreshness x_fresh = comm::HaloFreshness::kStale) override;
 
+  BatchSolveStats solve(
+      comm::Communicator& comm, const comm::HaloExchanger& halo,
+      const DistOperator& a, Preconditioner& m,
+      const comm::DistFieldBatch32& b, comm::DistFieldBatch32& x,
+      comm::HaloFreshness x_fresh = comm::HaloFreshness::kStale) override;
+
   std::string name() const override { return "batched_chron_gear"; }
 
  private:
+  template <typename T>
+  BatchSolveStats solve_t(comm::Communicator& comm,
+                          const comm::HaloExchanger& halo,
+                          const DistOperator& a, Preconditioner& m,
+                          const comm::DistFieldBatchT<T>& b,
+                          comm::DistFieldBatchT<T>& x,
+                          comm::HaloFreshness x_fresh);
+
   SolverOptions opt_;
 };
 

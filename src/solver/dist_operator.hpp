@@ -108,52 +108,99 @@ class DistOperator {
   void mask_interior(comm::DistField& x) const;
 
   // -------------------------------------------------------------------
-  // Batched multi-RHS sweeps (fp64 only). Same structure as the scalar
-  // sweeps over an nb-member interleaved batch: ONE aggregated halo
-  // exchange and one coefficient pass serve all members, flop counts
-  // scale by nb, and member m of every result is bit-identical to the
-  // scalar sweep on member m's plane (kernels.hpp contract). Reductions
-  // fill per-member arrays the caller combines in ONE vector allreduce.
-  // The fault-injection hooks are NOT armed here — fault sites target
-  // the scalar resilient path, which batching bypasses (DESIGN.md §10).
+  // Batched multi-RHS sweeps, templated on the storage scalar exactly
+  // like the scalar surface: DistFieldBatch (double) carries the fp64
+  // lockstep solves, DistFieldBatch32 (float) the fp32 inner sweeps of
+  // the batched mixed-precision path — half the halo bytes in the same
+  // aggregated messages. Same structure as the scalar sweeps over an
+  // nb-member interleaved batch: ONE aggregated halo exchange and one
+  // coefficient pass serve all members, flop counts scale by nb, and
+  // member m of every result is bit-identical to the scalar sweep on
+  // member m's plane (kernels.hpp contract). Reductions fill per-member
+  // fp64 arrays the caller combines in ONE vector allreduce. The fault-
+  // injection hooks are NOT armed here — fault sites corrupt scalar
+  // fp64 state; a batch member that diverges recovers through the
+  // per-member sub-batch path of the resilient decorator (DESIGN.md
+  // §11).
 
   /// y = A x, all members. sums-free; 9*nb flops/point.
+  template <typename T>
   void apply_batch(
       comm::Communicator& comm, const comm::HaloExchanger& halo,
-      comm::DistFieldBatch& x, comm::DistFieldBatch& y,
+      comm::DistFieldBatchT<T>& x, comm::DistFieldBatchT<T>& y,
       comm::HaloFreshness fresh = comm::HaloFreshness::kStale) const;
 
   /// r = b - A x, all members.
+  template <typename T>
   void residual_batch(
       comm::Communicator& comm, const comm::HaloExchanger& halo,
-      const comm::DistFieldBatch& b, comm::DistFieldBatch& x,
-      comm::DistFieldBatch& r,
+      const comm::DistFieldBatchT<T>& b, comm::DistFieldBatchT<T>& x,
+      comm::DistFieldBatchT<T>& r,
       comm::HaloFreshness fresh = comm::HaloFreshness::kStale) const;
 
   /// Fused r = b - A x AND local masked ||r_m||² for every member:
-  /// sums[0..nb) is OVERWRITTEN with the local sums.
+  /// sums[0..nb) is OVERWRITTEN with the local sums (always fp64, also
+  /// on the fp32 batch — the kernels accumulate in double).
+  template <typename T>
   void residual_local_norm2_batch(
       comm::Communicator& comm, const comm::HaloExchanger& halo,
-      const comm::DistFieldBatch& b, comm::DistFieldBatch& x,
-      comm::DistFieldBatch& r, double* sums,
+      const comm::DistFieldBatchT<T>& b, comm::DistFieldBatchT<T>& x,
+      comm::DistFieldBatchT<T>& r, double* sums,
+      comm::HaloFreshness fresh = comm::HaloFreshness::kStale) const;
+
+  // Overlapped batch variants: the scalar interior/rim split over the
+  // aggregated batch exchange — halo.begin() on the batch, interior
+  // member sweeps while all B rims are on the wire, finish(), rim
+  // sweeps. Per-cell outputs bitwise match the blocking batch sweeps;
+  // the overlapped batch norm² accumulates via residual + dot, whose
+  // order is contractually bit-identical to the fused batch kernel.
+
+  /// y = A x, all members, exchange hidden behind the interior sweep.
+  template <typename T>
+  void apply_overlapped_batch(
+      comm::Communicator& comm, const comm::HaloExchanger& halo,
+      comm::DistFieldBatchT<T>& x, comm::DistFieldBatchT<T>& y,
+      comm::HaloFreshness fresh = comm::HaloFreshness::kStale) const;
+
+  /// r = b - A x, all members, exchange hidden behind the interior
+  /// sweep.
+  template <typename T>
+  void residual_overlapped_batch(
+      comm::Communicator& comm, const comm::HaloExchanger& halo,
+      const comm::DistFieldBatchT<T>& b, comm::DistFieldBatchT<T>& x,
+      comm::DistFieldBatchT<T>& r,
+      comm::HaloFreshness fresh = comm::HaloFreshness::kStale) const;
+
+  /// Overlapped r = b - A x plus local masked ||r_m||² per member;
+  /// bit-identical to residual_local_norm2_batch (and to
+  /// residual_batch + local_dot_batch). sums[0..nb) is OVERWRITTEN.
+  template <typename T>
+  void residual_local_norm2_overlapped_batch(
+      comm::Communicator& comm, const comm::HaloExchanger& halo,
+      const comm::DistFieldBatchT<T>& b, comm::DistFieldBatchT<T>& x,
+      comm::DistFieldBatchT<T>& r, double* sums,
       comm::HaloFreshness fresh = comm::HaloFreshness::kStale) const;
 
   /// Local masked per-member dots: sums[0..nb) is OVERWRITTEN.
+  template <typename T>
   void local_dot_batch(comm::Communicator& comm,
-                       const comm::DistFieldBatch& a,
-                       const comm::DistFieldBatch& b, double* sums) const;
+                       const comm::DistFieldBatchT<T>& a,
+                       const comm::DistFieldBatchT<T>& b,
+                       double* sums) const;
 
   /// Fused per-member ChronGear dots, grouped for one vector allreduce:
   /// out[0..nb) = <r, rp>, out[nb..2nb) = <z, rp>, out[2nb..3nb) =
   /// <r, r> (zeros unless with_norm). out[0..3nb) is OVERWRITTEN.
+  template <typename T>
   void local_dot3_batch(comm::Communicator& comm,
-                        const comm::DistFieldBatch& r,
-                        const comm::DistFieldBatch& rp,
-                        const comm::DistFieldBatch& z, bool with_norm,
+                        const comm::DistFieldBatchT<T>& r,
+                        const comm::DistFieldBatchT<T>& rp,
+                        const comm::DistFieldBatchT<T>& z, bool with_norm,
                         double* out) const;
 
   /// Zero out land cells of all members' interiors.
-  void mask_interior_batch(comm::DistFieldBatch& x) const;
+  template <typename T>
+  void mask_interior_batch(comm::DistFieldBatchT<T>& x) const;
 
   // -------------------------------------------------------------------
   // fp32 mirror path. Same sweeps over a lazily-built float copy of the
@@ -285,5 +332,44 @@ class DistOperator {
   mutable std::vector<std::array<util::Array2D<float>, grid::kNumDirs>>
       block_coeff32_;
 };
+
+#define MINIPOP_DIST_OPERATOR_BATCH_EXTERN(T)                                \
+  extern template void DistOperator::apply_batch<T>(                         \
+      comm::Communicator&, const comm::HaloExchanger&,                       \
+      comm::DistFieldBatchT<T>&, comm::DistFieldBatchT<T>&,                  \
+      comm::HaloFreshness) const;                                            \
+  extern template void DistOperator::residual_batch<T>(                      \
+      comm::Communicator&, const comm::HaloExchanger&,                       \
+      const comm::DistFieldBatchT<T>&, comm::DistFieldBatchT<T>&,            \
+      comm::DistFieldBatchT<T>&, comm::HaloFreshness) const;                 \
+  extern template void DistOperator::residual_local_norm2_batch<T>(          \
+      comm::Communicator&, const comm::HaloExchanger&,                       \
+      const comm::DistFieldBatchT<T>&, comm::DistFieldBatchT<T>&,            \
+      comm::DistFieldBatchT<T>&, double*, comm::HaloFreshness) const;        \
+  extern template void DistOperator::apply_overlapped_batch<T>(              \
+      comm::Communicator&, const comm::HaloExchanger&,                       \
+      comm::DistFieldBatchT<T>&, comm::DistFieldBatchT<T>&,                  \
+      comm::HaloFreshness) const;                                            \
+  extern template void DistOperator::residual_overlapped_batch<T>(           \
+      comm::Communicator&, const comm::HaloExchanger&,                       \
+      const comm::DistFieldBatchT<T>&, comm::DistFieldBatchT<T>&,            \
+      comm::DistFieldBatchT<T>&, comm::HaloFreshness) const;                 \
+  extern template void                                                       \
+  DistOperator::residual_local_norm2_overlapped_batch<T>(                    \
+      comm::Communicator&, const comm::HaloExchanger&,                       \
+      const comm::DistFieldBatchT<T>&, comm::DistFieldBatchT<T>&,            \
+      comm::DistFieldBatchT<T>&, double*, comm::HaloFreshness) const;        \
+  extern template void DistOperator::local_dot_batch<T>(                     \
+      comm::Communicator&, const comm::DistFieldBatchT<T>&,                  \
+      const comm::DistFieldBatchT<T>&, double*) const;                       \
+  extern template void DistOperator::local_dot3_batch<T>(                    \
+      comm::Communicator&, const comm::DistFieldBatchT<T>&,                  \
+      const comm::DistFieldBatchT<T>&, const comm::DistFieldBatchT<T>&,      \
+      bool, double*) const;                                                  \
+  extern template void DistOperator::mask_interior_batch<T>(                 \
+      comm::DistFieldBatchT<T>&) const;
+MINIPOP_DIST_OPERATOR_BATCH_EXTERN(double)
+MINIPOP_DIST_OPERATOR_BATCH_EXTERN(float)
+#undef MINIPOP_DIST_OPERATOR_BATCH_EXTERN
 
 }  // namespace minipop::solver

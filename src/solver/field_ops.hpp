@@ -4,6 +4,7 @@
 
 #include "src/comm/communicator.hpp"
 #include "src/comm/dist_field.hpp"
+#include "src/comm/dist_field_batch.hpp"
 
 namespace minipop::solver {
 
@@ -59,5 +60,24 @@ void promote(const comm::DistField32& x, comm::DistField& y);
 /// promoted copy of d.
 void axpy_promoted(comm::Communicator& comm, double a,
                    const comm::DistField32& x, comm::DistField& y);
+
+// Batched precision boundary (the batched mixed-precision decorator).
+// Same per-element conversions over the nb-widened interior rows.
+
+/// y32_m = (float) x64_m, all members.
+void demote(const comm::DistFieldBatch& x, comm::DistFieldBatch32& y);
+
+/// y64_m = (double) x32_m, all members.
+void promote(const comm::DistFieldBatch32& x, comm::DistFieldBatch& y);
+
+/// y64_m += a[m] * x32_m for active members — the batched refinement
+/// update across the precision boundary. Flops counted for the n_act
+/// active lanes.
+void axpy_promoted(comm::Communicator& comm, const double* a,
+                   const comm::DistFieldBatch32& x, comm::DistFieldBatch& y,
+                   const unsigned char* active, int n_act);
+
+/// y = x over all members' interiors.
+void copy_interior(const comm::DistFieldBatch& x, comm::DistFieldBatch& y);
 
 }  // namespace minipop::solver

@@ -10,19 +10,38 @@
 // loops vectorize without runtime alias checks or per-element index
 // arithmetic.
 //
-// Every kernel is templated on the storage scalar T (explicitly
-// instantiated for float and double; nothing else links). Element
-// arithmetic runs at storage precision — fp32 storage exists to halve
-// bytes per point, and widening every operand would forfeit half the
-// vector lanes — but every REDUCTION accumulates in double regardless of
-// T: a float accumulator over a 0.1-degree block (~10^5 points) loses
-// ~5 digits to cancellation, which is exactly the failure mode the
-// mixed-precision refinement loop must be able to measure, not suffer.
+// SINGLE EXECUTION CORE. Every public kernel — scalar fp64, scalar fp32,
+// and batched — is a thin wrapper over ONE templated core function
+// `core::X<T, B>`:
+//   * T is the storage scalar (float or double; nothing else links).
+//     Element arithmetic runs at storage precision — fp32 storage exists
+//     to halve bytes per point, and widening every operand would forfeit
+//     half the vector lanes — but every REDUCTION accumulates in double
+//     regardless of T: a float accumulator over a 0.1-degree block
+//     (~10^5 points) loses ~5 digits to cancellation, which is exactly
+//     the failure mode the mixed-precision refinement loop must be able
+//     to measure, not suffer.
+//   * B is the compile-time member width. B >= 1 fixes the width at
+//     compile time (the runtime `nb` argument is ignored); B == 0 means
+//     dynamic width taken from `nb`. The B = 1 instantiations collapse
+//     the member loop and generate exactly the scalar kernels' code —
+//     the scalar API is the B = 1 specialization of the batched core,
+//     bit for bit. Batched entry points dispatch nb == 1 to the B = 1
+//     instantiation so a width-1 batch runs the scalar code path.
+//
+// Batched fields are member-fastest interleaved SoA planes: member m of
+// interior cell (i, j) lives at base[j*stride + i*nb + m]; nb = 1
+// degenerates to the scalar row-major layout. Stencil coefficients and
+// the land mask are shared across members and loaded ONCE per cell, then
+// reused across the member loop — coefficient bytes are read once per
+// point instead of once per point per member, which is the batching
+// bandwidth win.
 //
 // Contracts shared by every kernel:
 //   * All pointers address the FIRST INTERIOR element of a block-local
-//     row-major array; `*_stride` is the padded row pitch in elements.
-//     A padded field's interior pointer is `base + h*pitch + h`.
+//     row-major array; `*_stride` is the padded row pitch in elements
+//     (already widened by nb for batched planes). A padded field's
+//     interior pointer is `base + h*pitch + h*nb`.
 //   * Distinct array arguments must not alias (they are restrict-
 //     qualified); rows of one padded array never overlap because the
 //     pitch exceeds the interior width.
@@ -32,7 +51,16 @@
 //     bit-for-bit equal to the pre-kernel implementation and
 //     deterministic across runs. The float instantiation keeps the same
 //     order at float precision (and double reduction accumulators), so
-//     it too is deterministic and matches a naive fp32 scalar loop.
+//     it too is deterministic and matches a naive fp32 scalar loop. For
+//     every member m the batched expression and reduction order are
+//     IDENTICAL to the scalar kernels, so member m of any batched
+//     result equals the scalar kernel run on member m's plane exactly.
+//   * Reductions write/continue per-member accumulators in a caller
+//     array (sums[m]); update kernels take per-member coefficients and
+//     an optional `active` mask of nb bytes — members with
+//     active[m] == 0 are not written (their planes stay frozen), which
+//     implements per-member convergence masking in the batched solvers.
+//     A null `active` means all members are active.
 //   * No bounds checks: callers guarantee shapes. (Bounds checking in the
 //     object wrappers is governed by MINIPOP_BOUNDS_CHECK; the kernels
 //     never had any.)
@@ -67,6 +95,117 @@ struct Stencil9T {
 
 using Stencil9 = Stencil9T<double>;
 using Stencil9f = Stencil9T<float>;
+
+// ---------------------------------------------------------------------
+// The unified execution core. Width semantics: effective member count
+// w = (B > 0 ? B : nb). All scalar and batched public kernels below are
+// wrappers over these; only the four (T, B) combinations
+// (double|float) x (1|0) are instantiated.
+// ---------------------------------------------------------------------
+namespace core {
+
+/// y = A x for all w members. 9*w flops/point.
+template <typename T, int B>
+void apply9(const Stencil9T<T>& c, int nb, int nx, int ny, const T* x,
+            std::ptrdiff_t xs, T* y, std::ptrdiff_t ys);
+
+/// Fused residual r = b - A x in ONE sweep. 10*w flops/point.
+template <typename T, int B>
+void residual9(const Stencil9T<T>& c, int nb, int nx, int ny, const T* b,
+               std::ptrdiff_t bs, const T* x, std::ptrdiff_t xs, T* r,
+               std::ptrdiff_t rs);
+
+/// Fused residual + per-member masked norm²: r = b - A x and
+/// sums[m] += sum_{mask} r_m². Accumulation CONTINUES from the caller's
+/// sums[] (threaded across a rank's blocks). 12*w flops/point.
+template <typename T, int B>
+void residual_norm2_9(const Stencil9T<T>& c, const unsigned char* mask,
+                      std::ptrdiff_t ms, int nb, int nx, int ny, const T* b,
+                      std::ptrdiff_t bs, const T* x, std::ptrdiff_t xs,
+                      T* r, std::ptrdiff_t rs, double* sums);
+
+/// Per-member masked dots: sums[m] += sum_{mask} a_m * b_m.
+template <typename T, int B>
+void dot(const unsigned char* mask, std::ptrdiff_t ms, int nb, int nx,
+         int ny, const T* a, std::ptrdiff_t as, const T* b,
+         std::ptrdiff_t bs, double* sums);
+
+/// Per-member fused ChronGear dots, grouped for ONE vector allreduce:
+///   out[m]       += <r_m, rp_m>   (rho)
+///   out[w + m]   += <z_m, rp_m>   (delta)
+///   out[2w + m]  += <r_m, r_m>    (norm, only if with_norm)
+/// At w = 1 the layout coincides with the scalar out[3].
+template <typename T, int B>
+void dot3(const unsigned char* mask, std::ptrdiff_t ms, int nb, int nx,
+          int ny, const T* r, std::ptrdiff_t rs, const T* rp,
+          std::ptrdiff_t ps, const T* z, std::ptrdiff_t zs, bool with_norm,
+          double* out);
+
+/// y_m = a[m]*x_m + b[m]*y_m for each active m.
+template <typename T, int B>
+void lincomb(int nb, int nx, int ny, const T* a, const T* x,
+             std::ptrdiff_t xs, const T* b, T* y, std::ptrdiff_t ys,
+             const unsigned char* active);
+
+/// y_m += a[m]*x_m for each active m.
+template <typename T, int B>
+void axpy(int nb, int nx, int ny, const T* a, const T* x,
+          std::ptrdiff_t xs, T* y, std::ptrdiff_t ys,
+          const unsigned char* active);
+
+/// Fused update pair: y_m = a[m]*x_m + b[m]*y_m then z_m += c[m]*y_m.
+template <typename T, int B>
+void lincomb_axpy(int nb, int nx, int ny, const T* a, const T* x,
+                  std::ptrdiff_t xs, const T* b, T* y, std::ptrdiff_t ys,
+                  const T* c, T* z, std::ptrdiff_t zs,
+                  const unsigned char* active);
+
+/// x_m *= a[m] for each active m.
+template <typename T, int B>
+void scale(int nb, int nx, int ny, const T* a, T* x, std::ptrdiff_t xs,
+           const unsigned char* active);
+
+/// y = x, all members (row-wise memcpy over the widened rows).
+template <typename T, int B>
+void copy(int nb, int nx, int ny, const T* x, std::ptrdiff_t xs, T* y,
+          std::ptrdiff_t ys);
+
+/// x = v, all members.
+template <typename T, int B>
+void fill(int nb, int nx, int ny, T v, T* x, std::ptrdiff_t xs);
+
+/// x = 0 on land (mask == 0) cells, all members.
+template <typename T, int B>
+void mask_zero(const unsigned char* mask, std::ptrdiff_t ms, int nb,
+               int nx, int ny, T* x, std::ptrdiff_t xs);
+
+/// out_m = inv * in_m (diagonal preconditioner, shared inverse-diagonal
+/// plane at storage precision). w flops/point.
+template <typename T, int B>
+void diag_apply(const T* inv, std::ptrdiff_t is, int nb, int nx, int ny,
+                const T* in, std::ptrdiff_t ins, T* out,
+                std::ptrdiff_t outs);
+
+/// out_m = mask ? in_m : 0 (identity preconditioner).
+template <typename T, int B>
+void masked_copy(const unsigned char* mask, std::ptrdiff_t ms, int nb,
+                 int nx, int ny, const T* in, std::ptrdiff_t ins, T* out,
+                 std::ptrdiff_t outs);
+
+/// Mixed-width refinement update: y64_m += a[m] * (double) x32_m for
+/// each active m — the precision boundary of the refinement loop
+/// without materializing a promoted copy. 2*w flops/point.
+template <int B>
+void axpy_promoted(int nb, int nx, int ny, const double* a, const float* x,
+                   std::ptrdiff_t xs, double* y, std::ptrdiff_t ys,
+                   const unsigned char* active);
+
+}  // namespace core
+
+// ---------------------------------------------------------------------
+// Scalar API (the B = 1 specialization of the core). Signatures are
+// unchanged from the pre-unification kernels; results are bit-identical.
+// ---------------------------------------------------------------------
 
 /// y = A x over an nx*ny interior. x must have valid halo rows/columns
 /// around the interior (pitch xs); y is written interior-only.
@@ -153,110 +292,111 @@ void mask_zero(const unsigned char* mask, std::ptrdiff_t ms, int nx, int ny,
 
 /// Precision converters: y (dst scalar) = x (src scalar), value-converted
 /// per element. Used to demote fp64 residuals into the fp32 inner solve
-/// and promote fp32 corrections back.
+/// and promote fp32 corrections back. Rows are contiguous spans of nx
+/// elements — batched planes convert by passing the widened row length
+/// nx*nb.
 template <typename D, typename S>
 void convert(int nx, int ny, const S* x, std::ptrdiff_t xs, D* y,
              std::ptrdiff_t ys);
 
 // ---------------------------------------------------------------------
-// Batched multi-RHS kernels (double-only — batching composes with the
-// fp64 solver path; see DESIGN.md §10).
-//
-// Batched fields are member-fastest interleaved SoA planes: member m of
-// interior cell (i, j) lives at base[j*stride + i*nb + m], neighbors of
-// cell i sit nb elements away. Each kernel loads a cell's nine stencil
-// coefficients (or its mask byte) ONCE and reuses them across all nb
-// members — coefficient bytes are read once per point instead of once
-// per point per member, which is the batching bandwidth win.
-//
-// Bit-for-bit contract: for every member m the per-element expression
-// order and the row-major reduction order are IDENTICAL to the scalar
-// kernels above, so member m of any batched result equals the scalar
-// kernel run on member m's plane exactly.
-//
-// Reductions write/continue per-member accumulators in a caller array
-// (sums[m]); update kernels take per-member coefficients and an
-// optional `active` mask of nb bytes — members with active[m] == 0 are
-// not written (their planes stay frozen), which implements per-member
-// convergence masking in the batched solvers. A null `active` means all
-// members are active.
+// Batched multi-RHS API (the dynamic-width face of the core, templated
+// on the storage scalar — fp32 batches halve the bytes per point just
+// like the scalar fp32 path). nb == 1 dispatches to the B = 1
+// instantiation, so a width-1 batch runs the scalar code path.
 // ---------------------------------------------------------------------
 
 /// y = A x for all nb members. 9*nb flops/point.
-void apply9_batch(const Stencil9& c, int nb, int nx, int ny,
-                  const double* x, std::ptrdiff_t xs, double* y,
-                  std::ptrdiff_t ys);
+template <typename T>
+void apply9_batch(const Stencil9T<T>& c, int nb, int nx, int ny, const T* x,
+                  std::ptrdiff_t xs, T* y, std::ptrdiff_t ys);
 
 /// r = b - A x for all nb members. 10*nb flops/point.
-void residual9_batch(const Stencil9& c, int nb, int nx, int ny,
-                     const double* b, std::ptrdiff_t bs, const double* x,
-                     std::ptrdiff_t xs, double* r, std::ptrdiff_t rs);
+template <typename T>
+void residual9_batch(const Stencil9T<T>& c, int nb, int nx, int ny,
+                     const T* b, std::ptrdiff_t bs, const T* x,
+                     std::ptrdiff_t xs, T* r, std::ptrdiff_t rs);
 
 /// Fused residual + per-member masked norm²: r = b - A x and
 /// sums[m] += sum_{mask} r_m² — accumulation CONTINUES from the caller's
 /// sums[] (threaded across a rank's blocks, like the scalar kernels).
-void residual_norm2_9_batch(const Stencil9& c, const unsigned char* mask,
+template <typename T>
+void residual_norm2_9_batch(const Stencil9T<T>& c, const unsigned char* mask,
                             std::ptrdiff_t ms, int nb, int nx, int ny,
-                            const double* b, std::ptrdiff_t bs,
-                            const double* x, std::ptrdiff_t xs, double* r,
-                            std::ptrdiff_t rs, double* sums);
+                            const T* b, std::ptrdiff_t bs, const T* x,
+                            std::ptrdiff_t xs, T* r, std::ptrdiff_t rs,
+                            double* sums);
 
 /// Per-member masked dots: sums[m] += sum_{mask} a_m * b_m in one pass.
-void dot_batch(const unsigned char* mask, std::ptrdiff_t ms, int nb,
-               int nx, int ny, const double* a, std::ptrdiff_t as,
-               const double* b, std::ptrdiff_t bs, double* sums);
+template <typename T>
+void dot_batch(const unsigned char* mask, std::ptrdiff_t ms, int nb, int nx,
+               int ny, const T* a, std::ptrdiff_t as, const T* b,
+               std::ptrdiff_t bs, double* sums);
 
 /// Per-member fused ChronGear dots, grouped for ONE vector allreduce:
 ///   out[m]        += <r_m, rp_m>        (rho)
 ///   out[nb + m]   += <z_m, rp_m>        (delta)
 ///   out[2nb + m]  += <r_m, r_m>         (norm, only if with_norm)
+template <typename T>
 void dot3_batch(const unsigned char* mask, std::ptrdiff_t ms, int nb,
-                int nx, int ny, const double* r, std::ptrdiff_t rs,
-                const double* rp, std::ptrdiff_t ps, const double* z,
-                std::ptrdiff_t zs, bool with_norm, double* out);
+                int nx, int ny, const T* r, std::ptrdiff_t rs, const T* rp,
+                std::ptrdiff_t ps, const T* z, std::ptrdiff_t zs,
+                bool with_norm, double* out);
 
 /// Per-member fused update pair: for each active m,
 /// y_m = a[m]*x_m + b[m]*y_m followed by z_m += c[m]*y_m.
-void lincomb_axpy_batch(int nb, int nx, int ny, const double* a,
-                        const double* x, std::ptrdiff_t xs,
-                        const double* b, double* y, std::ptrdiff_t ys,
-                        const double* c, double* z, std::ptrdiff_t zs,
-                        const unsigned char* active);
+template <typename T>
+void lincomb_axpy_batch(int nb, int nx, int ny, const T* a, const T* x,
+                        std::ptrdiff_t xs, const T* b, T* y,
+                        std::ptrdiff_t ys, const T* c, T* z,
+                        std::ptrdiff_t zs, const unsigned char* active);
 
 /// y_m += a[m]*x_m for each active m.
-void axpy_batch(int nb, int nx, int ny, const double* a, const double* x,
-                std::ptrdiff_t xs, double* y, std::ptrdiff_t ys,
+template <typename T>
+void axpy_batch(int nb, int nx, int ny, const T* a, const T* x,
+                std::ptrdiff_t xs, T* y, std::ptrdiff_t ys,
                 const unsigned char* active);
 
 /// x_m *= a[m] for each active m.
-void scale_batch(int nb, int nx, int ny, const double* a, double* x,
+template <typename T>
+void scale_batch(int nb, int nx, int ny, const T* a, T* x,
                  std::ptrdiff_t xs, const unsigned char* active);
 
 /// y = x, all members (row-wise memcpy over the widened rows).
-void copy_batch(int nb, int nx, int ny, const double* x, std::ptrdiff_t xs,
-                double* y, std::ptrdiff_t ys);
+template <typename T>
+void copy_batch(int nb, int nx, int ny, const T* x, std::ptrdiff_t xs, T* y,
+                std::ptrdiff_t ys);
 
 /// x = v, all members.
-void fill_batch(int nb, int nx, int ny, double v, double* x,
-                std::ptrdiff_t xs);
+template <typename T>
+void fill_batch(int nb, int nx, int ny, T v, T* x, std::ptrdiff_t xs);
 
 /// x = 0 on land cells, all members.
+template <typename T>
 void mask_zero_batch(const unsigned char* mask, std::ptrdiff_t ms, int nb,
-                     int nx, int ny, double* x, std::ptrdiff_t xs);
+                     int nx, int ny, T* x, std::ptrdiff_t xs);
 
 /// out_m = inv * in_m (diagonal preconditioner, shared inverse-diagonal
-/// plane). nb flops/point.
-void diag_apply_batch(const double* inv, std::ptrdiff_t is, int nb, int nx,
-                      int ny, const double* in, std::ptrdiff_t ins,
-                      double* out, std::ptrdiff_t outs);
+/// plane at storage precision). nb flops/point.
+template <typename T>
+void diag_apply_batch(const T* inv, std::ptrdiff_t is, int nb, int nx,
+                      int ny, const T* in, std::ptrdiff_t ins, T* out,
+                      std::ptrdiff_t outs);
 
 /// out_m = mask ? in_m : 0 (identity preconditioner).
+template <typename T>
 void masked_copy_batch(const unsigned char* mask, std::ptrdiff_t ms,
-                       int nb, int nx, int ny, const double* in,
-                       std::ptrdiff_t ins, double* out,
-                       std::ptrdiff_t outs);
+                       int nb, int nx, int ny, const T* in,
+                       std::ptrdiff_t ins, T* out, std::ptrdiff_t outs);
 
-// The instantiations live in kernels.cpp; only float and double exist.
+/// y64_m += a[m] * (double) x32_m for each active m — the batched
+/// refinement update across the precision boundary.
+void axpy_promoted_batch(int nb, int nx, int ny, const double* a,
+                         const float* x, std::ptrdiff_t xs, double* y,
+                         std::ptrdiff_t ys, const unsigned char* active);
+
+// The instantiations live in kernels.cpp; only float and double exist,
+// and only core widths B in {0, 1}.
 #define MINIPOP_KERNELS_EXTERN(T)                                          \
   extern template void apply9<T>(const Stencil9T<T>&, int, int, const T*,  \
                                  std::ptrdiff_t, T*, std::ptrdiff_t);      \
@@ -288,7 +428,53 @@ void masked_copy_batch(const unsigned char* mask, std::ptrdiff_t ms,
                                std::ptrdiff_t);                            \
   extern template void fill<T>(int, int, T, T*, std::ptrdiff_t);           \
   extern template void mask_zero<T>(const unsigned char*, std::ptrdiff_t,  \
-                                    int, int, T*, std::ptrdiff_t);
+                                    int, int, T*, std::ptrdiff_t);         \
+  extern template void apply9_batch<T>(const Stencil9T<T>&, int, int, int, \
+                                       const T*, std::ptrdiff_t, T*,       \
+                                       std::ptrdiff_t);                    \
+  extern template void residual9_batch<T>(const Stencil9T<T>&, int, int,   \
+                                          int, const T*, std::ptrdiff_t,   \
+                                          const T*, std::ptrdiff_t, T*,    \
+                                          std::ptrdiff_t);                 \
+  extern template void residual_norm2_9_batch<T>(                          \
+      const Stencil9T<T>&, const unsigned char*, std::ptrdiff_t, int, int, \
+      int, const T*, std::ptrdiff_t, const T*, std::ptrdiff_t, T*,         \
+      std::ptrdiff_t, double*);                                            \
+  extern template void dot_batch<T>(const unsigned char*, std::ptrdiff_t,  \
+                                    int, int, int, const T*,               \
+                                    std::ptrdiff_t, const T*,              \
+                                    std::ptrdiff_t, double*);              \
+  extern template void dot3_batch<T>(const unsigned char*, std::ptrdiff_t, \
+                                     int, int, int, const T*,              \
+                                     std::ptrdiff_t, const T*,             \
+                                     std::ptrdiff_t, const T*,             \
+                                     std::ptrdiff_t, bool, double*);       \
+  extern template void lincomb_axpy_batch<T>(int, int, int, const T*,      \
+                                             const T*, std::ptrdiff_t,     \
+                                             const T*, T*, std::ptrdiff_t, \
+                                             const T*, T*, std::ptrdiff_t, \
+                                             const unsigned char*);        \
+  extern template void axpy_batch<T>(int, int, int, const T*, const T*,    \
+                                     std::ptrdiff_t, T*, std::ptrdiff_t,   \
+                                     const unsigned char*);                \
+  extern template void scale_batch<T>(int, int, int, const T*, T*,         \
+                                      std::ptrdiff_t,                      \
+                                      const unsigned char*);               \
+  extern template void copy_batch<T>(int, int, int, const T*,              \
+                                     std::ptrdiff_t, T*, std::ptrdiff_t);  \
+  extern template void fill_batch<T>(int, int, int, T, T*,                 \
+                                     std::ptrdiff_t);                      \
+  extern template void mask_zero_batch<T>(const unsigned char*,            \
+                                          std::ptrdiff_t, int, int, int,   \
+                                          T*, std::ptrdiff_t);             \
+  extern template void diag_apply_batch<T>(const T*, std::ptrdiff_t, int,  \
+                                           int, int, const T*,             \
+                                           std::ptrdiff_t, T*,             \
+                                           std::ptrdiff_t);                \
+  extern template void masked_copy_batch<T>(const unsigned char*,          \
+                                            std::ptrdiff_t, int, int, int, \
+                                            const T*, std::ptrdiff_t, T*,  \
+                                            std::ptrdiff_t);
 
 MINIPOP_KERNELS_EXTERN(double)
 MINIPOP_KERNELS_EXTERN(float)

@@ -28,6 +28,22 @@ void Preconditioner::apply_batch(comm::Communicator& comm,
   }
 }
 
+void Preconditioner::apply_batch(comm::Communicator& comm,
+                                 const comm::DistFieldBatch32& in,
+                                 comm::DistFieldBatch32& out) {
+  // fp32 demux: same per-member fallback through the scalar fp32 apply,
+  // so every preconditioner with an fp32 path composes with batching
+  // (one without it fails loudly in the scalar apply).
+  MINIPOP_REQUIRE(in.compatible_with(out), "precond batch mismatch");
+  comm::DistField32 in_m(in.decomposition(), in.rank(), in.halo());
+  comm::DistField32 out_m(in.decomposition(), in.rank(), in.halo());
+  for (int m = 0; m < in.nb(); ++m) {
+    in.store_member(m, in_m);
+    apply(comm, in_m, out_m);
+    out.load_member(m, out_m);
+  }
+}
+
 void IdentityPreconditioner::apply(comm::Communicator& /*comm*/,
                                    const comm::DistField& in,
                                    comm::DistField& out) {
@@ -57,6 +73,19 @@ void IdentityPreconditioner::apply(comm::Communicator& /*comm*/,
 void IdentityPreconditioner::apply_batch(comm::Communicator& /*comm*/,
                                          const comm::DistFieldBatch& in,
                                          comm::DistFieldBatch& out) {
+  MINIPOP_REQUIRE(in.compatible_with(out), "identity precond batch mismatch");
+  for (int lb = 0; lb < in.num_local_blocks(); ++lb) {
+    const auto& info = in.info(lb);
+    const auto& mask = op_->block_mask(lb);
+    kernels::masked_copy_batch(mask.data(), mask.nx(), in.nb(), info.nx,
+                               info.ny, in.interior(lb), in.stride(lb),
+                               out.interior(lb), out.stride(lb));
+  }
+}
+
+void IdentityPreconditioner::apply_batch(comm::Communicator& /*comm*/,
+                                         const comm::DistFieldBatch32& in,
+                                         comm::DistFieldBatch32& out) {
   MINIPOP_REQUIRE(in.compatible_with(out), "identity precond batch mismatch");
   for (int lb = 0; lb < in.num_local_blocks(); ++lb) {
     const auto& info = in.info(lb);
@@ -107,16 +136,7 @@ void DiagonalPreconditioner::apply(comm::Communicator& comm,
                                    const comm::DistField32& in,
                                    comm::DistField32& out) {
   MINIPOP_REQUIRE(in.compatible_with(out), "diagonal precond field mismatch");
-  if (inv_diag32_.empty()) {
-    inv_diag32_.reserve(inv_diag_.size());
-    for (const auto& inv : inv_diag_) {
-      util::Array2D<float> inv32(inv.nx(), inv.ny());
-      for (int j = 0; j < inv.ny(); ++j)
-        for (int i = 0; i < inv.nx(); ++i)
-          inv32(i, j) = static_cast<float>(inv(i, j));
-      inv_diag32_.push_back(std::move(inv32));
-    }
-  }
+  ensure_inv_diag32();
   std::uint64_t points = 0;
   for (int lb = 0; lb < in.num_local_blocks(); ++lb) {
     const auto& info = in.info(lb);
@@ -129,6 +149,18 @@ void DiagonalPreconditioner::apply(comm::Communicator& comm,
   comm.costs().add_flops(points);
 }
 
+void DiagonalPreconditioner::ensure_inv_diag32() {
+  if (!inv_diag32_.empty()) return;
+  inv_diag32_.reserve(inv_diag_.size());
+  for (const auto& inv : inv_diag_) {
+    util::Array2D<float> inv32(inv.nx(), inv.ny());
+    for (int j = 0; j < inv.ny(); ++j)
+      for (int i = 0; i < inv.nx(); ++i)
+        inv32(i, j) = static_cast<float>(inv(i, j));
+    inv_diag32_.push_back(std::move(inv32));
+  }
+}
+
 void DiagonalPreconditioner::apply_batch(comm::Communicator& comm,
                                          const comm::DistFieldBatch& in,
                                          comm::DistFieldBatch& out) {
@@ -138,6 +170,24 @@ void DiagonalPreconditioner::apply_batch(comm::Communicator& comm,
   for (int lb = 0; lb < in.num_local_blocks(); ++lb) {
     const auto& info = in.info(lb);
     const auto& inv = inv_diag_[lb];
+    kernels::diag_apply_batch(inv.data(), inv.nx(), nb, info.nx, info.ny,
+                              in.interior(lb), in.stride(lb),
+                              out.interior(lb), out.stride(lb));
+    points += static_cast<std::uint64_t>(info.nx) * info.ny;
+  }
+  comm.costs().add_flops(points * nb);
+}
+
+void DiagonalPreconditioner::apply_batch(comm::Communicator& comm,
+                                         const comm::DistFieldBatch32& in,
+                                         comm::DistFieldBatch32& out) {
+  MINIPOP_REQUIRE(in.compatible_with(out), "diagonal precond batch mismatch");
+  ensure_inv_diag32();
+  const int nb = in.nb();
+  std::uint64_t points = 0;
+  for (int lb = 0; lb < in.num_local_blocks(); ++lb) {
+    const auto& info = in.info(lb);
+    const auto& inv = inv_diag32_[lb];
     kernels::diag_apply_batch(inv.data(), inv.nx(), nb, info.nx, info.ny,
                               in.interior(lb), in.stride(lb),
                               out.interior(lb), out.stride(lb));

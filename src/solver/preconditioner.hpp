@@ -44,6 +44,15 @@ class Preconditioner {
                            const comm::DistFieldBatch& in,
                            comm::DistFieldBatch& out);
 
+  /// fp32 batched apply — the preconditioner step of the batched
+  /// mixed-precision inner solve. Default demuxes through the scalar
+  /// fp32 apply (so any preconditioner with an fp32 path composes with
+  /// batching); identity and diagonal override with the fused fp32
+  /// batch kernels.
+  virtual void apply_batch(comm::Communicator& comm,
+                           const comm::DistFieldBatch32& in,
+                           comm::DistFieldBatch32& out);
+
   virtual std::string name() const = 0;
 };
 
@@ -57,6 +66,9 @@ class IdentityPreconditioner final : public Preconditioner {
              comm::DistField32& out) override;
   void apply_batch(comm::Communicator& comm, const comm::DistFieldBatch& in,
                    comm::DistFieldBatch& out) override;
+  void apply_batch(comm::Communicator& comm,
+                   const comm::DistFieldBatch32& in,
+                   comm::DistFieldBatch32& out) override;
   std::string name() const override { return "identity"; }
 
  private:
@@ -73,9 +85,14 @@ class DiagonalPreconditioner final : public Preconditioner {
              comm::DistField32& out) override;
   void apply_batch(comm::Communicator& comm, const comm::DistFieldBatch& in,
                    comm::DistFieldBatch& out) override;
+  void apply_batch(comm::Communicator& comm,
+                   const comm::DistFieldBatch32& in,
+                   comm::DistFieldBatch32& out) override;
   std::string name() const override { return "diagonal"; }
 
  private:
+  void ensure_inv_diag32();
+
   const DistOperator* op_;
   std::vector<util::Field> inv_diag_;  ///< masked inverse diagonal per block
   /// float mirror of inv_diag_, built on first fp32 apply (each inverse

@@ -54,6 +54,10 @@ struct RecoveryEvent {
   std::string action;
   int attempt;          ///< 0-based attempt ordinal within the solve
   int iterations;       ///< iterations spent in the failed attempt
+  /// Members the transition applies to: always 1 for the scalar
+  /// decorator; the batched decorator records how many members of the
+  /// batch failed together and entered recovery.
+  int members = 1;
 };
 
 class ResilientSolver final : public IterativeSolver {

@@ -106,18 +106,6 @@ BarotropicSolver::BarotropicSolver(comm::Communicator& comm,
     }
   }
 
-  // Fused multi-RHS engine for the fp64 short-recurrence solvers. Kept
-  // beside (not inside) the decorator stack: batching composes with the
-  // bare solver only (DESIGN.md §10), so solve_batch() falls back to
-  // sequential decorated solves for every other configuration.
-  if (config_.options.precision == Precision::kFp64) {
-    if (config_.solver == SolverKind::kPcsi)
-      batched_ = std::make_unique<BatchedPcsiSolver>(lanczos_->bounds,
-                                                     config_.options);
-    else if (config_.solver == SolverKind::kChronGear)
-      batched_ = std::make_unique<BatchedChronGearSolver>(config_.options);
-  }
-
   if (config_.options.precision != Precision::kFp64) {
     MINIPOP_REQUIRE(config_.solver == SolverKind::kPcsi ||
                         config_.solver == SolverKind::kChronGear,
@@ -147,6 +135,45 @@ BarotropicSolver::BarotropicSolver(comm::Communicator& comm,
     resilient_ = resilient.get();
     solver_ = std::move(resilient);
   }
+
+  // Batched execution stack, decorated exactly like the scalar one so
+  // every SolverConfig combination (precision × resilient × overlap)
+  // composes with batching. The short-recurrence solvers get the
+  // lockstep multi-RHS core; PCG and pipelined CG have no lockstep core
+  // and demux through the decorated scalar stack instead.
+  batched_lockstep_ = config_.solver == SolverKind::kPcsi ||
+                      config_.solver == SolverKind::kChronGear;
+  if (batched_lockstep_) {
+    if (config_.solver == SolverKind::kPcsi)
+      batched_ = std::make_unique<BatchedPcsiSolver>(lanczos_->bounds,
+                                                     config_.options);
+    else
+      batched_ = std::make_unique<BatchedChronGearSolver>(config_.options);
+
+    if (config_.options.precision != Precision::kFp64) {
+      auto bmixed = std::make_unique<BatchedMixedPrecisionSolver>(
+          std::move(batched_), config_.options);
+      batched_mixed_ = bmixed.get();
+      batched_ = std::move(bmixed);
+    }
+
+    if (config_.resilient) {
+      auto bres = std::make_unique<BatchedResilientSolver>(
+          std::move(batched_), config_.recovery);
+      // Same chain shape as the scalar decorator: a lockstep fallback
+      // first, then the last-resort scalar demux — PCG with a freshly
+      // built diagonal preconditioner, member by member.
+      if (config_.solver == SolverKind::kPcsi)
+        bres->add_fallback(
+            std::make_unique<BatchedChronGearSolver>(config_.options));
+      bres->add_scalar_fallback(std::make_unique<PcgSolver>(config_.options),
+                                /*use_diagonal_precond=*/true);
+      batched_resilient_ = bres.get();
+      batched_ = std::move(bres);
+    }
+  } else {
+    batched_ = std::make_unique<SequentialBatchedSolver>(solver_.get());
+  }
 }
 
 SolveStats BarotropicSolver::solve(comm::Communicator& comm,
@@ -163,25 +190,6 @@ BatchSolveStats BarotropicSolver::solve_batch(
   MINIPOP_REQUIRE(nb >= 1 && bs.size() == xs.size(),
                   "solve_batch: need matching non-empty b/x sets (got "
                       << bs.size() << " vs " << xs.size() << ")");
-
-  if (!batched_) {
-    // Sequential fallback through the full decorated scalar path.
-    const auto snapshot = comm.costs().counters();
-    BatchSolveStats out;
-    out.members.resize(nb);
-    for (int m = 0; m < nb; ++m) {
-      const SolveStats s =
-          solver_->solve(comm, *halo_, op_, *precond_, *bs[m], *xs[m],
-                         x_fresh);
-      out.members[m].iterations = s.iterations;
-      out.members[m].converged = s.converged;
-      out.members[m].relative_residual = s.relative_residual;
-      out.members[m].failure = s.failure;
-      out.iterations = std::max(out.iterations, s.iterations);
-    }
-    out.costs = comm.costs().since(snapshot);
-    return out;
-  }
 
   const int halo_width = xs[0]->halo();
   comm::DistFieldBatch bb(op_.decomposition(), op_.rank(), nb, halo_width);
@@ -202,10 +210,13 @@ BatchSolveStats BarotropicSolver::solve_batch(
 }
 
 std::string BarotropicSolver::description() const {
-  std::string d =
-      to_string(config_.solver) + "+" + to_string(config_.preconditioner);
-  if (config_.options.precision != Precision::kFp64)
-    d += "+" + std::string(to_string(config_.options.precision));
+  std::string d = to_string(config_.solver);
+  d += "+";
+  d += to_string(config_.preconditioner);
+  if (config_.options.precision != Precision::kFp64) {
+    d += "+";
+    d += to_string(config_.options.precision);
+  }
   return d;
 }
 

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "src/evp/block_evp_preconditioner.hpp"
+#include "src/solver/batched_decorators.hpp"
 #include "src/solver/batched_solver.hpp"
 #include "src/solver/chron_gear.hpp"
 #include "src/solver/lanczos.hpp"
@@ -68,28 +69,26 @@ class BarotropicSolver {
                    comm::DistField& x,
                    comm::HaloFreshness x_fresh = comm::HaloFreshness::kStale);
 
-  /// Solve the B independent systems A x_i = b_i as one batch.
-  /// When a batched solver exists for this configuration (P-CSI or
-  /// ChronGear at fp64 — see has_batched_path()), the members are
-  /// interleaved into a DistFieldBatch and advanced in lockstep:
-  /// ~B× fewer halo messages and allreduces, per-member results
-  /// bit-identical to B scalar solves. Otherwise the members are solved
-  /// sequentially through solve() and the per-member stats aggregated —
-  /// same results, no batching win.
-  ///
-  /// NOTE: the batched path runs the bare solver — the mixed-precision
-  /// and resilience decorators are scalar-only and are bypassed
-  /// (DESIGN.md §10). The sequential fallback keeps them.
+  /// Solve the B independent systems A x_i = b_i as one batch, through
+  /// the batched decorator stack that mirrors the scalar one — the
+  /// mixed-precision, resilience and overlap settings of SolverConfig
+  /// all compose with batching. P-CSI and ChronGear (at any precision)
+  /// interleave the members into a DistFieldBatch and advance them in
+  /// lockstep: ~B× fewer halo messages and allreduces, per-member fp64
+  /// results bit-identical to B scalar solves. PCG and pipelined CG
+  /// have no lockstep core; their stack is the SequentialBatchedSolver
+  /// adapter over the decorated scalar path — same results, no
+  /// batching win (see has_batched_path()).
   BatchSolveStats solve_batch(
       comm::Communicator& comm,
       std::span<const comm::DistField* const> bs,
       std::span<comm::DistField* const> xs,
       comm::HaloFreshness x_fresh = comm::HaloFreshness::kStale);
 
-  /// True when this configuration has a fused batched solver (fp64
-  /// P-CSI or ChronGear; other solvers/precisions fall back to
-  /// sequential member solves in solve_batch()).
-  bool has_batched_path() const { return batched_ != nullptr; }
+  /// True when this configuration runs a fused lockstep batched core
+  /// (P-CSI or ChronGear at any precision). False means solve_batch()
+  /// still works but demuxes member-by-member through the scalar stack.
+  bool has_batched_path() const { return batched_lockstep_; }
 
   const DistOperator& op() const { return op_; }
   Preconditioner& preconditioner() { return *precond_; }
@@ -101,6 +100,12 @@ class BarotropicSolver {
   const std::optional<LanczosResult>& lanczos() const { return lanczos_; }
   /// The resilience decorator, or nullptr when config.resilient is off.
   ResilientSolver* resilient() { return resilient_; }
+  /// The batched decorators' views (nullptr when not in the batched
+  /// stack — non-lockstep solvers, fp64, or resilient off).
+  BatchedMixedPrecisionSolver* batched_mixed() { return batched_mixed_; }
+  BatchedResilientSolver* batched_resilient() { return batched_resilient_; }
+  /// The assembled batched stack (never null).
+  BatchedSolver& batched() { return *batched_; }
   /// e.g. "pcsi+block-evp".
   std::string description() const;
 
@@ -110,9 +115,14 @@ class BarotropicSolver {
   DistOperator op_;
   std::unique_ptr<Preconditioner> precond_;
   std::unique_ptr<IterativeSolver> solver_;
-  std::unique_ptr<BatchedSolver> batched_;  ///< fp64 pcsi/chrongear only
+  /// Batched stack mirroring solver_'s decorators (lockstep core for
+  /// pcsi/chrongear, sequential demux adapter otherwise).
+  std::unique_ptr<BatchedSolver> batched_;
+  bool batched_lockstep_ = false;
   ResilientSolver* resilient_ = nullptr;  ///< view into solver_, if wrapped
   MixedPrecisionSolver* mixed_ = nullptr;  ///< view into solver_, if wrapped
+  BatchedMixedPrecisionSolver* batched_mixed_ = nullptr;  ///< view into batched_
+  BatchedResilientSolver* batched_resilient_ = nullptr;   ///< view into batched_
   std::optional<LanczosResult> lanczos_;
 };
 

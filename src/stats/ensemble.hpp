@@ -27,15 +27,17 @@ struct EnsembleConfig {
   double perturbation = 1e-14;
   std::uint64_t seed0 = 1000;
   /// Solve this many members' elliptic systems as one batched multi-RHS
-  /// solve per time step (Fig-13 workload batching; DESIGN.md §10).
+  /// solve per time step (Fig-13 workload batching; DESIGN.md §10-§11).
   /// 1 = scalar solves (the historical path). Requires nranks == 1:
   /// batching composes members ACROSS models on one rank, while
   /// nranks > 1 splits one model across ranks — combining the two would
-  /// need per-rank model groups, which nothing here needs yet. Batched
-  /// members are bitwise identical to batch == 1 members (fp64
-  /// P-CSI/ChronGear batched solves are bit-exact per member, and the
-  /// default resilience decorator that batching bypasses is
-  /// bitwise-neutral in fault-free runs).
+  /// need per-rank model groups, which nothing here needs yet. The
+  /// batched stack carries the full decorator chain (mixed precision,
+  /// resilience with per-member recovery, overlap), so any SolverConfig
+  /// composes with batch > 1. Fp64 batched members are bitwise
+  /// identical to batch == 1 members: P-CSI/ChronGear batched solves
+  /// are bit-exact per member and the resilience decorator is
+  /// bitwise-neutral in fault-free runs.
   int batch = 1;
 };
 

@@ -327,7 +327,9 @@ TEST(BlockEvp, TilesCoverBlocksOnce) {
   // Land cells stay zero.
   for (int j = 0; j < 20; ++j)
     for (int i = 0; i < 24; ++i)
-      if (!p.stencil->mask()(i, j)) EXPECT_EQ(out(i, j), 0.0);
+      if (!p.stencil->mask()(i, j)) {
+        EXPECT_EQ(out(i, j), 0.0);
+      }
 }
 
 TEST(BlockEvp, ReducesChronGearIterationsVsDiagonal) {

@@ -291,8 +291,9 @@ TEST(Kernels, CopyFillMaskZeroTouchInteriorOnly) {
   for (std::size_t k = 0; k < y.v.size(); ++k) {
     const std::ptrdiff_t j = static_cast<std::ptrdiff_t>(k) / y.pitch - h;
     const std::ptrdiff_t i = static_cast<std::ptrdiff_t>(k) % y.pitch - h;
-    if (i < 0 || i >= nx || j < 0 || j >= ny)
+    if (i < 0 || i >= nx || j < 0 || j >= ny) {
       EXPECT_EQ(y.v[k], y_before.v[k]) << "halo touched at " << k;
+    }
   }
 
   mk::fill(nx, ny, 7.5, y.interior(), y.pitch);

@@ -171,8 +171,9 @@ TEST_P(StencilPropertyTest, NoCouplingAcrossCoastlines) {
           ii = (ii % 16 + 16) % 16;
         else if (ii < 0 || ii >= 16)
           continue;
-        if (mask(i, j) != mask(ii, jj))
+        if (mask(i, j) != mask(ii, jj)) {
           EXPECT_EQ(stencil_->coeff(static_cast<mg::Dir>(d))(i, j), 0.0);
+        }
       }
 }
 
@@ -450,7 +451,9 @@ TEST_P(DecompositionSweep, PartitionInvariants) {
   for (int j = 0; j < g.ny(); ++j)
     for (int i = 0; i < g.nx(); ++i) {
       EXPECT_LE(covered(i, j), 1);
-      if (mask(i, j)) EXPECT_EQ(covered(i, j), 1);
+      if (mask(i, j)) {
+        EXPECT_EQ(covered(i, j), 1);
+      }
     }
   EXPECT_EQ(ocean_in_blocks, mg::count_ocean(mask));
 

@@ -81,6 +81,7 @@ void expect_fields_bitwise(const mu::Field& a, const mu::Field& b) {
       ASSERT_EQ(a(i, j), b(i, j)) << "at (" << i << ", " << j << ")";
 }
 
+#if MINIPOP_FAULTS
 void expect_fields_near(const mu::Field& a, const mu::Field& ref,
                         double rel) {
   ASSERT_EQ(a.nx(), ref.nx());
@@ -92,6 +93,7 @@ void expect_fields_near(const mu::Field& a, const mu::Field& ref,
       ASSERT_NEAR(a(i, j), ref(i, j), rel * scale)
           << "at (" << i << ", " << j << ")";
 }
+#endif  // MINIPOP_FAULTS
 
 void expect_stats_bitwise(const ms::SolveStats& a, const ms::SolveStats& b) {
   EXPECT_EQ(a.iterations, b.iterations);
