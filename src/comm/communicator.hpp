@@ -40,6 +40,18 @@ class CommTimeoutError : public util::Error {
   using util::Error::Error;
 };
 
+/// A halo message failed its CRC32C integrity check at unpack. The
+/// payload was corrupted between pack and delivery (wire/NIC/memory);
+/// the sends are eager-buffered, so the receiver cannot ask for a
+/// retransmit of live data — the thrower first calls declare_desync()
+/// so the whole team funnels into resync(), then the recovery layer
+/// restarts the solve from a checkpoint. Typed so it can be told apart
+/// from a timeout (the data arrived — it arrived wrong).
+class CorruptPayloadError : public util::Error {
+ public:
+  using util::Error::Error;
+};
+
 /// Backend-side completion state of one in-flight split-phase operation.
 /// poll() attempts completion without blocking and returns true once the
 /// operation has finished with its results (if any) delivered to the
@@ -146,6 +158,15 @@ class Communicator {
   /// call it (ranks that did not observe the timeout themselves are
   /// pushed into it by their next blocking call throwing).
   virtual void resync() {}
+
+  /// Mark the team's communication state failed WITHOUT blocking, so
+  /// peers currently waiting on this rank's messages or reductions wake
+  /// with a CommTimeoutError and funnel into the collective resync()
+  /// fence. Called by a rank that detected corruption locally (e.g. a
+  /// halo CRC mismatch) and is about to throw: without the declaration
+  /// its peers would block forever on data the thrower will never send.
+  /// No-op on backends with no peers.
+  virtual void declare_desync() {}
 
   // Blocking wrappers: post + wait.
   void allreduce(std::span<double> values, ReduceOp op);

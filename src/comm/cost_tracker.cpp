@@ -13,6 +13,9 @@ CostCounters CostTracker::since(const CostCounters& snapshot) const {
   d.allreduces = c_.allreduces - snapshot.allreduces;
   d.allreduce_doubles = c_.allreduce_doubles - snapshot.allreduce_doubles;
   d.requests = c_.requests - snapshot.requests;
+  d.integrity_checks = c_.integrity_checks - snapshot.integrity_checks;
+  d.integrity_failures =
+      c_.integrity_failures - snapshot.integrity_failures;
   d.posted_comm_seconds =
       c_.posted_comm_seconds - snapshot.posted_comm_seconds;
   d.exposed_comm_seconds =

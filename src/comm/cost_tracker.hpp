@@ -23,6 +23,14 @@ struct CostCounters {
   std::uint64_t allreduce_doubles = 0;
   std::uint64_t requests = 0;  ///< split-phase ops that were in flight
 
+  /// Integrity-layer verifications performed (halo CRC validations,
+  /// ABFT operator checksums, guarded-reduction cross-checks,
+  /// true-residual audits) and how many of them detected corruption.
+  /// Both stay exactly zero when every IntegrityOptions knob is off —
+  /// the "free when disabled" tests pin that down.
+  std::uint64_t integrity_checks = 0;
+  std::uint64_t integrity_failures = 0;
+
   /// Wall time requests spent in flight (post -> observed completion).
   /// This is the communication the split-phase engine *could* hide.
   double posted_comm_seconds = 0.0;
@@ -45,6 +53,8 @@ struct CostCounters {
     allreduces += o.allreduces;
     allreduce_doubles += o.allreduce_doubles;
     requests += o.requests;
+    integrity_checks += o.integrity_checks;
+    integrity_failures += o.integrity_failures;
     posted_comm_seconds += o.posted_comm_seconds;
     exposed_comm_seconds += o.exposed_comm_seconds;
     return *this;
@@ -67,6 +77,10 @@ class CostTracker {
     c_.allreduce_doubles += doubles;
   }
   void add_request() { ++c_.requests; }
+  void add_integrity_check(bool failed = false) {
+    ++c_.integrity_checks;
+    if (failed) ++c_.integrity_failures;
+  }
   void add_posted_seconds(double s) { c_.posted_comm_seconds += s; }
   void add_exposed_seconds(double s) { c_.exposed_comm_seconds += s; }
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "src/fault/fault_injector.hpp"
+#include "src/util/crc32c.hpp"
 #include "src/util/error.hpp"
 
 namespace minipop::comm {
@@ -135,6 +136,27 @@ void zero_region_w(util::Array2D<T>& padded, int h, int w,
   }
 }
 
+// CRC trailer: one extra element of T per remote message, carrying the
+// CRC32C of the payload bytes in its low four bytes (the rest zero).
+// Encoding the checksum as a T keeps the wire format element-typed —
+// receivers size buffers in elements — at the cost of four wasted bytes
+// per fp64 message.
+
+template <typename T>
+T encode_crc(std::uint32_t crc) {
+  static_assert(sizeof(T) >= sizeof(std::uint32_t));
+  T out{};
+  std::memcpy(&out, &crc, sizeof(crc));
+  return out;
+}
+
+template <typename T>
+std::uint32_t decode_crc(const T& trailer) {
+  std::uint32_t crc;
+  std::memcpy(&crc, &trailer, sizeof(crc));
+  return crc;
+}
+
 }  // namespace
 
 template <typename T>
@@ -156,7 +178,25 @@ void HaloHandleT<T>::finish() {
   // exchange, so the unpacked halos are bitwise identical to it.
   for (PendingRecv& p : recvs_) {
     p.request.wait();
-    unpack_w<T>(fs_.data(p.lb), fs_.halo(), w, p.dst, p.buf);
+    std::span<const T> payload(p.buf);
+    if (crc_) {
+      // Strip and verify the one-element CRC trailer before the payload
+      // touches field memory.
+      payload = payload.first(payload.size() - 1);
+      const std::uint32_t want = decode_crc<T>(p.buf.back());
+      const std::uint32_t got =
+          util::crc32c(payload.data(), payload.size_bytes());
+      comm_->costs().add_integrity_check(got != want);
+      if (got != want) {
+        // Wake peers blocked on this rank before unwinding, then let
+        // the recovery layer resync the team and restart the solve.
+        comm_->declare_desync();
+        throw CorruptPayloadError(
+            "halo payload failed CRC32C verification (silent wire "
+            "corruption detected)");
+      }
+    }
+    unpack_w<T>(fs_.data(p.lb), fs_.halo(), w, p.dst, payload);
   }
   comm_->costs().add_halo_exchange(w);
   recvs_.clear();
@@ -188,6 +228,7 @@ HaloHandleT<T> HaloExchanger::begin_set(Communicator& comm,
   HaloHandleT<T> handle;
   handle.comm_ = &comm;
   handle.fs_ = fs;
+  handle.crc_ = crc_enabled_;
 
   // Phase 1: post all remote sends (eager, complete at post time) —
   // ONE message per (block, direction) carrying all w members.
@@ -208,6 +249,18 @@ HaloHandleT<T> HaloExchanger::begin_set(Communicator& comm,
         if (fs.scalar_backed())
           fault::hook_halo_payload(my_rank, buf.data(), buf.size());
       }
+      if (crc_enabled_) {
+        // The CRC is taken AFTER hook_halo_payload: that site models
+        // memory corruption at pack time, which a wire checksum cannot
+        // (and should not) catch. hook_halo_bitflip then fires on the
+        // checksummed bytes — wire corruption the verifier must detect.
+        const std::size_t payload = buf.size();
+        buf.push_back(encode_crc<T>(
+            util::crc32c(buf.data(), payload * sizeof(T))));
+        fault::hook_halo_bitflip(
+            my_rank, reinterpret_cast<unsigned char*>(buf.data()),
+            payload * sizeof(T));
+      }
       comm.isend(owner, message_tag(epoch, b.id, d),
                  std::span<const T>(buf));
     }
@@ -224,7 +277,8 @@ HaloHandleT<T> HaloExchanger::begin_set(Communicator& comm,
       if (nbk.owner == my_rank) continue;
       const HaloRegion dst = halo_region(d, b.nx, b.ny, h);
       typename HaloHandleT<T>::PendingRecv p;
-      p.buf.resize(static_cast<std::size_t>(dst.ni) * w * dst.nj);
+      p.buf.resize(static_cast<std::size_t>(dst.ni) * w * dst.nj +
+                   (crc_enabled_ ? 1 : 0));
       p.lb = lb;
       p.dst = dst;
       handle.recvs_.push_back(std::move(p));
@@ -272,6 +326,7 @@ std::uint64_t HaloExchanger::bytes_sent_per_exchange(
       if (decomp_->block(nid).owner == my_rank) continue;
       const HaloRegion r = send_region(d, b.nx, b.ny, h);
       bytes += static_cast<std::uint64_t>(r.ni) * r.nj * sizeof(T);
+      if (crc_enabled_) bytes += sizeof(T);  // CRC trailer element
     }
   }
   return bytes;
@@ -292,6 +347,7 @@ std::uint64_t HaloExchanger::bytes_sent_per_exchange(
       const HaloRegion r = send_region(d, b.nx, b.ny, h);
       bytes += static_cast<std::uint64_t>(r.ni) * field.nb() * r.nj *
                sizeof(T);
+      if (crc_enabled_) bytes += sizeof(T);  // CRC trailer element
     }
   }
   return bytes;

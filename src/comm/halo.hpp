@@ -104,6 +104,9 @@ class HaloHandleT {
   Communicator* comm_ = nullptr;
   FieldSetT<T> fs_;
   std::vector<PendingRecv> recvs_;
+  /// Copied from the exchanger at begin(): each pending buffer carries a
+  /// one-element CRC32C trailer to verify before unpacking.
+  bool crc_ = false;
 };
 
 extern template class HaloHandleT<double>;
@@ -168,8 +171,23 @@ class HaloExchanger {
   std::uint64_t bytes_sent_per_exchange(
       const DistFieldBatchT<T>& field) const;
 
+  /// Enable CRC32C protection of every remote halo message: the sender
+  /// appends a one-element trailer carrying the CRC of the payload
+  /// bytes, and finish() verifies it before unpacking. A mismatch
+  /// declares the team desynchronized and throws CorruptPayloadError
+  /// (the sends are eager-buffered — there is nothing live to
+  /// retransmit — so recovery restarts from a checkpoint after the
+  /// collective resync). Local copies and zero fills are not checked:
+  /// they never leave the rank's memory. Must be set identically on
+  /// every rank BEFORE any exchange; wired from
+  /// IntegrityOptions::halo_crc at model construction. OFF (default)
+  /// is byte-identical to the pre-integrity wire format.
+  void set_crc(bool on) { crc_enabled_ = on; }
+  bool crc() const { return crc_enabled_; }
+
  private:
   const grid::Decomposition* decomp_;
+  bool crc_enabled_ = false;
 };
 
 #define MINIPOP_HALO_EXTERN(T)                                             \

@@ -80,6 +80,8 @@ Request ThreadComm::irecv_bytes(int src, int tag,
 
 void ThreadComm::barrier() { team_->do_barrier(); }
 
+void ThreadComm::declare_desync() { team_->declare_timeout(); }
+
 void ThreadComm::resync() {
   team_->do_resync();
   // The fence wiped all queued messages, so rewinding every rank's
@@ -171,6 +173,17 @@ void ThreadTeam::throw_if_timed_out() const {
     throw CommTimeoutError(
         "virtual-MPI team out of sync after a receive timeout; "
         "Communicator::resync() required");
+}
+
+void ThreadTeam::declare_timeout() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    timed_out_ = true;
+  }
+  // Every blocking wait's predicate re-checks timed_out_ on wake, so
+  // this is enough to abort peers stuck on data the declarer will never
+  // provide; they throw CommTimeoutError and meet us in do_resync().
+  cv_.notify_all();
 }
 
 void ThreadTeam::set_recv_timeout(double total_ms, int retries) {

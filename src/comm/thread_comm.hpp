@@ -58,6 +58,7 @@ class ThreadComm final : public Communicator {
   Request irecv_bytes(int src, int tag, std::span<std::byte> data) override;
   void barrier() override;
   void resync() override;
+  void declare_desync() override;
 
  private:
   friend class ThreadTeam;
@@ -162,6 +163,11 @@ class ThreadTeam {
   /// poisoning this is recoverable.
   bool timed_out_ = false;
   void throw_if_timed_out() const;
+  /// Raise timed_out_ from a rank that detected corruption (not a
+  /// timeout) and is about to throw: peers blocked in recv/reduce/
+  /// barrier waits wake via cv_ and abort with CommTimeoutError, then
+  /// the whole team meets in do_resync() exactly as after a timeout.
+  void declare_timeout();
   double recv_timeout_ms_ = 0.0;  ///< <= 0: wait forever (default)
   int recv_retries_ = 4;
 

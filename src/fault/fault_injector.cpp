@@ -10,17 +10,6 @@
 
 namespace minipop::fault {
 
-const char* to_string(FaultSite s) {
-  switch (s) {
-    case FaultSite::kSolverVector: return "solver_vector";
-    case FaultSite::kHaloPayload: return "halo_payload";
-    case FaultSite::kMailbox: return "mailbox";
-    case FaultSite::kRankStall: return "rank_stall";
-    case FaultSite::kEigenBounds: return "eigen_bounds";
-  }
-  return "?";
-}
-
 namespace {
 
 std::atomic<FaultInjector*> g_injector{nullptr};
@@ -116,6 +105,40 @@ void FaultInjector::halo_payload(int rank, double* data, std::size_t n) {
   std::lock_guard<std::mutex> lock(mu_);
   util::Xoshiro256* rng;
   const FaultRule* r = advance(FaultSite::kHaloPayload, rank, &rng);
+  if (r == nullptr || n == 0) return;
+  double& v = data[rng->below(n)];
+  v = r->make_nan ? std::numeric_limits<double>::quiet_NaN()
+                  : flip_bit(v, r->bit);
+}
+
+void FaultInjector::halo_bitflip(int rank, unsigned char* bytes,
+                                 std::size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  util::Xoshiro256* rng;
+  const FaultRule* r = advance(FaultSite::kHaloBitFlip, rank, &rng);
+  if (r == nullptr || n == 0) return;
+  // Byte-granular flip: the CRC layer must catch ANY wire bit, not just
+  // flips that land politely inside a double's mantissa.
+  bytes[rng->below(n)] ^=
+      static_cast<unsigned char>(1u << (static_cast<unsigned>(r->bit) & 7u));
+}
+
+void FaultInjector::coeff_bitflip(int rank, double* const planes[9],
+                                  std::size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  util::Xoshiro256* rng;
+  const FaultRule* r = advance(FaultSite::kCoeffBitFlip, rank, &rng);
+  if (r == nullptr || n == 0) return;
+  double& v = planes[rng->below(9)][rng->below(n)];
+  v = r->make_nan ? std::numeric_limits<double>::quiet_NaN()
+                  : flip_bit(v, r->bit);
+}
+
+void FaultInjector::reduction_corrupt(int rank, double* data,
+                                      std::size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  util::Xoshiro256* rng;
+  const FaultRule* r = advance(FaultSite::kReductionCorrupt, rank, &rng);
   if (r == nullptr || n == 0) return;
   double& v = data[rng->below(n)];
   v = r->make_nan ? std::numeric_limits<double>::quiet_NaN()

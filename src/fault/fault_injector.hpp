@@ -63,6 +63,22 @@ class FaultInjector {
   /// kHaloPayload: bit-flip an entry of a packed halo send buffer.
   void halo_payload(int rank, double* data, std::size_t n);
 
+  /// kHaloBitFlip: flip one bit of a packed halo payload viewed as raw
+  /// bytes. The halo engine calls this AFTER computing the payload CRC,
+  /// so it models wire/NIC corruption that the CRC check must catch
+  /// (hook_halo_payload, by contrast, fires before the CRC and models
+  /// memory corruption at pack time).
+  void halo_bitflip(int rank, unsigned char* bytes, std::size_t n);
+
+  /// kCoeffBitFlip: bit-flip one entry of one of the nine stored
+  /// stencil coefficient planes (`planes` are the nine base pointers,
+  /// each `n` doubles long).
+  void coeff_bitflip(int rank, double* const planes[9], std::size_t n);
+
+  /// kReductionCorrupt: corrupt one element of this rank's local
+  /// allreduce contribution before it is posted.
+  void reduction_corrupt(int rank, double* data, std::size_t n);
+
   /// kMailbox: decide the fate of a message this rank is posting.
   MailboxDecision mailbox(int rank);
 
@@ -153,6 +169,23 @@ inline void hook_eigen_bounds(int rank, double* nu, double* mu) {
     inj->eigen_bounds(rank, nu, mu);
 }
 
+inline void hook_halo_bitflip(int rank, unsigned char* bytes,
+                              std::size_t n) {
+  if (FaultInjector* inj = FaultInjector::active())
+    inj->halo_bitflip(rank, bytes, n);
+}
+
+inline void hook_coeff_bitflip(int rank, double* const planes[9],
+                               std::size_t n) {
+  if (FaultInjector* inj = FaultInjector::active())
+    inj->coeff_bitflip(rank, planes, n);
+}
+
+inline void hook_reduction_corrupt(int rank, double* data, std::size_t n) {
+  if (FaultInjector* inj = FaultInjector::active())
+    inj->reduction_corrupt(rank, data, n);
+}
+
 #else  // MINIPOP_FAULTS == 0: hooks compile to nothing.
 
 inline void hook_solver_vector(int, double*, std::ptrdiff_t, int, int,
@@ -161,6 +194,9 @@ inline void hook_halo_payload(int, double*, std::size_t) {}
 inline MailboxDecision hook_mailbox(int) { return {}; }
 inline void hook_rank_stall(int) {}
 inline void hook_eigen_bounds(int, double*, double*) {}
+inline void hook_halo_bitflip(int, unsigned char*, std::size_t) {}
+inline void hook_coeff_bitflip(int, double* const*, std::size_t) {}
+inline void hook_reduction_corrupt(int, double*, std::size_t) {}
 
 #endif  // MINIPOP_FAULTS
 

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iterator>
 #include <vector>
 
 namespace minipop::fault {
@@ -20,10 +21,30 @@ enum class FaultSite {
   kMailbox,       ///< drop, delay or duplicate a ThreadComm mailbox message
   kRankStall,     ///< stall a rank for a wall-clock time at a collective post
   kEigenBounds,   ///< corrupt the P-CSI eigenvalue interval [nu, mu]
+  kHaloBitFlip,   ///< bit-flip a halo payload AFTER its CRC was computed
+  kCoeffBitFlip,  ///< bit-flip a stored 9-point stencil coefficient
+  kReductionCorrupt,  ///< corrupt this rank's allreduce contribution
 };
-inline constexpr int kNumFaultSites = 5;
 
-const char* to_string(FaultSite s);
+/// Names in enumerator order. The site count is DERIVED from this table
+/// and the static_assert below pins the table to the last enumerator,
+/// so adding a site without naming it (or naming one without adding it)
+/// fails at compile time.
+inline constexpr const char* kFaultSiteNames[] = {
+    "solver_vector", "halo_payload",   "mailbox",
+    "rank_stall",    "eigen_bounds",   "halo_bit_flip",
+    "coeff_bit_flip", "reduction_corrupt",
+};
+inline constexpr int kNumFaultSites =
+    static_cast<int>(std::size(kFaultSiteNames));
+static_assert(static_cast<int>(FaultSite::kReductionCorrupt) + 1 ==
+                  kNumFaultSites,
+              "FaultSite enumerators and kFaultSiteNames are out of sync; "
+              "add the new site's name in enumerator order");
+
+constexpr const char* to_string(FaultSite s) {
+  return kFaultSiteNames[static_cast<int>(s)];
+}
 
 /// What a fired kMailbox fault does to the message.
 enum class MailboxAction { kDrop, kDelay, kDuplicate };
@@ -40,8 +61,10 @@ struct FaultRule {
   /// Fire exactly at this per-(site, rank) event ordinal (0-based);
   /// overrides probability when >= 0. Event ordinals count hook calls:
   /// stencil sweeps for kSolverVector, packed sends for kHaloPayload,
-  /// posted messages for kMailbox, collective posts for kRankStall, and
-  /// solver-entry reads of the bounds for kEigenBounds.
+  /// posted messages for kMailbox, collective posts for kRankStall,
+  /// solver-entry reads of the bounds for kEigenBounds, CRC-protected
+  /// sends for kHaloBitFlip, fp64 operator sweeps for kCoeffBitFlip,
+  /// and reduction contributions for kReductionCorrupt.
   long trigger_event = -1;
 
   /// Stop firing after this many hits (<= 0 means unlimited).

@@ -29,6 +29,9 @@ OceanModel::OceanModel(comm::Communicator& comm, const ModelConfig& config)
       grid_->nx(), grid_->ny(), grid_->periodic_x(), mask,
       config.block_size, config.block_size, config.nranks);
   halo_ = std::make_unique<comm::HaloExchanger>(*decomp_);
+  // CRC-protect every remote halo message when the integrity layer asks
+  // for it — set before ANY exchange so the wire format is uniform.
+  halo_->set_crc(config.solver.options.integrity.halo_crc);
   geometry_ = std::make_unique<Geometry>(*grid_, depth_, *decomp_,
                                          comm.rank(), config.omega);
   barotropic_ = std::make_unique<BarotropicMode>(

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "src/solver/field_ops.hpp"
+#include "src/solver/integrity.hpp"
 #include "src/solver/preconditioner.hpp"
 #include "src/util/error.hpp"
 #include "src/util/log.hpp"
@@ -117,7 +118,12 @@ BatchSolveStats BatchedMixedPrecisionSolver::solve_mixed(
   // True fp64 member norms and thresholds (the refinement guards).
   std::vector<double> b_norm2(nb, 0.0);
   a.local_dot_batch(comm, b, b, b_norm2.data());
-  comm.allreduce(std::span<double>(b_norm2.data(), nb), comm::ReduceOp::kSum);
+  std::vector<int> bad_idx;
+  std::vector<unsigned char> bad_slot(nb, 0);
+  if (allreduce_sum_guarded(comm, opt_.integrity,
+                            std::span<double>(b_norm2.data(), nb),
+                            &bad_idx))
+    for (int i : bad_idx) bad_slot[i] = 1;
 
   std::vector<double> threshold2(nb);
   std::vector<ConvergenceGuard> guards;
@@ -127,6 +133,14 @@ BatchSolveStats BatchedMixedPrecisionSolver::solve_mixed(
   for (int mm = 0; mm < nb; ++mm) {
     guards.emplace_back(opt_);
     threshold2[mm] = opt_.rel_tolerance * opt_.rel_tolerance * b_norm2[mm];
+    if (bad_slot[mm]) {
+      // Untrustworthy ||b||² ⇒ untrustworthy threshold: fail the member
+      // before it refines (batched-core init parity).
+      out.members[mm].failure = FailureKind::kCorruptReduction;
+      active[mm] = 0;
+      --n_active;
+      continue;
+    }
     if (b_norm2[mm] == 0.0) {
       // Scalar early-out parity: x_m = 0, converged.
       for (int lb = 0; lb < x.num_local_blocks(); ++lb) {
@@ -146,6 +160,11 @@ BatchSolveStats BatchedMixedPrecisionSolver::solve_mixed(
 
   std::vector<double> sums(nb);
   std::vector<double> ones(nb, 1.0);
+  std::vector<unsigned char> accept_s(nb);
+  std::vector<FailureKind> audit(nb);
+  std::vector<int> member_id(nb);
+  for (int mm = 0; mm < nb; ++mm) member_id[mm] = mm;
+  BatchIntegrityAuditor auditor(opt_);
   comm::HaloFreshness fresh = x_fresh;
 
   for (int sweep = 0;; ++sweep) {
@@ -159,23 +178,55 @@ BatchSolveStats BatchedMixedPrecisionSolver::solve_mixed(
     else
       a.residual_local_norm2_batch(comm, halo, b, x, r, sums.data(), fresh);
     fresh = comm::HaloFreshness::kStale;
+    bad_idx.clear();
+    bool red_bad = false;
     if (ov) {
       // Hide the check reduction behind the (local) demotion of r; the
       // demoted copy is only wasted on the final, converged sweep.
-      comm::Request req = comm.iallreduce(
-          std::span<double>(sums.data(), nb), comm::ReduceOp::kSum);
+      GuardedReduction req;
+      req.post(comm, opt_.integrity, std::span<double>(sums.data(), nb));
       demote(r, r32);
-      req.wait();
+      red_bad = req.wait(&bad_idx);
     } else {
-      comm.allreduce(std::span<double>(sums.data(), nb),
-                     comm::ReduceOp::kSum);
+      red_bad = allreduce_sum_guarded(comm, opt_.integrity,
+                                      std::span<double>(sums.data(), nb),
+                                      &bad_idx);
+    }
+    if (red_bad) {
+      for (int i : bad_idx) {
+        if (!active[i]) continue;
+        out.members[i].failure = FailureKind::kCorruptReduction;
+        active[i] = 0;
+        --n_active;
+      }
+      if (n_active == 0) break;
+    }
+
+    accept_s.assign(nb, 0);
+    audit.assign(nb, FailureKind::kNone);
+    for (int mm = 0; mm < nb; ++mm)
+      if (active[mm] && sums[mm] <= threshold2[mm]) accept_s[mm] = 1;
+    if (opt_.integrity.any_solver_check()) {
+      // The refinement loop's r IS the true fp64 residual (r_is_true),
+      // so only the ABFT operator audit applies; slot == member here
+      // (the outer batch never compacts).
+      auditor.at_check(comm, halo, a, b, r, x, b_norm2.data(),
+                       member_id.data(), active.data(), nb, nullptr,
+                       /*r_is_true=*/true, accept_s.data(),
+                       /*any_accept=*/false, audit.data());
     }
 
     for (int mm = 0; mm < nb; ++mm) {
       if (!active[mm]) continue;
+      if (audit[mm] != FailureKind::kNone) {
+        out.members[mm].failure = audit[mm];
+        active[mm] = 0;
+        --n_active;
+        continue;
+      }
       const double rel = std::sqrt(sums[mm] / b_norm2[mm]);
       out.members[mm].relative_residual = rel;
-      if (sums[mm] <= threshold2[mm]) {
+      if (accept_s[mm]) {
         out.members[mm].converged = true;
         active[mm] = 0;
         --n_active;
@@ -340,12 +391,14 @@ BatchSolveStats BatchedResilientSolver::solve(comm::Communicator& comm,
   std::size_t stage = 0;
   int restarts_used = 0;
   bool bounds_reestimated = false;
+  bool operator_repaired = false;
   comm::HaloFreshness fresh = x_fresh;
 
   for (int attempt = 0;; ++attempt) {
     const int w = static_cast<int>(cur.size());
     BatchSolveStats stats;
     bool comm_broken = false;
+    FailureKind broken_code = FailureKind::kCommTimeout;
     std::vector<double> codes(w, 0.0);
     try {
       stats = run_stage(chain_[stage], comm, halo, a, m, *bw, *xw, fresh);
@@ -356,6 +409,12 @@ BatchSolveStats BatchedResilientSolver::solve(comm::Communicator& comm,
                              static_cast<int>(stats.members[s].failure));
     } catch (const comm::CommTimeoutError&) {
       comm_broken = true;
+    } catch (const comm::CorruptPayloadError&) {
+      // A halo message failed its CRC. The thrower already called
+      // declare_desync() (peers funnel into resync below); the typed
+      // code survives the post-resync kMax agreement.
+      comm_broken = true;
+      broken_code = FailureKind::kCorruptPayload;
     }
 
     // Agreement: ONE w-element kMax reduction of the member failure
@@ -378,8 +437,7 @@ BatchSolveStats BatchedResilientSolver::solve(comm::Communicator& comm,
       // are not trustworthy on any member.
       comm.resync();
       std::fill(codes.begin(), codes.end(),
-                static_cast<double>(
-                    static_cast<int>(FailureKind::kCommTimeout)));
+                static_cast<double>(static_cast<int>(broken_code)));
       comm.allreduce(std::span<double>(codes.data(), w),
                      comm::ReduceOp::kMax);
       stats = BatchSolveStats{};
@@ -426,13 +484,22 @@ BatchSolveStats BatchedResilientSolver::solve(comm::Communicator& comm,
     ev.iterations = stats.iterations;
     ev.members = static_cast<int>(failed_slots.size());
 
-    enum class Act { kEscalate, kReestimate, kRestart, kFallback, kGiveUp };
+    enum class Act {
+      kRepair, kEscalate, kReestimate, kRestart, kFallback, kGiveUp
+    };
     Act act = Act::kGiveUp;
     std::size_t restore_slot = 0;
-    if (stage == 0 && mixed && !mixed->forced_fp64() &&
-        mixed->precision() != Precision::kFp64 &&
-        worst != FailureKind::kCommTimeout) {
-      // Cheapest thing to rule out: reduced-precision arithmetic.
+    if (worst == FailureKind::kCorruptOperator && !operator_repaired) {
+      // A corrupted operator is repaired in place, once per solve: no
+      // other rung can cure bad coefficients (every retry would re-run
+      // the same wrong operator).
+      act = Act::kRepair;
+    } else if (stage == 0 && mixed && !mixed->forced_fp64() &&
+               mixed->precision() != Precision::kFp64 &&
+               !needs_resync(worst)) {
+      // Cheapest thing to rule out: reduced-precision arithmetic. Not
+      // for comm-layer failures (timeouts, corrupt payloads) —
+      // precision cannot fix a lost or mangled message.
       act = Act::kEscalate;
     } else if (stage == 0 && policy_.reestimate_bounds &&
                !bounds_reestimated &&
@@ -476,6 +543,11 @@ BatchSolveStats BatchedResilientSolver::solve(comm::Communicator& comm,
     }
 
     switch (act) {
+      case Act::kRepair:
+        ev.action = "repair_operator";
+        a.repair_coefficients();
+        operator_repaired = true;
+        break;
       case Act::kEscalate:
         ev.action = "escalate_precision";
         mixed->set_forced_fp64(true);
@@ -484,12 +556,26 @@ BatchSolveStats BatchedResilientSolver::solve(comm::Communicator& comm,
         ev.action = "reestimate_bounds";
         // A diverging P-CSI usually means the Chebyshev interval no
         // longer brackets the spectrum; measure it again (collective).
+        // Lanczos itself can fail — a corrupted operator may not even
+        // be SPD any more — and that must burn the rung, not escape
+        // the recovery chain; the failed members then simply restart
+        // from the checkpoint with the bounds unchanged. Its
+        // requirement checks fire on globally-reduced values, so every
+        // rank throws (or not) together.
         BatchedPcsiSolver* pcsi =
             dynamic_cast<BatchedPcsiSolver*>(chain_[0].batched.get());
         if (!pcsi && mixed) pcsi = mixed->pcsi();
-        const LanczosResult lr =
-            estimate_eigenvalue_bounds(comm, halo, a, m, policy_.lanczos);
-        pcsi->set_bounds(lr.bounds);
+        try {
+          const LanczosResult lr =
+              estimate_eigenvalue_bounds(comm, halo, a, m, policy_.lanczos);
+          pcsi->set_bounds(lr.bounds);
+        } catch (const comm::CommTimeoutError&) {
+          throw;
+        } catch (const comm::CorruptPayloadError&) {
+          throw;
+        } catch (const util::Error&) {
+          ev.action = "restart";
+        }
         bounds_reestimated = true;
         break;
       }

@@ -7,6 +7,7 @@
 #include <type_traits>
 
 #include "src/fault/fault_injector.hpp"
+#include "src/solver/integrity.hpp"
 #include "src/solver/kernels.hpp"
 #include "src/util/error.hpp"
 
@@ -150,13 +151,25 @@ BatchControl init_control(const SolverOptions& opt, comm::Communicator& comm,
   ctl.cur_nb = nb;
 
   a.local_dot_batch(comm, b, b, ctl.b_norm2.data());
-  comm.allreduce(std::span<double>(ctl.b_norm2.data(), nb),
-                 comm::ReduceOp::kSum);
+  std::vector<int> bad;
+  std::vector<unsigned char> bad_slot(nb, 0);
+  if (allreduce_sum_guarded(comm, opt.integrity,
+                            std::span<double>(ctl.b_norm2.data(), nb), &bad))
+    for (int i : bad) bad_slot[i] = 1;
   for (int m = 0; m < nb; ++m) {
     ctl.guards.emplace_back(opt);
     ctl.member_of[m] = m;
     ctl.threshold2[m] =
         opt.rel_tolerance * opt.rel_tolerance * ctl.b_norm2[m];
+    if (bad_slot[m]) {
+      // The member's ||b||² — and with it its convergence threshold —
+      // is untrustworthy: fail the member before it iterates. Its x
+      // plane keeps the caller's initial guess.
+      ctl.out.members[m].failure = FailureKind::kCorruptReduction;
+      ctl.active[m] = 0;
+      --ctl.n_active;
+      continue;
+    }
     if (ctl.b_norm2[m] == 0.0) {
       fill_member(x, m, 0.0);
       ctl.out.members[m].converged = true;
@@ -376,6 +389,10 @@ BatchSolveStats BatchedPcsiSolver::solve_t(comm::Communicator& comm,
 
   std::vector<T> ca(nb0), cb(nb0), cc(nb0);
   std::vector<double> sums(nb0);
+  std::vector<int> bad_idx;
+  std::vector<unsigned char> accept_s(nb0);
+  std::vector<FailureKind> audit(nb0);
+  BatchIntegrityAuditor auditor(opt_);
 
   // Initial step (Algorithm 2, step 2), gated so zero-RHS members'
   // solutions stay exactly at the scalar early-out's fill(0).
@@ -418,13 +435,46 @@ BatchSolveStats BatchedPcsiSolver::solve_t(comm::Communicator& comm,
                                                 sums.data());
       else
         a.residual_local_norm2_batch(comm, halo, *bw, *xw, r, sums.data());
-      comm.allreduce(std::span<double>(sums.data(), ctl.cur_nb),
-                     comm::ReduceOp::kSum);
+      bad_idx.clear();
+      if (allreduce_sum_guarded(comm, opt_.integrity,
+                                std::span<double>(sums.data(), ctl.cur_nb),
+                                &bad_idx)) {
+        // A mismatched slot's norm is untrustworthy: freeze that member
+        // with a typed failure and stamp its residual from its (valid)
+        // r plane at the next stamp point.
+        for (int i : bad_idx) {
+          if (!ctl.active[i]) continue;
+          ctl.needs_stamp[ctl.member_of[i]] = 1;
+          ctl.freeze(i, false, 0.0, FailureKind::kCorruptReduction);
+        }
+        if (ctl.n_active == 0) break;
+      }
+      accept_s.assign(ctl.cur_nb, 0);
+      audit.assign(ctl.cur_nb, FailureKind::kNone);
+      for (int s = 0; s < ctl.cur_nb; ++s)
+        if (ctl.active[s] && sums[s] <= ctl.threshold2[ctl.member_of[s]])
+          accept_s[s] = 1;
+      if constexpr (std::is_same_v<T, double>) {
+        // P-CSI's r IS the true residual, so only the ABFT operator
+        // audit applies — run it before any accepting check freezes a
+        // member as converged (scalar-auditor parity).
+        if (opt_.integrity.any_solver_check())
+          auditor.at_check(comm, halo, a, *bw, r, *xw, ctl.b_norm2.data(),
+                           ctl.member_of.data(), ctl.active.data(),
+                           ctl.cur_nb, nullptr, /*r_is_true=*/true,
+                           accept_s.data(), /*any_accept=*/false,
+                           audit.data());
+      }
       for (int s = 0; s < ctl.cur_nb; ++s) {
         if (!ctl.active[s]) continue;
         const int mm = ctl.member_of[s];
+        if (audit[s] != FailureKind::kNone) {
+          ctl.needs_stamp[mm] = 1;
+          ctl.freeze(s, false, 0.0, audit[s]);
+          continue;
+        }
         const double rel = std::sqrt(sums[s] / ctl.b_norm2[mm]);
-        if (sums[s] <= ctl.threshold2[mm]) {
+        if (accept_s[s]) {
           ctl.freeze(s, true, rel, FailureKind::kNone);
           continue;
         }
@@ -520,6 +570,10 @@ BatchSolveStats BatchedChronGearSolver::solve_t(
   std::vector<T> ca(nb0), cb(nb0), cc(nb0), cneg(nb0);
   std::vector<double> sums(nb0);
   std::vector<double> red(3 * static_cast<std::size_t>(nb0));
+  std::vector<int> bad_idx;
+  std::vector<unsigned char> accept_s(nb0);
+  std::vector<FailureKind> audit(nb0);
+  BatchIntegrityAuditor auditor(opt_);
 
   for (int k = 1; k <= opt_.max_iterations; ++k) {
     ctl.out.iterations = k;
@@ -537,19 +591,58 @@ BatchSolveStats BatchedChronGearSolver::solve_t(
     // makes each member's scalars bit-equal to its scalar solve's.
     const bool check = (k % opt_.check_frequency == 0);
     a.local_dot3_batch(comm, r, rp, z, check, red.data());
-    comm.allreduce(
-        std::span<double>(red.data(),
-                          static_cast<std::size_t>(check ? 3 : 2) *
-                              ctl.cur_nb),
-        comm::ReduceOp::kSum);
+    bad_idx.clear();
+    if (allreduce_sum_guarded(
+            comm, opt_.integrity,
+            std::span<double>(red.data(),
+                              static_cast<std::size_t>(check ? 3 : 2) *
+                                  ctl.cur_nb),
+            &bad_idx)) {
+      // A mismatched slot poisons that member's rho/delta/norm: freeze
+      // it with a typed failure (residual stamped later from its frozen
+      // r plane, which reduction corruption does not touch).
+      for (int i : bad_idx) {
+        const int s = i % ctl.cur_nb;
+        if (!ctl.active[s]) continue;
+        ctl.needs_stamp[ctl.member_of[s]] = 1;
+        ctl.freeze(s, false, 0.0, FailureKind::kCorruptReduction);
+      }
+      if (ctl.n_active == 0) break;
+    }
 
     if (check) {
+      accept_s.assign(ctl.cur_nb, 0);
+      audit.assign(ctl.cur_nb, FailureKind::kNone);
+      bool any_accept = false;
+      for (int s = 0; s < ctl.cur_nb; ++s) {
+        if (!ctl.active[s]) continue;
+        if (red[2 * ctl.cur_nb + s] <= ctl.threshold2[ctl.member_of[s]]) {
+          accept_s[s] = 1;
+          any_accept = true;
+        }
+      }
+      if constexpr (std::is_same_v<T, double>) {
+        // ChronGear's r is a recurrence: audit both the operator (ABFT)
+        // and recurrence-vs-true-residual drift — always before an
+        // accepting check turns a recurrence claim into "converged".
+        if (opt_.integrity.any_solver_check())
+          auditor.at_check(comm, halo, a, *bw, r, *xw, ctl.b_norm2.data(),
+                           ctl.member_of.data(), ctl.active.data(),
+                           ctl.cur_nb, red.data() + 2 * ctl.cur_nb,
+                           /*r_is_true=*/false, accept_s.data(), any_accept,
+                           audit.data());
+      }
       for (int s = 0; s < ctl.cur_nb; ++s) {
         if (!ctl.active[s]) continue;
         const int mm = ctl.member_of[s];
+        if (audit[s] != FailureKind::kNone) {
+          ctl.needs_stamp[mm] = 1;
+          ctl.freeze(s, false, 0.0, audit[s]);
+          continue;
+        }
         const double r_norm2 = red[2 * ctl.cur_nb + s];
         const double rel = std::sqrt(r_norm2 / ctl.b_norm2[mm]);
-        if (r_norm2 <= ctl.threshold2[mm]) {
+        if (accept_s[s]) {
           ctl.freeze(s, true, rel, FailureKind::kNone);
           continue;
         }

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "src/solver/field_ops.hpp"
+#include "src/solver/integrity.hpp"
 #include "src/util/error.hpp"
 
 namespace minipop::solver {
@@ -40,6 +41,7 @@ SolveStats ChronGearSolver::solve(comm::Communicator& comm,
   double rho_old = 1.0;
   double sigma_old = 0.0;
   ConvergenceGuard guard(opt_);
+  IntegrityAuditor auditor(opt_);
 
   for (int k = 1; k <= opt_.max_iterations; ++k) {
     stats.iterations = k;
@@ -53,14 +55,27 @@ SolveStats ChronGearSolver::solve(comm::Communicator& comm,
     const bool check = (k % opt_.check_frequency == 0);
     double local[3];
     a.local_dot3(comm, r, rp, z, check, local);
-    comm.allreduce(std::span<double>(local, check ? 3 : 2),
-                   comm::ReduceOp::kSum);
+    if (allreduce_sum_guarded(comm, opt_.integrity,
+                              std::span<double>(local, check ? 3 : 2))) {
+      stats.failure = FailureKind::kCorruptReduction;
+      break;
+    }
     const double rho = local[0];
     const double delta = local[1];
     if (check) {
       const double rel = std::sqrt(local[2] / b_norm2);
       if (opt_.record_residuals) stats.residual_history.emplace_back(k, rel);
-      if (local[2] <= threshold2) {
+      const bool accept = local[2] <= threshold2;
+      if (opt_.integrity.any_solver_check()) {
+        // ChronGear's r is a recurrence: audit both the operator (ABFT)
+        // and the recurrence-vs-true-residual drift — always before an
+        // accepting check turns a recurrence claim into "converged".
+        stats.failure =
+            auditor.at_check(comm, halo, a, b, r, x, b_norm2, local[2],
+                             /*r_is_true=*/false, accept);
+        if (stats.failure != FailureKind::kNone) break;
+      }
+      if (accept) {
         stats.converged = true;
         stats.relative_residual = rel;
         break;
@@ -156,19 +171,19 @@ SolveStats ChronGearSolver::solve_overlapped(comm::Communicator& comm,
   double rho_old = 1.0;
   double sigma_old = 0.0;
   ConvergenceGuard guard(opt_);
+  IntegrityAuditor auditor(opt_);
 
-  // norm_buf must be declared before norm_req: an abandoned Request's
+  // norm_buf must be declared before norm_red: an abandoned Request's
   // destructor performs one non-blocking test that can still deliver a
   // matured message into its landing span, so the request has to be
   // destroyed (reverse declaration order) while the buffer is alive.
   double norm_buf = 0.0;
-  comm::Request norm_req;   // in-flight ||r||² for the next check
+  GuardedReduction norm_red;  // in-flight ||r||² for the next check
   // check_frequency == 1 checks at k = 1, whose norm must be posted
   // before the loop (the general posting site is "end of iteration k-1").
   if (opt_.check_frequency == 1 && opt_.max_iterations >= 1) {
     norm_buf = a.local_dot(comm, r, r);
-    norm_req = comm.iallreduce(std::span<double>(&norm_buf, 1),
-                               comm::ReduceOp::kSum);
+    norm_red.post(comm, opt_.integrity, std::span<double>(&norm_buf, 1));
   }
 
   for (int k = 1; k <= opt_.max_iterations; ++k) {
@@ -183,15 +198,29 @@ SolveStats ChronGearSolver::solve_overlapped(comm::Communicator& comm,
     // iteration has been flying behind m.apply + the matvec above.
     double local[3];
     a.local_dot3(comm, r, rp, z, /*with_norm=*/false, local);
-    comm.allreduce(std::span<double>(local, 2), comm::ReduceOp::kSum);
+    if (allreduce_sum_guarded(comm, opt_.integrity,
+                              std::span<double>(local, 2))) {
+      stats.failure = FailureKind::kCorruptReduction;
+      break;
+    }
     const double rho = local[0];
     const double delta = local[1];
     if (check) {
-      norm_req.wait();
+      if (norm_red.wait()) {
+        stats.failure = FailureKind::kCorruptReduction;
+        break;
+      }
       const double r_norm2 = norm_buf;
       const double rel = std::sqrt(r_norm2 / b_norm2);
       if (opt_.record_residuals) stats.residual_history.emplace_back(k, rel);
-      if (r_norm2 <= threshold2) {
+      const bool accept = r_norm2 <= threshold2;
+      if (opt_.integrity.any_solver_check()) {
+        stats.failure =
+            auditor.at_check(comm, halo, a, b, r, x, b_norm2, r_norm2,
+                             /*r_is_true=*/false, accept);
+        if (stats.failure != FailureKind::kNone) break;
+      }
+      if (accept) {
         stats.converged = true;
         stats.relative_residual = rel;
         break;
@@ -221,8 +250,7 @@ SolveStats ChronGearSolver::solve_overlapped(comm::Communicator& comm,
     if (k + 1 <= opt_.max_iterations &&
         (k + 1) % opt_.check_frequency == 0) {
       norm_buf = a.local_dot(comm, r, r);
-      norm_req = comm.iallreduce(std::span<double>(&norm_buf, 1),
-                                 comm::ReduceOp::kSum);
+      norm_red.post(comm, opt_.integrity, std::span<double>(&norm_buf, 1));
     }
 
     rho_old = rho;

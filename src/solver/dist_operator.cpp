@@ -1,5 +1,7 @@
 #include "src/solver/dist_operator.hpp"
 
+#include <type_traits>
+
 #include "src/fault/fault_injector.hpp"
 #include "src/solver/kernels.hpp"
 #include "src/util/error.hpp"
@@ -93,7 +95,8 @@ int rim_rects(int nx, int ny, SubRect out[4]) {
 
 DistOperator::DistOperator(const grid::NinePointStencil& stencil,
                            const grid::Decomposition& decomp, int rank)
-    : decomp_(&decomp), rank_(rank), phi_(stencil.phi()) {
+    : decomp_(&decomp), stencil_(&stencil), rank_(rank),
+      phi_(stencil.phi()) {
   MINIPOP_REQUIRE(stencil.nx() == decomp.nx_global() &&
                       stencil.ny() == decomp.ny_global(),
                   "stencil " << stencil.nx() << "x" << stencil.ny()
@@ -124,6 +127,58 @@ DistOperator::DistOperator(const grid::NinePointStencil& stencil,
     block_coeff_.push_back(std::move(coeffs));
     block_mask_.push_back(std::move(mask));
   }
+  build_column_sums();
+}
+
+void DistOperator::build_column_sums() const {
+  column_sum_.clear();
+  column_sum_.reserve(block_coeff_.size());
+  for (std::size_t lb = 0; lb < block_coeff_.size(); ++lb) {
+    const auto& c = block_coeff_[lb];
+    const auto& mask = block_mask_[lb];
+    const int nx = c[0].nx(), ny = c[0].ny();
+    util::Field cs(nx, ny);
+    // c = A·1: with every x value 1 (halo included), the sweep output
+    // at a cell is just the sum of its nine coefficients — no scratch
+    // field or halo exchange needed. Land cells are zeroed to match the
+    // masked dots that consume the field.
+    for (int j = 0; j < ny; ++j)
+      for (int i = 0; i < nx; ++i) {
+        double s = 0.0;
+        for (int d = 0; d < grid::kNumDirs; ++d) s += c[d](i, j);
+        cs(i, j) = mask(i, j) ? s : 0.0;
+      }
+    column_sum_.push_back(std::move(cs));
+  }
+}
+
+void DistOperator::repair_coefficients() const {
+  const auto& ids = decomp_->blocks_of_rank(rank_);
+  for (std::size_t lb = 0; lb < ids.size(); ++lb) {
+    const auto& b = decomp_->block(ids[lb]);
+    for (int d = 0; d < grid::kNumDirs; ++d) {
+      const auto& global = stencil_->coeff(static_cast<grid::Dir>(d));
+      util::Field& coeff = block_coeff_[lb][d];
+      for (int j = 0; j < b.ny; ++j)
+        for (int i = 0; i < b.nx; ++i)
+          coeff(i, j) = global(b.i0 + i, b.j0 + j);
+    }
+  }
+  build_column_sums();
+  // The fp32 mirror may have been built from corrupted values; drop it
+  // so the next fp32 sweep rebuilds from the repaired planes.
+  block_coeff32_.clear();
+}
+
+void DistOperator::offer_coeff_fault_sites() const {
+#if MINIPOP_FAULTS
+  for (int lb = 0; lb < num_local_blocks(); ++lb) {
+    double* planes[grid::kNumDirs];
+    for (int d = 0; d < grid::kNumDirs; ++d)
+      planes[d] = block_coeff_[lb][d].data();
+    fault::hook_coeff_bitflip(rank_, planes, block_coeff_[lb][0].size());
+  }
+#endif
 }
 
 void DistOperator::ensure_coeff32() const {
@@ -184,6 +239,7 @@ void DistOperator::apply_t(comm::Communicator& comm,
   MINIPOP_REQUIRE(&x.decomposition() == decomp_ && x.rank() == rank_,
                   "field does not match operator decomposition");
   MINIPOP_REQUIRE(&x != &y, "apply requires distinct x and y");
+  if constexpr (std::is_same_v<T, double>) offer_coeff_fault_sites();
   if (fresh == comm::HaloFreshness::kStale) halo.exchange(comm, x);
 
   const auto& coeff = coeffs<T>();
@@ -210,6 +266,7 @@ void DistOperator::residual_t(comm::Communicator& comm,
   MINIPOP_REQUIRE(&x.decomposition() == decomp_ && x.rank() == rank_,
                   "field does not match operator decomposition");
   MINIPOP_REQUIRE(&b != &r && &x != &r, "residual requires distinct r");
+  if constexpr (std::is_same_v<T, double>) offer_coeff_fault_sites();
   if (fresh == comm::HaloFreshness::kStale) halo.exchange(comm, x);
 
   const auto& coeff = coeffs<T>();
@@ -238,6 +295,7 @@ double DistOperator::residual_local_norm2_t(comm::Communicator& comm,
   MINIPOP_REQUIRE(&x.decomposition() == decomp_ && x.rank() == rank_,
                   "field does not match operator decomposition");
   MINIPOP_REQUIRE(&b != &r && &x != &r, "residual requires distinct r");
+  if constexpr (std::is_same_v<T, double>) offer_coeff_fault_sites();
   if (fresh == comm::HaloFreshness::kStale) halo.exchange(comm, x);
 
   const auto& coeff = coeffs<T>();
@@ -275,6 +333,7 @@ void DistOperator::apply_overlapped_t(comm::Communicator& comm,
   MINIPOP_REQUIRE(&x.decomposition() == decomp_ && x.rank() == rank_,
                   "field does not match operator decomposition");
   MINIPOP_REQUIRE(&x != &y, "apply requires distinct x and y");
+  if constexpr (std::is_same_v<T, double>) offer_coeff_fault_sites();
 
   const auto& coeff = coeffs<T>();
   comm::HaloHandleT<T> inflight = halo.begin(comm, x);
@@ -322,6 +381,7 @@ void DistOperator::residual_overlapped_t(comm::Communicator& comm,
   MINIPOP_REQUIRE(&x.decomposition() == decomp_ && x.rank() == rank_,
                   "field does not match operator decomposition");
   MINIPOP_REQUIRE(&b != &r && &x != &r, "residual requires distinct r");
+  if constexpr (std::is_same_v<T, double>) offer_coeff_fault_sites();
 
   const auto& coeff = coeffs<T>();
   comm::HaloHandleT<T> inflight = halo.begin(comm, x);
@@ -487,6 +547,58 @@ void DistOperator::mask_interior(comm::DistField& x) const {
   mask_interior_t<double>(x);
 }
 
+void DistOperator::abft_local_sums(comm::Communicator& comm,
+                                   const comm::DistField& b,
+                                   const comm::DistField& r,
+                                   const comm::DistField& x,
+                                   double out[3]) const {
+  MINIPOP_REQUIRE(b.compatible_with(r) && b.compatible_with(x),
+                  "b/r/x field mismatch");
+  out[0] = out[1] = out[2] = 0.0;
+  std::uint64_t points = 0;
+  for (int lb = 0; lb < num_local_blocks(); ++lb) {
+    const auto& info = b.info(lb);
+    const auto& mask = block_mask_[lb];
+    const util::Field& cs = column_sum_[lb];
+    out[0] = kernels::masked_sum(mask.data(), mask.nx(), info.nx, info.ny,
+                                 b.interior(lb), b.stride(lb), out[0]);
+    out[1] = kernels::masked_sum(mask.data(), mask.nx(), info.nx, info.ny,
+                                 r.interior(lb), r.stride(lb), out[1]);
+    out[2] = kernels::dot_shared(mask.data(), mask.nx(), info.nx, info.ny,
+                                 cs.data(), cs.nx(), x.interior(lb),
+                                 x.stride(lb), out[2]);
+    points += static_cast<std::uint64_t>(info.nx) * info.ny;
+  }
+  // Two masked sums (1 op/point each) + one shared-factor dot (2).
+  comm.costs().add_flops(4 * points);
+}
+
+void DistOperator::abft_local_sums_batch(comm::Communicator& comm,
+                                         const comm::DistFieldBatch& b,
+                                         const comm::DistFieldBatch& r,
+                                         const comm::DistFieldBatch& x,
+                                         double* out) const {
+  MINIPOP_REQUIRE(b.compatible_with(r) && b.compatible_with(x),
+                  "b/r/x batch mismatch");
+  const int nb = b.nb();
+  for (int m = 0; m < 3 * nb; ++m) out[m] = 0.0;
+  std::uint64_t points = 0;
+  for (int lb = 0; lb < num_local_blocks(); ++lb) {
+    const auto& info = b.info(lb);
+    const auto& mask = block_mask_[lb];
+    const util::Field& cs = column_sum_[lb];
+    kernels::masked_sum_batch(mask.data(), mask.nx(), nb, info.nx, info.ny,
+                              b.interior(lb), b.stride(lb), out);
+    kernels::masked_sum_batch(mask.data(), mask.nx(), nb, info.nx, info.ny,
+                              r.interior(lb), r.stride(lb), out + nb);
+    kernels::dot_shared_batch(mask.data(), mask.nx(), nb, info.nx, info.ny,
+                              cs.data(), cs.nx(), x.interior(lb),
+                              x.stride(lb), out + 2 * nb);
+    points += static_cast<std::uint64_t>(info.nx) * info.ny;
+  }
+  comm.costs().add_flops(4 * points * nb);
+}
+
 void DistOperator::apply(comm::Communicator& comm,
                          const comm::HaloExchanger& halo,
                          comm::DistField32& x, comm::DistField32& y,
@@ -561,9 +673,12 @@ void DistOperator::mask_interior(comm::DistField32& x) const {
 }
 
 // ---------------------------------------------------------------------------
-// Batched multi-RHS sweeps, templated on the storage scalar. No fault
-// sites: fault sites corrupt scalar fp64 state; batch members recover
-// through the per-member sub-batch path of the resilient decorator.
+// Batched multi-RHS sweeps, templated on the storage scalar. No
+// solver-vector fault sites: those corrupt scalar fp64 state; batch
+// members recover through the per-member sub-batch path of the
+// resilient decorator. Coefficient fault sites DO arm here (the batch
+// reads the same fp64 planes as the scalar path), caught by the
+// batched ABFT audit.
 
 template <typename T>
 void DistOperator::apply_batch(comm::Communicator& comm,
@@ -575,6 +690,7 @@ void DistOperator::apply_batch(comm::Communicator& comm,
   MINIPOP_REQUIRE(&x.decomposition() == decomp_ && x.rank() == rank_,
                   "batch does not match operator decomposition");
   MINIPOP_REQUIRE(&x != &y, "apply requires distinct x and y");
+  if constexpr (std::is_same_v<T, double>) offer_coeff_fault_sites();
   if (fresh == comm::HaloFreshness::kStale) halo.exchange(comm, x);
 
   const auto& coeff = coeffs<T>();
@@ -602,6 +718,7 @@ void DistOperator::residual_batch(comm::Communicator& comm,
   MINIPOP_REQUIRE(&x.decomposition() == decomp_ && x.rank() == rank_,
                   "batch does not match operator decomposition");
   MINIPOP_REQUIRE(&b != &r && &x != &r, "residual requires distinct r");
+  if constexpr (std::is_same_v<T, double>) offer_coeff_fault_sites();
   if (fresh == comm::HaloFreshness::kStale) halo.exchange(comm, x);
 
   const auto& coeff = coeffs<T>();
@@ -629,6 +746,7 @@ void DistOperator::residual_local_norm2_batch(
   MINIPOP_REQUIRE(&x.decomposition() == decomp_ && x.rank() == rank_,
                   "batch does not match operator decomposition");
   MINIPOP_REQUIRE(&b != &r && &x != &r, "residual requires distinct r");
+  if constexpr (std::is_same_v<T, double>) offer_coeff_fault_sites();
   if (fresh == comm::HaloFreshness::kStale) halo.exchange(comm, x);
 
   const auto& coeff = coeffs<T>();
@@ -661,6 +779,7 @@ void DistOperator::apply_overlapped_batch(comm::Communicator& comm,
   MINIPOP_REQUIRE(&x.decomposition() == decomp_ && x.rank() == rank_,
                   "batch does not match operator decomposition");
   MINIPOP_REQUIRE(&x != &y, "apply requires distinct x and y");
+  if constexpr (std::is_same_v<T, double>) offer_coeff_fault_sites();
 
   const auto& coeff = coeffs<T>();
   const int nb = x.nb();
@@ -708,6 +827,7 @@ void DistOperator::residual_overlapped_batch(
   MINIPOP_REQUIRE(&x.decomposition() == decomp_ && x.rank() == rank_,
                   "batch does not match operator decomposition");
   MINIPOP_REQUIRE(&b != &r && &x != &r, "residual requires distinct r");
+  if constexpr (std::is_same_v<T, double>) offer_coeff_fault_sites();
 
   const auto& coeff = coeffs<T>();
   const int nb = x.nb();

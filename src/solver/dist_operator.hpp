@@ -34,6 +34,50 @@ class DistOperator {
   long local_ocean_cells() const { return local_ocean_cells_; }
   double phi() const { return phi_; }
 
+  // -------------------------------------------------------------------
+  // ABFT operator checksums (DESIGN.md §12). The column-sum field
+  // c = A·1 (per block, one pointwise sum of the nine coefficient
+  // planes — equal to the column sums because the barotropic operator
+  // is symmetric, and local == global because coefficients are
+  // identically zero across coastlines and rank boundaries carry the
+  // same values both ways) is built once at construction and after
+  // every repair. A solve can then audit the identity
+  //   sum(A x) == dot(c, x)   i.e.   sum(b) - sum(r) == dot(c, x)
+  // over all ocean cells for ~one masked dot, catching silent
+  // corruption of the coefficient planes: the sweeps use the (possibly
+  // corrupted) coefficients while c keeps the construction-time truth.
+
+  /// Local (this rank's) terms of the ABFT identity, grouped for one
+  /// vector allreduce: out[0] = masked sum(b), out[1] = masked sum(r),
+  /// out[2] = masked dot(c, x). The identity only holds after BOTH
+  /// sides are reduced across ranks — boundary-crossing stencil legs
+  /// are counted on the row side by the owner of the row and on the
+  /// column side by the owner of the column.
+  void abft_local_sums(comm::Communicator& comm, const comm::DistField& b,
+                       const comm::DistField& r, const comm::DistField& x,
+                       double out[3]) const;
+
+  /// Batched ABFT terms: out[0..nb) = sum(b_m), out[nb..2nb) =
+  /// sum(r_m), out[2nb..3nb) = dot(c, x_m); out[0..3nb) OVERWRITTEN.
+  void abft_local_sums_batch(comm::Communicator& comm,
+                             const comm::DistFieldBatch& b,
+                             const comm::DistFieldBatch& r,
+                             const comm::DistFieldBatch& x,
+                             double* out) const;
+
+  /// Column-sum (checksum) field of local block lb, for tests.
+  const util::Field& block_column_sum(int lb) const {
+    return column_sum_[lb];
+  }
+
+  /// Restore the coefficient planes from the construction-time stencil
+  /// (which recovery trusts: it lives in the model's read-only setup,
+  /// not in solver working state), rebuild the column sums, and drop
+  /// the fp32 mirror so it rebuilds from the repaired values. Recovery
+  /// calls this on a kCorruptOperator verdict before restarting from a
+  /// checkpoint; a no-op on healthy coefficients (same values copied).
+  void repair_coefficients() const;
+
   /// y = A x over block interiors. Refreshes x's halo first (one
   /// boundary update) unless the caller attests kFresh, so callers never
   /// manage halos themselves.
@@ -117,11 +161,11 @@ class DistOperator {
   // coefficient pass serve all members, flop counts scale by nb, and
   // member m of every result is bit-identical to the scalar sweep on
   // member m's plane (kernels.hpp contract). Reductions fill per-member
-  // fp64 arrays the caller combines in ONE vector allreduce. The fault-
-  // injection hooks are NOT armed here — fault sites corrupt scalar
-  // fp64 state; a batch member that diverges recovers through the
-  // per-member sub-batch path of the resilient decorator (DESIGN.md
-  // §11).
+  // fp64 arrays the caller combines in ONE vector allreduce. The
+  // solver-vector fault hooks are NOT armed here — those sites corrupt
+  // scalar fp64 state; a batch member that diverges recovers through
+  // the per-member sub-batch path of the resilient decorator (DESIGN.md
+  // §11). Coefficient fault sites DO arm (shared fp64 planes).
 
   /// y = A x, all members. sums-free; 9*nb flops/point.
   template <typename T>
@@ -272,6 +316,17 @@ class DistOperator {
   void offer_fault_sites(comm::DistField& v) const;
   void offer_fault_sites(comm::DistField32&) const {}
 
+  /// Fault-injection point: offer the fp64 coefficient planes to the
+  /// installed FaultInjector (kCoeffBitFlip) at the entry of every fp64
+  /// sweep — scalar and batched, since both read the same planes. The
+  /// corrupted sweep output rides into the iterates; the ABFT audit
+  /// must catch it. Compiles to nothing when MINIPOP_FAULTS is off.
+  void offer_coeff_fault_sites() const;
+
+  /// Rebuild column_sum_ from the current block_coeff_ (construction
+  /// and repair).
+  void build_column_sums() const;
+
   // Shared sweep bodies: one template instantiated at double (the
   // pre-existing code, bit-identical) and float (the mirror).
   template <typename T>
@@ -321,11 +376,20 @@ class DistOperator {
   void ensure_coeff32() const;
 
   const grid::Decomposition* decomp_;
+  /// Kept for repair_coefficients(): the model's stencil outlives the
+  /// operator (same ownership as decomp_).
+  const grid::NinePointStencil* stencil_;
   int rank_;
   double phi_;
   long local_ocean_cells_ = 0;
-  std::vector<std::array<util::Field, grid::kNumDirs>> block_coeff_;
+  /// mutable: repair_coefficients() restores the planes through the
+  /// const reference the solvers hold; each rank owns its DistOperator,
+  /// so no two threads share one.
+  mutable std::vector<std::array<util::Field, grid::kNumDirs>> block_coeff_;
   std::vector<util::MaskArray> block_mask_;
+  /// ABFT column sums c = A·1 per block (see abft_local_sums); rebuilt
+  /// by repair_coefficients().
+  mutable std::vector<util::Field> column_sum_;
   /// fp32 mirror of block_coeff_, built on first fp32 sweep. mutable +
   /// lazily built is safe: each rank owns its DistOperator, so no two
   /// threads share one.

@@ -23,7 +23,13 @@ enum class FailureKind {
   kDiverged = 3,     ///< residual grew beyond divergence_factor * initial
   kBreakdown = 4,    ///< short-recurrence breakdown (sigma/rho/delta ~ 0)
   kNanDetected = 5,  ///< non-finite value in a reduced scalar
-  kCommTimeout = 6,  ///< a communication wait timed out (see ThreadComm)
+  // --- silent-data-corruption detections (integrity layer) ---
+  kSilentDrift = 6,       ///< recurrence vs true residual drifted apart
+  kCorruptReduction = 7,  ///< guarded allreduce halves disagreed
+  kCorruptOperator = 8,   ///< ABFT stencil checksum mismatch
+  // --- communication-state failures (require a collective resync) ---
+  kCommTimeout = 9,     ///< a communication wait timed out (see ThreadComm)
+  kCorruptPayload = 10, ///< a halo message failed its CRC check
 };
 
 inline const char* to_string(FailureKind k) {
@@ -34,9 +40,20 @@ inline const char* to_string(FailureKind k) {
     case FailureKind::kDiverged: return "diverged";
     case FailureKind::kBreakdown: return "breakdown";
     case FailureKind::kNanDetected: return "nan_detected";
+    case FailureKind::kSilentDrift: return "silent_drift";
+    case FailureKind::kCorruptReduction: return "corrupt_reduction";
+    case FailureKind::kCorruptOperator: return "corrupt_operator";
     case FailureKind::kCommTimeout: return "comm_timeout";
+    case FailureKind::kCorruptPayload: return "corrupt_payload";
   }
   return "?";
+}
+
+/// Failures at or above kCommTimeout left the communicator's collective
+/// state desynchronized (aborted exchanges, wiped mailboxes): recovery
+/// must run Communicator::resync() before issuing new collectives.
+inline bool needs_resync(FailureKind k) {
+  return k >= FailureKind::kCommTimeout;
 }
 
 /// Arithmetic of the solver's field sweeps and halos.
@@ -54,6 +71,50 @@ inline const char* to_string(Precision p) {
   }
   return "?";
 }
+
+/// Runtime knobs of the silent-data-corruption defense layer (DESIGN
+/// §12). Everything defaults to OFF; with every knob off the solvers
+/// are bitwise identical to a build without the layer and record zero
+/// integrity counters (tested). Costs are per check, not per iteration.
+struct IntegrityOptions {
+  /// CRC32C every halo message payload (computed at pack, verified at
+  /// unpack; one extra element per message on the wire). A mismatch
+  /// throws CorruptPayloadError -> typed kCorruptPayload recovery.
+  /// Consumed by HaloExchanger::set_crc() at model construction.
+  bool halo_crc = false;
+  /// Duplicate each convergence-check allreduce contribution and
+  /// cross-check the two reduced halves bitwise (the fixed-order
+  /// reduction makes them exactly equal when healthy). Doubles the
+  /// payload of the guarded reductions only; mismatch types the
+  /// affected member kCorruptReduction.
+  bool guarded_reductions = false;
+  /// Verify the ABFT operator checksum sum(b - r) == dot(c, x) with
+  /// c = A·1 every `abft_interval` convergence checks (0 = off; ~one
+  /// masked dot + one 2-element allreduce per audit). Catches stencil
+  /// coefficient / memory corruption as kCorruptOperator.
+  int abft_interval = 0;
+  /// Relative tolerance of the ABFT identity (scaled by the checksum
+  /// magnitude and sqrt(N·||b||²) to stay meaningful near convergence).
+  double abft_tolerance = 1e-8;
+  /// Recompute the true fp64 residual b - Ax every
+  /// `true_residual_interval` convergence checks and compare it to the
+  /// recurrence residual (0 = off). Only ChronGear's recurrence can
+  /// drift; P-CSI checks the true residual already. Also audits the
+  /// accepting convergence check, which is what turns "converged" from
+  /// a recurrence claim into a verified statement. One residual sweep
+  /// (with halo exchange) + one allreduce per audit.
+  int true_residual_interval = 0;
+  /// Allowed relative gap |rel_true - rel_recurrence| before the audit
+  /// types the solve kSilentDrift.
+  double drift_tolerance = 1e-8;
+
+  /// True when any check that the SOLVERS consult is enabled
+  /// (halo_crc lives in the halo engine, not the iteration cores).
+  bool any_solver_check() const {
+    return guarded_reductions || abft_interval > 0 ||
+           true_residual_interval > 0;
+  }
+};
 
 struct SolverOptions {
   /// Convergence: ||r||_2 <= rel_tolerance * ||b||_2 over ocean points.
@@ -116,6 +177,9 @@ struct SolverOptions {
   /// >= 1 compacts at the first check where any member froze. Retirement
   /// never changes any member's arithmetic, only the lane count.
   double batch_retire_fraction = 0.5;
+
+  /// Silent-data-corruption checks (all off by default).
+  IntegrityOptions integrity;
 
   SolverOptions() = default;
 };

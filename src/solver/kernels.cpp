@@ -514,6 +514,65 @@ void dot3(const unsigned char* mask, std::ptrdiff_t ms, int nb, int nx,
 }
 
 template <typename T, int B>
+void masked_sum(const unsigned char* mask, std::ptrdiff_t ms, int nb,
+                int nx, int ny, const T* a, std::ptrdiff_t as,
+                double* sums) {
+  if constexpr (B == 1) {
+    double sum = sums[0];
+    for (int j = 0; j < ny; ++j) {
+      const unsigned char* MINIPOP_RESTRICT mr = mask + j * ms;
+      const T* MINIPOP_RESTRICT ar = a + j * as;
+      for (int i = 0; i < nx; ++i)
+        sum += mr[i] ? static_cast<double>(ar[i]) : 0.0;
+    }
+    sums[0] = sum;
+  } else {
+    const int w = eff_width<B>(nb);
+    for (int j = 0; j < ny; ++j) {
+      const unsigned char* MINIPOP_RESTRICT mr = mask + j * ms;
+      const T* MINIPOP_RESTRICT ar = a + j * as;
+      for (int i = 0; i < nx; ++i) {
+        const std::ptrdiff_t ib = static_cast<std::ptrdiff_t>(i) * w;
+        const unsigned char sel = mr[i];
+        for (int mm = 0; mm < w; ++mm)
+          sums[mm] += sel ? static_cast<double>(ar[ib + mm]) : 0.0;
+      }
+    }
+  }
+}
+
+template <typename T, int B>
+void dot_shared(const unsigned char* mask, std::ptrdiff_t ms, int nb,
+                int nx, int ny, const double* c, std::ptrdiff_t cs,
+                const T* a, std::ptrdiff_t as, double* sums) {
+  if constexpr (B == 1) {
+    double sum = sums[0];
+    for (int j = 0; j < ny; ++j) {
+      const unsigned char* MINIPOP_RESTRICT mr = mask + j * ms;
+      const double* MINIPOP_RESTRICT cr = c + j * cs;
+      const T* MINIPOP_RESTRICT ar = a + j * as;
+      for (int i = 0; i < nx; ++i)
+        sum += mr[i] ? cr[i] * static_cast<double>(ar[i]) : 0.0;
+    }
+    sums[0] = sum;
+  } else {
+    const int w = eff_width<B>(nb);
+    for (int j = 0; j < ny; ++j) {
+      const unsigned char* MINIPOP_RESTRICT mr = mask + j * ms;
+      const double* MINIPOP_RESTRICT cr = c + j * cs;
+      const T* MINIPOP_RESTRICT ar = a + j * as;
+      for (int i = 0; i < nx; ++i) {
+        const std::ptrdiff_t ib = static_cast<std::ptrdiff_t>(i) * w;
+        const unsigned char sel = mr[i];
+        const double cv = cr[i];
+        for (int mm = 0; mm < w; ++mm)
+          sums[mm] += sel ? cv * static_cast<double>(ar[ib + mm]) : 0.0;
+      }
+    }
+  }
+}
+
+template <typename T, int B>
 void lincomb(int nb, int nx, int ny, const T* a, const T* x,
              std::ptrdiff_t xs, const T* b, T* y, std::ptrdiff_t ys,
              const unsigned char* active) {
@@ -612,6 +671,13 @@ void axpy_promoted(int nb, int nx, int ny, const double* a, const float* x,
                            int, const T*, std::ptrdiff_t, const T*,        \
                            std::ptrdiff_t, const T*, std::ptrdiff_t, bool, \
                            double*);                                       \
+  template void masked_sum<T, B>(const unsigned char*, std::ptrdiff_t,     \
+                                 int, int, int, const T*, std::ptrdiff_t,  \
+                                 double*);                                 \
+  template void dot_shared<T, B>(const unsigned char*, std::ptrdiff_t,     \
+                                 int, int, int, const double*,             \
+                                 std::ptrdiff_t, const T*, std::ptrdiff_t, \
+                                 double*);                                 \
   template void lincomb<T, B>(int, int, int, const T*, const T*,           \
                               std::ptrdiff_t, const T*, T*,                \
                               std::ptrdiff_t, const unsigned char*);       \
@@ -696,6 +762,23 @@ void masked_dot3(const unsigned char* mask, std::ptrdiff_t ms, int nx,
   // At w = 1 the grouped core layout [rho][delta][norm] IS out[3].
   core::dot3<T, 1>(mask, ms, 1, nx, ny, r, rs, rp, ps, z, zs, with_norm,
                    out);
+}
+
+template <typename T>
+double masked_sum(const unsigned char* mask, std::ptrdiff_t ms, int nx,
+                  int ny, const T* a, std::ptrdiff_t as, double sum0) {
+  double sum = sum0;
+  core::masked_sum<T, 1>(mask, ms, 1, nx, ny, a, as, &sum);
+  return sum;
+}
+
+template <typename T>
+double dot_shared(const unsigned char* mask, std::ptrdiff_t ms, int nx,
+                  int ny, const double* c, std::ptrdiff_t cs, const T* a,
+                  std::ptrdiff_t as, double sum0) {
+  double sum = sum0;
+  core::dot_shared<T, 1>(mask, ms, 1, nx, ny, c, cs, a, as, &sum);
+  return sum;
 }
 
 template <typename T>
@@ -805,6 +888,23 @@ void dot3_batch(const unsigned char* mask, std::ptrdiff_t ms, int nb,
 }
 
 template <typename T>
+void masked_sum_batch(const unsigned char* mask, std::ptrdiff_t ms, int nb,
+                      int nx, int ny, const T* a, std::ptrdiff_t as,
+                      double* sums) {
+  if (nb == 1) return core::masked_sum<T, 1>(mask, ms, 1, nx, ny, a, as, sums);
+  core::masked_sum<T, 0>(mask, ms, nb, nx, ny, a, as, sums);
+}
+
+template <typename T>
+void dot_shared_batch(const unsigned char* mask, std::ptrdiff_t ms, int nb,
+                      int nx, int ny, const double* c, std::ptrdiff_t cs,
+                      const T* a, std::ptrdiff_t as, double* sums) {
+  if (nb == 1)
+    return core::dot_shared<T, 1>(mask, ms, 1, nx, ny, c, cs, a, as, sums);
+  core::dot_shared<T, 0>(mask, ms, nb, nx, ny, c, cs, a, as, sums);
+}
+
+template <typename T>
 void lincomb_axpy_batch(int nb, int nx, int ny, const T* a, const T* x,
                         std::ptrdiff_t xs, const T* b, T* y,
                         std::ptrdiff_t ys, const T* c, T* z,
@@ -894,6 +994,11 @@ void axpy_promoted_batch(int nb, int nx, int ny, const double* a,
                                int, const T*, std::ptrdiff_t, const T*,    \
                                std::ptrdiff_t, const T*, std::ptrdiff_t,   \
                                bool, double[3]);                           \
+  template double masked_sum<T>(const unsigned char*, std::ptrdiff_t, int, \
+                                int, const T*, std::ptrdiff_t, double);    \
+  template double dot_shared<T>(const unsigned char*, std::ptrdiff_t, int, \
+                                int, const double*, std::ptrdiff_t,        \
+                                const T*, std::ptrdiff_t, double);         \
   template void lincomb<T>(int, int, T, const T*, std::ptrdiff_t, T, T*,   \
                            std::ptrdiff_t);                                \
   template void axpy<T>(int, int, T, const T*, std::ptrdiff_t, T*,         \
@@ -923,6 +1028,13 @@ void axpy_promoted_batch(int nb, int nx, int ny, const double* a,
                               int, int, const T*, std::ptrdiff_t,          \
                               const T*, std::ptrdiff_t, const T*,          \
                               std::ptrdiff_t, bool, double*);              \
+  template void masked_sum_batch<T>(const unsigned char*, std::ptrdiff_t,  \
+                                    int, int, int, const T*,               \
+                                    std::ptrdiff_t, double*);              \
+  template void dot_shared_batch<T>(const unsigned char*, std::ptrdiff_t,  \
+                                    int, int, int, const double*,          \
+                                    std::ptrdiff_t, const T*,              \
+                                    std::ptrdiff_t, double*);              \
   template void lincomb_axpy_batch<T>(int, int, int, const T*, const T*,   \
                                       std::ptrdiff_t, const T*, T*,        \
                                       std::ptrdiff_t, const T*, T*,        \

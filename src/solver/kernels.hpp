@@ -141,6 +141,21 @@ void dot3(const unsigned char* mask, std::ptrdiff_t ms, int nb, int nx,
           std::ptrdiff_t ps, const T* z, std::ptrdiff_t zs, bool with_norm,
           double* out);
 
+/// Per-member masked sums: sums[m] += sum_{mask} a_m (integrity layer's
+/// ABFT checksum sweep). w flops/point.
+template <typename T, int B>
+void masked_sum(const unsigned char* mask, std::ptrdiff_t ms, int nb,
+                int nx, int ny, const T* a, std::ptrdiff_t as,
+                double* sums);
+
+/// Per-member dots against ONE shared double plane (width 1, e.g. the
+/// ABFT column-sum field): sums[m] += sum_{mask} c * a_m. 2*w
+/// flops/point.
+template <typename T, int B>
+void dot_shared(const unsigned char* mask, std::ptrdiff_t ms, int nb,
+                int nx, int ny, const double* c, std::ptrdiff_t cs,
+                const T* a, std::ptrdiff_t as, double* sums);
+
 /// y_m = a[m]*x_m + b[m]*y_m for each active m.
 template <typename T, int B>
 void lincomb(int nb, int nx, int ny, const T* a, const T* x,
@@ -256,6 +271,20 @@ void masked_dot3(const unsigned char* mask, std::ptrdiff_t ms, int nx,
                  std::ptrdiff_t ps, const T* z, std::ptrdiff_t zs,
                  bool with_norm, double out[3]);
 
+/// Masked sum sum0 + sum_{mask} a, accumulation continuing from `sum0`
+/// like masked_dot (one running accumulator across a rank's blocks).
+template <typename T>
+double masked_sum(const unsigned char* mask, std::ptrdiff_t ms, int nx,
+                  int ny, const T* a, std::ptrdiff_t as, double sum0);
+
+/// Masked dot against a shared double plane with its own pitch:
+/// sum0 + sum_{mask} c * a. The ABFT audit pairs the operator's
+/// unpadded column-sum field with a padded solver field.
+template <typename T>
+double dot_shared(const unsigned char* mask, std::ptrdiff_t ms, int nx,
+                  int ny, const double* c, std::ptrdiff_t cs, const T* a,
+                  std::ptrdiff_t as, double sum0);
+
 /// y = a*x + b*y.
 template <typename T>
 void lincomb(int nx, int ny, T a, const T* x, std::ptrdiff_t xs, T b, T* y,
@@ -343,6 +372,19 @@ void dot3_batch(const unsigned char* mask, std::ptrdiff_t ms, int nb,
                 std::ptrdiff_t ps, const T* z, std::ptrdiff_t zs,
                 bool with_norm, double* out);
 
+/// Per-member masked sums: sums[m] += sum_{mask} a_m.
+template <typename T>
+void masked_sum_batch(const unsigned char* mask, std::ptrdiff_t ms, int nb,
+                      int nx, int ny, const T* a, std::ptrdiff_t as,
+                      double* sums);
+
+/// Per-member dots against one shared double plane:
+/// sums[m] += sum_{mask} c * a_m.
+template <typename T>
+void dot_shared_batch(const unsigned char* mask, std::ptrdiff_t ms, int nb,
+                      int nx, int ny, const double* c, std::ptrdiff_t cs,
+                      const T* a, std::ptrdiff_t as, double* sums);
+
 /// Per-member fused update pair: for each active m,
 /// y_m = a[m]*x_m + b[m]*y_m followed by z_m += c[m]*y_m.
 template <typename T>
@@ -415,6 +457,13 @@ void axpy_promoted_batch(int nb, int nx, int ny, const double* a,
                                       int, int, const T*, std::ptrdiff_t,  \
                                       const T*, std::ptrdiff_t, const T*,  \
                                       std::ptrdiff_t, bool, double[3]);    \
+  extern template double masked_sum<T>(const unsigned char*,               \
+                                       std::ptrdiff_t, int, int, const T*, \
+                                       std::ptrdiff_t, double);            \
+  extern template double dot_shared<T>(const unsigned char*,               \
+                                       std::ptrdiff_t, int, int,           \
+                                       const double*, std::ptrdiff_t,      \
+                                       const T*, std::ptrdiff_t, double);  \
   extern template void lincomb<T>(int, int, T, const T*, std::ptrdiff_t,   \
                                   T, T*, std::ptrdiff_t);                  \
   extern template void axpy<T>(int, int, T, const T*, std::ptrdiff_t, T*,  \
@@ -449,6 +498,13 @@ void axpy_promoted_batch(int nb, int nx, int ny, const double* a,
                                      std::ptrdiff_t, const T*,             \
                                      std::ptrdiff_t, const T*,             \
                                      std::ptrdiff_t, bool, double*);       \
+  extern template void masked_sum_batch<T>(const unsigned char*,           \
+                                           std::ptrdiff_t, int, int, int,  \
+                                           const T*, std::ptrdiff_t,       \
+                                           double*);                       \
+  extern template void dot_shared_batch<T>(                                \
+      const unsigned char*, std::ptrdiff_t, int, int, int, const double*,  \
+      std::ptrdiff_t, const T*, std::ptrdiff_t, double*);                  \
   extern template void lincomb_axpy_batch<T>(int, int, int, const T*,      \
                                              const T*, std::ptrdiff_t,     \
                                              const T*, T*, std::ptrdiff_t, \

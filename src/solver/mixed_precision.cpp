@@ -4,6 +4,7 @@
 #include <span>
 
 #include "src/solver/field_ops.hpp"
+#include "src/solver/integrity.hpp"
 #include "src/util/error.hpp"
 
 namespace minipop::solver {
@@ -275,6 +276,7 @@ SolveStats MixedPrecisionSolver::solve_mixed(comm::Communicator& comm,
       opt_.rel_tolerance * opt_.rel_tolerance * b_norm2;
 
   ConvergenceGuard guard(opt_);
+  IntegrityAuditor auditor(opt_);
   comm::HaloFreshness fresh = x_fresh;
   for (int sweep = 0;; ++sweep) {
     // True fp64 residual and convergence check (the refinement guard).
@@ -286,19 +288,37 @@ SolveStats MixedPrecisionSolver::solve_mixed(comm::Communicator& comm,
     if (ov) {
       // Hide the check reduction behind the (local) demotion of r; the
       // demoted copy is only wasted on the final, converged sweep.
-      comm::Request req =
-          comm.iallreduce(std::span<double>(&local, 1), comm::ReduceOp::kSum);
+      GuardedReduction req;
+      req.post(comm, opt_.integrity, std::span<double>(&local, 1));
       demote(r, r32);
-      req.wait();
+      if (req.wait()) {
+        stats.failure = FailureKind::kCorruptReduction;
+        break;
+      }
       r_norm2 = local;
     } else {
-      r_norm2 = comm.allreduce_sum(local);
+      if (allreduce_sum_guarded(comm, opt_.integrity,
+                                std::span<double>(&local, 1))) {
+        stats.failure = FailureKind::kCorruptReduction;
+        break;
+      }
+      r_norm2 = local;
     }
     const double rel = std::sqrt(r_norm2 / b_norm2);
     stats.relative_residual = rel;
     if (opt_.record_residuals)
       stats.residual_history.emplace_back(stats.iterations, rel);
-    if (r_norm2 <= threshold2) {
+    const bool accept = r_norm2 <= threshold2;
+    if (opt_.integrity.any_solver_check()) {
+      // The refinement loop's r IS the true fp64 residual (r_is_true),
+      // so only the ABFT operator audit applies — refinement is already
+      // self-auditing against recurrence drift by construction, and the
+      // outer check bounds whatever the fp32 inner solves did.
+      stats.failure = auditor.at_check(comm, halo, a, b, r, x, b_norm2,
+                                       r_norm2, /*r_is_true=*/true, accept);
+      if (stats.failure != FailureKind::kNone) break;
+    }
+    if (accept) {
       stats.converged = true;
       break;
     }

@@ -4,6 +4,7 @@
 
 #include "src/fault/fault_injector.hpp"
 #include "src/solver/field_ops.hpp"
+#include "src/solver/integrity.hpp"
 #include "src/util/error.hpp"
 
 namespace minipop::solver {
@@ -63,6 +64,7 @@ SolveStats PcsiSolver::solve(comm::Communicator& comm,
   a.residual(comm, halo, b, x, r);      // r_1 = b - B x_1
 
   ConvergenceGuard guard(opt_);
+  IntegrityAuditor auditor(opt_);
   for (int k = 1; k <= opt_.max_iterations; ++k) {
     stats.iterations = k;
 
@@ -78,11 +80,24 @@ SolveStats PcsiSolver::solve(comm::Communicator& comm,
     // the masked ||r||² (fused kernel), so the convergence check — the
     // only global reduction P-CSI does — costs zero extra field passes.
     if (k % opt_.check_frequency == 0) {
-      const double r_norm2 =
-          comm.allreduce_sum(a.residual_local_norm2(comm, halo, b, x, r));
+      double r_norm2 = a.residual_local_norm2(comm, halo, b, x, r);
+      if (allreduce_sum_guarded(comm, opt_.integrity,
+                                std::span<double>(&r_norm2, 1))) {
+        stats.failure = FailureKind::kCorruptReduction;
+        break;
+      }
       const double rel = std::sqrt(r_norm2 / b_norm2);
       if (opt_.record_residuals) stats.residual_history.emplace_back(k, rel);
-      if (r_norm2 <= threshold2) {
+      const bool accept = r_norm2 <= threshold2;
+      if (opt_.integrity.any_solver_check()) {
+        // P-CSI's r IS the true residual (r_is_true), so only the ABFT
+        // operator audit applies; run it before accepting convergence.
+        stats.failure = auditor.at_check(comm, halo, a, b, r, x, b_norm2,
+                                         r_norm2, /*r_is_true=*/true,
+                                         accept);
+        if (stats.failure != FailureKind::kNone) break;
+      }
+      if (accept) {
         stats.converged = true;
         stats.relative_residual = rel;
         break;
@@ -158,6 +173,7 @@ SolveStats PcsiSolver::solve_overlapped(comm::Communicator& comm,
   a.residual_overlapped(comm, halo, b, x, r); // r_1 = b - B x_1
 
   ConvergenceGuard guard(opt_);
+  IntegrityAuditor auditor(opt_);
   bool have_rp = false;  // speculative M^-1 r from the previous check
   for (int k = 1; k <= opt_.max_iterations; ++k) {
     stats.iterations = k;
@@ -171,17 +187,27 @@ SolveStats PcsiSolver::solve_overlapped(comm::Communicator& comm,
     if (k % opt_.check_frequency == 0) {
       double local =
           a.residual_local_norm2_overlapped(comm, halo, b, x, r);
-      comm::Request norm_req = comm.iallreduce(
-          std::span<double>(&local, 1), comm::ReduceOp::kSum);
+      GuardedReduction norm_red;
+      norm_red.post(comm, opt_.integrity, std::span<double>(&local, 1));
       // r is final whether or not the check passes; precondition it for
       // iteration k+1 while the reduction flies.
       m.apply(comm, r, rp);
       have_rp = true;
-      norm_req.wait();
+      if (norm_red.wait()) {
+        stats.failure = FailureKind::kCorruptReduction;
+        break;
+      }
       const double r_norm2 = local;
       const double rel = std::sqrt(r_norm2 / b_norm2);
       if (opt_.record_residuals) stats.residual_history.emplace_back(k, rel);
-      if (r_norm2 <= threshold2) {
+      const bool accept = r_norm2 <= threshold2;
+      if (opt_.integrity.any_solver_check()) {
+        stats.failure = auditor.at_check(comm, halo, a, b, r, x, b_norm2,
+                                         r_norm2, /*r_is_true=*/true,
+                                         accept);
+        if (stats.failure != FailureKind::kNone) break;
+      }
+      if (accept) {
         stats.converged = true;
         stats.relative_residual = rel;
         break;

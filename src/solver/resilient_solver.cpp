@@ -78,6 +78,7 @@ SolveStats ResilientSolver::solve(comm::Communicator& comm,
   std::size_t stage = 0;
   int restarts_used = 0;
   bool bounds_reestimated = false;
+  bool operator_repaired = false;
   int total_iterations = 0;
   comm::HaloFreshness fresh = x_fresh;
 
@@ -98,6 +99,13 @@ SolveStats ResilientSolver::solve(comm::Communicator& comm,
     } catch (const comm::CommTimeoutError&) {
       observed = FailureKind::kCommTimeout;
       comm_broken = true;
+    } catch (const comm::CorruptPayloadError&) {
+      // A halo message failed its CRC. The thrower already called
+      // declare_desync(), so peers funnel into the resync fence below;
+      // the typed code survives the post-resync agreement (kMax picks
+      // it over the peers' kCommTimeout).
+      observed = FailureKind::kCorruptPayload;
+      comm_broken = true;
     }
 
     // Agreement: one kMax reduction of the failure code so every rank
@@ -116,9 +124,13 @@ SolveStats ResilientSolver::solve(comm::Communicator& comm,
     }
     if (comm_broken) {
       // Collective fence: every rank funnels here (its solve or its
-      // agreement reduction throws), clearing the failed epoch.
+      // agreement reduction throws), clearing the failed epoch. The
+      // re-agreement carries each rank's OBSERVED code — a CRC
+      // detector's kCorruptPayload outranks its peers' kCommTimeout —
+      // so the recorded failure names the root cause, not the symptom.
       comm.resync();
-      code = static_cast<double>(static_cast<int>(FailureKind::kCommTimeout));
+      if (!needs_resync(observed)) observed = FailureKind::kCommTimeout;
+      code = static_cast<double>(static_cast<int>(observed));
       comm.allreduce(std::span<double>(&code, 1), comm::ReduceOp::kMax);
     }
     const FailureKind agreed = static_cast<FailureKind>(
@@ -139,13 +151,28 @@ SolveStats ResilientSolver::solve(comm::Communicator& comm,
     ev.attempt = attempt;
     ev.iterations = stats.iterations;
 
+    // A corrupted operator is repaired in place, once per solve: the
+    // coefficient planes are re-copied from the pristine stencil (the
+    // ABFT reference rebuilds with them), then the solve restarts from
+    // the checkpoint. No other rung can cure bad coefficients — every
+    // retry would re-run the same wrong operator.
+    if (agreed == FailureKind::kCorruptOperator && !operator_repaired) {
+      ev.action = "repair_operator";
+      events_.push_back(ev);
+      a.repair_coefficients();
+      operator_repaired = true;
+      restore(x, 0);
+      fresh = comm::HaloFreshness::kStale;
+      continue;
+    }
+
     // Reduced-precision arithmetic is the cheapest thing to rule out:
     // retry once with the fp64 twin before spending restarts, Lanczos
-    // re-estimation or solver swaps. Not for comm timeouts — precision
-    // cannot fix a lost message.
+    // re-estimation or solver swaps. Not for comm-layer failures
+    // (timeouts, corrupt payloads) — precision cannot fix a lost or
+    // mangled message.
     if (stage == 0 && mixed && !mixed->forced_fp64() &&
-        mixed->precision() != Precision::kFp64 &&
-        agreed != FailureKind::kCommTimeout) {
+        mixed->precision() != Precision::kFp64 && !needs_resync(agreed)) {
       ev.action = "escalate_precision";
       events_.push_back(ev);
       mixed->set_forced_fp64(true);
@@ -162,15 +189,33 @@ SolveStats ResilientSolver::solve(comm::Communicator& comm,
       if (pcsi) {
         // A diverging P-CSI usually means the Chebyshev interval no
         // longer brackets the spectrum; measure it again (collective).
-        const LanczosResult lr =
-            estimate_eigenvalue_bounds(comm, halo, a, m, policy_.lanczos);
-        pcsi->set_bounds(lr.bounds);
+        // Lanczos itself can fail here — a corrupted operator may not
+        // even be SPD any more — and that must burn the rung, not
+        // escape the recovery chain. Its requirement checks fire on
+        // globally-reduced values, so every rank throws (or not)
+        // together; comm-layer exceptions keep propagating as before.
+        bool reestimated = false;
+        try {
+          const LanczosResult lr =
+              estimate_eigenvalue_bounds(comm, halo, a, m, policy_.lanczos);
+          pcsi->set_bounds(lr.bounds);
+          reestimated = true;
+        } catch (const comm::CommTimeoutError&) {
+          throw;
+        } catch (const comm::CorruptPayloadError&) {
+          throw;
+        } catch (const util::Error&) {
+          reestimated = false;
+        }
         bounds_reestimated = true;
-        ev.action = "reestimate_bounds";
-        events_.push_back(ev);
-        restore(x, 0);
-        fresh = comm::HaloFreshness::kStale;
-        continue;
+        if (reestimated) {
+          ev.action = "reestimate_bounds";
+          events_.push_back(ev);
+          restore(x, 0);
+          fresh = comm::HaloFreshness::kStale;
+          continue;
+        }
+        // fall through to restart / fallback with the bounds unchanged
       }
     }
 

@@ -1,0 +1,34 @@
+#include "src/util/crc32c.hpp"
+
+#include <array>
+
+namespace minipop::util {
+
+namespace {
+
+/// 256-entry lookup table for the reflected Castagnoli polynomial,
+/// generated at compile time so there is no init-order dependency.
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1u) ? 0x82F63B78u ^ (c >> 1) : c >> 1;
+    t[i] = c;
+  }
+  return t;
+}
+
+constexpr std::array<std::uint32_t, 256> kTable = make_table();
+
+}  // namespace
+
+std::uint32_t crc32c_update(std::uint32_t state, const void* data,
+                            std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i)
+    state = kTable[(state ^ p[i]) & 0xFFu] ^ (state >> 8);
+  return state;
+}
+
+}  // namespace minipop::util
