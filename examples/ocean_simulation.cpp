@@ -7,12 +7,19 @@
 //   ./ocean_simulation [--days=90] [--scale=0.12] [--nz=4]
 //                      [--solver=pcsi] [--precond=evp] [--ranks=1]
 //                      [--precision=fp64|fp32|mixed]
+//                      [--halo-depth=1..4|auto]
 //
 // --precision selects the solver arithmetic: fp64 (default,
 // bit-identical legacy path), fp32 (whole solve in float — only viable
 // with a loose tolerance), or mixed (fp32 inner sweeps inside an fp64
 // iterative-refinement loop converging to the fp64 tolerance; the
 // "refine/step" column counts its outer sweeps).
+//
+// --halo-depth selects the communication-avoiding ghost-zone width
+// (DESIGN.md §13): depth k buys k P-CSI sweeps per halo exchange,
+// bit-identical to depth 1. "auto" asks the machine-model autotuner;
+// pointwise preconditioners only (block EVP falls back to 1 with a
+// warning). The header prints the resolved depth as "+ca(k=...)".
 //
 // With --ranks > 1 the same simulation runs on a team of virtual MPI
 // ranks (threads) over the block decomposition — the code path is
@@ -92,11 +99,14 @@ void run(comm::Communicator& comm, const model::ModelConfig& cfg,
   }
   if (root) {
     t.print(std::cout);
+    const comm::CostCounters costs = comm.costs().counters();
     std::cout << "\n" << model.step_count() << " steps ("
               << model.time_days() << " simulated days) in "
               << wall.seconds() << " s wall clock; "
               << model.barotropic().total_iterations()
-              << " total solver iterations";
+              << " total solver iterations; " << costs.halo_exchanges
+              << " halo rounds at depth "
+              << model.barotropic().solver().config().options.halo_depth;
     if (model.barotropic().solver_failures() > 0)
       std::cout << "; " << model.barotropic().solver_failures()
                 << " solve(s) FAILED (last: "
@@ -128,6 +138,9 @@ int main(int argc, char** argv) {
   // 20000-iteration budget per solve.
   if (cfg.solver.options.precision != solver::Precision::kFp64)
     cfg.solver.options.stagnation_window = 5;
+  const std::string hd = cli.get("halo-depth", "1");
+  cfg.solver.options.halo_depth =
+      hd == "auto" ? solver::kHaloDepthAuto : std::stoi(hd);
   cfg.nranks = cli.get_int("ranks", 1);
   const double days = cli.get_double("days", 90.0);
 

@@ -5,6 +5,7 @@ namespace minipop::comm {
 CostCounters CostTracker::since(const CostCounters& snapshot) const {
   CostCounters d;
   d.flops = c_.flops - snapshot.flops;
+  d.redundant_flops = c_.redundant_flops - snapshot.redundant_flops;
   d.p2p_messages = c_.p2p_messages - snapshot.p2p_messages;
   d.p2p_bytes = c_.p2p_bytes - snapshot.p2p_bytes;
   d.halo_exchanges = c_.halo_exchanges - snapshot.halo_exchanges;

@@ -11,6 +11,10 @@ namespace minipop::comm {
 
 struct CostCounters {
   std::uint64_t flops = 0;
+  /// Subset of `flops` spent recomputing ghost points that another rank
+  /// also computes — the price of depth-k communication-avoiding sweeps
+  /// (flops already includes them; this is not an additional total).
+  std::uint64_t redundant_flops = 0;
   std::uint64_t p2p_messages = 0;
   std::uint64_t p2p_bytes = 0;
   std::uint64_t halo_exchanges = 0;  ///< full-field halo update rounds
@@ -46,6 +50,7 @@ struct CostCounters {
 
   CostCounters& operator+=(const CostCounters& o) {
     flops += o.flops;
+    redundant_flops += o.redundant_flops;
     p2p_messages += o.p2p_messages;
     p2p_bytes += o.p2p_bytes;
     halo_exchanges += o.halo_exchanges;
@@ -64,6 +69,7 @@ struct CostCounters {
 class CostTracker {
  public:
   void add_flops(std::uint64_t n) { c_.flops += n; }
+  void add_redundant_flops(std::uint64_t n) { c_.redundant_flops += n; }
   void add_message(std::uint64_t bytes) {
     ++c_.p2p_messages;
     c_.p2p_bytes += bytes;

@@ -10,13 +10,13 @@ DistFieldT<T>::DistFieldT(const grid::Decomposition& decomp, int rank,
     : decomp_(&decomp), rank_(rank), halo_(halo) {
   MINIPOP_REQUIRE(halo >= 1, "halo=" << halo);
   MINIPOP_REQUIRE(rank >= 0 && rank < decomp.nranks(), "rank=" << rank);
+  // Every active block bounds the usable width, not just locally owned
+  // ones: the exchange reads full-width rims of all neighbours.
+  decomp.validate_halo(halo);
   block_ids_ = decomp.blocks_of_rank(rank);
   data_.reserve(block_ids_.size());
   for (std::size_t lb = 0; lb < block_ids_.size(); ++lb) {
     const auto& b = decomp.block(block_ids_[lb]);
-    MINIPOP_REQUIRE(b.nx >= halo && b.ny >= halo,
-                    "block " << b.nx << "x" << b.ny
-                             << " smaller than halo " << halo);
     data_.emplace_back(b.nx + 2 * halo, b.ny + 2 * halo, T(0));
     local_of_global_[block_ids_[lb]] = static_cast<int>(lb);
   }

@@ -14,13 +14,13 @@ DistFieldBatchT<T>::DistFieldBatchT(const grid::Decomposition& decomp,
   MINIPOP_REQUIRE(halo >= 1, "halo=" << halo);
   MINIPOP_REQUIRE(nb >= 1, "nb=" << nb);
   MINIPOP_REQUIRE(rank >= 0 && rank < decomp.nranks(), "rank=" << rank);
+  // Same global width check as the scalar field: all active blocks bound
+  // the usable halo, not just locally owned ones.
+  decomp.validate_halo(halo);
   block_ids_ = decomp.blocks_of_rank(rank);
   data_.reserve(block_ids_.size());
   for (std::size_t lb = 0; lb < block_ids_.size(); ++lb) {
     const auto& b = decomp.block(block_ids_[lb]);
-    MINIPOP_REQUIRE(b.nx >= halo && b.ny >= halo,
-                    "block " << b.nx << "x" << b.ny
-                             << " smaller than halo " << halo);
     data_.emplace_back((b.nx + 2 * halo) * nb, b.ny + 2 * halo, T(0));
     local_of_global_[block_ids_[lb]] = static_cast<int>(lb);
   }
@@ -98,6 +98,25 @@ void DistFieldBatchT<T>::copy_member_from(int m,
     for (int j = 0; j < dst.ny(); ++j)
       for (int i = 0; i < ncols; ++i)
         dst(i * nb_ + m, j) = sp(i * src.nb_ + src_m, j);
+  }
+}
+
+template <typename T>
+void DistFieldBatchT<T>::copy_member_interior_from(
+    int m, const DistFieldBatchT<T>& src, int src_m) {
+  MINIPOP_REQUIRE(m >= 0 && m < nb_, "member " << m << " of " << nb_);
+  MINIPOP_REQUIRE(src_m >= 0 && src_m < src.nb_,
+                  "member " << src_m << " of " << src.nb_);
+  MINIPOP_REQUIRE(decomp_ == src.decomp_ && rank_ == src.rank_,
+                  "incompatible source batch");
+  for (int lb = 0; lb < num_local_blocks(); ++lb) {
+    util::Array2D<T>& dst = data_[lb];
+    const util::Array2D<T>& sp = src.data_[lb];
+    const auto& b = info(lb);
+    for (int j = 0; j < b.ny; ++j)
+      for (int i = 0; i < b.nx; ++i)
+        dst((i + halo_) * nb_ + m, j + halo_) =
+            sp((i + src.halo_) * src.nb_ + src_m, j + src.halo_);
   }
 }
 

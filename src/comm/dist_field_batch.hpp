@@ -99,6 +99,13 @@ class DistFieldBatchT {
   /// by the per-member recovery sub-batches of the resilient decorator).
   void copy_member_from(int m, const DistFieldBatchT<T>& src, int src_m);
 
+  /// Interior-only variant of copy_member_from that tolerates a
+  /// different halo width (the comm-avoiding solvers migrate members
+  /// between caller batches and deep-halo working batches). Halo cells
+  /// of member m are left untouched.
+  void copy_member_interior_from(int m, const DistFieldBatchT<T>& src,
+                                 int src_m);
+
   /// Shape compatibility: same decomposition object, rank, halo, and
   /// batch width. Templated across element types so the mixed-precision
   /// boundary (fp64 batch vs its fp32 mirror) can be validated too.

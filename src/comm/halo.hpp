@@ -31,6 +31,7 @@
 // (CostTracker::add_halo_exchange(nb)).
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "src/comm/communicator.hpp"
@@ -142,6 +143,20 @@ class HaloExchanger {
   HaloHandleT<T> begin_set(Communicator& comm,
                            const FieldSetT<T>& fs) const;
 
+  /// Aggregated deep-halo exchange of several same-shape sets (the
+  /// communication-avoiding solvers' once-per-group refresh of
+  /// {x, dx, r}): ONE message per (block, neighbor) concatenates the
+  /// per-set rims back to back, so a group of N sets costs the same
+  /// message count — and one exchange round — as a single set. All sets
+  /// must share decomposition, rank, halo width and batch width; each
+  /// set's rims are bitwise identical to what its own exchange_set()
+  /// would deliver. With CRC enabled, one trailer covers the whole
+  /// concatenated payload; the fault payload hook arms on scalar-backed
+  /// fp64 groups exactly like the single-set path. Blocking.
+  template <typename T>
+  void exchange_group(Communicator& comm,
+                      std::span<const FieldSetT<T>> sets) const;
+
   /// Convenience wrappers forwarding to the FieldSet engine.
   template <typename T>
   void exchange(Communicator& comm, DistFieldT<T>& field) const {
@@ -193,6 +208,8 @@ class HaloExchanger {
 #define MINIPOP_HALO_EXTERN(T)                                             \
   extern template void HaloExchanger::exchange_set<T>(                     \
       Communicator&, const FieldSetT<T>&) const;                           \
+  extern template void HaloExchanger::exchange_group<T>(                   \
+      Communicator&, std::span<const FieldSetT<T>>) const;                 \
   extern template HaloHandleT<T> HaloExchanger::begin_set<T>(              \
       Communicator&, const FieldSetT<T>&) const;                           \
   extern template std::uint64_t HaloExchanger::bytes_sent_per_exchange<T>( \

@@ -117,6 +117,24 @@ int Decomposition::neighbor(int id, Dir d) const {
   return block_id_at(b.bi + di, b.bj + dj);
 }
 
+int Decomposition::max_halo_width() const {
+  int w = std::min(nx_global_, ny_global_);
+  for (const auto& b : blocks_) w = std::min({w, b.nx, b.ny});
+  return w;
+}
+
+void Decomposition::validate_halo(int halo) const {
+  for (const auto& b : blocks_) {
+    MINIPOP_REQUIRE(b.nx >= halo && b.ny >= halo,
+                    "halo " << halo << " wider than block " << b.id
+                            << " at (" << b.bi << "," << b.bj << "): "
+                            << b.nx << "x" << b.ny
+                            << " — rims would overlap out of bounds "
+                               "(max usable halo "
+                            << max_halo_width() << ")");
+  }
+}
+
 double Decomposition::load_imbalance() const {
   long max_w = 0;
   long total = 0;

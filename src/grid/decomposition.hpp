@@ -63,6 +63,17 @@ class Decomposition {
   /// Max over ranks of total owned ocean cells / mean — 1.0 is perfect.
   double load_imbalance() const;
 
+  /// Widest halo any field on this decomposition can carry: the minimum
+  /// interior extent over ALL active blocks (narrow strait/edge blocks
+  /// bound it, whoever owns them — the exchange reads rims of every
+  /// neighbour at full width).
+  int max_halo_width() const;
+
+  /// Loudly reject a halo wider than some block's interior. Throws
+  /// util::Error naming the offending block instead of letting rim
+  /// pack/unpack overlap out of bounds.
+  void validate_halo(int halo) const;
+
  private:
   int nx_global_;
   int ny_global_;

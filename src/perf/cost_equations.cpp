@@ -59,4 +59,57 @@ IterationCosts iteration_costs(const MachineProfile& m, Config c,
   return out;
 }
 
+IterationCosts comm_avoid_iteration_costs(const MachineProfile& m, Config c,
+                                          long points, int p,
+                                          int check_frequency, int k) {
+  MINIPOP_REQUIRE(is_pcsi(c), "comm-avoiding model needs a pcsi config, got "
+                                  << to_string(c));
+  MINIPOP_REQUIRE(k >= 1, "depth k=" << k);
+  if (k == 1) return iteration_costs(m, c, points, p, check_frequency);
+
+  IterationCosts out = iteration_costs(m, c, points, p, check_frequency);
+  const double s =
+      std::sqrt(static_cast<double>(points) / p);  // subdomain edge
+
+  // Redundant perimeter work: iteration j of a k-group preconditions and
+  // updates on extension e = k - j + 1 and evaluates the residual on
+  // e - 1. Ops split per point: T_p precond + 4 update at e, 10 residual
+  // at e - 1 (the remaining ~2 ops/pt of the paper's 12 are the check
+  // masking, already in the reduction term and interior-only).
+  const double precond_ops = is_evp(c) ? 14.0 : 1.0;
+  double redundant = 0.0;
+  for (int e = 1; e <= k; ++e) {
+    const double extra_e = 4.0 * e * s + 4.0 * e * e;
+    const double extra_em1 = 4.0 * (e - 1) * s + 4.0 * (e - 1) * (e - 1);
+    redundant += (precond_ops + 4.0) * extra_e + 10.0 * extra_em1;
+  }
+  out.computation += redundant / k * m.theta;
+
+  // One grouped exchange per k iterations: message latency divides by
+  // k; the payload carries width-k rims of the THREE iteration fields
+  // {x, dx, r} (vs the baseline's one width-2 rim of x per iteration).
+  const double group_bytes = 3.0 * 4.0 * k * s * 8.0;
+  out.halo = (4.0 * m.alpha_p2p + group_bytes * m.beta) / k;
+  return out;
+}
+
+int choose_halo_depth(const MachineProfile& m, Config c, long points, int p,
+                      int check_frequency, int max_depth) {
+  if (!is_pcsi(c)) return 1;
+  MINIPOP_REQUIRE(max_depth >= 1, "max_depth=" << max_depth);
+  int best_k = 1;
+  double best =
+      comm_avoid_iteration_costs(m, c, points, p, check_frequency, 1).total();
+  for (int k = 2; k <= max_depth; ++k) {
+    const double t =
+        comm_avoid_iteration_costs(m, c, points, p, check_frequency, k)
+            .total();
+    if (t < best) {
+      best = t;
+      best_k = k;
+    }
+  }
+  return best_k;
+}
+
 }  // namespace minipop::perf

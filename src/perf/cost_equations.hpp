@@ -45,4 +45,29 @@ struct IterationCosts {
 IterationCosts iteration_costs(const MachineProfile& m, Config c,
                                long points, int p, int check_frequency);
 
+/// Amortized cost of one P-CSI iteration under the depth-k
+/// communication-avoiding schedule (DESIGN.md §13): one grouped
+/// exchange of the three iteration fields {x, dx, r} with width-k rims
+/// buys k iterations, so the per-iteration message latency divides by
+/// k, while the shrinking extended-domain sweeps add redundant
+/// perimeter flops — stage extension e costs (s+2e)^2 - s^2 ~ 4es+4e^2
+/// extra points on an s x s subdomain (s = sqrt(points/p)), averaging
+/// ~2sk + O(k^2) redundant points per iteration over a group.
+/// k == 1 IS the baseline schedule and returns iteration_costs()
+/// exactly (the depth-1 engine does no redundant work and no grouping).
+/// Only meaningful for P-CSI configs: ChronGear's per-iteration
+/// reduction forces a group boundary every iteration, so is_pcsi(c) is
+/// required.
+IterationCosts comm_avoid_iteration_costs(const MachineProfile& m, Config c,
+                                          long points, int p,
+                                          int check_frequency, int k);
+
+/// Model-driven ghost-zone depth: the k in [1, max_depth] minimizing
+/// comm_avoid_iteration_costs().total(); ties break toward the
+/// smaller k (less redundant work, less memory). Non-P-CSI configs
+/// return 1 — the comm-avoiding schedule needs a reduction-free
+/// iteration body.
+int choose_halo_depth(const MachineProfile& m, Config c, long points, int p,
+                      int check_frequency, int max_depth = 4);
+
 }  // namespace minipop::perf

@@ -7,6 +7,7 @@
 #include <type_traits>
 
 #include "src/fault/fault_injector.hpp"
+#include "src/solver/comm_avoid.hpp"
 #include "src/solver/integrity.hpp"
 #include "src/solver/kernels.hpp"
 #include "src/util/error.hpp"
@@ -205,6 +206,20 @@ void stamp_pending(BatchControl& ctl, comm::Communicator& comm,
   }
 }
 
+/// Member flush to the caller's batch, tolerant of the comm-avoiding
+/// paths' wider working halos: same width keeps the historical
+/// full-plane copy (halo freshness carries over), differing widths copy
+/// the interior (the caller's halos are stale either way after a
+/// comm-avoiding solve, matching the scalar path).
+template <typename T>
+void flush_member(comm::DistFieldBatchT<T>& x_caller, int m,
+                  const comm::DistFieldBatchT<T>& xw, int s) {
+  if (x_caller.halo() == xw.halo())
+    x_caller.copy_member_from(m, xw, s);
+  else
+    x_caller.copy_member_interior_from(m, xw, s);
+}
+
 bool should_retire(const SolverOptions& opt, const BatchControl& ctl) {
   return opt.batch_retire_fraction > 0.0 && ctl.n_active > 0 &&
          ctl.n_active < ctl.cur_nb &&
@@ -227,13 +242,13 @@ void compact(BatchControl& ctl, comm::Communicator& comm,
              comm::DistFieldBatchT<T>& r,
              const std::vector<comm::DistFieldBatchT<T>*>& carried,
              const std::vector<comm::DistFieldBatchT<T>*>& scratch,
-             std::vector<double>& sums) {
+             std::vector<double>& sums, int work_halo) {
   // Frozen failures lose their r planes below; stamp them first.
   stamp_pending(ctl, comm, a, r, sums);
 
   if (xw != &x_caller)
     for (int s = 0; s < ctl.cur_nb; ++s)
-      x_caller.copy_member_from(ctl.member_of[s], *xw, s);
+      flush_member(x_caller, ctl.member_of[s], *xw, s);
 
   std::vector<int> keep;
   keep.reserve(ctl.n_active);
@@ -242,7 +257,7 @@ void compact(BatchControl& ctl, comm::Communicator& comm,
   const int n_new = static_cast<int>(keep.size());
   const auto& decomp = x_caller.decomposition();
   const int rank = x_caller.rank();
-  const int halo = x_caller.halo();
+  const int halo = work_halo;
 
   auto nb_own = std::make_unique<comm::DistFieldBatchT<T>>(decomp, rank,
                                                            n_new, halo);
@@ -291,7 +306,7 @@ void finish(BatchControl& ctl, comm::Communicator& comm,
   stamp_pending(ctl, comm, a, r, sums);
   if (xw != &x_caller)
     for (int s = 0; s < ctl.cur_nb; ++s)
-      x_caller.copy_member_from(ctl.member_of[s], *xw, s);
+      flush_member(x_caller, ctl.member_of[s], *xw, s);
 }
 
 }  // namespace
@@ -319,6 +334,8 @@ BatchedPcsiSolver::BatchedPcsiSolver(EigenBounds bounds,
     : opt_(options) {
   set_bounds(bounds);
 }
+
+BatchedPcsiSolver::~BatchedPcsiSolver() = default;
 
 void BatchedPcsiSolver::set_bounds(EigenBounds bounds) {
   MINIPOP_REQUIRE(bounds.nu > 0.0 && bounds.mu > bounds.nu,
@@ -356,6 +373,11 @@ BatchSolveStats BatchedPcsiSolver::solve_t(comm::Communicator& comm,
                                            comm::DistFieldBatchT<T>& x,
                                            comm::HaloFreshness x_fresh) {
   MINIPOP_REQUIRE(b.compatible_with(x), "batched pcsi: b/x mismatch");
+  if (opt_.halo_depth > 1 &&
+      (m.name() == "diagonal" || m.name() == "identity") &&
+      std::min(std::max(opt_.halo_depth, 1),
+               a.decomposition().max_halo_width()) > 1)
+    return solve_comm_avoid_t<T>(comm, halo, a, m, b, x);
   const auto snapshot = comm.costs().counters();
   const int nb0 = b.nb();
   const bool ov = opt_.overlap;
@@ -487,13 +509,187 @@ BatchSolveStats BatchedPcsiSolver::solve_t(comm::Communicator& comm,
       if (ctl.n_active == 0) break;
       if (should_retire(opt_, ctl)) {
         compact(ctl, comm, a, x, bw, b_own, xw, x_own, r, {&r, &dx}, {&rp},
-                sums);
+                sums, x.halo());
       }
     } else {
       if (ov)
         a.residual_overlapped_batch(comm, halo, *bw, *xw, r);
       else
         a.residual_batch(comm, halo, *bw, *xw, r);
+    }
+  }
+
+  finish(ctl, comm, a, x, xw, r, sums);
+  ctl.out.costs = comm.costs().since(snapshot);
+  return ctl.out;
+}
+
+// Communication-avoiding batched P-CSI (DESIGN.md §13): the lockstep
+// loop above with the per-iteration exchanges grouped — one deep
+// exchange of {x, dx, r} per group of up to `depth` iterations, the
+// sweeps running on shrinking extended domains over the whole batch.
+// Freeze decisions, retirement compactions and every member's iterates
+// are bitwise identical to the depth-1 loop (the ghost arithmetic
+// replays the neighbouring owners' operations on identical operands;
+// the check norm separates the fused residual+norm sweep into
+// residual + dot, which the kernel contract pins to the same bits).
+template <typename T>
+BatchSolveStats BatchedPcsiSolver::solve_comm_avoid_t(
+    comm::Communicator& comm, const comm::HaloExchanger& halo,
+    const DistOperator& a, Preconditioner& m,
+    const comm::DistFieldBatchT<T>& b, comm::DistFieldBatchT<T>& x) {
+  const auto snapshot = comm.costs().counters();
+  const int nb0 = b.nb();
+
+  const int depth = std::min(std::max(opt_.halo_depth, 1),
+                             a.decomposition().max_halo_width());
+  const CaPrecond kind = m.name() == "diagonal" ? CaPrecond::kDiagonal
+                                                : CaPrecond::kIdentity;
+  if (!ca_engine_ || ca_engine_op_ != &a || ca_engine_->width() != depth) {
+    ca_engine_ = std::make_unique<CommAvoidEngine>(a, depth);
+    ca_engine_op_ = &a;
+  }
+  const CommAvoidEngine& eng = *ca_engine_;
+
+  BatchControl ctl = init_control(opt_, comm, a, b, x);
+  if (ctl.n_active == 0) {
+    ctl.out.costs = comm.costs().since(snapshot);
+    return ctl.out;
+  }
+
+  EigenBounds eb = bounds_;
+  if constexpr (std::is_same_v<T, double>)
+    fault::hook_eigen_bounds(a.rank(), &eb.nu, &eb.mu);
+  const double alpha = 2.0 / (eb.mu - eb.nu);
+  const double beta = (eb.mu + eb.nu) / (eb.mu - eb.nu);
+  const double gamma = beta / alpha;
+  double omega = 2.0 / gamma;  // omega_0
+
+  // Deep-halo working copies of the whole batch. Unlike the depth-1
+  // path the solve never runs on the caller's planes: every operand of
+  // the extended sweeps needs a ghost region at least `depth` wide.
+  // (Copied AFTER init_control so zero-RHS members' fill(0) carries in.)
+  const int hw = std::max(x.halo(), depth);
+  auto b_own = std::make_unique<comm::DistFieldBatchT<T>>(
+      a.decomposition(), a.rank(), nb0, hw);
+  auto x_own = std::make_unique<comm::DistFieldBatchT<T>>(
+      a.decomposition(), a.rank(), nb0, hw);
+  for (int mb = 0; mb < nb0; ++mb) {
+    b_own->copy_member_interior_from(mb, b, mb);
+    x_own->copy_member_interior_from(mb, x, mb);
+  }
+  const comm::DistFieldBatchT<T>* bw = b_own.get();
+  comm::DistFieldBatchT<T>* xw = x_own.get();
+  comm::DistFieldBatchT<T> r(a.decomposition(), a.rank(), nb0, hw);
+  comm::DistFieldBatchT<T> rp(a.decomposition(), a.rank(), nb0, hw);
+  comm::DistFieldBatchT<T> dx(a.decomposition(), a.rank(), nb0, hw);
+
+  std::vector<T> ca(nb0), cb(nb0), cc(nb0);
+  std::vector<double> sums(nb0);
+  std::vector<int> bad_idx;
+  std::vector<unsigned char> accept_s(nb0);
+  std::vector<FailureKind> audit(nb0);
+  BatchIntegrityAuditor auditor(opt_);
+
+  // b's deep ghosts feed every extended residual sweep and b never
+  // changes: ONE exchange per solve (compaction's full-plane member
+  // migration preserves the ghosts across retirements).
+  halo.exchange(comm, *b_own);
+
+  // Initial step (Algorithm 2, step 2), gated like the depth-1 path so
+  // zero-RHS members' solutions stay exactly at the early-out's fill(0).
+  a.residual_batch(comm, halo, *bw, *xw, r);
+  m.apply_batch(comm, r, rp);
+  copy_all(rp, dx);
+  std::fill(ca.begin(), ca.end(), static_cast<T>(1.0 / gamma));
+  scale_active(comm, ca.data(), dx, ctl.active, ctl.n_active);
+  std::fill(ca.begin(), ca.end(), static_cast<T>(1.0));
+  axpy_active(comm, ca.data(), dx, *xw, ctl.active, ctl.n_active);
+  a.residual_batch(comm, halo, *bw, *xw, r);
+
+  int k = 1;
+  while (k <= opt_.max_iterations) {
+    // Group boundaries align with check iterations, so the checked r is
+    // always the group's final interior residual.
+    const int to_check =
+        opt_.check_frequency - ((k - 1) % opt_.check_frequency);
+    const int remaining = opt_.max_iterations - k + 1;
+    const int g = std::min({depth, to_check, remaining});
+
+    // Rebuilt every group: retirement compaction migrates the fields.
+    const comm::FieldSetT<T> group_sets[3] = {
+        comm::FieldSetT<T>(*xw), comm::FieldSetT<T>(dx),
+        comm::FieldSetT<T>(r)};
+    halo.exchange_group<T>(
+        comm, std::span<const comm::FieldSetT<T>>(group_sets, 3));
+
+    for (int j = 1; j <= g; ++j, ++k) {
+      ctl.out.iterations = k;
+      for (int s = 0; s < ctl.cur_nb; ++s)
+        if (ctl.active[s]) ctl.out.members[ctl.member_of[s]].iterations = k;
+
+      omega = 1.0 / (gamma - omega / (4.0 * alpha * alpha));
+      const int ept = g - j + 1;  // precond/update extension
+      eng.precond_batch(comm, kind, r, rp, ept);
+      std::fill(ca.begin(), ca.begin() + ctl.cur_nb, static_cast<T>(omega));
+      std::fill(cb.begin(), cb.begin() + ctl.cur_nb,
+                static_cast<T>(gamma * omega - 1.0));
+      std::fill(cc.begin(), cc.begin() + ctl.cur_nb, static_cast<T>(1.0));
+      eng.update_batch(comm, ca.data(), rp, cb.data(), dx, cc.data(), *xw,
+                       ctl.active.data(), ctl.n_active, ept);
+      eng.residual_batch(comm, *bw, *xw, r, ept - 1);
+    }
+    const int k_last = k - 1;
+
+    if (k_last % opt_.check_frequency == 0) {
+      // r's interior IS the lockstep residual; one vector allreduce of
+      // the per-member masked norms, as in the depth-1 check.
+      a.local_dot_batch(comm, r, r, sums.data());
+      bad_idx.clear();
+      if (allreduce_sum_guarded(comm, opt_.integrity,
+                                std::span<double>(sums.data(), ctl.cur_nb),
+                                &bad_idx)) {
+        for (int i : bad_idx) {
+          if (!ctl.active[i]) continue;
+          ctl.needs_stamp[ctl.member_of[i]] = 1;
+          ctl.freeze(i, false, 0.0, FailureKind::kCorruptReduction);
+        }
+        if (ctl.n_active == 0) break;
+      }
+      accept_s.assign(ctl.cur_nb, 0);
+      audit.assign(ctl.cur_nb, FailureKind::kNone);
+      for (int s = 0; s < ctl.cur_nb; ++s)
+        if (ctl.active[s] && sums[s] <= ctl.threshold2[ctl.member_of[s]])
+          accept_s[s] = 1;
+      if constexpr (std::is_same_v<T, double>) {
+        if (opt_.integrity.any_solver_check())
+          auditor.at_check(comm, halo, a, *bw, r, *xw, ctl.b_norm2.data(),
+                           ctl.member_of.data(), ctl.active.data(),
+                           ctl.cur_nb, nullptr, /*r_is_true=*/true,
+                           accept_s.data(), /*any_accept=*/false,
+                           audit.data());
+      }
+      for (int s = 0; s < ctl.cur_nb; ++s) {
+        if (!ctl.active[s]) continue;
+        const int mm = ctl.member_of[s];
+        if (audit[s] != FailureKind::kNone) {
+          ctl.needs_stamp[mm] = 1;
+          ctl.freeze(s, false, 0.0, audit[s]);
+          continue;
+        }
+        const double rel = std::sqrt(sums[s] / ctl.b_norm2[mm]);
+        if (accept_s[s]) {
+          ctl.freeze(s, true, rel, FailureKind::kNone);
+          continue;
+        }
+        const FailureKind f = ctl.guards[mm].check(rel);
+        if (f != FailureKind::kNone) ctl.freeze(s, false, rel, f);
+      }
+      if (ctl.n_active == 0) break;
+      if (should_retire(opt_, ctl)) {
+        compact(ctl, comm, a, x, bw, b_own, xw, x_own, r, {&r, &dx}, {&rp},
+                sums, hw);
+      }
     }
   }
 
@@ -691,7 +887,7 @@ BatchSolveStats BatchedChronGearSolver::solve_t(
 
     if (check && should_retire(opt_, ctl)) {
       compact(ctl, comm, a, x, bw, b_own, xw, x_own, r,
-              {&r, &s_dir, &p_dir}, {&rp, &z}, sums);
+              {&r, &s_dir, &p_dir}, {&rp, &z}, sums, x.halo());
     }
   }
 

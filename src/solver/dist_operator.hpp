@@ -27,6 +27,11 @@ class DistOperator {
                const grid::Decomposition& decomp, int rank);
 
   const grid::Decomposition& decomposition() const { return *decomp_; }
+  /// Construction-time stencil (global coefficient planes). The deep-halo
+  /// engine gathers its EXTENDED per-block planes from these — the same
+  /// source the per-block copies came from, so ghost-zone coefficients are
+  /// bitwise equal to the owning block's interior coefficients.
+  const grid::NinePointStencil& stencil() const { return *stencil_; }
   int rank() const { return rank_; }
   int num_local_blocks() const {
     return static_cast<int>(block_coeff_.size());

@@ -116,6 +116,12 @@ struct IntegrityOptions {
   }
 };
 
+/// SolverOptions::halo_depth sentinel: resolve the depth from the perf
+/// model at solver construction (perf::choose_halo_depth).
+inline constexpr int kHaloDepthAuto = 0;
+/// Widest supported communication-avoiding ghost zone.
+inline constexpr int kMaxHaloDepth = 4;
+
 struct SolverOptions {
   /// Convergence: ||r||_2 <= rel_tolerance * ||b||_2 over ocean points.
   double rel_tolerance = 1e-13;
@@ -133,6 +139,21 @@ struct SolverOptions {
   /// blocking path; CostTracker's posted/exposed seconds show how much
   /// communication was actually hidden.
   bool overlap = false;
+  /// Communication-avoiding ghost-zone depth k of the P-CSI cores:
+  /// exchange a depth-k halo of {x, dx, r} once (one aggregated message
+  /// per neighbour), then run k sweeps on shrinking extended domains with
+  /// zero exchanges in between — halo rounds per solve drop ~k x at the
+  /// price of redundant rim flops (CostCounters::redundant_flops).
+  /// Iterates, residuals and iteration counts are bitwise identical to
+  /// k = 1 (the redundant ghost computation executes the same FP ops on
+  /// the same values the owner does). 1 = classic per-iteration
+  /// exchange; 2..4 = depth-k groups; kHaloDepthAuto (0) picks k from
+  /// the perf model (perf::choose_halo_depth). Only P-CSI with the
+  /// diagonal/identity preconditioners runs deep; block-EVP needs its
+  /// own exchange inside apply and falls back to k = 1 loudly. When
+  /// k > 1 is in effect it takes precedence over `overlap` (the grouped
+  /// sweeps leave no per-iteration exchange to hide).
+  int halo_depth = 1;
 
   // --- convergence guards (piggybacked on the check_frequency
   // reduction; no extra collectives on the happy path) ---

@@ -1,15 +1,29 @@
 #include "src/solver/mixed_precision.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <span>
 
+#include "src/solver/comm_avoid.hpp"
 #include "src/solver/field_ops.hpp"
 #include "src/solver/integrity.hpp"
+#include "src/solver/kernels.hpp"
 #include "src/util/error.hpp"
 
 namespace minipop::solver {
 
 namespace {
+
+/// Interior copy between fp32 fields of different halo widths (the
+/// comm-avoiding loop runs on deep-halo copies).
+void copy_interior_any(const comm::DistField32& src,
+                       comm::DistField32& dst) {
+  for (int lb = 0; lb < src.num_local_blocks(); ++lb) {
+    const auto& info = src.info(lb);
+    kernels::copy(info.nx, info.ny, src.interior(lb), src.stride(lb),
+                  dst.interior(lb), dst.stride(lb));
+  }
+}
 
 /// Outcome of one fp32 solve (whole-solve or refinement inner).
 struct Inner32Result {
@@ -97,6 +111,107 @@ Inner32Result run_pcsi32(comm::Communicator& comm,
     if (out.failure == FailureKind::kNone) out.failure = FailureKind::kMaxIters;
     out.rel = std::sqrt(a.global_dot(comm, r, r) / b_norm2);
   }
+  return out;
+}
+
+/// Communication-avoiding fp32 P-CSI: run_pcsi32's iteration with the
+/// exchanges grouped — one depth-k ghost exchange of {x, dx, r} per
+/// group of up to k iterations, sweeps on shrinking extended domains
+/// through the engine's fp32 coefficient mirrors. Check logic mirrors
+/// run_pcsi32 exactly (plain allreduce, no auditor), so iterates and
+/// residual history are bitwise identical to the depth-1 fp32 loop.
+Inner32Result run_pcsi32_ca(comm::Communicator& comm,
+                            const comm::HaloExchanger& halo,
+                            const DistOperator& a, Preconditioner& m,
+                            const CommAvoidEngine& eng,
+                            const comm::DistField32& b32,
+                            comm::DistField32& x32, EigenBounds eb,
+                            const SolverOptions& opt, double rel_tol,
+                            int max_iters,
+                            std::vector<std::pair<int, double>>* history) {
+  Inner32Result out;
+  const int depth = eng.width();
+  const CaPrecond kind = m.name() == "diagonal" ? CaPrecond::kDiagonal
+                                                : CaPrecond::kIdentity;
+
+  // Deep-halo working copies (see PcsiSolver::solve_comm_avoid).
+  const int hw = std::max(x32.halo(), depth);
+  comm::DistField32 bw(a.decomposition(), a.rank(), hw);
+  comm::DistField32 xw(a.decomposition(), a.rank(), hw);
+  comm::DistField32 r(a.decomposition(), a.rank(), hw);
+  comm::DistField32 rp(a.decomposition(), a.rank(), hw);
+  comm::DistField32 dx(a.decomposition(), a.rank(), hw);
+  copy_interior_any(b32, bw);
+  copy_interior_any(x32, xw);
+
+  const double b_norm2 = a.global_dot(comm, bw, bw);
+  if (b_norm2 == 0.0) {
+    fill_interior(x32, 0.0);
+    out.converged = true;
+    return out;
+  }
+  const double threshold2 = rel_tol * rel_tol * b_norm2;
+
+  const double alpha = 2.0 / (eb.mu - eb.nu);
+  const double beta = (eb.mu + eb.nu) / (eb.mu - eb.nu);
+  const double gamma = beta / alpha;
+  double omega = 2.0 / gamma;
+
+  // b's deep ghosts feed every extended residual sweep: ONE exchange.
+  halo.exchange(comm, bw);
+
+  a.residual(comm, halo, bw, xw, r);
+  m.apply(comm, r, rp);
+  copy_interior(rp, dx);
+  scale(comm, 1.0 / gamma, dx);
+  axpy(comm, 1.0, dx, xw);
+  a.residual(comm, halo, bw, xw, r);
+
+  ConvergenceGuard guard(opt);
+  const comm::FieldSetT<float> group_sets[3] = {
+      comm::FieldSetT<float>(xw), comm::FieldSetT<float>(dx),
+      comm::FieldSetT<float>(r)};
+  int k = 1;
+  while (k <= max_iters) {
+    const int to_check =
+        opt.check_frequency - ((k - 1) % opt.check_frequency);
+    const int remaining = max_iters - k + 1;
+    const int g = std::min({depth, to_check, remaining});
+
+    halo.exchange_group<float>(
+        comm, std::span<const comm::FieldSetT<float>>(group_sets, 3));
+
+    for (int j = 1; j <= g; ++j, ++k) {
+      out.iterations = k;
+      omega = 1.0 / (gamma - omega / (4.0 * alpha * alpha));
+      const int ept = g - j + 1;
+      // Scalars demote exactly where the fp32 field_ops overloads do.
+      eng.precond(comm, kind, r, rp, ept);
+      eng.update(comm, static_cast<float>(omega), rp,
+                 static_cast<float>(gamma * omega - 1.0), dx, xw, ept);
+      eng.residual(comm, bw, xw, r, ept - 1);
+    }
+    const int k_last = k - 1;
+
+    if (k_last % opt.check_frequency == 0) {
+      const double r_norm2 = comm.allreduce_sum(a.local_dot(comm, r, r));
+      const double rel = std::sqrt(r_norm2 / b_norm2);
+      if (history) history->emplace_back(k_last, rel);
+      if (r_norm2 <= threshold2) {
+        out.converged = true;
+        out.rel = rel;
+        break;
+      }
+      out.failure = guard.check(rel);
+      if (out.failure != FailureKind::kNone) break;
+    }
+  }
+
+  if (!out.converged) {
+    if (out.failure == FailureKind::kNone) out.failure = FailureKind::kMaxIters;
+    out.rel = std::sqrt(a.global_dot(comm, r, r) / b_norm2);
+  }
+  copy_interior_any(xw, x32);
   return out;
 }
 
@@ -202,6 +317,22 @@ MixedPrecisionSolver::MixedPrecisionSolver(
                       << twin_->name() << "'");
 }
 
+MixedPrecisionSolver::~MixedPrecisionSolver() = default;
+
+const CommAvoidEngine* MixedPrecisionSolver::ca_engine(const DistOperator& a,
+                                                       Preconditioner& m) {
+  if (opt_.halo_depth <= 1 || pcsi_ == nullptr) return nullptr;
+  if (m.name() != "diagonal" && m.name() != "identity") return nullptr;
+  const int depth = std::min(std::max(opt_.halo_depth, 1),
+                             a.decomposition().max_halo_width());
+  if (depth <= 1) return nullptr;
+  if (!ca_engine_ || ca_op_ != &a || ca_engine_->width() != depth) {
+    ca_engine_ = std::make_unique<CommAvoidEngine>(a, depth);
+    ca_op_ = &a;
+  }
+  return ca_engine_.get();
+}
+
 std::string MixedPrecisionSolver::name() const {
   return std::string(to_string(opt_.precision)) + "(" + twin_->name() + ")";
 }
@@ -235,11 +366,15 @@ SolveStats MixedPrecisionSolver::solve_fp32(comm::Communicator& comm,
   demote(x, x32);  // halos stale; the first residual refreshes them
 
   auto* history = opt_.record_residuals ? &stats.residual_history : nullptr;
+  const CommAvoidEngine* eng = ca_engine(a, m);
   const Inner32Result res =
-      pcsi_ ? run_pcsi32(comm, halo, a, m, b32, x32, pcsi_->bounds(), opt_,
-                         opt_.rel_tolerance, opt_.max_iterations, history)
-            : run_cg32(comm, halo, a, m, b32, x32, opt_, opt_.rel_tolerance,
-                       opt_.max_iterations, history);
+      eng ? run_pcsi32_ca(comm, halo, a, m, *eng, b32, x32, pcsi_->bounds(),
+                          opt_, opt_.rel_tolerance, opt_.max_iterations,
+                          history)
+      : pcsi_ ? run_pcsi32(comm, halo, a, m, b32, x32, pcsi_->bounds(), opt_,
+                           opt_.rel_tolerance, opt_.max_iterations, history)
+              : run_cg32(comm, halo, a, m, b32, x32, opt_, opt_.rel_tolerance,
+                         opt_.max_iterations, history);
   promote(x32, x);
 
   stats.iterations = res.iterations;
@@ -334,13 +469,17 @@ SolveStats MixedPrecisionSolver::solve_mixed(comm::Communicator& comm,
     // that factor, so fp64 tolerance is reached in a handful of sweeps.
     if (!ov) demote(r, r32);
     fill_interior(d32, 0.0);
+    const CommAvoidEngine* eng = ca_engine(a, m);
     const Inner32Result inner =
-        pcsi_ ? run_pcsi32(comm, halo, a, m, r32, d32, pcsi_->bounds(), opt_,
+        eng ? run_pcsi32_ca(comm, halo, a, m, *eng, r32, d32, pcsi_->bounds(),
+                            opt_, opt_.refine_inner_tolerance,
+                            opt_.refine_max_inner_iterations, nullptr)
+        : pcsi_ ? run_pcsi32(comm, halo, a, m, r32, d32, pcsi_->bounds(),
+                             opt_, opt_.refine_inner_tolerance,
+                             opt_.refine_max_inner_iterations, nullptr)
+                : run_cg32(comm, halo, a, m, r32, d32, opt_,
                            opt_.refine_inner_tolerance,
-                           opt_.refine_max_inner_iterations, nullptr)
-              : run_cg32(comm, halo, a, m, r32, d32, opt_,
-                         opt_.refine_inner_tolerance,
-                         opt_.refine_max_inner_iterations, nullptr);
+                           opt_.refine_max_inner_iterations, nullptr);
     stats.iterations += inner.iterations;
     ++stats.refine_sweeps;
     if (inner.failure == FailureKind::kNanDetected ||

@@ -37,12 +37,16 @@
 
 namespace minipop::solver {
 
+class CommAvoidEngine;
+class DistOperator;
+
 class MixedPrecisionSolver final : public IterativeSolver {
  public:
   /// `fp64_twin` must be a PcsiSolver or ChronGearSolver; it defines the
   /// iteration run at every precision and is the escalation target.
   MixedPrecisionSolver(std::unique_ptr<IterativeSolver> fp64_twin,
                        const SolverOptions& options);
+  ~MixedPrecisionSolver() override;
 
   SolveStats solve(
       comm::Communicator& comm, const comm::HaloExchanger& halo,
@@ -67,6 +71,12 @@ class MixedPrecisionSolver final : public IterativeSolver {
   PcsiSolver* pcsi() { return pcsi_; }
 
  private:
+  /// Depth-k ghost-zone engine for the fp32 P-CSI inner loops, or
+  /// nullptr when comm-avoiding doesn't apply (depth 1, ChronGear twin,
+  /// or a non-pointwise preconditioner). Cached across refinement
+  /// sweeps — the engine's fp32 coefficient mirrors are built once.
+  const CommAvoidEngine* ca_engine(const DistOperator& a, Preconditioner& m);
+
   SolveStats solve_fp32(comm::Communicator& comm,
                         const comm::HaloExchanger& halo,
                         const DistOperator& a, Preconditioner& m,
@@ -82,6 +92,8 @@ class MixedPrecisionSolver final : public IterativeSolver {
   ChronGearSolver* cg_ = nullptr;       ///< view into twin_, if ChronGear
   SolverOptions opt_;
   bool forced_fp64_ = false;
+  std::unique_ptr<CommAvoidEngine> ca_engine_;
+  const DistOperator* ca_op_ = nullptr;
 };
 
 }  // namespace minipop::solver

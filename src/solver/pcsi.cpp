@@ -1,18 +1,38 @@
 #include "src/solver/pcsi.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "src/fault/fault_injector.hpp"
+#include "src/solver/comm_avoid.hpp"
 #include "src/solver/field_ops.hpp"
 #include "src/solver/integrity.hpp"
+#include "src/solver/kernels.hpp"
 #include "src/util/error.hpp"
 
 namespace minipop::solver {
+
+namespace {
+
+/// Interior copy between fields of DIFFERENT halo widths (the
+/// comm-avoiding path works on deep-halo copies of the caller's
+/// fields; field_ops::copy_interior requires matching halos).
+void copy_interior_any(const comm::DistField& src, comm::DistField& dst) {
+  for (int lb = 0; lb < src.num_local_blocks(); ++lb) {
+    const auto& info = src.info(lb);
+    kernels::copy(info.nx, info.ny, src.interior(lb), src.stride(lb),
+                  dst.interior(lb), dst.stride(lb));
+  }
+}
+
+}  // namespace
 
 PcsiSolver::PcsiSolver(EigenBounds bounds, const SolverOptions& options)
     : opt_(options) {
   set_bounds(bounds);
 }
+
+PcsiSolver::~PcsiSolver() = default;
 
 void PcsiSolver::set_bounds(EigenBounds bounds) {
   MINIPOP_REQUIRE(bounds.nu > 0.0 && bounds.mu > bounds.nu,
@@ -26,6 +46,12 @@ SolveStats PcsiSolver::solve(comm::Communicator& comm,
                              const DistOperator& a, Preconditioner& m,
                              const comm::DistField& b, comm::DistField& x,
                              comm::HaloFreshness x_fresh) {
+  // Depth-k grouped sweeps only extend through POINTWISE preconditioners
+  // (a ghost cell's M^-1 r depends only on that cell); the factory
+  // already falls back loudly for block-EVP, this guards direct use.
+  if (opt_.halo_depth > 1 &&
+      (m.name() == "diagonal" || m.name() == "identity"))
+    return solve_comm_avoid(comm, halo, a, m, b, x, x_fresh);
   if (opt_.overlap) return solve_overlapped(comm, halo, a, m, b, x, x_fresh);
   const auto snapshot = comm.costs().counters();
   SolveStats stats;
@@ -225,6 +251,147 @@ SolveStats PcsiSolver::solve_overlapped(comm::Communicator& comm,
     stats.relative_residual =
         std::sqrt(a.global_dot(comm, r, r) / b_norm2);
   }
+  stats.costs = comm.costs().since(snapshot);
+  return stats;
+}
+
+// Communication-avoiding P-CSI (DESIGN.md §13). Between convergence
+// checks the iteration is reduction-free AND — with a depth-k ghost
+// zone — exchange-free: one grouped deep exchange of {x, dx, r} buys up
+// to k iterations of sweeps on shrinking extended domains. Sweep j of a
+// g-iteration group preconditions and updates on extension g - j + 1
+// and evaluates the residual on extension g - j, so after the group the
+// interior state is BITWISE what g single-exchange iterations produce
+// (the ghost arithmetic replays the neighbouring owners' operations on
+// identical operands — see comm_avoid.hpp). The price is redundant
+// perimeter flops, recorded in CostCounters::redundant_flops.
+SolveStats PcsiSolver::solve_comm_avoid(comm::Communicator& comm,
+                                        const comm::HaloExchanger& halo,
+                                        const DistOperator& a,
+                                        Preconditioner& m,
+                                        const comm::DistField& b,
+                                        comm::DistField& x,
+                                        comm::HaloFreshness /*x_fresh*/) {
+  const auto snapshot = comm.costs().counters();
+  SolveStats stats;
+
+  const int depth = std::min(
+      std::max(opt_.halo_depth, 1), a.decomposition().max_halo_width());
+  const CaPrecond kind = m.name() == "diagonal" ? CaPrecond::kDiagonal
+                                                : CaPrecond::kIdentity;
+  if (!ca_engine_ || ca_engine_op_ != &a || ca_engine_->width() != depth) {
+    ca_engine_ = std::make_unique<CommAvoidEngine>(a, depth);
+    ca_engine_op_ = &a;
+  }
+  const CommAvoidEngine& eng = *ca_engine_;
+
+  // Deep-halo working copies: every operand of the extended sweeps needs
+  // a ghost region at least `depth` wide. (x_fresh is moot — the copies'
+  // halos start stale and the first residual refreshes them; the
+  // exchanged rims equal the caller's, fresh or not.)
+  const int hw = std::max(x.halo(), depth);
+  comm::DistField bw(a.decomposition(), a.rank(), hw);
+  comm::DistField xw(a.decomposition(), a.rank(), hw);
+  comm::DistField r(a.decomposition(), a.rank(), hw);
+  comm::DistField rp(a.decomposition(), a.rank(), hw);
+  comm::DistField dx(a.decomposition(), a.rank(), hw);
+  copy_interior_any(b, bw);
+  copy_interior_any(x, xw);
+
+  const double b_norm2 = a.global_dot(comm, bw, bw);
+  if (b_norm2 == 0.0) {
+    fill_interior(x, 0.0);
+    stats.converged = true;
+    stats.costs = comm.costs().since(snapshot);
+    return stats;
+  }
+  const double threshold2 =
+      opt_.rel_tolerance * opt_.rel_tolerance * b_norm2;
+
+  EigenBounds eb = bounds_;
+  fault::hook_eigen_bounds(a.rank(), &eb.nu, &eb.mu);
+  const double alpha = 2.0 / (eb.mu - eb.nu);
+  const double beta = (eb.mu + eb.nu) / (eb.mu - eb.nu);
+  const double gamma = beta / alpha;
+  double omega = 2.0 / gamma;  // omega_0
+
+  // b's deep ghosts feed every extended residual sweep and b never
+  // changes: ONE exchange per solve.
+  halo.exchange(comm, bw);
+
+  // Step 2: initial step, verbatim from the depth-1 path.
+  a.residual(comm, halo, bw, xw, r);  // r_0 = b - B x_0
+  m.apply(comm, r, rp);
+  copy_interior(rp, dx);
+  scale(comm, 1.0 / gamma, dx);         // dx_0 = gamma^-1 M^-1 r_0
+  axpy(comm, 1.0, dx, xw);              // x_1 = x_0 + dx_0
+  a.residual(comm, halo, bw, xw, r);    // r_1 = b - B x_1
+
+  ConvergenceGuard guard(opt_);
+  IntegrityAuditor auditor(opt_);
+  const comm::FieldSetT<double> group_sets[3] = {
+      comm::FieldSetT<double>(xw), comm::FieldSetT<double>(dx),
+      comm::FieldSetT<double>(r)};
+  int k = 1;
+  while (k <= opt_.max_iterations) {
+    // Group boundaries align with check iterations, so the checked r is
+    // always the group's final interior residual.
+    const int to_check =
+        opt_.check_frequency - ((k - 1) % opt_.check_frequency);
+    const int remaining = opt_.max_iterations - k + 1;
+    const int g = std::min({depth, to_check, remaining});
+
+    halo.exchange_group<double>(
+        comm, std::span<const comm::FieldSetT<double>>(group_sets, 3));
+
+    for (int j = 1; j <= g; ++j, ++k) {
+      stats.iterations = k;
+      omega = 1.0 / (gamma - omega / (4.0 * alpha * alpha));
+      const int ept = g - j + 1;           // precond/update extension
+      eng.precond(comm, kind, r, rp, ept);          // step 6
+      eng.update(comm, omega, rp, gamma * omega - 1.0, dx, xw,
+                 ept);                               // steps 7-8
+      eng.residual(comm, bw, xw, r, ept - 1);        // steps 9-11
+    }
+    const int k_last = k - 1;
+
+    if (k_last % opt_.check_frequency == 0) {
+      // r's interior IS the iteration's true residual; its masked norm
+      // accumulates bit-identically to the depth-1 fused sweep (kernel
+      // contract: residual_norm2_9 == residual9 + masked_dot).
+      double r_norm2 = a.local_dot(comm, r, r);
+      if (allreduce_sum_guarded(comm, opt_.integrity,
+                                std::span<double>(&r_norm2, 1))) {
+        stats.failure = FailureKind::kCorruptReduction;
+        break;
+      }
+      const double rel = std::sqrt(r_norm2 / b_norm2);
+      if (opt_.record_residuals)
+        stats.residual_history.emplace_back(k_last, rel);
+      const bool accept = r_norm2 <= threshold2;
+      if (opt_.integrity.any_solver_check()) {
+        stats.failure = auditor.at_check(comm, halo, a, bw, r, xw, b_norm2,
+                                         r_norm2, /*r_is_true=*/true,
+                                         accept);
+        if (stats.failure != FailureKind::kNone) break;
+      }
+      if (accept) {
+        stats.converged = true;
+        stats.relative_residual = rel;
+        break;
+      }
+      stats.failure = guard.check(rel);
+      if (stats.failure != FailureKind::kNone) break;
+    }
+  }
+
+  if (!stats.converged) {
+    if (stats.failure == FailureKind::kNone)
+      stats.failure = FailureKind::kMaxIters;
+    stats.relative_residual =
+        std::sqrt(a.global_dot(comm, r, r) / b_norm2);
+  }
+  copy_interior_any(xw, x);
   stats.costs = comm.costs().since(snapshot);
   return stats;
 }

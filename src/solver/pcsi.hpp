@@ -8,9 +8,13 @@
 // curve at large core counts (paper Eq. 3 and Figs. 8/10/11).
 #pragma once
 
+#include <memory>
+
 #include "src/solver/iterative_solver.hpp"
 
 namespace minipop::solver {
+
+class CommAvoidEngine;
 
 /// Estimated extreme eigenvalues of M^-1 A (from Lanczos; see
 /// lanczos.hpp).
@@ -34,6 +38,9 @@ class PcsiSolver final : public IterativeSolver {
   const EigenBounds& bounds() const { return bounds_; }
   void set_bounds(EigenBounds bounds);
 
+ public:
+  ~PcsiSolver() override;
+
  private:
   /// Split-phase path (SolverOptions::overlap): overlapped halo sweeps
   /// plus the check-norm reduction hidden behind a speculative
@@ -44,8 +51,26 @@ class PcsiSolver final : public IterativeSolver {
                               const comm::DistField& b, comm::DistField& x,
                               comm::HaloFreshness x_fresh);
 
+  /// Communication-avoiding path (SolverOptions::halo_depth > 1 with a
+  /// pointwise preconditioner): ONE depth-k ghost exchange of
+  /// {x, dx, r} per group of up to k iterations, the sweeps running on
+  /// shrinking extended domains. Iterates, residuals and iteration
+  /// counts are bitwise identical to the depth-1 path; only the
+  /// exchange count (and the redundant ghost flops) differ. Takes
+  /// precedence over `overlap` — the grouped exchange already removes
+  /// the latency the split-phase path merely hides.
+  SolveStats solve_comm_avoid(comm::Communicator& comm,
+                              const comm::HaloExchanger& halo,
+                              const DistOperator& a, Preconditioner& m,
+                              const comm::DistField& b, comm::DistField& x,
+                              comm::HaloFreshness x_fresh);
+
   EigenBounds bounds_;
   SolverOptions opt_;
+  /// Cached ghost-zone engine, rebuilt when the operator or resolved
+  /// depth changes (extended planes are pure functions of both).
+  std::unique_ptr<CommAvoidEngine> ca_engine_;
+  const DistOperator* ca_engine_op_ = nullptr;
 };
 
 }  // namespace minipop::solver

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "src/perf/cost_equations.hpp"
 #include "src/util/error.hpp"
+#include "src/util/log.hpp"
 
 namespace minipop::solver {
 
@@ -65,6 +67,51 @@ BarotropicSolver::BarotropicSolver(comm::Communicator& comm,
       op_(stencil, decomp, comm.rank()) {
   // The facade-level flag is a synonym for the per-solver option.
   if (config_.overlap) config_.options.overlap = true;
+
+  // Resolve the comm-avoiding ghost-zone depth (DESIGN.md §13) to a
+  // concrete k in [1, min(kMaxHaloDepth, widest-supported rim)] before
+  // anything reads it. Only P-CSI has the reduction-free iteration body
+  // the grouped schedule needs, and only the pointwise preconditioners
+  // have an extended-domain apply — every other combination falls back
+  // to depth 1, loudly when the user asked for more.
+  {
+    int& hd = config_.options.halo_depth;
+    MINIPOP_REQUIRE(hd == kHaloDepthAuto ||
+                        (hd >= 1 && hd <= kMaxHaloDepth),
+                    "halo_depth=" << hd << " (want 1.." << kMaxHaloDepth
+                                  << " or " << kHaloDepthAuto << "=auto)");
+    if (config_.solver != SolverKind::kPcsi) {
+      if (hd > 1)
+        MINIPOP_WARN("halo_depth=" << hd << " ignored: solver '"
+                                   << to_string(config_.solver)
+                                   << "' has no comm-avoiding schedule");
+      hd = 1;
+    } else if (config_.preconditioner == PreconditionerKind::kBlockEvp) {
+      if (hd != 1)
+        MINIPOP_WARN(
+            "halo_depth=" << hd
+                          << " ignored: block-evp has no extended-domain "
+                             "apply; running depth-1 exchanges");
+      hd = 1;
+    } else {
+      if (hd == kHaloDepthAuto) {
+        const long points = static_cast<long>(decomp.nx_global()) *
+                            decomp.ny_global();
+        hd = perf::choose_halo_depth(
+            perf::yellowstone_profile(), perf::Config::kPcsiDiag, points,
+            decomp.nranks(), config_.options.check_frequency,
+            kMaxHaloDepth);
+        MINIPOP_INFO("halo_depth=auto resolved to " << hd);
+      }
+      const int widest = std::min(kMaxHaloDepth, decomp.max_halo_width());
+      if (hd > widest) {
+        MINIPOP_WARN("halo_depth=" << hd << " clamped to " << widest
+                                   << " (narrowest active block bounds "
+                                      "the ghost rim)");
+        hd = widest;
+      }
+    }
+  }
   // Pipelined CG amplifies any asymmetry of the preconditioner, and EVP
   // marching round-off IS such an asymmetry: require much more accurate
   // (hence more subdivided) tiles for that pairing.
@@ -217,6 +264,10 @@ std::string BarotropicSolver::description() const {
     d += "+";
     d += to_string(config_.options.precision);
   }
+  // config_.options.halo_depth holds the RESOLVED depth (auto and
+  // unsupported requests were settled at construction).
+  if (config_.options.halo_depth > 1)
+    d += "+ca(k=" + std::to_string(config_.options.halo_depth) + ")";
   return d;
 }
 
