@@ -150,6 +150,7 @@ struct ModelPoint {
   std::string machine;
   int ranks = 0;
   int depth = 0;
+  double ocean_fraction = 1.0;
   perf::IterationCosts costs;
   int chosen = 0;  ///< choose_halo_depth() for this (machine, ranks)
 };
@@ -160,22 +161,30 @@ std::vector<ModelPoint> model_curves() {
   const std::pair<std::string, perf::MachineProfile> machines[] = {
       {"yellowstone", perf::yellowstone_profile()},
       {"edison", perf::edison_profile()}};
+  // ofrac = 1 is the dense sweep; 0.65 is roughly Earth's ocean share
+  // of the active blocks — under span execution the cheaper sweeps pull
+  // the latency/redundant-work crossover toward deeper ghost zones.
+  const double ocean_fractions[] = {1.0, 0.65};
   std::vector<ModelPoint> out;
   for (const auto& [name, m] : machines)
-    for (int p : {1024, 2048, 4096, 8192, 16384}) {
-      const int chosen = perf::choose_halo_depth(
-          m, perf::Config::kPcsiDiag, points, p, check_frequency);
-      for (int k = 1; k <= 4; ++k) {
-        ModelPoint pt;
-        pt.machine = name;
-        pt.ranks = p;
-        pt.depth = k;
-        pt.costs = perf::comm_avoid_iteration_costs(
-            m, perf::Config::kPcsiDiag, points, p, check_frequency, k);
-        pt.chosen = chosen;
-        out.push_back(pt);
+    for (double ofrac : ocean_fractions)
+      for (int p : {1024, 2048, 4096, 8192, 16384}) {
+        const int chosen = perf::choose_halo_depth(
+            m, perf::Config::kPcsiDiag, points, p, check_frequency, 4,
+            ofrac);
+        for (int k = 1; k <= 4; ++k) {
+          ModelPoint pt;
+          pt.machine = name;
+          pt.ranks = p;
+          pt.depth = k;
+          pt.ocean_fraction = ofrac;
+          pt.costs = perf::comm_avoid_iteration_costs(
+              m, perf::Config::kPcsiDiag, points, p, check_frequency, k,
+              ofrac);
+          pt.chosen = chosen;
+          out.push_back(pt);
+        }
       }
-    }
   return out;
 }
 
@@ -209,11 +218,12 @@ void write_json(const std::string& path, const std::vector<Row>& rows,
     std::snprintf(
         buf, sizeof(buf),
         "    {\"machine\": \"%s\", \"ranks\": %d, \"halo_depth\": %d, "
+        "\"ocean_fraction\": %.2f, "
         "\"computation\": %.6e, \"halo\": %.6e, \"reduction\": %.6e, "
         "\"total\": %.6e, \"chosen_depth\": %d}%s\n",
-        w.machine.c_str(), w.ranks, w.depth, w.costs.computation,
-        w.costs.halo, w.costs.reduction, w.costs.total(), w.chosen,
-        k + 1 < model.size() ? "," : "");
+        w.machine.c_str(), w.ranks, w.depth, w.ocean_fraction,
+        w.costs.computation, w.costs.halo, w.costs.reduction,
+        w.costs.total(), w.chosen, k + 1 < model.size() ? "," : "");
     os << buf;
   }
   os << "  ]\n}\n";
@@ -275,14 +285,14 @@ int main(int argc, char** argv) {
   const std::vector<ModelPoint> model = model_curves();
   std::printf("\nmodeled per-iteration cost, 0.1-degree grid "
               "(3600x2400), check frequency 10:\n");
-  std::printf("%12s %7s %6s %12s %12s %12s %12s %7s\n", "machine",
-              "ranks", "k", "compute_s", "halo_s", "reduce_s", "total_s",
-              "chosen");
+  std::printf("%12s %7s %6s %6s %12s %12s %12s %12s %7s\n", "machine",
+              "ranks", "k", "ofrac", "compute_s", "halo_s", "reduce_s",
+              "total_s", "chosen");
   for (const ModelPoint& w : model)
-    std::printf("%12s %7d %6d %12.3e %12.3e %12.3e %12.3e %7d\n",
-                w.machine.c_str(), w.ranks, w.depth, w.costs.computation,
-                w.costs.halo, w.costs.reduction, w.costs.total(),
-                w.chosen);
+    std::printf("%12s %7d %6d %6.2f %12.3e %12.3e %12.3e %12.3e %7d\n",
+                w.machine.c_str(), w.ranks, w.depth, w.ocean_fraction,
+                w.costs.computation, w.costs.halo, w.costs.reduction,
+                w.costs.total(), w.chosen);
 
   write_json(json_path, rows, model);
   std::printf("\nwrote %s\n", json_path.c_str());

@@ -8,6 +8,13 @@
 //                      [--solver=pcsi] [--precond=evp] [--ranks=1]
 //                      [--precision=fp64|fp32|mixed]
 //                      [--halo-depth=1..4|auto]
+//                      [--block-size=NX or NXxNY]
+//
+// --block-size sets the decomposition's nominal block shape (e.g.
+// --block-size=16x8 for rectangular blocks; a single number keeps
+// squares). The header prints a decomposition summary: active/land
+// blocks, ocean fraction of the swept cells, and the per-rank
+// ocean-cell load imbalance the Hilbert assignment achieved.
 //
 // --precision selects the solver arithmetic: fp64 (default,
 // bit-identical legacy path), fp32 (whole solve in float — only viable
@@ -26,6 +33,7 @@
 // identical to a distributed-memory run.
 #include <iomanip>
 #include <iostream>
+#include <string>
 
 #include "src/comm/serial_comm.hpp"
 #include "src/comm/thread_comm.hpp"
@@ -47,7 +55,14 @@ void run(comm::Communicator& comm, const model::ModelConfig& cfg,
               << ", dt " << model.config().dt << " s, "
               << model.decomposition().num_active_blocks()
               << " ocean blocks on " << comm.size() << " rank(s), solver "
-              << model.barotropic().solver().description() << "\n\n";
+              << model.barotropic().solver().description() << "\n";
+    const grid::Decomposition& d = model.decomposition();
+    std::cout << "decomposition: " << d.block_nx() << "x" << d.block_ny()
+              << " blocks, " << d.num_active_blocks() << " active / "
+              << d.num_land_blocks() << " land-eliminated, ocean fraction "
+              << std::fixed << std::setprecision(3) << d.ocean_fraction()
+              << ", rank ocean-cell imbalance " << std::setprecision(3)
+              << d.load_imbalance() << std::defaultfloat << "\n\n";
   }
 
   util::Table t({"day", "mean T [C]", "mean SSH [m]", "KE [m^5/s^2]",
@@ -124,7 +139,14 @@ int main(int argc, char** argv) {
   model::ModelConfig cfg;
   cfg.grid = grid::pop_1deg_spec(cli.get_double("scale", 0.12));
   cfg.nz = cli.get_int("nz", 4);
-  cfg.block_size = cli.get_int("block", 12);
+  // --block-size=NX or NXxNY (rectangular blocks); legacy --block=N
+  // still works when the new flag is absent.
+  const std::string bs =
+      cli.get("block-size", std::to_string(cli.get_int("block", 12)));
+  const auto xpos = bs.find('x');
+  cfg.block_size = std::stoi(bs.substr(0, xpos));
+  cfg.block_size_y =
+      xpos == std::string::npos ? 0 : std::stoi(bs.substr(xpos + 1));
   cfg.solver.solver =
       solver::solver_kind_from_string(cli.get("solver", "pcsi"));
   cfg.solver.preconditioner = solver::preconditioner_kind_from_string(

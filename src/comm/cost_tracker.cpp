@@ -14,6 +14,8 @@ CostCounters CostTracker::since(const CostCounters& snapshot) const {
   d.allreduces = c_.allreduces - snapshot.allreduces;
   d.allreduce_doubles = c_.allreduce_doubles - snapshot.allreduce_doubles;
   d.requests = c_.requests - snapshot.requests;
+  d.active_points = c_.active_points - snapshot.active_points;
+  d.swept_points = c_.swept_points - snapshot.swept_points;
   d.integrity_checks = c_.integrity_checks - snapshot.integrity_checks;
   d.integrity_failures =
       c_.integrity_failures - snapshot.integrity_failures;

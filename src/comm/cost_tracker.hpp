@@ -27,6 +27,16 @@ struct CostCounters {
   std::uint64_t allreduce_doubles = 0;
   std::uint64_t requests = 0;  ///< split-phase ops that were in flight
 
+  /// Land-aware sweep accounting (DESIGN.md §14): every kernel sweep
+  /// records the ocean cells of the swept region (`active_points`) and
+  /// the region's full padded area (`swept_points`), identically on the
+  /// masked and span execution paths — the pair describes the *region*,
+  /// not the instructions retired, so counter parity between the two
+  /// paths is preserved. active_points / swept_points is the ocean
+  /// fraction the perf model uses to price flops and bandwidth.
+  std::uint64_t active_points = 0;
+  std::uint64_t swept_points = 0;
+
   /// Integrity-layer verifications performed (halo CRC validations,
   /// ABFT operator checksums, guarded-reduction cross-checks,
   /// true-residual audits) and how many of them detected corruption.
@@ -58,6 +68,8 @@ struct CostCounters {
     allreduces += o.allreduces;
     allreduce_doubles += o.allreduce_doubles;
     requests += o.requests;
+    active_points += o.active_points;
+    swept_points += o.swept_points;
     integrity_checks += o.integrity_checks;
     integrity_failures += o.integrity_failures;
     posted_comm_seconds += o.posted_comm_seconds;
@@ -83,6 +95,10 @@ class CostTracker {
     c_.allreduce_doubles += doubles;
   }
   void add_request() { ++c_.requests; }
+  void add_points(std::uint64_t active, std::uint64_t swept) {
+    c_.active_points += active;
+    c_.swept_points += swept;
+  }
   void add_integrity_check(bool failed = false) {
     ++c_.integrity_checks;
     if (failed) ++c_.integrity_failures;

@@ -148,4 +148,14 @@ double Decomposition::load_imbalance() const {
   return mean > 0 ? static_cast<double>(max_w) / mean : 1.0;
 }
 
+double Decomposition::ocean_fraction() const {
+  long ocean = 0;
+  long swept = 0;
+  for (const BlockInfo& b : blocks_) {
+    ocean += b.ocean_cells;
+    swept += static_cast<long>(b.nx) * b.ny;
+  }
+  return swept > 0 ? static_cast<double>(ocean) / swept : 1.0;
+}
+
 }  // namespace minipop::grid

@@ -63,6 +63,12 @@ class Decomposition {
   /// Max over ranks of total owned ocean cells / mean — 1.0 is perfect.
   double load_imbalance() const;
 
+  /// Ocean cells / swept cells over the ACTIVE blocks (land blocks are
+  /// already eliminated and sweep nothing). This is the fraction of a
+  /// dense sweep that span execution actually computes, and the factor
+  /// the land-aware perf model discounts computation by (DESIGN.md §14).
+  double ocean_fraction() const;
+
   /// Widest halo any field on this decomposition can carry: the minimum
   /// interior extent over ALL active blocks (narrow strait/edge blocks
   /// bound it, whoever owns them — the exchange reads rims of every

@@ -60,8 +60,10 @@ struct ModelConfig {
   /// Barotropic solver configuration (paper's subject).
   solver::SolverConfig solver;
 
-  /// Decomposition: nominal block edge (cells).
+  /// Decomposition: nominal block width (cells); block_size_y = 0 means
+  /// square blocks of block_size x block_size.
   int block_size = 24;
+  int block_size_y = 0;
   int nranks = 1;
 
   std::uint64_t seed = 2015;

@@ -27,7 +27,9 @@ OceanModel::OceanModel(comm::Communicator& comm, const ModelConfig& config)
   auto mask = grid::ocean_mask(depth_);
   decomp_ = std::make_unique<grid::Decomposition>(
       grid_->nx(), grid_->ny(), grid_->periodic_x(), mask,
-      config.block_size, config.block_size, config.nranks);
+      config.block_size,
+      config.block_size_y > 0 ? config.block_size_y : config.block_size,
+      config.nranks);
   halo_ = std::make_unique<comm::HaloExchanger>(*decomp_);
   // CRC-protect every remote halo message when the integrity layer asks
   // for it — set before ANY exchange so the wire format is uniform.

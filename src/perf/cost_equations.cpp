@@ -38,36 +38,60 @@ double reductions_per_iteration(Config c, int check_frequency) {
 
 IterationCosts iteration_costs(const MachineProfile& m, Config c,
                                long points, int p, int check_frequency) {
+  return iteration_costs(m, c, points, p, check_frequency, 1.0);
+}
+
+IterationCosts iteration_costs(const MachineProfile& m, Config c,
+                               long points, int p, int check_frequency,
+                               double ocean_fraction) {
   MINIPOP_REQUIRE(points > 0 && p > 0, "points=" << points << " p=" << p);
+  MINIPOP_REQUIRE(ocean_fraction > 0.0 && ocean_fraction <= 1.0,
+                  "ocean_fraction=" << ocean_fraction);
   IterationCosts out;
   const double pts_per_rank = static_cast<double>(points) / p;
   const double n_linear = std::sqrt(static_cast<double>(points));
 
-  out.computation = compute_ops_per_point(c) * pts_per_rank * m.theta;
+  // Span execution touches only ocean cells; the dense model is the
+  // ocean_fraction = 1 limit.
+  out.computation =
+      compute_ops_per_point(c) * pts_per_rank * ocean_fraction * m.theta;
 
   // Boundary update: 4 neighbor messages, 8 N / sqrt(p) points of halo
-  // (width-2 halo), 8 bytes per point (paper §2.2).
+  // (width-2 halo), 8 bytes per point (paper §2.2). Rims move dense —
+  // land bytes included — so this term does not scale with land.
   const double halo_bytes = 8.0 * n_linear / std::sqrt(p) * 8.0;
   out.halo = 4.0 * m.alpha_p2p + halo_bytes * m.beta;
 
   // Global reduction: local masking + binomial tree of log2(p) hops.
+  // The masked partial sum reads ocean cells only under spans.
   const double reductions = reductions_per_iteration(c, check_frequency);
   const double tree = std::log2(std::max(2.0, static_cast<double>(p))) *
                       m.alpha_reduce(p);
   out.reduction =
-      reductions * (kMaskOpsPerPoint * pts_per_rank * m.theta + tree);
+      reductions *
+      (kMaskOpsPerPoint * pts_per_rank * ocean_fraction * m.theta + tree);
   return out;
 }
 
 IterationCosts comm_avoid_iteration_costs(const MachineProfile& m, Config c,
                                           long points, int p,
                                           int check_frequency, int k) {
+  return comm_avoid_iteration_costs(m, c, points, p, check_frequency, k,
+                                    1.0);
+}
+
+IterationCosts comm_avoid_iteration_costs(const MachineProfile& m, Config c,
+                                          long points, int p,
+                                          int check_frequency, int k,
+                                          double ocean_fraction) {
   MINIPOP_REQUIRE(is_pcsi(c), "comm-avoiding model needs a pcsi config, got "
                                   << to_string(c));
   MINIPOP_REQUIRE(k >= 1, "depth k=" << k);
-  if (k == 1) return iteration_costs(m, c, points, p, check_frequency);
+  if (k == 1)
+    return iteration_costs(m, c, points, p, check_frequency, ocean_fraction);
 
-  IterationCosts out = iteration_costs(m, c, points, p, check_frequency);
+  IterationCosts out =
+      iteration_costs(m, c, points, p, check_frequency, ocean_fraction);
   const double s =
       std::sqrt(static_cast<double>(points) / p);  // subdomain edge
 
@@ -83,7 +107,9 @@ IterationCosts comm_avoid_iteration_costs(const MachineProfile& m, Config c,
     const double extra_em1 = 4.0 * (e - 1) * s + 4.0 * (e - 1) * (e - 1);
     redundant += (precond_ops + 4.0) * extra_e + 10.0 * extra_em1;
   }
-  out.computation += redundant / k * m.theta;
+  // Ghost-rim land is skipped exactly like interior land, so redundant
+  // work is discounted by the same ocean fraction.
+  out.computation += redundant / k * ocean_fraction * m.theta;
 
   // One grouped exchange per k iterations: message latency divides by
   // k; the payload carries width-k rims of the THREE iteration fields
@@ -95,15 +121,24 @@ IterationCosts comm_avoid_iteration_costs(const MachineProfile& m, Config c,
 
 int choose_halo_depth(const MachineProfile& m, Config c, long points, int p,
                       int check_frequency, int max_depth) {
+  return choose_halo_depth(m, c, points, p, check_frequency, max_depth,
+                           1.0);
+}
+
+int choose_halo_depth(const MachineProfile& m, Config c, long points, int p,
+                      int check_frequency, int max_depth,
+                      double ocean_fraction) {
   if (!is_pcsi(c)) return 1;
   MINIPOP_REQUIRE(max_depth >= 1, "max_depth=" << max_depth);
   int best_k = 1;
-  double best =
-      comm_avoid_iteration_costs(m, c, points, p, check_frequency, 1).total();
+  double best = comm_avoid_iteration_costs(m, c, points, p, check_frequency,
+                                           1, ocean_fraction)
+                    .total();
   for (int k = 2; k <= max_depth; ++k) {
-    const double t =
-        comm_avoid_iteration_costs(m, c, points, p, check_frequency, k)
-            .total();
+    const double t = comm_avoid_iteration_costs(m, c, points, p,
+                                                check_frequency, k,
+                                                ocean_fraction)
+                         .total();
     if (t < best) {
       best = t;
       best_k = k;

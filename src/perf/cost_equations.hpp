@@ -45,6 +45,18 @@ struct IterationCosts {
 IterationCosts iteration_costs(const MachineProfile& m, Config c,
                                long points, int p, int check_frequency);
 
+/// Land-aware variant (DESIGN.md §14): with span execution the sweeps
+/// and masked reductions only touch ocean cells, so the computation and
+/// reduction-masking terms scale by `ocean_fraction` =
+/// active_points / swept_points in (0, 1] (CostCounters supplies the
+/// measured ratio). Message latency and halo bytes are unchanged —
+/// rims are exchanged dense, land included, and the latency term never
+/// depended on point counts. ocean_fraction = 1 is exactly the dense
+/// model above.
+IterationCosts iteration_costs(const MachineProfile& m, Config c,
+                               long points, int p, int check_frequency,
+                               double ocean_fraction);
+
 /// Amortized cost of one P-CSI iteration under the depth-k
 /// communication-avoiding schedule (DESIGN.md §13): one grouped
 /// exchange of the three iteration fields {x, dx, r} with width-k rims
@@ -62,6 +74,14 @@ IterationCosts comm_avoid_iteration_costs(const MachineProfile& m, Config c,
                                           long points, int p,
                                           int check_frequency, int k);
 
+/// Land-aware depth-k model: interior AND redundant perimeter flops
+/// scale by `ocean_fraction` (the extended sweeps skip ghost-rim land
+/// exactly like interior land); the grouped-exchange bytes stay dense.
+IterationCosts comm_avoid_iteration_costs(const MachineProfile& m, Config c,
+                                          long points, int p,
+                                          int check_frequency, int k,
+                                          double ocean_fraction);
+
 /// Model-driven ghost-zone depth: the k in [1, max_depth] minimizing
 /// comm_avoid_iteration_costs().total(); ties break toward the
 /// smaller k (less redundant work, less memory). Non-P-CSI configs
@@ -69,5 +89,14 @@ IterationCosts comm_avoid_iteration_costs(const MachineProfile& m, Config c,
 /// iteration body.
 int choose_halo_depth(const MachineProfile& m, Config c, long points, int p,
                       int check_frequency, int max_depth = 4);
+
+/// Land-aware depth choice: cheaper ocean-fraction-scaled computation
+/// shifts the latency/redundant-flops break-even toward DEEPER ghost
+/// zones on land-heavy grids (redundant work is discounted by the same
+/// factor the interior is, while the latency saved per skipped exchange
+/// is undiminished).
+int choose_halo_depth(const MachineProfile& m, Config c, long points, int p,
+                      int check_frequency, int max_depth,
+                      double ocean_fraction);
 
 }  // namespace minipop::perf

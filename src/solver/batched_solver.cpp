@@ -51,18 +51,35 @@ void fill_member(comm::DistFieldBatchT<T>& x, int m, double v) {
   }
 }
 
+/// Ocean census of a span plan, for land-aware sweep accounting.
+std::uint64_t plan_active_points(const SpanPlan& plan) {
+  std::uint64_t n = 0;
+  for (const auto& bs : plan)
+    n += static_cast<std::uint64_t>(bs.active_points());
+  return n;
+}
+
 /// x_m *= a[m] for active members. Flops counted for active lanes only
 /// (scalar parity: a frozen member's scalar solve has already returned).
 template <typename T>
 void scale_active(comm::Communicator& comm, const T* a,
                   comm::DistFieldBatchT<T>& x,
-                  const std::vector<unsigned char>& active, int n_act) {
+                  const std::vector<unsigned char>& active, int n_act,
+                  const SpanPlan* plan = nullptr) {
   for (int lb = 0; lb < x.num_local_blocks(); ++lb) {
     const auto& info = x.info(lb);
-    kernels::scale_batch(x.nb(), info.nx, info.ny, a, x.interior(lb),
-                         x.stride(lb), active.data());
+    if (plan)
+      kernels::scale_span_batch((*plan)[lb].row_offset(),
+                                (*plan)[lb].spans(), x.nb(), info.ny, a,
+                                x.interior(lb), x.stride(lb), active.data());
+    else
+      kernels::scale_batch(x.nb(), info.nx, info.ny, a, x.interior(lb),
+                           x.stride(lb), active.data());
   }
   comm.costs().add_flops(interior_points(x) * n_act);
+  if (plan)
+    comm.costs().add_points(plan_active_points(*plan) * n_act,
+                            interior_points(x) * n_act);
 }
 
 /// y_m += a[m] * x_m for active members.
@@ -70,15 +87,25 @@ template <typename T>
 void axpy_active(comm::Communicator& comm, const T* a,
                  const comm::DistFieldBatchT<T>& x,
                  comm::DistFieldBatchT<T>& y,
-                 const std::vector<unsigned char>& active, int n_act) {
+                 const std::vector<unsigned char>& active, int n_act,
+                 const SpanPlan* plan = nullptr) {
   MINIPOP_REQUIRE(x.compatible_with(y), "batch axpy field mismatch");
   for (int lb = 0; lb < x.num_local_blocks(); ++lb) {
     const auto& info = x.info(lb);
-    kernels::axpy_batch(x.nb(), info.nx, info.ny, a, x.interior(lb),
-                        x.stride(lb), y.interior(lb), y.stride(lb),
-                        active.data());
+    if (plan)
+      kernels::axpy_span_batch((*plan)[lb].row_offset(), (*plan)[lb].spans(),
+                               x.nb(), info.ny, a, x.interior(lb),
+                               x.stride(lb), y.interior(lb), y.stride(lb),
+                               active.data());
+    else
+      kernels::axpy_batch(x.nb(), info.nx, info.ny, a, x.interior(lb),
+                          x.stride(lb), y.interior(lb), y.stride(lb),
+                          active.data());
   }
   comm.costs().add_flops(2 * interior_points(x) * n_act);
+  if (plan)
+    comm.costs().add_points(plan_active_points(*plan) * n_act,
+                            interior_points(x) * n_act);
 }
 
 /// Fused y_m = a[m] x_m + b[m] y_m; z_m += c[m] y_m for active members.
@@ -88,17 +115,27 @@ void lincomb_axpy_active(comm::Communicator& comm, const T* a,
                          comm::DistFieldBatchT<T>& y, const T* c,
                          comm::DistFieldBatchT<T>& z,
                          const std::vector<unsigned char>& active,
-                         int n_act) {
+                         int n_act, const SpanPlan* plan = nullptr) {
   MINIPOP_REQUIRE(x.compatible_with(y) && x.compatible_with(z),
                   "batch lincomb_axpy field mismatch");
   for (int lb = 0; lb < x.num_local_blocks(); ++lb) {
     const auto& info = x.info(lb);
-    kernels::lincomb_axpy_batch(x.nb(), info.nx, info.ny, a, x.interior(lb),
-                                x.stride(lb), b, y.interior(lb), y.stride(lb),
-                                c, z.interior(lb), z.stride(lb),
-                                active.data());
+    if (plan)
+      kernels::lincomb_axpy_span_batch(
+          (*plan)[lb].row_offset(), (*plan)[lb].spans(), x.nb(), info.ny, a,
+          x.interior(lb), x.stride(lb), b, y.interior(lb), y.stride(lb), c,
+          z.interior(lb), z.stride(lb), active.data());
+    else
+      kernels::lincomb_axpy_batch(x.nb(), info.nx, info.ny, a,
+                                  x.interior(lb), x.stride(lb), b,
+                                  y.interior(lb), y.stride(lb), c,
+                                  z.interior(lb), z.stride(lb),
+                                  active.data());
   }
   comm.costs().add_flops(4 * interior_points(x) * n_act);
+  if (plan)
+    comm.costs().add_points(plan_active_points(*plan) * n_act,
+                            interior_points(x) * n_act);
 }
 
 /// Slot bookkeeping shared by the batched solvers. Per-MEMBER state
@@ -425,9 +462,11 @@ BatchSolveStats BatchedPcsiSolver::solve_t(comm::Communicator& comm,
   m.apply_batch(comm, r, rp);
   copy_all(rp, dx);
   std::fill(ca.begin(), ca.end(), static_cast<T>(1.0 / gamma));
-  scale_active(comm, ca.data(), dx, ctl.active, ctl.n_active);
+  scale_active(comm, ca.data(), dx, ctl.active, ctl.n_active,
+               a.span_plan());
   std::fill(ca.begin(), ca.end(), static_cast<T>(1.0));
-  axpy_active(comm, ca.data(), dx, *xw, ctl.active, ctl.n_active);
+  axpy_active(comm, ca.data(), dx, *xw, ctl.active, ctl.n_active,
+              a.span_plan());
   if (ov)
     a.residual_overlapped_batch(comm, halo, *bw, *xw, r);
   else
@@ -446,7 +485,7 @@ BatchSolveStats BatchedPcsiSolver::solve_t(comm::Communicator& comm,
               static_cast<T>(gamma * omega - 1.0));
     std::fill(cc.begin(), cc.begin() + ctl.cur_nb, static_cast<T>(1.0));
     lincomb_axpy_active(comm, ca.data(), rp, cb.data(), dx, cc.data(), *xw,
-                        ctl.active, ctl.n_active);
+                        ctl.active, ctl.n_active, a.span_plan());
 
     if (k % opt_.check_frequency == 0) {
       // One fused residual+norm sweep, one CURRENT-WIDTH vector
@@ -602,9 +641,11 @@ BatchSolveStats BatchedPcsiSolver::solve_comm_avoid_t(
   m.apply_batch(comm, r, rp);
   copy_all(rp, dx);
   std::fill(ca.begin(), ca.end(), static_cast<T>(1.0 / gamma));
-  scale_active(comm, ca.data(), dx, ctl.active, ctl.n_active);
+  scale_active(comm, ca.data(), dx, ctl.active, ctl.n_active,
+               a.span_plan());
   std::fill(ca.begin(), ca.end(), static_cast<T>(1.0));
-  axpy_active(comm, ca.data(), dx, *xw, ctl.active, ctl.n_active);
+  axpy_active(comm, ca.data(), dx, *xw, ctl.active, ctl.n_active,
+              a.span_plan());
   a.residual_batch(comm, halo, *bw, *xw, r);
 
   int k = 1;
@@ -881,9 +922,9 @@ BatchSolveStats BatchedChronGearSolver::solve_t(
     // Steps 13-16, fused pairwise as in the scalar solver; frozen lanes
     // masked out so their x and r planes stay exactly at freeze state.
     lincomb_axpy_active(comm, ca.data(), rp, cb.data(), s_dir, cc.data(),
-                        *xw, ctl.active, ctl.n_active);
+                        *xw, ctl.active, ctl.n_active, a.span_plan());
     lincomb_axpy_active(comm, ca.data(), z, cb.data(), p_dir, cneg.data(),
-                        r, ctl.active, ctl.n_active);
+                        r, ctl.active, ctl.n_active, a.span_plan());
 
     if (check && should_retire(opt_, ctl)) {
       compact(ctl, comm, a, x, bw, b_own, xw, x_own, r,

@@ -101,8 +101,10 @@ SolveStats ChronGearSolver::solve(comm::Communicator& comm,
 
     // Steps 13-16, fused pairwise into two sweeps: the direction update
     // and the iterate update that consumes it share one pass each.
-    lincomb_axpy(comm, 1.0, rp, beta, s, alpha, x);  // s = r' + βs; x += αs
-    lincomb_axpy(comm, 1.0, z, beta, p, -alpha, r);  // p = z + βp; r -= αp
+    lincomb_axpy(comm, 1.0, rp, beta, s, alpha, x,
+                 a.span_plan());  // s = r' + βs; x += αs
+    lincomb_axpy(comm, 1.0, z, beta, p, -alpha, r,
+                 a.span_plan());  // p = z + βp; r -= αp
 
     rho_old = rho;
     sigma_old = sigma;
@@ -241,8 +243,10 @@ SolveStats ChronGearSolver::solve_overlapped(comm::Communicator& comm,
     }
     const double alpha = rho / sigma;
 
-    lincomb_axpy(comm, 1.0, rp, beta, s, alpha, x);  // s = r' + βs; x += αs
-    lincomb_axpy(comm, 1.0, z, beta, p, -alpha, r);  // p = z + βp; r -= αp
+    lincomb_axpy(comm, 1.0, rp, beta, s, alpha, x,
+                 a.span_plan());  // s = r' + βs; x += αs
+    lincomb_axpy(comm, 1.0, z, beta, p, -alpha, r,
+                 a.span_plan());  // p = z + βp; r -= αp
 
     // If the NEXT iteration checks convergence, post its ||r||² now —
     // r is final for this iteration, so the reduction can fly behind

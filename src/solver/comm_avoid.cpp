@@ -127,8 +127,29 @@ CommAvoidEngine::CommAvoidEngine(const DistOperator& op, int width)
     for (int j = 0; j < exny; ++j)
       for (int i = 0; i < exnx; ++i)
         if (p.mask(i, j)) p.inv_diag(i, j) = 1.0 / diag(i, j);
+    // Span plans for every extension the engine can sweep (e = 0 is
+    // the plain interior; e = width is the full padded plane). Built
+    // from the extended mask so ghost-rim land is skipped exactly like
+    // interior land.
+    std::vector<BlockSpans> per_e;
+    per_e.reserve(width + 1);
+    for (int e = 0; e <= width; ++e) {
+      const int nxe = b.nx + 2 * e;
+      const int nye = b.ny + 2 * e;
+      BlockSpans bs(plane_at(p.mask, width, e), p.mask.nx(), nxe, nye);
+#if MINIPOP_BOUNDS_CHECK
+      bs.validate(plane_at(p.mask, width, e), p.mask.nx());
+#endif
+      per_e.push_back(std::move(bs));
+    }
+    ext_spans_.push_back(std::move(per_e));
     planes_.push_back(std::move(p));
   }
+  ext_active_.assign(static_cast<std::size_t>(width) + 1, 0);
+  for (int e = 0; e <= width; ++e)
+    for (const auto& per_e : ext_spans_)
+      ext_active_[e] +=
+          static_cast<std::uint64_t>(per_e[e].active_points());
 }
 
 void CommAvoidEngine::ensure_planes32() const {
@@ -163,6 +184,7 @@ void CommAvoidEngine::count(comm::Communicator& comm, int e, int nb,
   }
   comm.costs().add_flops(ext * nb * per_point);
   comm.costs().add_redundant_flops((ext - interior) * nb * per_point);
+  comm.costs().add_points(ext_active_[e] * nb, ext * nb);
 }
 
 template <typename T>
@@ -176,6 +198,8 @@ void CommAvoidEngine::precond(comm::Communicator& comm, CaPrecond kind,
     const auto& info = r.info(lb);
     const int nxe = info.nx + 2 * e;
     const int nye = info.ny + 2 * e;
+    const BlockSpans* sp =
+        op_->span_plan() ? &ext_spans_[lb][e] : nullptr;
     if (kind == CaPrecond::kDiagonal) {
       const auto& inv = [&]() -> const auto& {
         if constexpr (std::is_same_v<T, float>)
@@ -183,14 +207,26 @@ void CommAvoidEngine::precond(comm::Communicator& comm, CaPrecond kind,
         else
           return planes_[lb].inv_diag;
       }();
-      kernels::diag_apply_batch(plane_at(inv, width_, e), inv.nx(), 1, nxe,
-                                nye, field_at(r, lb, e), r.stride(lb),
-                                field_at(z, lb, e), z.stride(lb));
+      if (sp)
+        kernels::diag_apply_span(plane_at(inv, width_, e), inv.nx(),
+                                 sp->row_offset(), sp->spans(), nxe, nye,
+                                 field_at(r, lb, e), r.stride(lb),
+                                 field_at(z, lb, e), z.stride(lb));
+      else
+        kernels::diag_apply_batch(plane_at(inv, width_, e), inv.nx(), 1,
+                                  nxe, nye, field_at(r, lb, e),
+                                  r.stride(lb), field_at(z, lb, e),
+                                  z.stride(lb));
     } else {
       const util::MaskArray& m = planes_[lb].mask;
-      kernels::masked_copy_batch(plane_at(m, width_, e), m.nx(), 1, nxe,
-                                 nye, field_at(r, lb, e), r.stride(lb),
-                                 field_at(z, lb, e), z.stride(lb));
+      if (sp)
+        kernels::masked_copy_span(sp->row_offset(), sp->spans(), nxe, nye,
+                                  field_at(r, lb, e), r.stride(lb),
+                                  field_at(z, lb, e), z.stride(lb));
+      else
+        kernels::masked_copy_batch(plane_at(m, width_, e), m.nx(), 1, nxe,
+                                   nye, field_at(r, lb, e), r.stride(lb),
+                                   field_at(z, lb, e), z.stride(lb));
     }
   }
   // Flop convention matches the baseline preconditioners: diagonal is
@@ -212,6 +248,8 @@ void CommAvoidEngine::precond_batch(comm::Communicator& comm,
     const auto& info = r.info(lb);
     const int nxe = info.nx + 2 * e;
     const int nye = info.ny + 2 * e;
+    const BlockSpans* sp =
+        op_->span_plan() ? &ext_spans_[lb][e] : nullptr;
     if (kind == CaPrecond::kDiagonal) {
       const auto& inv = [&]() -> const auto& {
         if constexpr (std::is_same_v<T, float>)
@@ -219,14 +257,28 @@ void CommAvoidEngine::precond_batch(comm::Communicator& comm,
         else
           return planes_[lb].inv_diag;
       }();
-      kernels::diag_apply_batch(plane_at(inv, width_, e), inv.nx(), nb, nxe,
-                                nye, field_at(r, lb, e), r.stride(lb),
-                                field_at(z, lb, e), z.stride(lb));
+      if (sp)
+        kernels::diag_apply_span_batch(plane_at(inv, width_, e), inv.nx(),
+                                       sp->row_offset(), sp->spans(), nb,
+                                       nxe, nye, field_at(r, lb, e),
+                                       r.stride(lb), field_at(z, lb, e),
+                                       z.stride(lb));
+      else
+        kernels::diag_apply_batch(plane_at(inv, width_, e), inv.nx(), nb,
+                                  nxe, nye, field_at(r, lb, e),
+                                  r.stride(lb), field_at(z, lb, e),
+                                  z.stride(lb));
     } else {
       const util::MaskArray& m = planes_[lb].mask;
-      kernels::masked_copy_batch(plane_at(m, width_, e), m.nx(), nb, nxe,
-                                 nye, field_at(r, lb, e), r.stride(lb),
-                                 field_at(z, lb, e), z.stride(lb));
+      if (sp)
+        kernels::masked_copy_span_batch(sp->row_offset(), sp->spans(), nb,
+                                        nxe, nye, field_at(r, lb, e),
+                                        r.stride(lb), field_at(z, lb, e),
+                                        z.stride(lb));
+      else
+        kernels::masked_copy_batch(plane_at(m, width_, e), m.nx(), nb, nxe,
+                                   nye, field_at(r, lb, e), r.stride(lb),
+                                   field_at(z, lb, e), z.stride(lb));
     }
   }
   count(comm, e, nb, kind == CaPrecond::kDiagonal ? 1 : 0);
@@ -241,10 +293,19 @@ void CommAvoidEngine::update(comm::Communicator& comm, T a,
                   "update extension " << e);
   for (int lb = 0; lb < z.num_local_blocks(); ++lb) {
     const auto& info = z.info(lb);
-    kernels::lincomb_axpy(info.nx + 2 * e, info.ny + 2 * e, a,
-                          field_at(z, lb, e), z.stride(lb), b,
-                          field_at(dx, lb, e), dx.stride(lb), T(1),
-                          field_at(x, lb, e), x.stride(lb));
+    if (op_->span_plan()) {
+      const BlockSpans& sp = ext_spans_[lb][e];
+      kernels::lincomb_axpy_span(sp.row_offset(), sp.spans(),
+                                 info.ny + 2 * e, a, field_at(z, lb, e),
+                                 z.stride(lb), b, field_at(dx, lb, e),
+                                 dx.stride(lb), T(1), field_at(x, lb, e),
+                                 x.stride(lb));
+    } else {
+      kernels::lincomb_axpy(info.nx + 2 * e, info.ny + 2 * e, a,
+                            field_at(z, lb, e), z.stride(lb), b,
+                            field_at(dx, lb, e), dx.stride(lb), T(1),
+                            field_at(x, lb, e), x.stride(lb));
+    }
   }
   count(comm, e, 1, 4);
 }
@@ -261,10 +322,19 @@ void CommAvoidEngine::update_batch(comm::Communicator& comm, const T* a,
                   "update extension " << e);
   for (int lb = 0; lb < z.num_local_blocks(); ++lb) {
     const auto& info = z.info(lb);
-    kernels::lincomb_axpy_batch(z.nb(), info.nx + 2 * e, info.ny + 2 * e,
-                                a, field_at(z, lb, e), z.stride(lb), b,
-                                field_at(dx, lb, e), dx.stride(lb), c,
-                                field_at(x, lb, e), x.stride(lb), active);
+    if (op_->span_plan()) {
+      const BlockSpans& sp = ext_spans_[lb][e];
+      kernels::lincomb_axpy_span_batch(
+          sp.row_offset(), sp.spans(), z.nb(), info.ny + 2 * e, a,
+          field_at(z, lb, e), z.stride(lb), b, field_at(dx, lb, e),
+          dx.stride(lb), c, field_at(x, lb, e), x.stride(lb), active);
+    } else {
+      kernels::lincomb_axpy_batch(z.nb(), info.nx + 2 * e, info.ny + 2 * e,
+                                  a, field_at(z, lb, e), z.stride(lb), b,
+                                  field_at(dx, lb, e), dx.stride(lb), c,
+                                  field_at(x, lb, e), x.stride(lb),
+                                  active);
+    }
   }
   count(comm, e, n_act, 4);
 }
@@ -286,10 +356,19 @@ void CommAvoidEngine::residual(comm::Communicator& comm,
       else
         return stencil_at(planes_[lb].coeff, width_, e);
     }();
-    kernels::residual9(c9, info.nx + 2 * e, info.ny + 2 * e,
-                       field_at(b, lb, e), b.stride(lb),
-                       field_at(x, lb, e), x.stride(lb),
-                       field_at(r, lb, e), r.stride(lb));
+    if (op_->span_plan()) {
+      const BlockSpans& sp = ext_spans_[lb][e];
+      kernels::residual9_span(c9, sp.row_offset(), sp.spans(),
+                              info.ny + 2 * e, field_at(b, lb, e),
+                              b.stride(lb), field_at(x, lb, e),
+                              x.stride(lb), field_at(r, lb, e),
+                              r.stride(lb));
+    } else {
+      kernels::residual9(c9, info.nx + 2 * e, info.ny + 2 * e,
+                         field_at(b, lb, e), b.stride(lb),
+                         field_at(x, lb, e), x.stride(lb),
+                         field_at(r, lb, e), r.stride(lb));
+    }
   }
   count(comm, e, 1, 10);
 }
@@ -312,10 +391,19 @@ void CommAvoidEngine::residual_batch(comm::Communicator& comm,
       else
         return stencil_at(planes_[lb].coeff, width_, e);
     }();
-    kernels::residual9_batch(c9, nb, info.nx + 2 * e, info.ny + 2 * e,
-                             field_at(b, lb, e), b.stride(lb),
-                             field_at(x, lb, e), x.stride(lb),
-                             field_at(r, lb, e), r.stride(lb));
+    if (op_->span_plan()) {
+      const BlockSpans& sp = ext_spans_[lb][e];
+      kernels::residual9_span_batch(c9, sp.row_offset(), sp.spans(), nb,
+                                    info.ny + 2 * e, field_at(b, lb, e),
+                                    b.stride(lb), field_at(x, lb, e),
+                                    x.stride(lb), field_at(r, lb, e),
+                                    r.stride(lb));
+    } else {
+      kernels::residual9_batch(c9, nb, info.nx + 2 * e, info.ny + 2 * e,
+                               field_at(b, lb, e), b.stride(lb),
+                               field_at(x, lb, e), x.stride(lb),
+                               field_at(r, lb, e), r.stride(lb));
+    }
   }
   count(comm, e, nb, 10);
 }

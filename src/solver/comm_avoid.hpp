@@ -140,6 +140,16 @@ class CommAvoidEngine {
   int width_;
   std::vector<BlockPlanes> planes_;
   mutable std::vector<BlockPlanes32> planes32_;
+
+  /// Land-span plans of every extended sweep region (DESIGN.md §14):
+  /// ext_spans_[lb][e] covers the (nx+2e) x (ny+2e) extension-e window
+  /// of local block lb's padded mask plane, e in [0, width_]. Used when
+  /// the operator runs span execution, so the depth-k ghost sweeps skip
+  /// land exactly like the baseline sweeps do.
+  std::vector<std::vector<BlockSpans>> ext_spans_;
+  /// Ocean census of the extension-e regions summed over local blocks,
+  /// indexed by e — the `active` half of count()'s add_points.
+  std::vector<std::uint64_t> ext_active_;
 };
 
 #define MINIPOP_COMM_AVOID_EXTERN(T)                                       \

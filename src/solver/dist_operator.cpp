@@ -1,6 +1,8 @@
 #include "src/solver/dist_operator.hpp"
 
+#include <cstring>
 #include <type_traits>
+#include <vector>
 
 #include "src/fault/fault_injector.hpp"
 #include "src/solver/kernels.hpp"
@@ -91,6 +93,41 @@ int rim_rects(int nx, int ny, SubRect out[4]) {
   return 4;
 }
 
+#if MINIPOP_BOUNDS_CHECK
+/// Debug cross-run audit (DESIGN.md §14): after a span sweep, the
+/// masked kernel is re-run into scratch and the results must agree
+/// bitwise at every ocean cell (land cells are exactly the points the
+/// span path is entitled to skip). nb = 1 audits the scalar sweeps.
+template <typename T>
+void audit_span_field(const util::MaskArray& mask, int nb, int nx, int ny,
+                      const T* span_out, std::ptrdiff_t stride,
+                      const T* ref, std::ptrdiff_t ref_stride) {
+  for (int j = 0; j < ny; ++j)
+    for (int i = 0; i < nx; ++i) {
+      if (!mask(i, j)) continue;
+      for (int m = 0; m < nb; ++m) {
+        const T a =
+            span_out[j * stride + static_cast<std::ptrdiff_t>(i) * nb + m];
+        const T b =
+            ref[j * ref_stride + static_cast<std::ptrdiff_t>(i) * nb + m];
+        MINIPOP_REQUIRE(std::memcmp(&a, &b, sizeof(T)) == 0,
+                        "span/masked sweep mismatch at (" << i << "," << j
+                                                          << ") member "
+                                                          << m);
+      }
+    }
+}
+
+/// Reduction sums must agree bitwise (not just to tolerance): the span
+/// loop only drops +0.0 terms from a +0.0-seeded accumulator.
+inline void audit_span_sums(const double* span_sums, const double* ref,
+                            int n) {
+  for (int m = 0; m < n; ++m)
+    MINIPOP_REQUIRE(std::memcmp(&span_sums[m], &ref[m], sizeof(double)) == 0,
+                    "span/masked reduction mismatch, member " << m);
+}
+#endif
+
 }  // namespace
 
 DistOperator::DistOperator(const grid::NinePointStencil& stencil,
@@ -124,6 +161,26 @@ DistOperator::DistOperator(const grid::NinePointStencil& stencil,
         mask(i, j) = stencil.mask()(b.i0 + i, b.j0 + j);
         if (mask(i, j)) ++local_ocean_cells_;
       }
+    // Span plan (DESIGN.md §14): compress the block mask once; the
+    // interior/rim clippings mirror the overlapped sweeps' sub-rects so
+    // their shifted field pointers index the re-based spans directly.
+    BlockSpans full(mask.data(), mask.nx(), b.nx, b.ny);
+#if MINIPOP_BOUNDS_CHECK
+    full.validate(mask.data(), mask.nx());
+#endif
+    SubRect in;
+    span_interior_.push_back(interior_rect(b.nx, b.ny, &in)
+                                 ? full.clipped(in.i0, in.j0, in.ni, in.nj)
+                                 : BlockSpans());
+    SubRect rim[4];
+    const int nrim = rim_rects(b.nx, b.ny, rim);
+    std::array<BlockSpans, 4> rims;
+    for (int k = 0; k < nrim; ++k)
+      rims[k] = full.clipped(rim[k].i0, rim[k].j0, rim[k].ni, rim[k].nj);
+    span_num_rim_.push_back(nrim);
+    span_rim_.push_back(std::move(rims));
+    span_full_.push_back(std::move(full));
+
     block_coeff_.push_back(std::move(coeffs));
     block_mask_.push_back(std::move(mask));
   }
@@ -243,15 +300,31 @@ void DistOperator::apply_t(comm::Communicator& comm,
   if (fresh == comm::HaloFreshness::kStale) halo.exchange(comm, x);
 
   const auto& coeff = coeffs<T>();
-  std::uint64_t points = 0;
+  std::uint64_t points = 0, active = 0;
   for (int lb = 0; lb < num_local_blocks(); ++lb) {
     const auto& b = x.info(lb);
-    kernels::apply9(stencil_view(coeff[lb]), b.nx, b.ny, x.interior(lb),
-                    x.stride(lb), y.interior(lb), y.stride(lb));
+    if (use_spans_) {
+      kernels::apply9_span(stencil_view(coeff[lb]),
+                           span_full_[lb].row_offset(),
+                           span_full_[lb].spans(), b.ny, x.interior(lb),
+                           x.stride(lb), y.interior(lb), y.stride(lb));
+#if MINIPOP_BOUNDS_CHECK
+      std::vector<T> scratch(static_cast<std::size_t>(b.nx) * b.ny);
+      kernels::apply9(stencil_view(coeff[lb]), b.nx, b.ny, x.interior(lb),
+                      x.stride(lb), scratch.data(), b.nx);
+      audit_span_field(block_mask_[lb], 1, b.nx, b.ny, y.interior(lb),
+                       y.stride(lb), scratch.data(), b.nx);
+#endif
+    } else {
+      kernels::apply9(stencil_view(coeff[lb]), b.nx, b.ny, x.interior(lb),
+                      x.stride(lb), y.interior(lb), y.stride(lb));
+    }
     points += static_cast<std::uint64_t>(b.nx) * b.ny;
+    active += static_cast<std::uint64_t>(span_full_[lb].active_points());
   }
   // Paper convention (§2): a nine-point matvec is 9 operations per point.
   comm.costs().add_flops(9 * points);
+  comm.costs().add_points(active, points);
   offer_fault_sites(y);
 }
 
@@ -270,16 +343,35 @@ void DistOperator::residual_t(comm::Communicator& comm,
   if (fresh == comm::HaloFreshness::kStale) halo.exchange(comm, x);
 
   const auto& coeff = coeffs<T>();
-  std::uint64_t points = 0;
+  std::uint64_t points = 0, active = 0;
   for (int lb = 0; lb < num_local_blocks(); ++lb) {
     const auto& info = r.info(lb);
-    kernels::residual9(stencil_view(coeff[lb]), info.nx, info.ny,
-                       b.interior(lb), b.stride(lb), x.interior(lb),
-                       x.stride(lb), r.interior(lb), r.stride(lb));
+    if (use_spans_) {
+      kernels::residual9_span(stencil_view(coeff[lb]),
+                              span_full_[lb].row_offset(),
+                              span_full_[lb].spans(), info.ny,
+                              b.interior(lb), b.stride(lb), x.interior(lb),
+                              x.stride(lb), r.interior(lb), r.stride(lb));
+#if MINIPOP_BOUNDS_CHECK
+      std::vector<T> scratch(static_cast<std::size_t>(info.nx) * info.ny);
+      kernels::residual9(stencil_view(coeff[lb]), info.nx, info.ny,
+                         b.interior(lb), b.stride(lb), x.interior(lb),
+                         x.stride(lb), scratch.data(), info.nx);
+      audit_span_field(block_mask_[lb], 1, info.nx, info.ny,
+                       r.interior(lb), r.stride(lb), scratch.data(),
+                       info.nx);
+#endif
+    } else {
+      kernels::residual9(stencil_view(coeff[lb]), info.nx, info.ny,
+                         b.interior(lb), b.stride(lb), x.interior(lb),
+                         x.stride(lb), r.interior(lb), r.stride(lb));
+    }
     points += static_cast<std::uint64_t>(info.nx) * info.ny;
+    active += static_cast<std::uint64_t>(span_full_[lb].active_points());
   }
   // Matvec (9 ops/point) + subtraction (1 op/point), as before fusion.
   comm.costs().add_flops(10 * points);
+  comm.costs().add_points(active, points);
   offer_fault_sites(r);
 }
 
@@ -300,18 +392,43 @@ double DistOperator::residual_local_norm2_t(comm::Communicator& comm,
 
   const auto& coeff = coeffs<T>();
   double sum = 0.0;
-  std::uint64_t points = 0;
+  std::uint64_t points = 0, active = 0;
   for (int lb = 0; lb < num_local_blocks(); ++lb) {
     const auto& info = r.info(lb);
-    sum = kernels::residual_norm2_9(
-        stencil_view(coeff[lb]), block_mask_[lb].data(),
-        block_mask_[lb].nx(), info.nx, info.ny, b.interior(lb), b.stride(lb),
-        x.interior(lb), x.stride(lb), r.interior(lb), r.stride(lb), sum);
+    if (use_spans_) {
+#if MINIPOP_BOUNDS_CHECK
+      const double sum0 = sum;
+#endif
+      sum = kernels::residual_norm2_9_span(
+          stencil_view(coeff[lb]), span_full_[lb].row_offset(),
+          span_full_[lb].spans(), info.ny, b.interior(lb), b.stride(lb),
+          x.interior(lb), x.stride(lb), r.interior(lb), r.stride(lb), sum);
+#if MINIPOP_BOUNDS_CHECK
+      std::vector<T> scratch(static_cast<std::size_t>(info.nx) * info.ny);
+      const double ref_sum = kernels::residual_norm2_9(
+          stencil_view(coeff[lb]), block_mask_[lb].data(),
+          block_mask_[lb].nx(), info.nx, info.ny, b.interior(lb),
+          b.stride(lb), x.interior(lb), x.stride(lb), scratch.data(),
+          info.nx, sum0);
+      audit_span_field(block_mask_[lb], 1, info.nx, info.ny,
+                       r.interior(lb), r.stride(lb), scratch.data(),
+                       info.nx);
+      audit_span_sums(&sum, &ref_sum, 1);
+#endif
+    } else {
+      sum = kernels::residual_norm2_9(
+          stencil_view(coeff[lb]), block_mask_[lb].data(),
+          block_mask_[lb].nx(), info.nx, info.ny, b.interior(lb),
+          b.stride(lb), x.interior(lb), x.stride(lb), r.interior(lb),
+          r.stride(lb), sum);
+    }
     points += static_cast<std::uint64_t>(info.nx) * info.ny;
+    active += static_cast<std::uint64_t>(span_full_[lb].active_points());
   }
   // Residual (10 ops/point) + masked norm (2 ops/point), as when the
   // sweeps were separate.
   comm.costs().add_flops(12 * points);
+  comm.costs().add_points(active, points);
   // Corruption lands after the fused norm was taken, exactly like a bit
   // flip striking between two sweeps: it rides r into the next iterates
   // and the *next* check window must catch it.
@@ -341,27 +458,47 @@ void DistOperator::apply_overlapped_t(comm::Communicator& comm,
     const auto& b = x.info(lb);
     SubRect in;
     if (!interior_rect(b.nx, b.ny, &in)) continue;
-    kernels::apply9(shift(stencil_view(coeff[lb]), in.i0, in.j0), in.ni,
-                    in.nj, at(x.interior(lb), x.stride(lb), in),
-                    x.stride(lb), at(y.interior(lb), y.stride(lb), in),
-                    y.stride(lb));
+    if (use_spans_)
+      kernels::apply9_span(shift(stencil_view(coeff[lb]), in.i0, in.j0),
+                           span_interior_[lb].row_offset(),
+                           span_interior_[lb].spans(), in.nj,
+                           at(x.interior(lb), x.stride(lb), in),
+                           x.stride(lb),
+                           at(y.interior(lb), y.stride(lb), in),
+                           y.stride(lb));
+    else
+      kernels::apply9(shift(stencil_view(coeff[lb]), in.i0, in.j0), in.ni,
+                      in.nj, at(x.interior(lb), x.stride(lb), in),
+                      x.stride(lb), at(y.interior(lb), y.stride(lb), in),
+                      y.stride(lb));
   }
   inflight.finish();
 
-  std::uint64_t points = 0;
+  std::uint64_t points = 0, active = 0;
   for (int lb = 0; lb < num_local_blocks(); ++lb) {
     const auto& b = x.info(lb);
     SubRect rim[4];
     const int n = rim_rects(b.nx, b.ny, rim);
-    for (int k = 0; k < n; ++k)
-      kernels::apply9(shift(stencil_view(coeff[lb]), rim[k].i0, rim[k].j0),
-                      rim[k].ni, rim[k].nj,
-                      at(x.interior(lb), x.stride(lb), rim[k]), x.stride(lb),
-                      at(y.interior(lb), y.stride(lb), rim[k]),
-                      y.stride(lb));
+    for (int k = 0; k < n; ++k) {
+      if (use_spans_)
+        kernels::apply9_span(
+            shift(stencil_view(coeff[lb]), rim[k].i0, rim[k].j0),
+            span_rim_[lb][k].row_offset(), span_rim_[lb][k].spans(),
+            rim[k].nj, at(x.interior(lb), x.stride(lb), rim[k]),
+            x.stride(lb), at(y.interior(lb), y.stride(lb), rim[k]),
+            y.stride(lb));
+      else
+        kernels::apply9(
+            shift(stencil_view(coeff[lb]), rim[k].i0, rim[k].j0),
+            rim[k].ni, rim[k].nj,
+            at(x.interior(lb), x.stride(lb), rim[k]), x.stride(lb),
+            at(y.interior(lb), y.stride(lb), rim[k]), y.stride(lb));
+    }
     points += static_cast<std::uint64_t>(b.nx) * b.ny;
+    active += static_cast<std::uint64_t>(span_full_[lb].active_points());
   }
   comm.costs().add_flops(9 * points);
+  comm.costs().add_points(active, points);
   offer_fault_sites(y);
 }
 
@@ -389,28 +526,50 @@ void DistOperator::residual_overlapped_t(comm::Communicator& comm,
     const auto& info = r.info(lb);
     SubRect in;
     if (!interior_rect(info.nx, info.ny, &in)) continue;
-    kernels::residual9(shift(stencil_view(coeff[lb]), in.i0, in.j0), in.ni,
-                       in.nj, at(b.interior(lb), b.stride(lb), in),
-                       b.stride(lb), at(x.interior(lb), x.stride(lb), in),
-                       x.stride(lb), at(r.interior(lb), r.stride(lb), in),
-                       r.stride(lb));
+    if (use_spans_)
+      kernels::residual9_span(
+          shift(stencil_view(coeff[lb]), in.i0, in.j0),
+          span_interior_[lb].row_offset(), span_interior_[lb].spans(),
+          in.nj, at(b.interior(lb), b.stride(lb), in), b.stride(lb),
+          at(x.interior(lb), x.stride(lb), in), x.stride(lb),
+          at(r.interior(lb), r.stride(lb), in), r.stride(lb));
+    else
+      kernels::residual9(shift(stencil_view(coeff[lb]), in.i0, in.j0),
+                         in.ni, in.nj,
+                         at(b.interior(lb), b.stride(lb), in), b.stride(lb),
+                         at(x.interior(lb), x.stride(lb), in), x.stride(lb),
+                         at(r.interior(lb), r.stride(lb), in),
+                         r.stride(lb));
   }
   inflight.finish();
 
-  std::uint64_t points = 0;
+  std::uint64_t points = 0, active = 0;
   for (int lb = 0; lb < num_local_blocks(); ++lb) {
     const auto& info = r.info(lb);
     SubRect rim[4];
     const int n = rim_rects(info.nx, info.ny, rim);
-    for (int k = 0; k < n; ++k)
-      kernels::residual9(
-          shift(stencil_view(coeff[lb]), rim[k].i0, rim[k].j0), rim[k].ni,
-          rim[k].nj, at(b.interior(lb), b.stride(lb), rim[k]), b.stride(lb),
-          at(x.interior(lb), x.stride(lb), rim[k]), x.stride(lb),
-          at(r.interior(lb), r.stride(lb), rim[k]), r.stride(lb));
+    for (int k = 0; k < n; ++k) {
+      if (use_spans_)
+        kernels::residual9_span(
+            shift(stencil_view(coeff[lb]), rim[k].i0, rim[k].j0),
+            span_rim_[lb][k].row_offset(), span_rim_[lb][k].spans(),
+            rim[k].nj, at(b.interior(lb), b.stride(lb), rim[k]),
+            b.stride(lb), at(x.interior(lb), x.stride(lb), rim[k]),
+            x.stride(lb), at(r.interior(lb), r.stride(lb), rim[k]),
+            r.stride(lb));
+      else
+        kernels::residual9(
+            shift(stencil_view(coeff[lb]), rim[k].i0, rim[k].j0),
+            rim[k].ni, rim[k].nj,
+            at(b.interior(lb), b.stride(lb), rim[k]), b.stride(lb),
+            at(x.interior(lb), x.stride(lb), rim[k]), x.stride(lb),
+            at(r.interior(lb), r.stride(lb), rim[k]), r.stride(lb));
+    }
     points += static_cast<std::uint64_t>(info.nx) * info.ny;
+    active += static_cast<std::uint64_t>(span_full_[lb].active_points());
   }
   comm.costs().add_flops(10 * points);
+  comm.costs().add_points(active, points);
   offer_fault_sites(r);
 }
 
@@ -420,17 +579,34 @@ double DistOperator::local_dot_t(comm::Communicator& comm,
                                  const comm::DistFieldT<T>& b) const {
   MINIPOP_REQUIRE(a.compatible_with(b), "a/b field mismatch");
   double sum = 0.0;
-  std::uint64_t points = 0;
+  std::uint64_t points = 0, active = 0;
   for (int lb = 0; lb < num_local_blocks(); ++lb) {
     const auto& info = a.info(lb);
     const auto& mask = block_mask_[lb];
-    sum = kernels::masked_dot(mask.data(), mask.nx(), info.nx, info.ny,
+    if (use_spans_) {
+#if MINIPOP_BOUNDS_CHECK
+      const double ref = kernels::masked_dot(
+          mask.data(), mask.nx(), info.nx, info.ny, a.interior(lb),
+          a.stride(lb), b.interior(lb), b.stride(lb), sum);
+#endif
+      sum = kernels::dot_span(span_full_[lb].row_offset(),
+                              span_full_[lb].spans(), info.ny,
                               a.interior(lb), a.stride(lb), b.interior(lb),
                               b.stride(lb), sum);
+#if MINIPOP_BOUNDS_CHECK
+      audit_span_sums(&sum, &ref, 1);
+#endif
+    } else {
+      sum = kernels::masked_dot(mask.data(), mask.nx(), info.nx, info.ny,
+                                a.interior(lb), a.stride(lb),
+                                b.interior(lb), b.stride(lb), sum);
+    }
     points += static_cast<std::uint64_t>(info.nx) * info.ny;
+    active += static_cast<std::uint64_t>(span_full_[lb].active_points());
   }
   // Paper convention: inner product is 2 ops/point (multiply + masked add).
   comm.costs().add_flops(2 * points);
+  comm.costs().add_points(active, points);
   return sum;
 }
 
@@ -443,17 +619,36 @@ void DistOperator::local_dot3_t(comm::Communicator& comm,
   MINIPOP_REQUIRE(r.compatible_with(rp) && r.compatible_with(z),
                   "r/rp/z field mismatch");
   out[0] = out[1] = out[2] = 0.0;
-  std::uint64_t points = 0;
+  std::uint64_t points = 0, active = 0;
   for (int lb = 0; lb < num_local_blocks(); ++lb) {
     const auto& info = r.info(lb);
     const auto& mask = block_mask_[lb];
-    kernels::masked_dot3(mask.data(), mask.nx(), info.nx, info.ny,
-                         r.interior(lb), r.stride(lb), rp.interior(lb),
-                         rp.stride(lb), z.interior(lb), z.stride(lb),
-                         with_norm, out);
+    if (use_spans_) {
+#if MINIPOP_BOUNDS_CHECK
+      double ref[3] = {out[0], out[1], out[2]};
+      kernels::masked_dot3(mask.data(), mask.nx(), info.nx, info.ny,
+                           r.interior(lb), r.stride(lb), rp.interior(lb),
+                           rp.stride(lb), z.interior(lb), z.stride(lb),
+                           with_norm, ref);
+#endif
+      kernels::dot3_span(span_full_[lb].row_offset(),
+                         span_full_[lb].spans(), info.ny, r.interior(lb),
+                         r.stride(lb), rp.interior(lb), rp.stride(lb),
+                         z.interior(lb), z.stride(lb), with_norm, out);
+#if MINIPOP_BOUNDS_CHECK
+      audit_span_sums(out, ref, 3);
+#endif
+    } else {
+      kernels::masked_dot3(mask.data(), mask.nx(), info.nx, info.ny,
+                           r.interior(lb), r.stride(lb), rp.interior(lb),
+                           rp.stride(lb), z.interior(lb), z.stride(lb),
+                           with_norm, out);
+    }
     points += static_cast<std::uint64_t>(info.nx) * info.ny;
+    active += static_cast<std::uint64_t>(span_full_[lb].active_points());
   }
   comm.costs().add_flops((with_norm ? 6 : 4) * points);
+  comm.costs().add_points(active, points);
 }
 
 template <typename T>
@@ -461,8 +656,15 @@ void DistOperator::mask_interior_t(comm::DistFieldT<T>& x) const {
   for (int lb = 0; lb < num_local_blocks(); ++lb) {
     const auto& info = x.info(lb);
     const auto& mask = block_mask_[lb];
-    kernels::mask_zero(mask.data(), mask.nx(), info.nx, info.ny,
-                       x.interior(lb), x.stride(lb));
+    // Gap-zero kernel: writes exactly the land zeros the masked version
+    // writes, so the two are unconditionally bitwise identical.
+    if (use_spans_)
+      kernels::mask_zero_span(span_full_[lb].row_offset(),
+                              span_full_[lb].spans(), info.nx, info.ny,
+                              x.interior(lb), x.stride(lb));
+    else
+      kernels::mask_zero(mask.data(), mask.nx(), info.nx, info.ny,
+                         x.interior(lb), x.stride(lb));
   }
 }
 
@@ -555,22 +757,38 @@ void DistOperator::abft_local_sums(comm::Communicator& comm,
   MINIPOP_REQUIRE(b.compatible_with(r) && b.compatible_with(x),
                   "b/r/x field mismatch");
   out[0] = out[1] = out[2] = 0.0;
-  std::uint64_t points = 0;
+  std::uint64_t points = 0, active = 0;
   for (int lb = 0; lb < num_local_blocks(); ++lb) {
     const auto& info = b.info(lb);
     const auto& mask = block_mask_[lb];
     const util::Field& cs = column_sum_[lb];
-    out[0] = kernels::masked_sum(mask.data(), mask.nx(), info.nx, info.ny,
-                                 b.interior(lb), b.stride(lb), out[0]);
-    out[1] = kernels::masked_sum(mask.data(), mask.nx(), info.nx, info.ny,
-                                 r.interior(lb), r.stride(lb), out[1]);
-    out[2] = kernels::dot_shared(mask.data(), mask.nx(), info.nx, info.ny,
-                                 cs.data(), cs.nx(), x.interior(lb),
-                                 x.stride(lb), out[2]);
+    if (use_spans_) {
+      const int* ro = span_full_[lb].row_offset();
+      const kernels::Span* sp = span_full_[lb].spans();
+      out[0] = kernels::sum_span(ro, sp, info.ny, b.interior(lb),
+                                 b.stride(lb), out[0]);
+      out[1] = kernels::sum_span(ro, sp, info.ny, r.interior(lb),
+                                 r.stride(lb), out[1]);
+      out[2] = kernels::dot_shared_span(ro, sp, info.ny, cs.data(),
+                                        cs.nx(), x.interior(lb),
+                                        x.stride(lb), out[2]);
+    } else {
+      out[0] = kernels::masked_sum(mask.data(), mask.nx(), info.nx,
+                                   info.ny, b.interior(lb), b.stride(lb),
+                                   out[0]);
+      out[1] = kernels::masked_sum(mask.data(), mask.nx(), info.nx,
+                                   info.ny, r.interior(lb), r.stride(lb),
+                                   out[1]);
+      out[2] = kernels::dot_shared(mask.data(), mask.nx(), info.nx,
+                                   info.ny, cs.data(), cs.nx(),
+                                   x.interior(lb), x.stride(lb), out[2]);
+    }
     points += static_cast<std::uint64_t>(info.nx) * info.ny;
+    active += static_cast<std::uint64_t>(span_full_[lb].active_points());
   }
   // Two masked sums (1 op/point each) + one shared-factor dot (2).
   comm.costs().add_flops(4 * points);
+  comm.costs().add_points(active, points);
 }
 
 void DistOperator::abft_local_sums_batch(comm::Communicator& comm,
@@ -582,21 +800,36 @@ void DistOperator::abft_local_sums_batch(comm::Communicator& comm,
                   "b/r/x batch mismatch");
   const int nb = b.nb();
   for (int m = 0; m < 3 * nb; ++m) out[m] = 0.0;
-  std::uint64_t points = 0;
+  std::uint64_t points = 0, active = 0;
   for (int lb = 0; lb < num_local_blocks(); ++lb) {
     const auto& info = b.info(lb);
     const auto& mask = block_mask_[lb];
     const util::Field& cs = column_sum_[lb];
-    kernels::masked_sum_batch(mask.data(), mask.nx(), nb, info.nx, info.ny,
-                              b.interior(lb), b.stride(lb), out);
-    kernels::masked_sum_batch(mask.data(), mask.nx(), nb, info.nx, info.ny,
-                              r.interior(lb), r.stride(lb), out + nb);
-    kernels::dot_shared_batch(mask.data(), mask.nx(), nb, info.nx, info.ny,
-                              cs.data(), cs.nx(), x.interior(lb),
-                              x.stride(lb), out + 2 * nb);
+    if (use_spans_) {
+      const int* ro = span_full_[lb].row_offset();
+      const kernels::Span* sp = span_full_[lb].spans();
+      kernels::sum_span_batch(ro, sp, nb, info.ny, b.interior(lb),
+                              b.stride(lb), out);
+      kernels::sum_span_batch(ro, sp, nb, info.ny, r.interior(lb),
+                              r.stride(lb), out + nb);
+      kernels::dot_shared_span_batch(ro, sp, nb, info.ny, cs.data(),
+                                     cs.nx(), x.interior(lb), x.stride(lb),
+                                     out + 2 * nb);
+    } else {
+      kernels::masked_sum_batch(mask.data(), mask.nx(), nb, info.nx,
+                                info.ny, b.interior(lb), b.stride(lb), out);
+      kernels::masked_sum_batch(mask.data(), mask.nx(), nb, info.nx,
+                                info.ny, r.interior(lb), r.stride(lb),
+                                out + nb);
+      kernels::dot_shared_batch(mask.data(), mask.nx(), nb, info.nx,
+                                info.ny, cs.data(), cs.nx(), x.interior(lb),
+                                x.stride(lb), out + 2 * nb);
+    }
     points += static_cast<std::uint64_t>(info.nx) * info.ny;
+    active += static_cast<std::uint64_t>(span_full_[lb].active_points());
   }
   comm.costs().add_flops(4 * points * nb);
+  comm.costs().add_points(active * nb, points * nb);
 }
 
 void DistOperator::apply(comm::Communicator& comm,
@@ -695,15 +928,34 @@ void DistOperator::apply_batch(comm::Communicator& comm,
 
   const auto& coeff = coeffs<T>();
   const int nb = x.nb();
-  std::uint64_t points = 0;
+  std::uint64_t points = 0, active = 0;
   for (int lb = 0; lb < num_local_blocks(); ++lb) {
     const auto& b = x.info(lb);
-    kernels::apply9_batch(stencil_view(coeff[lb]), nb, b.nx, b.ny,
-                          x.interior(lb), x.stride(lb), y.interior(lb),
-                          y.stride(lb));
+    if (use_spans_) {
+      kernels::apply9_span_batch(stencil_view(coeff[lb]),
+                                 span_full_[lb].row_offset(),
+                                 span_full_[lb].spans(), nb, b.ny,
+                                 x.interior(lb), x.stride(lb),
+                                 y.interior(lb), y.stride(lb));
+#if MINIPOP_BOUNDS_CHECK
+      std::vector<T> scratch(static_cast<std::size_t>(b.nx) * b.ny * nb);
+      kernels::apply9_batch(stencil_view(coeff[lb]), nb, b.nx, b.ny,
+                            x.interior(lb), x.stride(lb), scratch.data(),
+                            static_cast<std::ptrdiff_t>(b.nx) * nb);
+      audit_span_field(block_mask_[lb], nb, b.nx, b.ny, y.interior(lb),
+                       y.stride(lb), scratch.data(),
+                       static_cast<std::ptrdiff_t>(b.nx) * nb);
+#endif
+    } else {
+      kernels::apply9_batch(stencil_view(coeff[lb]), nb, b.nx, b.ny,
+                            x.interior(lb), x.stride(lb), y.interior(lb),
+                            y.stride(lb));
+    }
     points += static_cast<std::uint64_t>(b.nx) * b.ny;
+    active += static_cast<std::uint64_t>(span_full_[lb].active_points());
   }
   comm.costs().add_flops(9 * points * nb);
+  comm.costs().add_points(active * nb, points * nb);
 }
 
 template <typename T>
@@ -723,16 +975,36 @@ void DistOperator::residual_batch(comm::Communicator& comm,
 
   const auto& coeff = coeffs<T>();
   const int nb = x.nb();
-  std::uint64_t points = 0;
+  std::uint64_t points = 0, active = 0;
   for (int lb = 0; lb < num_local_blocks(); ++lb) {
     const auto& info = r.info(lb);
-    kernels::residual9_batch(stencil_view(coeff[lb]), nb, info.nx,
-                             info.ny, b.interior(lb), b.stride(lb),
-                             x.interior(lb), x.stride(lb), r.interior(lb),
-                             r.stride(lb));
+    if (use_spans_) {
+      kernels::residual9_span_batch(
+          stencil_view(coeff[lb]), span_full_[lb].row_offset(),
+          span_full_[lb].spans(), nb, info.ny, b.interior(lb), b.stride(lb),
+          x.interior(lb), x.stride(lb), r.interior(lb), r.stride(lb));
+#if MINIPOP_BOUNDS_CHECK
+      std::vector<T> scratch(static_cast<std::size_t>(info.nx) * info.ny *
+                             nb);
+      kernels::residual9_batch(stencil_view(coeff[lb]), nb, info.nx,
+                               info.ny, b.interior(lb), b.stride(lb),
+                               x.interior(lb), x.stride(lb), scratch.data(),
+                               static_cast<std::ptrdiff_t>(info.nx) * nb);
+      audit_span_field(block_mask_[lb], nb, info.nx, info.ny,
+                       r.interior(lb), r.stride(lb), scratch.data(),
+                       static_cast<std::ptrdiff_t>(info.nx) * nb);
+#endif
+    } else {
+      kernels::residual9_batch(stencil_view(coeff[lb]), nb, info.nx,
+                               info.ny, b.interior(lb), b.stride(lb),
+                               x.interior(lb), x.stride(lb), r.interior(lb),
+                               r.stride(lb));
+    }
     points += static_cast<std::uint64_t>(info.nx) * info.ny;
+    active += static_cast<std::uint64_t>(span_full_[lb].active_points());
   }
   comm.costs().add_flops(10 * points * nb);
+  comm.costs().add_points(active * nb, points * nb);
 }
 
 template <typename T>
@@ -752,17 +1024,42 @@ void DistOperator::residual_local_norm2_batch(
   const auto& coeff = coeffs<T>();
   const int nb = x.nb();
   for (int m = 0; m < nb; ++m) sums[m] = 0.0;
-  std::uint64_t points = 0;
+  std::uint64_t points = 0, active = 0;
   for (int lb = 0; lb < num_local_blocks(); ++lb) {
     const auto& info = r.info(lb);
-    kernels::residual_norm2_9_batch(
-        stencil_view(coeff[lb]), block_mask_[lb].data(),
-        block_mask_[lb].nx(), nb, info.nx, info.ny, b.interior(lb),
-        b.stride(lb), x.interior(lb), x.stride(lb), r.interior(lb),
-        r.stride(lb), sums);
+    if (use_spans_) {
+#if MINIPOP_BOUNDS_CHECK
+      std::vector<double> sums0(sums, sums + nb);
+#endif
+      kernels::residual_norm2_9_span_batch(
+          stencil_view(coeff[lb]), span_full_[lb].row_offset(),
+          span_full_[lb].spans(), nb, info.ny, b.interior(lb), b.stride(lb),
+          x.interior(lb), x.stride(lb), r.interior(lb), r.stride(lb), sums);
+#if MINIPOP_BOUNDS_CHECK
+      std::vector<T> scratch(static_cast<std::size_t>(info.nx) * info.ny *
+                             nb);
+      kernels::residual_norm2_9_batch(
+          stencil_view(coeff[lb]), block_mask_[lb].data(),
+          block_mask_[lb].nx(), nb, info.nx, info.ny, b.interior(lb),
+          b.stride(lb), x.interior(lb), x.stride(lb), scratch.data(),
+          static_cast<std::ptrdiff_t>(info.nx) * nb, sums0.data());
+      audit_span_field(block_mask_[lb], nb, info.nx, info.ny,
+                       r.interior(lb), r.stride(lb), scratch.data(),
+                       static_cast<std::ptrdiff_t>(info.nx) * nb);
+      audit_span_sums(sums, sums0.data(), nb);
+#endif
+    } else {
+      kernels::residual_norm2_9_batch(
+          stencil_view(coeff[lb]), block_mask_[lb].data(),
+          block_mask_[lb].nx(), nb, info.nx, info.ny, b.interior(lb),
+          b.stride(lb), x.interior(lb), x.stride(lb), r.interior(lb),
+          r.stride(lb), sums);
+    }
     points += static_cast<std::uint64_t>(info.nx) * info.ny;
+    active += static_cast<std::uint64_t>(span_full_[lb].active_points());
   }
   comm.costs().add_flops(12 * points * nb);
+  comm.costs().add_points(active * nb, points * nb);
 }
 
 template <typename T>
@@ -788,29 +1085,47 @@ void DistOperator::apply_overlapped_batch(comm::Communicator& comm,
     const auto& b = x.info(lb);
     SubRect in;
     if (!interior_rect(b.nx, b.ny, &in)) continue;
-    kernels::apply9_batch(shift(stencil_view(coeff[lb]), in.i0, in.j0), nb,
-                          in.ni, in.nj,
-                          at_w(x.interior(lb), x.stride(lb), nb, in),
-                          x.stride(lb),
-                          at_w(y.interior(lb), y.stride(lb), nb, in),
-                          y.stride(lb));
+    if (use_spans_)
+      kernels::apply9_span_batch(
+          shift(stencil_view(coeff[lb]), in.i0, in.j0),
+          span_interior_[lb].row_offset(), span_interior_[lb].spans(), nb,
+          in.nj, at_w(x.interior(lb), x.stride(lb), nb, in), x.stride(lb),
+          at_w(y.interior(lb), y.stride(lb), nb, in), y.stride(lb));
+    else
+      kernels::apply9_batch(shift(stencil_view(coeff[lb]), in.i0, in.j0),
+                            nb, in.ni, in.nj,
+                            at_w(x.interior(lb), x.stride(lb), nb, in),
+                            x.stride(lb),
+                            at_w(y.interior(lb), y.stride(lb), nb, in),
+                            y.stride(lb));
   }
   inflight.finish();
 
-  std::uint64_t points = 0;
+  std::uint64_t points = 0, active = 0;
   for (int lb = 0; lb < num_local_blocks(); ++lb) {
     const auto& b = x.info(lb);
     SubRect rim[4];
     const int n = rim_rects(b.nx, b.ny, rim);
-    for (int k = 0; k < n; ++k)
-      kernels::apply9_batch(
-          shift(stencil_view(coeff[lb]), rim[k].i0, rim[k].j0), nb,
-          rim[k].ni, rim[k].nj,
-          at_w(x.interior(lb), x.stride(lb), nb, rim[k]), x.stride(lb),
-          at_w(y.interior(lb), y.stride(lb), nb, rim[k]), y.stride(lb));
+    for (int k = 0; k < n; ++k) {
+      if (use_spans_)
+        kernels::apply9_span_batch(
+            shift(stencil_view(coeff[lb]), rim[k].i0, rim[k].j0),
+            span_rim_[lb][k].row_offset(), span_rim_[lb][k].spans(), nb,
+            rim[k].nj, at_w(x.interior(lb), x.stride(lb), nb, rim[k]),
+            x.stride(lb), at_w(y.interior(lb), y.stride(lb), nb, rim[k]),
+            y.stride(lb));
+      else
+        kernels::apply9_batch(
+            shift(stencil_view(coeff[lb]), rim[k].i0, rim[k].j0), nb,
+            rim[k].ni, rim[k].nj,
+            at_w(x.interior(lb), x.stride(lb), nb, rim[k]), x.stride(lb),
+            at_w(y.interior(lb), y.stride(lb), nb, rim[k]), y.stride(lb));
+    }
     points += static_cast<std::uint64_t>(b.nx) * b.ny;
+    active += static_cast<std::uint64_t>(span_full_[lb].active_points());
   }
   comm.costs().add_flops(9 * points * nb);
+  comm.costs().add_points(active * nb, points * nb);
 }
 
 template <typename T>
@@ -836,29 +1151,49 @@ void DistOperator::residual_overlapped_batch(
     const auto& info = r.info(lb);
     SubRect in;
     if (!interior_rect(info.nx, info.ny, &in)) continue;
-    kernels::residual9_batch(
-        shift(stencil_view(coeff[lb]), in.i0, in.j0), nb, in.ni, in.nj,
-        at_w(b.interior(lb), b.stride(lb), nb, in), b.stride(lb),
-        at_w(x.interior(lb), x.stride(lb), nb, in), x.stride(lb),
-        at_w(r.interior(lb), r.stride(lb), nb, in), r.stride(lb));
+    if (use_spans_)
+      kernels::residual9_span_batch(
+          shift(stencil_view(coeff[lb]), in.i0, in.j0),
+          span_interior_[lb].row_offset(), span_interior_[lb].spans(), nb,
+          in.nj, at_w(b.interior(lb), b.stride(lb), nb, in), b.stride(lb),
+          at_w(x.interior(lb), x.stride(lb), nb, in), x.stride(lb),
+          at_w(r.interior(lb), r.stride(lb), nb, in), r.stride(lb));
+    else
+      kernels::residual9_batch(
+          shift(stencil_view(coeff[lb]), in.i0, in.j0), nb, in.ni, in.nj,
+          at_w(b.interior(lb), b.stride(lb), nb, in), b.stride(lb),
+          at_w(x.interior(lb), x.stride(lb), nb, in), x.stride(lb),
+          at_w(r.interior(lb), r.stride(lb), nb, in), r.stride(lb));
   }
   inflight.finish();
 
-  std::uint64_t points = 0;
+  std::uint64_t points = 0, active = 0;
   for (int lb = 0; lb < num_local_blocks(); ++lb) {
     const auto& info = r.info(lb);
     SubRect rim[4];
     const int n = rim_rects(info.nx, info.ny, rim);
-    for (int k = 0; k < n; ++k)
-      kernels::residual9_batch(
-          shift(stencil_view(coeff[lb]), rim[k].i0, rim[k].j0), nb,
-          rim[k].ni, rim[k].nj,
-          at_w(b.interior(lb), b.stride(lb), nb, rim[k]), b.stride(lb),
-          at_w(x.interior(lb), x.stride(lb), nb, rim[k]), x.stride(lb),
-          at_w(r.interior(lb), r.stride(lb), nb, rim[k]), r.stride(lb));
+    for (int k = 0; k < n; ++k) {
+      if (use_spans_)
+        kernels::residual9_span_batch(
+            shift(stencil_view(coeff[lb]), rim[k].i0, rim[k].j0),
+            span_rim_[lb][k].row_offset(), span_rim_[lb][k].spans(), nb,
+            rim[k].nj, at_w(b.interior(lb), b.stride(lb), nb, rim[k]),
+            b.stride(lb), at_w(x.interior(lb), x.stride(lb), nb, rim[k]),
+            x.stride(lb), at_w(r.interior(lb), r.stride(lb), nb, rim[k]),
+            r.stride(lb));
+      else
+        kernels::residual9_batch(
+            shift(stencil_view(coeff[lb]), rim[k].i0, rim[k].j0), nb,
+            rim[k].ni, rim[k].nj,
+            at_w(b.interior(lb), b.stride(lb), nb, rim[k]), b.stride(lb),
+            at_w(x.interior(lb), x.stride(lb), nb, rim[k]), x.stride(lb),
+            at_w(r.interior(lb), r.stride(lb), nb, rim[k]), r.stride(lb));
+    }
     points += static_cast<std::uint64_t>(info.nx) * info.ny;
+    active += static_cast<std::uint64_t>(span_full_[lb].active_points());
   }
   comm.costs().add_flops(10 * points * nb);
+  comm.costs().add_points(active * nb, points * nb);
 }
 
 template <typename T>
@@ -884,16 +1219,34 @@ void DistOperator::local_dot_batch(comm::Communicator& comm,
   MINIPOP_REQUIRE(a.compatible_with(b), "a/b batch mismatch");
   const int nb = a.nb();
   for (int m = 0; m < nb; ++m) sums[m] = 0.0;
-  std::uint64_t points = 0;
+  std::uint64_t points = 0, active = 0;
   for (int lb = 0; lb < num_local_blocks(); ++lb) {
     const auto& info = a.info(lb);
     const auto& mask = block_mask_[lb];
-    kernels::dot_batch(mask.data(), mask.nx(), nb, info.nx, info.ny,
-                       a.interior(lb), a.stride(lb), b.interior(lb),
-                       b.stride(lb), sums);
+    if (use_spans_) {
+#if MINIPOP_BOUNDS_CHECK
+      std::vector<double> ref(sums, sums + nb);
+      kernels::dot_batch(mask.data(), mask.nx(), nb, info.nx, info.ny,
+                         a.interior(lb), a.stride(lb), b.interior(lb),
+                         b.stride(lb), ref.data());
+#endif
+      kernels::dot_span_batch(span_full_[lb].row_offset(),
+                              span_full_[lb].spans(), nb, info.ny,
+                              a.interior(lb), a.stride(lb), b.interior(lb),
+                              b.stride(lb), sums);
+#if MINIPOP_BOUNDS_CHECK
+      audit_span_sums(sums, ref.data(), nb);
+#endif
+    } else {
+      kernels::dot_batch(mask.data(), mask.nx(), nb, info.nx, info.ny,
+                         a.interior(lb), a.stride(lb), b.interior(lb),
+                         b.stride(lb), sums);
+    }
     points += static_cast<std::uint64_t>(info.nx) * info.ny;
+    active += static_cast<std::uint64_t>(span_full_[lb].active_points());
   }
   comm.costs().add_flops(2 * points * nb);
+  comm.costs().add_points(active * nb, points * nb);
 }
 
 template <typename T>
@@ -906,17 +1259,38 @@ void DistOperator::local_dot3_batch(comm::Communicator& comm,
                   "r/rp/z batch mismatch");
   const int nb = r.nb();
   for (int m = 0; m < 3 * nb; ++m) out[m] = 0.0;
-  std::uint64_t points = 0;
+  std::uint64_t points = 0, active = 0;
   for (int lb = 0; lb < num_local_blocks(); ++lb) {
     const auto& info = r.info(lb);
     const auto& mask = block_mask_[lb];
-    kernels::dot3_batch(mask.data(), mask.nx(), nb, info.nx, info.ny,
-                        r.interior(lb), r.stride(lb), rp.interior(lb),
-                        rp.stride(lb), z.interior(lb), z.stride(lb),
-                        with_norm, out);
+    if (use_spans_) {
+#if MINIPOP_BOUNDS_CHECK
+      std::vector<double> ref(out, out + 3 * nb);
+      kernels::dot3_batch(mask.data(), mask.nx(), nb, info.nx, info.ny,
+                          r.interior(lb), r.stride(lb), rp.interior(lb),
+                          rp.stride(lb), z.interior(lb), z.stride(lb),
+                          with_norm, ref.data());
+#endif
+      kernels::dot3_span_batch(span_full_[lb].row_offset(),
+                               span_full_[lb].spans(), nb, info.ny,
+                               r.interior(lb), r.stride(lb),
+                               rp.interior(lb), rp.stride(lb),
+                               z.interior(lb), z.stride(lb), with_norm,
+                               out);
+#if MINIPOP_BOUNDS_CHECK
+      audit_span_sums(out, ref.data(), 3 * nb);
+#endif
+    } else {
+      kernels::dot3_batch(mask.data(), mask.nx(), nb, info.nx, info.ny,
+                          r.interior(lb), r.stride(lb), rp.interior(lb),
+                          rp.stride(lb), z.interior(lb), z.stride(lb),
+                          with_norm, out);
+    }
     points += static_cast<std::uint64_t>(info.nx) * info.ny;
+    active += static_cast<std::uint64_t>(span_full_[lb].active_points());
   }
   comm.costs().add_flops((with_norm ? 6u : 4u) * points * nb);
+  comm.costs().add_points(active * nb, points * nb);
 }
 
 template <typename T>
@@ -924,8 +1298,13 @@ void DistOperator::mask_interior_batch(comm::DistFieldBatchT<T>& x) const {
   for (int lb = 0; lb < num_local_blocks(); ++lb) {
     const auto& info = x.info(lb);
     const auto& mask = block_mask_[lb];
-    kernels::mask_zero_batch(mask.data(), mask.nx(), x.nb(), info.nx,
-                             info.ny, x.interior(lb), x.stride(lb));
+    if (use_spans_)
+      kernels::mask_zero_span_batch(span_full_[lb].row_offset(),
+                                    span_full_[lb].spans(), x.nb(), info.nx,
+                                    info.ny, x.interior(lb), x.stride(lb));
+    else
+      kernels::mask_zero_batch(mask.data(), mask.nx(), x.nb(), info.nx,
+                               info.ny, x.interior(lb), x.stride(lb));
   }
 }
 

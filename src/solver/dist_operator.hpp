@@ -18,6 +18,7 @@
 #include "src/comm/dist_field.hpp"
 #include "src/comm/halo.hpp"
 #include "src/grid/stencil.hpp"
+#include "src/solver/span_plan.hpp"
 
 namespace minipop::solver {
 
@@ -38,6 +39,25 @@ class DistOperator {
   }
   long local_ocean_cells() const { return local_ocean_cells_; }
   double phi() const { return phi_; }
+
+  // -------------------------------------------------------------------
+  // Land-span execution (DESIGN.md §14). The per-block span plans are
+  // always built (cost accounting reads their active-point counts);
+  // use_spans() gates whether the sweeps run the mask-free span kernels
+  // (bitwise-identical at ocean cells; a MINIPOP_BOUNDS_CHECK build
+  // cross-runs the masked kernels and compares) or the masked originals.
+
+  bool use_spans() const { return use_spans_; }
+  void set_use_spans(bool on) { use_spans_ = on; }
+  /// Whole-interior span plan, indexed by local block — the plan the
+  /// preconditioners, field ops, and batched core share. nullptr when
+  /// span execution is disabled, so consumers fall back to the masked
+  /// kernels with one check.
+  const SpanPlan* span_plan() const {
+    return use_spans_ ? &span_full_ : nullptr;
+  }
+  /// Span plan regardless of the use_spans() gate (cost accounting).
+  const SpanPlan& block_spans() const { return span_full_; }
 
   // -------------------------------------------------------------------
   // ABFT operator checksums (DESIGN.md §12). The column-sum field
@@ -379,6 +399,17 @@ class DistOperator {
   const std::vector<std::array<util::Array2D<T>, grid::kNumDirs>>& coeffs()
       const;
   void ensure_coeff32() const;
+
+  bool use_spans_ = true;
+  /// Span plans over the full block interiors plus the interior/rim
+  /// decomposition the overlapped sweeps use: span_interior_[lb] covers
+  /// interior_rect (empty when the block is too thin to have one),
+  /// span_rim_[lb][0..span_num_rim_[lb]) the rim strips, all with spans
+  /// re-based to the sub-rect origin like the shifted field pointers.
+  SpanPlan span_full_;
+  SpanPlan span_interior_;
+  std::vector<std::array<BlockSpans, 4>> span_rim_;
+  std::vector<int> span_num_rim_;
 
   const grid::Decomposition* decomp_;
   /// Kept for repair_coefficients(): the model's stencil outlives the

@@ -15,51 +15,88 @@ std::uint64_t interior_points(const comm::DistFieldT<T>& f) {
   }
   return n;
 }
+
+std::uint64_t plan_active_points(const SpanPlan& plan) {
+  std::uint64_t n = 0;
+  for (const auto& bs : plan) n += static_cast<std::uint64_t>(bs.active_points());
+  return n;
+}
+
+// Region accounting for a field-wide update: when a span plan is in
+// play we know the ocean census of the sweep; record it (add_points is
+// only meaningful when a plan exists — the dense path has no mask).
+void count_update(comm::Communicator& comm, std::uint64_t flops_per_point,
+                  std::uint64_t points, const SpanPlan* plan) {
+  comm.costs().add_flops(flops_per_point * points);
+  if (plan) comm.costs().add_points(plan_active_points(*plan), points);
+}
 }  // namespace
 
 void lincomb(comm::Communicator& comm, double a, const comm::DistField& x,
-             double b, comm::DistField& y) {
+             double b, comm::DistField& y, const SpanPlan* plan) {
   MINIPOP_REQUIRE(x.compatible_with(y), "lincomb field mismatch");
   for (int lb = 0; lb < x.num_local_blocks(); ++lb) {
     const auto& info = x.info(lb);
-    kernels::lincomb(info.nx, info.ny, a, x.interior(lb), x.stride(lb), b,
-                     y.interior(lb), y.stride(lb));
+    if (plan)
+      kernels::lincomb_span((*plan)[lb].row_offset(), (*plan)[lb].spans(),
+                            info.ny, a, x.interior(lb), x.stride(lb), b,
+                            y.interior(lb), y.stride(lb));
+    else
+      kernels::lincomb(info.nx, info.ny, a, x.interior(lb), x.stride(lb), b,
+                       y.interior(lb), y.stride(lb));
   }
-  comm.costs().add_flops(2 * interior_points(x));
+  count_update(comm, 2, interior_points(x), plan);
 }
 
 void axpy(comm::Communicator& comm, double a, const comm::DistField& x,
-          comm::DistField& y) {
+          comm::DistField& y, const SpanPlan* plan) {
   MINIPOP_REQUIRE(x.compatible_with(y), "axpy field mismatch");
   for (int lb = 0; lb < x.num_local_blocks(); ++lb) {
     const auto& info = x.info(lb);
-    kernels::axpy(info.nx, info.ny, a, x.interior(lb), x.stride(lb),
-                  y.interior(lb), y.stride(lb));
+    if (plan)
+      kernels::axpy_span((*plan)[lb].row_offset(), (*plan)[lb].spans(),
+                         info.ny, a, x.interior(lb), x.stride(lb),
+                         y.interior(lb), y.stride(lb));
+    else
+      kernels::axpy(info.nx, info.ny, a, x.interior(lb), x.stride(lb),
+                    y.interior(lb), y.stride(lb));
   }
-  comm.costs().add_flops(2 * interior_points(x));
+  count_update(comm, 2, interior_points(x), plan);
 }
 
 void lincomb_axpy(comm::Communicator& comm, double a,
                   const comm::DistField& x, double b, comm::DistField& y,
-                  double c, comm::DistField& z) {
+                  double c, comm::DistField& z, const SpanPlan* plan) {
   MINIPOP_REQUIRE(x.compatible_with(y) && x.compatible_with(z),
                   "lincomb_axpy field mismatch");
   for (int lb = 0; lb < x.num_local_blocks(); ++lb) {
     const auto& info = x.info(lb);
-    kernels::lincomb_axpy(info.nx, info.ny, a, x.interior(lb), x.stride(lb),
-                          b, y.interior(lb), y.stride(lb), c, z.interior(lb),
-                          z.stride(lb));
+    if (plan)
+      kernels::lincomb_axpy_span((*plan)[lb].row_offset(),
+                                 (*plan)[lb].spans(), info.ny, a,
+                                 x.interior(lb), x.stride(lb), b,
+                                 y.interior(lb), y.stride(lb), c,
+                                 z.interior(lb), z.stride(lb));
+    else
+      kernels::lincomb_axpy(info.nx, info.ny, a, x.interior(lb), x.stride(lb),
+                            b, y.interior(lb), y.stride(lb), c,
+                            z.interior(lb), z.stride(lb));
   }
   // Same count as the lincomb + axpy it fuses: 2 + 2 ops/point.
-  comm.costs().add_flops(4 * interior_points(x));
+  count_update(comm, 4, interior_points(x), plan);
 }
 
-void scale(comm::Communicator& comm, double a, comm::DistField& x) {
+void scale(comm::Communicator& comm, double a, comm::DistField& x,
+           const SpanPlan* plan) {
   for (int lb = 0; lb < x.num_local_blocks(); ++lb) {
     const auto& info = x.info(lb);
-    kernels::scale(info.nx, info.ny, a, x.interior(lb), x.stride(lb));
+    if (plan)
+      kernels::scale_span((*plan)[lb].row_offset(), (*plan)[lb].spans(),
+                          info.ny, a, x.interior(lb), x.stride(lb));
+    else
+      kernels::scale(info.nx, info.ny, a, x.interior(lb), x.stride(lb));
   }
-  comm.costs().add_flops(interior_points(x));
+  count_update(comm, 1, interior_points(x), plan);
 }
 
 void copy_interior(const comm::DistField& x, comm::DistField& y) {
@@ -82,52 +119,74 @@ void fill_interior(comm::DistField& x, double v) {
 // fp32 overloads
 
 void lincomb(comm::Communicator& comm, double a, const comm::DistField32& x,
-             double b, comm::DistField32& y) {
+             double b, comm::DistField32& y, const SpanPlan* plan) {
   MINIPOP_REQUIRE(x.compatible_with(y), "lincomb field mismatch");
   const float af = static_cast<float>(a), bf = static_cast<float>(b);
   for (int lb = 0; lb < x.num_local_blocks(); ++lb) {
     const auto& info = x.info(lb);
-    kernels::lincomb(info.nx, info.ny, af, x.interior(lb), x.stride(lb), bf,
-                     y.interior(lb), y.stride(lb));
+    if (plan)
+      kernels::lincomb_span((*plan)[lb].row_offset(), (*plan)[lb].spans(),
+                            info.ny, af, x.interior(lb), x.stride(lb), bf,
+                            y.interior(lb), y.stride(lb));
+    else
+      kernels::lincomb(info.nx, info.ny, af, x.interior(lb), x.stride(lb), bf,
+                       y.interior(lb), y.stride(lb));
   }
-  comm.costs().add_flops(2 * interior_points(x));
+  count_update(comm, 2, interior_points(x), plan);
 }
 
 void axpy(comm::Communicator& comm, double a, const comm::DistField32& x,
-          comm::DistField32& y) {
+          comm::DistField32& y, const SpanPlan* plan) {
   MINIPOP_REQUIRE(x.compatible_with(y), "axpy field mismatch");
   const float af = static_cast<float>(a);
   for (int lb = 0; lb < x.num_local_blocks(); ++lb) {
     const auto& info = x.info(lb);
-    kernels::axpy(info.nx, info.ny, af, x.interior(lb), x.stride(lb),
-                  y.interior(lb), y.stride(lb));
+    if (plan)
+      kernels::axpy_span((*plan)[lb].row_offset(), (*plan)[lb].spans(),
+                         info.ny, af, x.interior(lb), x.stride(lb),
+                         y.interior(lb), y.stride(lb));
+    else
+      kernels::axpy(info.nx, info.ny, af, x.interior(lb), x.stride(lb),
+                    y.interior(lb), y.stride(lb));
   }
-  comm.costs().add_flops(2 * interior_points(x));
+  count_update(comm, 2, interior_points(x), plan);
 }
 
 void lincomb_axpy(comm::Communicator& comm, double a,
                   const comm::DistField32& x, double b, comm::DistField32& y,
-                  double c, comm::DistField32& z) {
+                  double c, comm::DistField32& z, const SpanPlan* plan) {
   MINIPOP_REQUIRE(x.compatible_with(y) && x.compatible_with(z),
                   "lincomb_axpy field mismatch");
   const float af = static_cast<float>(a), bf = static_cast<float>(b),
               cf = static_cast<float>(c);
   for (int lb = 0; lb < x.num_local_blocks(); ++lb) {
     const auto& info = x.info(lb);
-    kernels::lincomb_axpy(info.nx, info.ny, af, x.interior(lb),
-                          x.stride(lb), bf, y.interior(lb), y.stride(lb), cf,
-                          z.interior(lb), z.stride(lb));
+    if (plan)
+      kernels::lincomb_axpy_span((*plan)[lb].row_offset(),
+                                 (*plan)[lb].spans(), info.ny, af,
+                                 x.interior(lb), x.stride(lb), bf,
+                                 y.interior(lb), y.stride(lb), cf,
+                                 z.interior(lb), z.stride(lb));
+    else
+      kernels::lincomb_axpy(info.nx, info.ny, af, x.interior(lb),
+                            x.stride(lb), bf, y.interior(lb), y.stride(lb),
+                            cf, z.interior(lb), z.stride(lb));
   }
-  comm.costs().add_flops(4 * interior_points(x));
+  count_update(comm, 4, interior_points(x), plan);
 }
 
-void scale(comm::Communicator& comm, double a, comm::DistField32& x) {
+void scale(comm::Communicator& comm, double a, comm::DistField32& x,
+           const SpanPlan* plan) {
   const float af = static_cast<float>(a);
   for (int lb = 0; lb < x.num_local_blocks(); ++lb) {
     const auto& info = x.info(lb);
-    kernels::scale(info.nx, info.ny, af, x.interior(lb), x.stride(lb));
+    if (plan)
+      kernels::scale_span((*plan)[lb].row_offset(), (*plan)[lb].spans(),
+                          info.ny, af, x.interior(lb), x.stride(lb));
+    else
+      kernels::scale(info.nx, info.ny, af, x.interior(lb), x.stride(lb));
   }
-  comm.costs().add_flops(interior_points(x));
+  count_update(comm, 1, interior_points(x), plan);
 }
 
 void copy_interior(const comm::DistField32& x, comm::DistField32& y) {

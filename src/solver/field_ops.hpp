@@ -5,27 +5,36 @@
 #include "src/comm/communicator.hpp"
 #include "src/comm/dist_field.hpp"
 #include "src/comm/dist_field_batch.hpp"
+#include "src/solver/span_plan.hpp"
 
 namespace minipop::solver {
+
+// Every update op takes an optional land-span plan (DESIGN.md §14,
+// usually DistOperator::span_plan()): non-null runs the mask-free span
+// kernels, which skip land cells entirely — bit-identical at every
+// ocean cell, while land cells keep their +0.0 (solver iterates are
+// zero on land, and the dense sweep only ever rewrites that zero).
 
 /// y = a*x + b*y. Covers the solvers' vector updates: axpy (b=1),
 /// xpby (a=1), and the general P-CSI update.
 void lincomb(comm::Communicator& comm, double a, const comm::DistField& x,
-             double b, comm::DistField& y);
+             double b, comm::DistField& y, const SpanPlan* plan = nullptr);
 
 /// y = a*x + y.
 void axpy(comm::Communicator& comm, double a, const comm::DistField& x,
-          comm::DistField& y);
+          comm::DistField& y, const SpanPlan* plan = nullptr);
 
 /// Fused y = a*x + b*y followed by z += c*y in one sweep (the direction
 /// and iterate updates of P-CSI steps 7-8 and ChronGear steps 13-16).
 /// Bit-identical to lincomb(a, x, b, y) then axpy(c, y, z).
 void lincomb_axpy(comm::Communicator& comm, double a,
                   const comm::DistField& x, double b, comm::DistField& y,
-                  double c, comm::DistField& z);
+                  double c, comm::DistField& z,
+                  const SpanPlan* plan = nullptr);
 
 /// x *= a.
-void scale(comm::Communicator& comm, double a, comm::DistField& x);
+void scale(comm::Communicator& comm, double a, comm::DistField& x,
+           const SpanPlan* plan = nullptr);
 
 /// y = x (interiors; free of flops).
 void copy_interior(const comm::DistField& x, comm::DistField& y);
@@ -36,13 +45,15 @@ void fill_interior(comm::DistField& x, double v);
 // fp32 overloads of the same operations (scalars arrive as double and
 // are rounded once to float at entry, not per element).
 void lincomb(comm::Communicator& comm, double a, const comm::DistField32& x,
-             double b, comm::DistField32& y);
+             double b, comm::DistField32& y, const SpanPlan* plan = nullptr);
 void axpy(comm::Communicator& comm, double a, const comm::DistField32& x,
-          comm::DistField32& y);
+          comm::DistField32& y, const SpanPlan* plan = nullptr);
 void lincomb_axpy(comm::Communicator& comm, double a,
                   const comm::DistField32& x, double b,
-                  comm::DistField32& y, double c, comm::DistField32& z);
-void scale(comm::Communicator& comm, double a, comm::DistField32& x);
+                  comm::DistField32& y, double c, comm::DistField32& z,
+                  const SpanPlan* plan = nullptr);
+void scale(comm::Communicator& comm, double a, comm::DistField32& x,
+           const SpanPlan* plan = nullptr);
 void copy_interior(const comm::DistField32& x, comm::DistField32& y);
 void fill_interior(comm::DistField32& x, double v);
 

@@ -96,6 +96,15 @@ struct Stencil9T {
 using Stencil9 = Stencil9T<double>;
 using Stencil9f = Stencil9T<float>;
 
+/// One run of contiguous ocean cells inside a block row: interior cells
+/// [i0, i0 + len). Span lists are precomputed from the land mask once
+/// per operator (solver::BlockSpans in span_plan.hpp) and drive the
+/// *_span kernels below, whose inner loops are mask-free and unit-stride.
+struct Span {
+  int i0 = 0;
+  int len = 0;
+};
+
 // ---------------------------------------------------------------------
 // The unified execution core. Width semantics: effective member count
 // w = (B > 0 ? B : nb). All scalar and batched public kernels below are
@@ -436,6 +445,283 @@ void masked_copy_batch(const unsigned char* mask, std::ptrdiff_t ms,
 void axpy_promoted_batch(int nb, int nx, int ny, const double* a,
                          const float* x, std::ptrdiff_t xs, double* y,
                          std::ptrdiff_t ys, const unsigned char* active);
+
+// ---------------------------------------------------------------------
+// Span API: land-skipping variants of the sweeps above, driven by a
+// per-row ocean-span list instead of the mask (DESIGN.md §14). Spans for
+// row j are spans[row_offset[j] .. row_offset[j+1]); every listed cell
+// is ocean, every gap is land. Semantics per kernel class:
+//   * Stencil sweeps (apply9/residual9/residual+norm²) and vector
+//     updates (lincomb/axpy/lincomb_axpy/scale) SKIP land cells: land
+//     values of the output are left untouched instead of rewritten.
+//     Under the solver invariant that land cells of every iterate hold
+//     +0.0 (established by mask_interior / the masked preconditioners,
+//     preserved because every coupling toward land is exactly +0.0),
+//     the skipped writes would have deposited the value already there —
+//     except that an update with a negative coefficient can write -0.0
+//     at land where the skip keeps +0.0. That sign never propagates:
+//     coastline couplings multiply it by +0.0 and every reduction is
+//     masked, so ocean cells and all reduced scalars stay bit-identical
+//     (see DESIGN.md §14 for the full argument).
+//   * Reductions (dot/dot3/sum/dot_shared, and the norm² part of
+//     residual_norm2_9_span) iterate ocean cells only. Bit-identical to
+//     the masked forms: the masked loops add a selected 0.0 per land
+//     cell, and an IEEE accumulator is invariant under adding +0.0 (a
+//     round-to-nearest sum can only produce -0.0 from two -0.0
+//     operands, which a +0.0-seeded accumulator never presents).
+//   * Pointwise mask-enforcing kernels (mask_zero/diag_apply/
+//     masked_copy) write 0 in the gaps exactly like their masked twins,
+//     so they stay UNCONDITIONALLY bit-identical and keep establishing
+//     the land-zero invariant the skip kernels rely on.
+// ---------------------------------------------------------------------
+
+template <typename T>
+void apply9_span(const Stencil9T<T>& c, const int* row_offset,
+                 const Span* spans, int ny, const T* x, std::ptrdiff_t xs,
+                 T* y, std::ptrdiff_t ys);
+
+template <typename T>
+void residual9_span(const Stencil9T<T>& c, const int* row_offset,
+                    const Span* spans, int ny, const T* b,
+                    std::ptrdiff_t bs, const T* x, std::ptrdiff_t xs, T* r,
+                    std::ptrdiff_t rs);
+
+template <typename T>
+double residual_norm2_9_span(const Stencil9T<T>& c, const int* row_offset,
+                             const Span* spans, int ny, const T* b,
+                             std::ptrdiff_t bs, const T* x,
+                             std::ptrdiff_t xs, T* r, std::ptrdiff_t rs,
+                             double sum0);
+
+template <typename T>
+double dot_span(const int* row_offset, const Span* spans, int ny,
+                const T* a, std::ptrdiff_t as, const T* b,
+                std::ptrdiff_t bs, double sum0);
+
+template <typename T>
+void dot3_span(const int* row_offset, const Span* spans, int ny, const T* r,
+               std::ptrdiff_t rs, const T* rp, std::ptrdiff_t ps,
+               const T* z, std::ptrdiff_t zs, bool with_norm,
+               double out[3]);
+
+template <typename T>
+double sum_span(const int* row_offset, const Span* spans, int ny,
+                const T* a, std::ptrdiff_t as, double sum0);
+
+template <typename T>
+double dot_shared_span(const int* row_offset, const Span* spans, int ny,
+                       const double* c, std::ptrdiff_t cs, const T* a,
+                       std::ptrdiff_t as, double sum0);
+
+template <typename T>
+void lincomb_span(const int* row_offset, const Span* spans, int ny, T a,
+                  const T* x, std::ptrdiff_t xs, T b, T* y,
+                  std::ptrdiff_t ys);
+
+template <typename T>
+void axpy_span(const int* row_offset, const Span* spans, int ny, T a,
+               const T* x, std::ptrdiff_t xs, T* y, std::ptrdiff_t ys);
+
+template <typename T>
+void lincomb_axpy_span(const int* row_offset, const Span* spans, int ny,
+                       T a, const T* x, std::ptrdiff_t xs, T b, T* y,
+                       std::ptrdiff_t ys, T c, T* z, std::ptrdiff_t zs);
+
+template <typename T>
+void scale_span(const int* row_offset, const Span* spans, int ny, T a,
+                T* x, std::ptrdiff_t xs);
+
+/// Gap-zeroing kernels need the row width `nx` to zero the trailing gap.
+template <typename T>
+void mask_zero_span(const int* row_offset, const Span* spans, int nx,
+                    int ny, T* x, std::ptrdiff_t xs);
+
+template <typename T>
+void diag_apply_span(const T* inv, std::ptrdiff_t is, const int* row_offset,
+                     const Span* spans, int nx, int ny, const T* in,
+                     std::ptrdiff_t ins, T* out, std::ptrdiff_t outs);
+
+template <typename T>
+void masked_copy_span(const int* row_offset, const Span* spans, int nx,
+                      int ny, const T* in, std::ptrdiff_t ins, T* out,
+                      std::ptrdiff_t outs);
+
+// Batched span forms (member-fastest interleaved planes, same contracts
+// as the *_batch kernels; `active` masks members of the update kernels).
+
+template <typename T>
+void apply9_span_batch(const Stencil9T<T>& c, const int* row_offset,
+                       const Span* spans, int nb, int ny, const T* x,
+                       std::ptrdiff_t xs, T* y, std::ptrdiff_t ys);
+
+template <typename T>
+void residual9_span_batch(const Stencil9T<T>& c, const int* row_offset,
+                          const Span* spans, int nb, int ny, const T* b,
+                          std::ptrdiff_t bs, const T* x, std::ptrdiff_t xs,
+                          T* r, std::ptrdiff_t rs);
+
+template <typename T>
+void residual_norm2_9_span_batch(const Stencil9T<T>& c,
+                                 const int* row_offset, const Span* spans,
+                                 int nb, int ny, const T* b,
+                                 std::ptrdiff_t bs, const T* x,
+                                 std::ptrdiff_t xs, T* r, std::ptrdiff_t rs,
+                                 double* sums);
+
+template <typename T>
+void dot_span_batch(const int* row_offset, const Span* spans, int nb,
+                    int ny, const T* a, std::ptrdiff_t as, const T* b,
+                    std::ptrdiff_t bs, double* sums);
+
+template <typename T>
+void dot3_span_batch(const int* row_offset, const Span* spans, int nb,
+                     int ny, const T* r, std::ptrdiff_t rs, const T* rp,
+                     std::ptrdiff_t ps, const T* z, std::ptrdiff_t zs,
+                     bool with_norm, double* out);
+
+template <typename T>
+void sum_span_batch(const int* row_offset, const Span* spans, int nb,
+                    int ny, const T* a, std::ptrdiff_t as, double* sums);
+
+template <typename T>
+void dot_shared_span_batch(const int* row_offset, const Span* spans,
+                           int nb, int ny, const double* c,
+                           std::ptrdiff_t cs, const T* a, std::ptrdiff_t as,
+                           double* sums);
+
+template <typename T>
+void lincomb_span_batch(const int* row_offset, const Span* spans, int nb,
+                        int ny, const T* a, const T* x, std::ptrdiff_t xs,
+                        const T* b, T* y, std::ptrdiff_t ys,
+                        const unsigned char* active);
+
+template <typename T>
+void axpy_span_batch(const int* row_offset, const Span* spans, int nb,
+                     int ny, const T* a, const T* x, std::ptrdiff_t xs,
+                     T* y, std::ptrdiff_t ys, const unsigned char* active);
+
+template <typename T>
+void lincomb_axpy_span_batch(const int* row_offset, const Span* spans,
+                             int nb, int ny, const T* a, const T* x,
+                             std::ptrdiff_t xs, const T* b, T* y,
+                             std::ptrdiff_t ys, const T* c, T* z,
+                             std::ptrdiff_t zs,
+                             const unsigned char* active);
+
+template <typename T>
+void scale_span_batch(const int* row_offset, const Span* spans, int nb,
+                      int ny, const T* a, T* x, std::ptrdiff_t xs,
+                      const unsigned char* active);
+
+template <typename T>
+void mask_zero_span_batch(const int* row_offset, const Span* spans, int nb,
+                          int nx, int ny, T* x, std::ptrdiff_t xs);
+
+template <typename T>
+void diag_apply_span_batch(const T* inv, std::ptrdiff_t is,
+                           const int* row_offset, const Span* spans,
+                           int nb, int nx, int ny, const T* in,
+                           std::ptrdiff_t ins, T* out, std::ptrdiff_t outs);
+
+template <typename T>
+void masked_copy_span_batch(const int* row_offset, const Span* spans,
+                            int nb, int nx, int ny, const T* in,
+                            std::ptrdiff_t ins, T* out,
+                            std::ptrdiff_t outs);
+
+#define MINIPOP_KERNELS_SPAN_EXTERN(T)                                     \
+  extern template void apply9_span<T>(const Stencil9T<T>&, const int*,     \
+                                      const Span*, int, const T*,          \
+                                      std::ptrdiff_t, T*, std::ptrdiff_t); \
+  extern template void residual9_span<T>(                                  \
+      const Stencil9T<T>&, const int*, const Span*, int, const T*,         \
+      std::ptrdiff_t, const T*, std::ptrdiff_t, T*, std::ptrdiff_t);       \
+  extern template double residual_norm2_9_span<T>(                         \
+      const Stencil9T<T>&, const int*, const Span*, int, const T*,         \
+      std::ptrdiff_t, const T*, std::ptrdiff_t, T*, std::ptrdiff_t,        \
+      double);                                                             \
+  extern template double dot_span<T>(const int*, const Span*, int,         \
+                                     const T*, std::ptrdiff_t, const T*,   \
+                                     std::ptrdiff_t, double);              \
+  extern template void dot3_span<T>(const int*, const Span*, int,          \
+                                    const T*, std::ptrdiff_t, const T*,    \
+                                    std::ptrdiff_t, const T*,              \
+                                    std::ptrdiff_t, bool, double[3]);      \
+  extern template double sum_span<T>(const int*, const Span*, int,         \
+                                     const T*, std::ptrdiff_t, double);    \
+  extern template double dot_shared_span<T>(                               \
+      const int*, const Span*, int, const double*, std::ptrdiff_t,         \
+      const T*, std::ptrdiff_t, double);                                   \
+  extern template void lincomb_span<T>(const int*, const Span*, int, T,    \
+                                       const T*, std::ptrdiff_t, T, T*,    \
+                                       std::ptrdiff_t);                    \
+  extern template void axpy_span<T>(const int*, const Span*, int, T,       \
+                                    const T*, std::ptrdiff_t, T*,          \
+                                    std::ptrdiff_t);                       \
+  extern template void lincomb_axpy_span<T>(                               \
+      const int*, const Span*, int, T, const T*, std::ptrdiff_t, T, T*,    \
+      std::ptrdiff_t, T, T*, std::ptrdiff_t);                              \
+  extern template void scale_span<T>(const int*, const Span*, int, T, T*,  \
+                                     std::ptrdiff_t);                      \
+  extern template void mask_zero_span<T>(const int*, const Span*, int,     \
+                                         int, T*, std::ptrdiff_t);         \
+  extern template void diag_apply_span<T>(                                 \
+      const T*, std::ptrdiff_t, const int*, const Span*, int, int,         \
+      const T*, std::ptrdiff_t, T*, std::ptrdiff_t);                       \
+  extern template void masked_copy_span<T>(const int*, const Span*, int,   \
+                                           int, const T*, std::ptrdiff_t,  \
+                                           T*, std::ptrdiff_t);            \
+  extern template void apply9_span_batch<T>(                               \
+      const Stencil9T<T>&, const int*, const Span*, int, int, const T*,    \
+      std::ptrdiff_t, T*, std::ptrdiff_t);                                 \
+  extern template void residual9_span_batch<T>(                            \
+      const Stencil9T<T>&, const int*, const Span*, int, int, const T*,    \
+      std::ptrdiff_t, const T*, std::ptrdiff_t, T*, std::ptrdiff_t);       \
+  extern template void residual_norm2_9_span_batch<T>(                     \
+      const Stencil9T<T>&, const int*, const Span*, int, int, const T*,    \
+      std::ptrdiff_t, const T*, std::ptrdiff_t, T*, std::ptrdiff_t,        \
+      double*);                                                            \
+  extern template void dot_span_batch<T>(const int*, const Span*, int,     \
+                                         int, const T*, std::ptrdiff_t,    \
+                                         const T*, std::ptrdiff_t,         \
+                                         double*);                         \
+  extern template void dot3_span_batch<T>(                                 \
+      const int*, const Span*, int, int, const T*, std::ptrdiff_t,         \
+      const T*, std::ptrdiff_t, const T*, std::ptrdiff_t, bool, double*);  \
+  extern template void sum_span_batch<T>(const int*, const Span*, int,     \
+                                         int, const T*, std::ptrdiff_t,    \
+                                         double*);                         \
+  extern template void dot_shared_span_batch<T>(                           \
+      const int*, const Span*, int, int, const double*, std::ptrdiff_t,    \
+      const T*, std::ptrdiff_t, double*);                                  \
+  extern template void lincomb_span_batch<T>(                              \
+      const int*, const Span*, int, int, const T*, const T*,               \
+      std::ptrdiff_t, const T*, T*, std::ptrdiff_t,                        \
+      const unsigned char*);                                               \
+  extern template void axpy_span_batch<T>(                                 \
+      const int*, const Span*, int, int, const T*, const T*,               \
+      std::ptrdiff_t, T*, std::ptrdiff_t, const unsigned char*);           \
+  extern template void lincomb_axpy_span_batch<T>(                         \
+      const int*, const Span*, int, int, const T*, const T*,               \
+      std::ptrdiff_t, const T*, T*, std::ptrdiff_t, const T*, T*,          \
+      std::ptrdiff_t, const unsigned char*);                               \
+  extern template void scale_span_batch<T>(const int*, const Span*, int,   \
+                                           int, const T*, T*,              \
+                                           std::ptrdiff_t,                 \
+                                           const unsigned char*);          \
+  extern template void mask_zero_span_batch<T>(const int*, const Span*,    \
+                                               int, int, int, T*,          \
+                                               std::ptrdiff_t);            \
+  extern template void diag_apply_span_batch<T>(                           \
+      const T*, std::ptrdiff_t, const int*, const Span*, int, int, int,    \
+      const T*, std::ptrdiff_t, T*, std::ptrdiff_t);                       \
+  extern template void masked_copy_span_batch<T>(                          \
+      const int*, const Span*, int, int, int, const T*, std::ptrdiff_t,    \
+      T*, std::ptrdiff_t);
+
+MINIPOP_KERNELS_SPAN_EXTERN(double)
+MINIPOP_KERNELS_SPAN_EXTERN(float)
+#undef MINIPOP_KERNELS_SPAN_EXTERN
 
 // The instantiations live in kernels.cpp; only float and double exist,
 // and only core widths B in {0, 1}.

@@ -60,9 +60,9 @@ LanczosResult estimate_eigenvalue_bounds(comm::Communicator& comm,
   MINIPOP_REQUIRE(beta > 0.0, "Lanczos start vector has zero M-norm "
                               "(empty ocean?)");
   copy_interior(w, q);
-  scale(comm, 1.0 / beta, q);
+  scale(comm, 1.0 / beta, q, a.span_plan());
   copy_interior(zw, zq);
-  scale(comm, 1.0 / beta, zq);
+  scale(comm, 1.0 / beta, zq, a.span_plan());
   fill_interior(q_prev, 0.0);
   double beta_prev = 0.0;
 
@@ -70,10 +70,10 @@ LanczosResult estimate_eigenvalue_bounds(comm::Communicator& comm,
   for (int step = 1; step <= options.max_steps; ++step) {
     // w = A zq - beta_prev * q_prev.
     a.apply(comm, halo, zq, w);
-    if (beta_prev != 0.0) axpy(comm, -beta_prev, q_prev, w);
+    if (beta_prev != 0.0) axpy(comm, -beta_prev, q_prev, w, a.span_plan());
 
     const double alpha = comm.allreduce_sum(a.local_dot(comm, zq, w));
-    axpy(comm, -alpha, q, w);
+    axpy(comm, -alpha, q, w, a.span_plan());
 
     m.apply(comm, w, zw);
     double beta2 = comm.allreduce_sum(a.local_dot(comm, w, zw));
@@ -114,9 +114,9 @@ LanczosResult estimate_eigenvalue_bounds(comm::Communicator& comm,
     result.tridiagonal.e.push_back(beta_new);
     copy_interior(q, q_prev);
     copy_interior(w, q);
-    scale(comm, 1.0 / beta_new, q);
+    scale(comm, 1.0 / beta_new, q, a.span_plan());
     copy_interior(zw, zq);
-    scale(comm, 1.0 / beta_new, zq);
+    scale(comm, 1.0 / beta_new, zq, a.span_plan());
     beta_prev = beta_new;
   }
 

@@ -71,8 +71,8 @@ Inner32Result run_pcsi32(comm::Communicator& comm,
     a.residual(comm, halo, b32, x32, r);
   m.apply(comm, r, rp);
   copy_interior(rp, dx);
-  scale(comm, 1.0 / gamma, dx);
-  axpy(comm, 1.0, dx, x32);
+  scale(comm, 1.0 / gamma, dx, a.span_plan());
+  axpy(comm, 1.0, dx, x32, a.span_plan());
   if (ov)
     a.residual_overlapped(comm, halo, b32, x32, r);
   else
@@ -83,7 +83,8 @@ Inner32Result run_pcsi32(comm::Communicator& comm,
     out.iterations = k;
     omega = 1.0 / (gamma - omega / (4.0 * alpha * alpha));
     m.apply(comm, r, rp);
-    lincomb_axpy(comm, omega, rp, gamma * omega - 1.0, dx, 1.0, x32);
+    lincomb_axpy(comm, omega, rp, gamma * omega - 1.0, dx, 1.0, x32,
+                 a.span_plan());
 
     if (k % opt.check_frequency == 0) {
       const double local =
@@ -163,8 +164,8 @@ Inner32Result run_pcsi32_ca(comm::Communicator& comm,
   a.residual(comm, halo, bw, xw, r);
   m.apply(comm, r, rp);
   copy_interior(rp, dx);
-  scale(comm, 1.0 / gamma, dx);
-  axpy(comm, 1.0, dx, xw);
+  scale(comm, 1.0 / gamma, dx, a.span_plan());
+  axpy(comm, 1.0, dx, xw, a.span_plan());
   a.residual(comm, halo, bw, xw, r);
 
   ConvergenceGuard guard(opt);
@@ -290,8 +291,8 @@ Inner32Result run_cg32(comm::Communicator& comm,
     }
     const double alpha = rho / sigma;
 
-    lincomb_axpy(comm, 1.0, rp, beta, s, alpha, x32);
-    lincomb_axpy(comm, 1.0, z, beta, p, -alpha, r);
+    lincomb_axpy(comm, 1.0, rp, beta, s, alpha, x32, a.span_plan());
+    lincomb_axpy(comm, 1.0, z, beta, p, -alpha, r, a.span_plan());
 
     rho_old = rho;
     sigma_old = sigma;

@@ -75,8 +75,8 @@ SolveStats PcgSolver::solve(comm::Communicator& comm,
       break;
     }
     const double alpha = rho / sigma;
-    axpy(comm, alpha, p, x);
-    axpy(comm, -alpha, q, r);
+    axpy(comm, alpha, p, x, a.span_plan());
+    axpy(comm, -alpha, q, r, a.span_plan());
     rho_old = rho;
   }
 

@@ -85,8 +85,8 @@ SolveStats PcsiSolver::solve(comm::Communicator& comm,
   a.residual(comm, halo, b, x, r, x_fresh);  // r_0 = b - B x_0
   m.apply(comm, r, rp);
   copy_interior(rp, dx);
-  scale(comm, 1.0 / gamma, dx);         // dx_0 = gamma^-1 M^-1 r_0
-  axpy(comm, 1.0, dx, x);               // x_1 = x_0 + dx_0
+  scale(comm, 1.0 / gamma, dx, a.span_plan());         // dx_0 = gamma^-1 M^-1 r_0
+  axpy(comm, 1.0, dx, x, a.span_plan());               // x_1 = x_0 + dx_0
   a.residual(comm, halo, b, x, r);      // r_1 = b - B x_1
 
   ConvergenceGuard guard(opt_);
@@ -100,7 +100,8 @@ SolveStats PcsiSolver::solve(comm::Communicator& comm,
     m.apply(comm, r, rp);                            // step 6
     // Steps 7-8 fused into one sweep: dx = omega rp + (gamma omega - 1) dx,
     // then x += dx.
-    lincomb_axpy(comm, omega, rp, gamma * omega - 1.0, dx, 1.0, x);
+    lincomb_axpy(comm, omega, rp, gamma * omega - 1.0, dx, 1.0, x,
+                 a.span_plan());
 
     // Steps 9-11. On check iterations the residual sweep also produces
     // the masked ||r||² (fused kernel), so the convergence check — the
@@ -194,8 +195,8 @@ SolveStats PcsiSolver::solve_overlapped(comm::Communicator& comm,
 
   m.apply(comm, r, rp);
   copy_interior(rp, dx);
-  scale(comm, 1.0 / gamma, dx);               // dx_0 = gamma^-1 M^-1 r_0
-  axpy(comm, 1.0, dx, x);                     // x_1 = x_0 + dx_0
+  scale(comm, 1.0 / gamma, dx, a.span_plan());               // dx_0 = gamma^-1 M^-1 r_0
+  axpy(comm, 1.0, dx, x, a.span_plan());                     // x_1 = x_0 + dx_0
   a.residual_overlapped(comm, halo, b, x, r); // r_1 = b - B x_1
 
   ConvergenceGuard guard(opt_);
@@ -208,7 +209,8 @@ SolveStats PcsiSolver::solve_overlapped(comm::Communicator& comm,
 
     if (!have_rp) m.apply(comm, r, rp);  // step 6 (or prefetched)
     have_rp = false;
-    lincomb_axpy(comm, omega, rp, gamma * omega - 1.0, dx, 1.0, x);
+    lincomb_axpy(comm, omega, rp, gamma * omega - 1.0, dx, 1.0, x,
+                 a.span_plan());
 
     if (k % opt_.check_frequency == 0) {
       double local =
@@ -323,7 +325,7 @@ SolveStats PcsiSolver::solve_comm_avoid(comm::Communicator& comm,
   a.residual(comm, halo, bw, xw, r);  // r_0 = b - B x_0
   m.apply(comm, r, rp);
   copy_interior(rp, dx);
-  scale(comm, 1.0 / gamma, dx);         // dx_0 = gamma^-1 M^-1 r_0
+  scale(comm, 1.0 / gamma, dx, a.span_plan());         // dx_0 = gamma^-1 M^-1 r_0
   axpy(comm, 1.0, dx, xw);              // x_1 = x_0 + dx_0
   a.residual(comm, halo, bw, xw, r);    // r_1 = b - B x_1
 

@@ -132,10 +132,10 @@ SolveStats PipelinedCgSolver::solve(comm::Communicator& comm,
       lincomb(comm, 1.0, w, beta, s);   // s = w + beta s
       lincomb(comm, 1.0, u, beta, p);   // p = u + beta p
     }
-    axpy(comm, alpha, p, x);
-    axpy(comm, -alpha, s, r);
-    axpy(comm, -alpha, q, u);
-    axpy(comm, -alpha, z, w);
+    axpy(comm, alpha, p, x, a.span_plan());
+    axpy(comm, -alpha, s, r, a.span_plan());
+    axpy(comm, -alpha, q, u, a.span_plan());
+    axpy(comm, -alpha, z, w, a.span_plan());
 
     // Residual replacement (Cools & Vanroose): the auxiliary
     // recurrences accumulate rounding error much faster than plain CG —

@@ -97,10 +97,14 @@ BarotropicSolver::BarotropicSolver(comm::Communicator& comm,
       if (hd == kHaloDepthAuto) {
         const long points = static_cast<long>(decomp.nx_global()) *
                             decomp.ny_global();
+        // Land-aware: the model discounts sweep flops by the mask's
+        // ocean fraction, which shifts the break-even toward deeper
+        // ghost zones on land-heavy grids (redundant rim work is
+        // discounted too; exchange latency is not).
         hd = perf::choose_halo_depth(
             perf::yellowstone_profile(), perf::Config::kPcsiDiag, points,
-            decomp.nranks(), config_.options.check_frequency,
-            kMaxHaloDepth);
+            decomp.nranks(), config_.options.check_frequency, kMaxHaloDepth,
+            decomp.ocean_fraction());
         MINIPOP_INFO("halo_depth=auto resolved to " << hd);
       }
       const int widest = std::min(kMaxHaloDepth, decomp.max_halo_width());

@@ -1,0 +1,88 @@
+#include "src/solver/span_plan.hpp"
+
+#include <algorithm>
+
+#include "src/util/error.hpp"
+
+namespace minipop::solver {
+
+BlockSpans::BlockSpans(const unsigned char* mask, std::ptrdiff_t mask_stride,
+                       int nx, int ny)
+    : nx_(nx), ny_(ny) {
+  MINIPOP_REQUIRE(nx >= 0 && ny >= 0,
+                  "span plan extent " << nx << "x" << ny);
+  row_offset_.resize(static_cast<size_t>(ny) + 1, 0);
+  for (int j = 0; j < ny; ++j) {
+    row_offset_[j] = static_cast<int>(spans_.size());
+    const unsigned char* mrow = mask + j * mask_stride;
+    int i = 0;
+    while (i < nx) {
+      while (i < nx && !mrow[i]) ++i;
+      if (i == nx) break;
+      const int i0 = i;
+      while (i < nx && mrow[i]) ++i;
+      spans_.push_back(kernels::Span{i0, i - i0});
+      active_points_ += i - i0;
+    }
+  }
+  row_offset_[ny] = static_cast<int>(spans_.size());
+}
+
+BlockSpans BlockSpans::clipped(int i0, int j0, int ni, int nj) const {
+  MINIPOP_REQUIRE(i0 >= 0 && j0 >= 0 && ni >= 0 && nj >= 0 &&
+                      i0 + ni <= nx_ && j0 + nj <= ny_,
+                  "clip rect (" << i0 << "," << j0 << ")+" << ni << "x"
+                                << nj << " outside " << nx_ << "x" << ny_);
+  BlockSpans out;
+  out.nx_ = ni;
+  out.ny_ = nj;
+  out.row_offset_.resize(static_cast<size_t>(nj) + 1, 0);
+  for (int j = 0; j < nj; ++j) {
+    out.row_offset_[j] = static_cast<int>(out.spans_.size());
+    const int sj = j0 + j;
+    for (int s = row_offset_[sj]; s < row_offset_[sj + 1]; ++s) {
+      // Intersect span [a, b) with the clip window [i0, i0+ni).
+      const int a = std::max(spans_[s].i0, i0);
+      const int b = std::min(spans_[s].i0 + spans_[s].len, i0 + ni);
+      if (a >= b) continue;
+      out.spans_.push_back(kernels::Span{a - i0, b - a});
+      out.active_points_ += b - a;
+    }
+  }
+  out.row_offset_[nj] = static_cast<int>(out.spans_.size());
+  return out;
+}
+
+void BlockSpans::validate(const unsigned char* mask,
+                          std::ptrdiff_t mask_stride) const {
+  long active = 0;
+  for (int j = 0; j < ny_; ++j) {
+    const unsigned char* mrow = mask + j * mask_stride;
+    int prev_end = 0;  // spans must be sorted and non-overlapping
+    for (int s = row_offset_[j]; s < row_offset_[j + 1]; ++s) {
+      const kernels::Span sp = spans_[s];
+      MINIPOP_REQUIRE(sp.len > 0 && sp.i0 >= prev_end &&
+                          sp.i0 + sp.len <= nx_,
+                      "malformed span [" << sp.i0 << ", +" << sp.len
+                                         << ") in row " << j);
+      // Gap before the span must be land, the span itself all ocean.
+      for (int i = prev_end; i < sp.i0; ++i)
+        MINIPOP_REQUIRE(!mrow[i], "span plan misses ocean cell (" << i
+                                                                  << "," << j
+                                                                  << ")");
+      for (int i = sp.i0; i < sp.i0 + sp.len; ++i)
+        MINIPOP_REQUIRE(mrow[i], "span plan covers land cell (" << i << ","
+                                                                << j << ")");
+      prev_end = sp.i0 + sp.len;
+      active += sp.len;
+    }
+    for (int i = prev_end; i < nx_; ++i)
+      MINIPOP_REQUIRE(!mrow[i], "span plan misses ocean cell (" << i << ","
+                                                                << j << ")");
+  }
+  MINIPOP_REQUIRE(active == active_points_,
+                  "active_points " << active_points_ << " != mask count "
+                                   << active);
+}
+
+}  // namespace minipop::solver

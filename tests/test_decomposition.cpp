@@ -92,6 +92,39 @@ TEST(Decomposition, LoadBalanceReasonable) {
   EXPECT_GT(d.num_land_blocks(), 0);  // synthetic earth has land blocks
 }
 
+// Regression pin for the strong-scaling configuration: the Hilbert
+// ocean-cell-weighted assignment must keep the 4-rank imbalance on the
+// synthetic-earth bathymetry within 10% of perfect, and the accessors
+// the land-span cost accounting relies on must agree with the mask.
+TEST(Decomposition, StrongScalingImbalancePinnedAtFourRanks) {
+  mg::CurvilinearGrid g(mg::pop_1deg_spec(0.3));
+  auto depth = mg::synthetic_earth_bathymetry(g, {});
+  auto mask = mg::ocean_mask(depth);
+  mg::Decomposition d(g.nx(), g.ny(), true, mask, 8, 8, 4);
+  EXPECT_GE(d.load_imbalance(), 1.0);
+  EXPECT_LE(d.load_imbalance(), 1.10);
+
+  // ocean_fraction() is ocean cells / swept cells over ACTIVE blocks:
+  // land-block elimination already removed the all-land blocks, so the
+  // active-region fraction must be at least the whole-grid fraction,
+  // and both census halves must match a direct mask count.
+  long ocean = 0, swept = 0;
+  for (const auto& b : d.blocks()) {
+    long o = 0;
+    for (int j = 0; j < b.ny; ++j)
+      for (int i = 0; i < b.nx; ++i)
+        if (mask(b.i0 + i, b.j0 + j)) ++o;
+    EXPECT_EQ(o, b.ocean_cells);
+    ocean += o;
+    swept += static_cast<long>(b.nx) * b.ny;
+  }
+  EXPECT_GT(d.num_land_blocks(), 0);
+  EXPECT_DOUBLE_EQ(d.ocean_fraction(),
+                   static_cast<double>(ocean) / swept);
+  EXPECT_GE(d.ocean_fraction(), 1.0 - mg::land_fraction(mask));
+  EXPECT_LT(d.ocean_fraction(), 1.0);
+}
+
 TEST(Decomposition, NeighborsNonPeriodic) {
   auto mask = all_ocean(12, 12);
   mg::Decomposition d(12, 12, false, mask, 4, 4, 1);

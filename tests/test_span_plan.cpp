@@ -1,0 +1,625 @@
+// Land-span execution plans (DESIGN.md §14): structural properties of
+// BlockSpans on adversarial randomized masks, and the bitwise-identity
+// contract of the span kernels against their masked twins — scalar and
+// B=4 batches, fp64 and fp32, halo depths 1 and 2, through the actual
+// DistOperator / preconditioner / field-ops plumbing and through full
+// solver runs (P-CSI, ChronGear, and the depth-2 comm-avoiding
+// schedule) with span execution toggled on and off.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/comm/serial_comm.hpp"
+#include "src/comm/thread_comm.hpp"
+#include "src/grid/bathymetry.hpp"
+#include "src/grid/decomposition.hpp"
+#include "src/grid/stencil.hpp"
+#include "src/solver/chron_gear.hpp"
+#include "src/solver/field_ops.hpp"
+#include "src/solver/kernels.hpp"
+#include "src/solver/lanczos.hpp"
+#include "src/solver/pcsi.hpp"
+#include "src/solver/preconditioner.hpp"
+#include "src/solver/span_plan.hpp"
+#include "src/util/rng.hpp"
+
+namespace mc = minipop::comm;
+namespace mg = minipop::grid;
+namespace ms = minipop::solver;
+namespace mu = minipop::util;
+
+namespace {
+
+// -------------------------------------------------------------------
+// Adversarial mask generator: random ocean/land plus every feature the
+// run-length encoder has to survive — an all-land row crossing active
+// blocks, a full-ocean row, isolated 1-cell spans, and (via the odd
+// grid/block sizes the tests pick) narrow ragged edge blocks.
+// -------------------------------------------------------------------
+
+mu::MaskArray feature_mask(int nx, int ny, std::uint64_t seed,
+                           double p_ocean) {
+  mu::Xoshiro256 rng(seed);
+  mu::MaskArray m(nx, ny, 0);
+  for (int j = 0; j < ny; ++j)
+    for (int i = 0; i < nx; ++i)
+      m(i, j) = rng.uniform() < p_ocean ? 1 : 0;
+  // Full-ocean row, and an all-land row crossing every active block of
+  // its block row.
+  for (int i = 0; i < nx; ++i) {
+    m(i, ny / 2) = 1;
+    if (ny > 4) m(i, ny / 3) = 0;
+  }
+  // Isolated 1-cell spans: ocean cells with land on both x-neighbors.
+  if (ny > 2) {
+    for (int i = 0; i < nx; ++i) m(i, 1) = 0;
+    for (int i = 1; i + 1 < nx; i += 4) m(i, 1) = 1;
+  }
+  // Keep at least one ocean cell so the decomposition has active blocks.
+  m(nx / 2, ny / 2) = 1;
+  return m;
+}
+
+long count_mask(const mu::MaskArray& m) {
+  long n = 0;
+  for (unsigned char v : m) n += v;
+  return n;
+}
+
+// A full problem (grid/stencil/decomposition) whose ocean geometry IS a
+// feature mask: depth is positive exactly on the mask's ocean cells.
+struct Problem {
+  std::unique_ptr<mg::CurvilinearGrid> grid;
+  mu::Field depth;
+  std::unique_ptr<mg::NinePointStencil> stencil;
+  std::unique_ptr<mg::Decomposition> decomp;
+  mu::Field b_global;
+};
+
+Problem make_problem(int nx, int ny, int block, int nranks,
+                     std::uint64_t seed) {
+  Problem p;
+  mg::GridSpec spec;
+  spec.kind = mg::GridKind::kUniform;
+  spec.nx = nx;
+  spec.ny = ny;
+  spec.periodic_x = false;
+  spec.dx = 1.0e4;
+  spec.dy = 1.2e4;
+  p.grid = std::make_unique<mg::CurvilinearGrid>(spec);
+  const mu::MaskArray m = feature_mask(nx, ny, seed, 0.6);
+  p.depth = mu::Field(nx, ny, 0.0);
+  for (int j = 0; j < ny; ++j)
+    for (int i = 0; i < nx; ++i)
+      if (m(i, j)) p.depth(i, j) = 3000.0 + 100.0 * ((i + j) % 7);
+  p.stencil = std::make_unique<mg::NinePointStencil>(
+      *p.grid, p.depth, mg::barotropic_phi(600.0));
+  p.decomp = std::make_unique<mg::Decomposition>(
+      nx, ny, false, p.stencil->mask(), block, block, nranks);
+  mu::Xoshiro256 rng(seed ^ 0x9e3779b97f4a7c15ULL);
+  p.b_global = mu::Field(nx, ny, 0.0);
+  for (int j = 0; j < ny; ++j)
+    for (int i = 0; i < nx; ++i)
+      if (p.stencil->mask()(i, j)) p.b_global(i, j) = rng.uniform(-1, 1);
+  return p;
+}
+
+ms::EigenBounds lanczos_bounds_serial(const Problem& p) {
+  mg::Decomposition d1(p.stencil->nx(), p.stencil->ny(),
+                       p.stencil->periodic_x(), p.stencil->mask(),
+                       p.stencil->nx(), p.stencil->ny(), 1);
+  mc::SerialComm comm;
+  mc::HaloExchanger halo(d1);
+  ms::DistOperator a(*p.stencil, d1, 0);
+  ms::DiagonalPreconditioner m(a);
+  ms::LanczosOptions lopt;
+  lopt.rel_tolerance = 0.02;
+  return ms::estimate_eigenvalue_bounds(comm, halo, a, m, lopt).bounds;
+}
+
+}  // namespace
+
+// -------------------------------------------------------------------
+// Structure: the run-length encoding reconstructs the mask exactly,
+// validate() accepts it, and clipped() equals a from-scratch build of
+// the window.
+// -------------------------------------------------------------------
+
+TEST(SpanPlan, StructureReconstructsRandomFeatureMasks) {
+  const std::pair<int, int> shapes[] = {{19, 13}, {1, 7}, {8, 1}, {23, 17}};
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    for (auto [nx, ny] : shapes) {
+      const double p = 0.15 * static_cast<double>(seed);
+      const mu::MaskArray m = feature_mask(nx, ny, seed, p);
+      ms::BlockSpans bs(m.data(), m.nx(), nx, ny);
+      bs.validate(m.data(), m.nx());
+      EXPECT_EQ(bs.active_points(), count_mask(m));
+      EXPECT_EQ(bs.full(), count_mask(m) == static_cast<long>(nx) * ny);
+      // Reconstruct the mask from the spans.
+      mu::MaskArray rec(nx, ny, 0);
+      const int* ro = bs.row_offset();
+      for (int j = 0; j < ny; ++j)
+        for (int s = ro[j]; s < ro[j + 1]; ++s)
+          for (int i = 0; i < bs.spans()[s].len; ++i)
+            rec(bs.spans()[s].i0 + i, j) = 1;
+      for (int j = 0; j < ny; ++j)
+        for (int i = 0; i < nx; ++i)
+          ASSERT_EQ(rec(i, j), m(i, j)) << "(" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(SpanPlan, ClippedMatchesDirectWindowBuild) {
+  const int nx = 21, ny = 15;
+  for (std::uint64_t seed = 7; seed <= 9; ++seed) {
+    const mu::MaskArray m = feature_mask(nx, ny, seed, 0.5);
+    ms::BlockSpans full(m.data(), m.nx(), nx, ny);
+    mu::Xoshiro256 rng(seed);
+    for (int trial = 0; trial < 12; ++trial) {
+      const int i0 = static_cast<int>(rng.below(nx));
+      const int j0 = static_cast<int>(rng.below(ny));
+      const int ni = 1 + static_cast<int>(rng.below(nx - i0));
+      const int nj = 1 + static_cast<int>(rng.below(ny - j0));
+      const ms::BlockSpans clip = full.clipped(i0, j0, ni, nj);
+      // Window-origin pointer into the parent mask: the clipped plan
+      // must validate against it and equal a from-scratch build.
+      const unsigned char* w = m.data() + j0 * m.nx() + i0;
+      clip.validate(w, m.nx());
+      ms::BlockSpans direct(w, m.nx(), ni, nj);
+      ASSERT_EQ(clip.num_spans(), direct.num_spans());
+      EXPECT_EQ(clip.active_points(), direct.active_points());
+      for (int j = 0; j <= nj; ++j)
+        ASSERT_EQ(clip.row_offset()[j], direct.row_offset()[j]);
+      for (int s = 0; s < clip.num_spans(); ++s) {
+        EXPECT_EQ(clip.spans()[s].i0, direct.spans()[s].i0);
+        EXPECT_EQ(clip.spans()[s].len, direct.spans()[s].len);
+      }
+    }
+  }
+}
+
+// -------------------------------------------------------------------
+// Kernel-level bitwise identity on raw planes: span kernels vs their
+// masked twins, fp64/fp32 x scalar/B=4, on the adversarial masks.
+// Reductions and gap-zero kernels must agree everywhere; pure-skip
+// updates must agree at ocean cells and leave land untouched.
+// -------------------------------------------------------------------
+
+namespace {
+
+template <typename T>
+void kernel_identity_case(std::uint64_t seed, double p_ocean) {
+  const int nx = 19, ny = 11, nb = 4;
+  const mu::MaskArray m = feature_mask(nx, ny, seed, p_ocean);
+  const ms::BlockSpans bs(m.data(), m.nx(), nx, ny);
+  const int* ro = bs.row_offset();
+  const ms::kernels::Span* sp = bs.spans();
+
+  mu::Xoshiro256 rng(seed * 31 + 7);
+  const std::ptrdiff_t st = nx * nb;  // batched plane stride
+  auto rand_plane = [&](bool land_zero) {
+    std::vector<T> v(static_cast<std::size_t>(nx) * ny * nb);
+    for (int j = 0; j < ny; ++j)
+      for (int i = 0; i < nx; ++i)
+        for (int mm = 0; mm < nb; ++mm)
+          v[j * st + i * nb + mm] =
+              (land_zero && !m(i, j)) ? T(0)
+                                      : static_cast<T>(rng.uniform(-1, 1));
+    return v;
+  };
+
+  // --- reductions: dot, sum, dot_shared, dot3 -----------------------
+  const std::vector<T> a = rand_plane(false), b = rand_plane(false),
+                       z = rand_plane(false);
+  std::vector<double> cshared(static_cast<std::size_t>(nx) * ny);
+  for (double& v : cshared) v = rng.uniform(-1, 1);
+
+  {  // scalar forms on densely packed member-0 planes
+    std::vector<T> a1(static_cast<std::size_t>(nx) * ny), b1(a1.size()),
+        z1(a1.size());
+    for (int j = 0; j < ny; ++j)
+      for (int i = 0; i < nx; ++i) {
+        a1[j * nx + i] = a[j * st + i * nb];
+        b1[j * nx + i] = b[j * st + i * nb];
+        z1[j * nx + i] = z[j * st + i * nb];
+      }
+    const double seed_sum = 0.3125;  // exercise sum0 continuation
+    EXPECT_EQ(ms::kernels::masked_dot(m.data(), m.nx(), nx, ny, a1.data(),
+                                      nx, b1.data(), nx, seed_sum),
+              ms::kernels::dot_span(ro, sp, ny, a1.data(), nx, b1.data(),
+                                    nx, seed_sum));
+    EXPECT_EQ(ms::kernels::masked_sum(m.data(), m.nx(), nx, ny, a1.data(),
+                                      nx, seed_sum),
+              ms::kernels::sum_span(ro, sp, ny, a1.data(), nx, seed_sum));
+    EXPECT_EQ(
+        ms::kernels::dot_shared(m.data(), m.nx(), nx, ny, cshared.data(),
+                                nx, a1.data(), nx, seed_sum),
+        ms::kernels::dot_shared_span(ro, sp, ny, cshared.data(), nx,
+                                     a1.data(), nx, seed_sum));
+    double ref3[3] = {0.5, -0.25, 0.125}, got3[3] = {0.5, -0.25, 0.125};
+    ms::kernels::masked_dot3(m.data(), m.nx(), nx, ny, a1.data(), nx,
+                             b1.data(), nx, z1.data(), nx, true, ref3);
+    ms::kernels::dot3_span(ro, sp, ny, a1.data(), nx, b1.data(), nx,
+                           z1.data(), nx, true, got3);
+    for (int k = 0; k < 3; ++k) EXPECT_EQ(ref3[k], got3[k]);
+  }
+  {  // batched reductions
+    std::vector<double> ref(nb, 0.75), got(nb, 0.75);
+    ms::kernels::dot_batch(m.data(), m.nx(), nb, nx, ny, a.data(), st,
+                           b.data(), st, ref.data());
+    ms::kernels::dot_span_batch(ro, sp, nb, ny, a.data(), st, b.data(), st,
+                                got.data());
+    for (int mm = 0; mm < nb; ++mm) EXPECT_EQ(ref[mm], got[mm]);
+    std::vector<double> ref3(3 * nb, 0.5), got3(3 * nb, 0.5);
+    ms::kernels::dot3_batch(m.data(), m.nx(), nb, nx, ny, a.data(), st,
+                            b.data(), st, z.data(), st, true, ref3.data());
+    ms::kernels::dot3_span_batch(ro, sp, nb, ny, a.data(), st, b.data(),
+                                 st, z.data(), st, true, got3.data());
+    for (int k = 0; k < 3 * nb; ++k) EXPECT_EQ(ref3[k], got3[k]);
+    std::vector<double> refs(nb, -0.5), gots(nb, -0.5);
+    ms::kernels::masked_sum_batch(m.data(), m.nx(), nb, nx, ny, a.data(),
+                                  st, refs.data());
+    ms::kernels::sum_span_batch(ro, sp, nb, ny, a.data(), st, gots.data());
+    for (int mm = 0; mm < nb; ++mm) EXPECT_EQ(refs[mm], gots[mm]);
+  }
+
+  // --- gap-zero kernels: identical planes everywhere ----------------
+  {
+    std::vector<T> inv(static_cast<std::size_t>(nx) * ny, T(0));
+    for (int j = 0; j < ny; ++j)
+      for (int i = 0; i < nx; ++i)
+        if (m(i, j)) inv[j * nx + i] = static_cast<T>(rng.uniform(1, 2));
+    const std::vector<T> in = rand_plane(false);
+    std::vector<T> ref(in.size(), T(7)), got(in.size(), T(7));
+    ms::kernels::diag_apply_batch(inv.data(), nx, nb, nx, ny, in.data(),
+                                  st, ref.data(), st);
+    ms::kernels::diag_apply_span_batch(inv.data(), nx, ro, sp, nb, nx, ny,
+                                       in.data(), st, got.data(), st);
+    EXPECT_EQ(ref, got);
+
+    std::fill(ref.begin(), ref.end(), T(7));
+    std::fill(got.begin(), got.end(), T(7));
+    ms::kernels::masked_copy_batch(m.data(), m.nx(), nb, nx, ny, in.data(),
+                                   st, ref.data(), st);
+    ms::kernels::masked_copy_span_batch(ro, sp, nb, nx, ny, in.data(), st,
+                                        got.data(), st);
+    EXPECT_EQ(ref, got);
+
+    std::vector<T> x_ref = rand_plane(false);
+    std::vector<T> x_got = x_ref;
+    ms::kernels::mask_zero_batch(m.data(), m.nx(), nb, nx, ny,
+                                 x_ref.data(), st);
+    ms::kernels::mask_zero_span_batch(ro, sp, nb, nx, ny, x_got.data(), st);
+    EXPECT_EQ(x_ref, x_got);
+  }
+
+  // --- pure-skip updates: ocean cells bit-equal, land untouched -----
+  {
+    const std::vector<unsigned char> active(nb, 1);
+    std::vector<T> ca(nb), cb(nb), cc(nb);
+    for (int mm = 0; mm < nb; ++mm) {
+      ca[mm] = static_cast<T>(rng.uniform(-2, 2));
+      cb[mm] = static_cast<T>(rng.uniform(-2, 2));
+      cc[mm] = static_cast<T>(rng.uniform(-2, 2));
+    }
+    const std::vector<T> x = rand_plane(false);
+    std::vector<T> y_ref = rand_plane(false);
+    std::vector<T> y_got = y_ref, z_ref = rand_plane(false);
+    std::vector<T> z_got = z_ref;
+    const std::vector<T> y0 = y_ref, z0 = z_ref;
+    ms::kernels::lincomb_axpy_batch(nb, nx, ny, ca.data(), x.data(), st,
+                                    cb.data(), y_ref.data(), st, cc.data(),
+                                    z_ref.data(), st, active.data());
+    ms::kernels::lincomb_axpy_span_batch(ro, sp, nb, ny, ca.data(),
+                                         x.data(), st, cb.data(),
+                                         y_got.data(), st, cc.data(),
+                                         z_got.data(), st, active.data());
+    for (int j = 0; j < ny; ++j)
+      for (int i = 0; i < nx; ++i)
+        for (int mm = 0; mm < nb; ++mm) {
+          const std::size_t k = j * st + i * nb + mm;
+          if (m(i, j)) {
+            ASSERT_EQ(y_ref[k], y_got[k]);
+            ASSERT_EQ(z_ref[k], z_got[k]);
+          } else {  // span path must not have touched land
+            ASSERT_EQ(y_got[k], y0[k]);
+            ASSERT_EQ(z_got[k], z0[k]);
+          }
+        }
+  }
+}
+
+}  // namespace
+
+TEST(SpanPlan, KernelsBitwiseIdenticalFp64) {
+  for (std::uint64_t seed = 11; seed <= 13; ++seed)
+    kernel_identity_case<double>(seed,
+                                 0.2 * static_cast<double>(seed - 10));
+}
+
+TEST(SpanPlan, KernelsBitwiseIdenticalFp32) {
+  for (std::uint64_t seed = 21; seed <= 23; ++seed)
+    kernel_identity_case<float>(seed,
+                                0.25 * static_cast<double>(seed - 20));
+}
+
+// -------------------------------------------------------------------
+// Operator-level identity: the same sweeps with span execution on vs
+// off, fp64 and fp32, scalar and B=4 batches, field halos 1 and 2.
+// Pure-skip outputs compare bitwise at ocean cells; gap-zero outputs
+// and reduced scalars compare bitwise outright.
+// -------------------------------------------------------------------
+
+namespace {
+
+template <typename FieldT>
+void expect_ocean_bitwise(const mu::MaskArray& m, const FieldT& a,
+                          const FieldT& b) {
+  for (int lb = 0; lb < a.num_local_blocks(); ++lb) {
+    const auto& info = a.info(lb);
+    for (int j = 0; j < info.ny; ++j)
+      for (int i = 0; i < info.nx; ++i)
+        if (m(info.i0 + i, info.j0 + j)) {
+          ASSERT_EQ(a.at(lb, i, j), b.at(lb, i, j))
+              << "block " << lb << " (" << i << "," << j << ")";
+        }
+  }
+}
+
+template <typename FieldT>
+void expect_full_bitwise(const FieldT& a, const FieldT& b) {
+  for (int lb = 0; lb < a.num_local_blocks(); ++lb) {
+    const auto& info = a.info(lb);
+    for (int j = 0; j < info.ny; ++j)
+      for (int i = 0; i < info.nx; ++i)
+        ASSERT_EQ(a.at(lb, i, j), b.at(lb, i, j))
+            << "block " << lb << " (" << i << "," << j << ")";
+  }
+}
+
+template <typename T>
+void operator_identity_case(int halo_width, std::uint64_t seed) {
+  const int nx = 26, ny = 18;
+  Problem p = make_problem(nx, ny, 7, 1, seed);
+  const mu::MaskArray& m = p.stencil->mask();
+  mc::SerialComm comm;
+  mc::HaloExchanger halo(*p.decomp);
+  ms::DistOperator op_span(*p.stencil, *p.decomp, 0);
+  ms::DistOperator op_mask(*p.stencil, *p.decomp, 0);
+  op_span.set_use_spans(true);
+  op_mask.set_use_spans(false);
+  ASSERT_NE(op_span.span_plan(), nullptr);
+  ASSERT_EQ(op_mask.span_plan(), nullptr);
+
+  using Field = mc::DistFieldT<T>;
+  Field x(*p.decomp, 0, halo_width), b(*p.decomp, 0, halo_width);
+  mu::Field xg(nx, ny, 0.0);
+  mu::Xoshiro256 rng(seed + 99);
+  for (int j = 0; j < ny; ++j)
+    for (int i = 0; i < nx; ++i)
+      if (m(i, j)) xg(i, j) = rng.uniform(-1, 1);
+  x.load_global(xg);
+  b.load_global(p.b_global);
+
+  // apply (pure skip: ocean cells bit-equal)
+  Field y_s(*p.decomp, 0, halo_width), y_m(*p.decomp, 0, halo_width);
+  Field xs_copy = x, xm_copy = x;
+  op_span.apply(comm, halo, xs_copy, y_s);
+  op_mask.apply(comm, halo, xm_copy, y_m);
+  expect_ocean_bitwise(m, y_s, y_m);
+
+  // fused residual + norm² — residual leaves land at +0.0 on both
+  // paths (land r = 0 - (+0.0) masked, untouched zero span), so the
+  // planes compare bitwise at EVERY cell, and the reduced norm too.
+  Field r_s(*p.decomp, 0, halo_width), r_m(*p.decomp, 0, halo_width);
+  xs_copy = x;
+  xm_copy = x;
+  const double n_s =
+      op_span.residual_local_norm2(comm, halo, b, xs_copy, r_s);
+  const double n_m =
+      op_mask.residual_local_norm2(comm, halo, b, xm_copy, r_m);
+  EXPECT_EQ(n_s, n_m);
+  expect_full_bitwise(r_s, r_m);
+
+  // reductions
+  EXPECT_EQ(op_span.local_dot(comm, r_s, y_s),
+            op_mask.local_dot(comm, r_m, y_m));
+  double d3_s[3], d3_m[3];
+  op_span.local_dot3(comm, r_s, y_s, b, true, d3_s);
+  op_mask.local_dot3(comm, r_m, y_m, b, true, d3_m);
+  for (int k = 0; k < 3; ++k) EXPECT_EQ(d3_s[k], d3_m[k]);
+
+  // preconditioners (gap-zero: full bitwise equality at every cell)
+  ms::DiagonalPreconditioner md_s(op_span), md_m(op_mask);
+  ms::IdentityPreconditioner mi_s(op_span), mi_m(op_mask);
+  Field z_s(*p.decomp, 0, halo_width), z_m(*p.decomp, 0, halo_width);
+  md_s.apply(comm, r_s, z_s);
+  md_m.apply(comm, r_m, z_m);
+  expect_full_bitwise(z_s, z_m);
+  mi_s.apply(comm, r_s, z_s);
+  mi_m.apply(comm, r_m, z_m);
+  expect_full_bitwise(z_s, z_m);
+
+  // field ops with and without the plan
+  Field u_s = r_s, u_m = r_m;
+  ms::lincomb(comm, 1.25, y_s, -0.5, u_s, op_span.span_plan());
+  ms::lincomb(comm, 1.25, y_m, -0.5, u_m, op_mask.span_plan());
+  expect_ocean_bitwise(m, u_s, u_m);
+  ms::axpy(comm, -0.75, y_s, u_s, op_span.span_plan());
+  ms::axpy(comm, -0.75, y_m, u_m, op_mask.span_plan());
+  expect_ocean_bitwise(m, u_s, u_m);
+  ms::lincomb_axpy(comm, 0.5, y_s, 1.5, u_s, 2.0, z_s,
+                   op_span.span_plan());
+  ms::lincomb_axpy(comm, 0.5, y_m, 1.5, u_m, 2.0, z_m,
+                   op_mask.span_plan());
+  expect_ocean_bitwise(m, u_s, u_m);
+  expect_ocean_bitwise(m, z_s, z_m);
+  ms::scale(comm, -1.125, u_s, op_span.span_plan());
+  ms::scale(comm, -1.125, u_m, op_mask.span_plan());
+  expect_ocean_bitwise(m, u_s, u_m);
+
+  // mask_interior re-establishes the land-zero invariant on both
+  // paths, after which the planes must agree everywhere.
+  op_span.mask_interior(u_s);
+  op_mask.mask_interior(u_m);
+  expect_full_bitwise(u_s, u_m);
+
+  // --- B = 4 batch sweeps -------------------------------------------
+  const int nb = 4;
+  using Batch = mc::DistFieldBatchT<T>;
+  Batch xb(*p.decomp, 0, nb, halo_width), bb(*p.decomp, 0, nb, halo_width);
+  for (int mm = 0; mm < nb; ++mm) {
+    mu::Field gx(nx, ny, 0.0), gb(nx, ny, 0.0);
+    for (int j = 0; j < ny; ++j)
+      for (int i = 0; i < nx; ++i)
+        if (m(i, j)) {
+          gx(i, j) = rng.uniform(-1, 1);
+          gb(i, j) = rng.uniform(-1, 1);
+        }
+    Field tmp(*p.decomp, 0, halo_width);
+    tmp.load_global(gx);
+    xb.load_member(mm, tmp);
+    tmp.load_global(gb);
+    bb.load_member(mm, tmp);
+  }
+  Batch yb_s(*p.decomp, 0, nb, halo_width),
+      yb_m(*p.decomp, 0, nb, halo_width);
+  Batch xb_s = xb, xb_m = xb;
+  op_span.apply_batch(comm, halo, xb_s, yb_s);
+  op_mask.apply_batch(comm, halo, xb_m, yb_m);
+  for (int lb = 0; lb < yb_s.num_local_blocks(); ++lb) {
+    const auto& info = yb_s.info(lb);
+    for (int j = 0; j < info.ny; ++j)
+      for (int i = 0; i < info.nx; ++i)
+        if (m(info.i0 + i, info.j0 + j)) {
+          for (int mm = 0; mm < nb; ++mm)
+            ASSERT_EQ(yb_s.at(lb, i, j, mm), yb_m.at(lb, i, j, mm));
+        }
+  }
+  Batch rb_s(*p.decomp, 0, nb, halo_width),
+      rb_m(*p.decomp, 0, nb, halo_width);
+  std::vector<double> sums_s(nb), sums_m(nb);
+  xb_s = xb;
+  xb_m = xb;
+  op_span.residual_local_norm2_batch(comm, halo, bb, xb_s, rb_s,
+                                     sums_s.data());
+  op_mask.residual_local_norm2_batch(comm, halo, bb, xb_m, rb_m,
+                                     sums_m.data());
+  for (int mm = 0; mm < nb; ++mm) EXPECT_EQ(sums_s[mm], sums_m[mm]);
+  op_span.local_dot_batch(comm, rb_s, yb_s, sums_s.data());
+  op_mask.local_dot_batch(comm, rb_m, yb_m, sums_m.data());
+  for (int mm = 0; mm < nb; ++mm) EXPECT_EQ(sums_s[mm], sums_m[mm]);
+  std::vector<double> d3b_s(3 * nb), d3b_m(3 * nb);
+  op_span.local_dot3_batch(comm, rb_s, yb_s, bb, true, d3b_s.data());
+  op_mask.local_dot3_batch(comm, rb_m, yb_m, bb, true, d3b_m.data());
+  for (int k = 0; k < 3 * nb; ++k) EXPECT_EQ(d3b_s[k], d3b_m[k]);
+}
+
+}  // namespace
+
+TEST(SpanPlan, OperatorBitwiseIdenticalFp64Halo1) {
+  operator_identity_case<double>(1, 41);
+}
+TEST(SpanPlan, OperatorBitwiseIdenticalFp64Halo2) {
+  operator_identity_case<double>(2, 42);
+}
+TEST(SpanPlan, OperatorBitwiseIdenticalFp32Halo1) {
+  operator_identity_case<float>(1, 43);
+}
+TEST(SpanPlan, OperatorBitwiseIdenticalFp32Halo2) {
+  operator_identity_case<float>(2, 44);
+}
+
+// -------------------------------------------------------------------
+// Solver-level identity: full P-CSI / ChronGear solves (including the
+// depth-2 comm-avoiding schedule, whose extension sweeps run their own
+// per-depth span plans) with span execution on vs off are bitwise
+// identical in iterates, residuals, and iteration counts — serial and
+// on 4 virtual ranks.
+// -------------------------------------------------------------------
+
+namespace {
+
+struct SolveOut {
+  mu::Field x;
+  ms::SolveStats stats;
+};
+
+SolveOut run_once(const Problem& p, int nranks, bool use_spans,
+                  const std::string& kind, int halo_depth,
+                  ms::EigenBounds bounds) {
+  SolveOut out;
+  out.x = mu::Field(p.decomp->nx_global(), p.decomp->ny_global(), 0.0);
+  std::vector<ms::SolveStats> stats(nranks);
+  mc::HaloExchanger halo(*p.decomp);
+  ms::SolverOptions opt;
+  opt.rel_tolerance = 1e-10;
+  opt.max_iterations = 2000;
+  opt.record_residuals = true;
+  opt.halo_depth = halo_depth;
+
+  auto body = [&](mc::Communicator& comm) {
+    ms::DistOperator a(*p.stencil, *p.decomp, comm.rank());
+    a.set_use_spans(use_spans);
+    ms::DiagonalPreconditioner m(a);
+    std::unique_ptr<ms::IterativeSolver> s;
+    if (kind == "pcsi")
+      s = std::make_unique<ms::PcsiSolver>(bounds, opt);
+    else
+      s = std::make_unique<ms::ChronGearSolver>(opt);
+    mc::DistField b(*p.decomp, comm.rank()), x(*p.decomp, comm.rank());
+    b.load_global(p.b_global);
+    stats[comm.rank()] = s->solve(comm, halo, a, m, b, x);
+    x.store_global(out.x);  // disjoint interiors; no race
+  };
+  if (nranks == 1) {
+    mc::SerialComm comm;
+    body(comm);
+  } else {
+    mc::ThreadTeam team(nranks);
+    team.run(body);
+  }
+  out.stats = stats[0];
+  return out;
+}
+
+void solver_identity_case(int nranks, const std::string& kind,
+                          int halo_depth) {
+  Problem p = make_problem(30, 22, 6, nranks, 77);
+  const ms::EigenBounds bounds = lanczos_bounds_serial(p);
+  const SolveOut s = run_once(p, nranks, true, kind, halo_depth, bounds);
+  const SolveOut d = run_once(p, nranks, false, kind, halo_depth, bounds);
+  EXPECT_TRUE(s.stats.converged);
+  EXPECT_EQ(s.stats.iterations, d.stats.iterations);
+  EXPECT_EQ(s.stats.converged, d.stats.converged);
+  EXPECT_EQ(s.stats.relative_residual, d.stats.relative_residual);
+  ASSERT_EQ(s.stats.residual_history.size(),
+            d.stats.residual_history.size());
+  for (std::size_t k = 0; k < s.stats.residual_history.size(); ++k) {
+    EXPECT_EQ(s.stats.residual_history[k].first,
+              d.stats.residual_history[k].first);
+    EXPECT_EQ(s.stats.residual_history[k].second,
+              d.stats.residual_history[k].second);
+  }
+  for (int j = 0; j < p.decomp->ny_global(); ++j)
+    for (int i = 0; i < p.decomp->nx_global(); ++i)
+      ASSERT_EQ(s.x(i, j), d.x(i, j)) << "(" << i << "," << j << ")";
+}
+
+}  // namespace
+
+TEST(SpanPlan, PcsiSolveBitwiseSerial) { solver_identity_case(1, "pcsi", 1); }
+TEST(SpanPlan, PcsiSolveBitwiseFourRanks) {
+  solver_identity_case(4, "pcsi", 1);
+}
+TEST(SpanPlan, PcsiCommAvoidDepth2SolveBitwise) {
+  solver_identity_case(1, "pcsi", 2);
+}
+TEST(SpanPlan, ChronGearSolveBitwiseSerial) {
+  solver_identity_case(1, "cg", 1);
+}
